@@ -1,0 +1,251 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs a (size-reduced) version of the
+// corresponding experiment and reports the headline quantities as custom
+// metrics, so `go test -bench=.` reproduces the paper's result set in one
+// command. cmd/experiments (without -quick) runs the full paper-sized
+// versions.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkTable1Accuracy regenerates Table I: the closed-form worst-case
+// accuracy of the four sensor modules.
+func BenchmarkTable1Accuracy(b *testing.B) {
+	var res experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTable1()
+	}
+	b.ReportMetric(res.Rows[0].PowErr, "12V-worstcase-W")
+	b.ReportMetric(res.Rows[1].PowErr, "3.3V-worstcase-W")
+}
+
+// BenchmarkFig4ErrorSweep regenerates Fig. 4: the power-error sweep of the
+// four module types from negative to positive full-scale current.
+func BenchmarkFig4ErrorSweep(b *testing.B) {
+	var res experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig4(experiments.Fig4Options{Samples: 8 * 1024, StepA: 2.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, sw := range res.Sweeps {
+		for _, p := range sw.Points {
+			if e := abs(p.MeanErr); e > worst {
+				worst = e
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-mean-err-W")
+}
+
+// BenchmarkTable2Averaging regenerates Table II: noise versus effective
+// sample rate under block averaging.
+func BenchmarkTable2Averaging(b *testing.B) {
+	var res experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunTable2(experiments.Table2Options{Samples: 32 * 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Rows {
+		if r.RateKHz == 20 && r.LoadA == 1.0 {
+			b.ReportMetric(r.Std, "std-20kHz-W")
+		}
+		if r.RateKHz == 0.5 && r.LoadA == 1.0 {
+			b.ReportMetric(r.Std, "std-0.5kHz-W")
+		}
+	}
+}
+
+// BenchmarkStability regenerates the Section IV-B long-term run (reduced to
+// 2 virtual hours per iteration).
+func BenchmarkStability(b *testing.B) {
+	var res experiments.StabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunStability(experiments.StabilityOptions{
+			Duration: 2 * time.Hour, Interval: 15 * time.Minute, Samples: 8 * 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanFluctuation, "fluctuation-W")
+}
+
+// BenchmarkFig5StepResponse regenerates Fig. 5: the 3.3 A → 8 A step at
+// 20 kHz.
+func BenchmarkFig5StepResponse(b *testing.B) {
+	var res experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.RiseSamples), "rise-samples")
+	b.ReportMetric(res.HighW-res.LowW, "step-W")
+}
+
+// BenchmarkFig7aNvidiaTrace regenerates Fig. 7a: PS3 vs NVML on the
+// RTX 4000 Ada.
+func BenchmarkFig7aNvidiaTrace(b *testing.B) {
+	var res experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig7a(experiments.Fig7Options{
+			KernelDuration: time.Second, Tail: 800 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DipsPS3), "dips-ps3")
+	b.ReportMetric(float64(res.DipsVendor), "dips-nvml")
+	b.ReportMetric(res.PS3Joules/res.TrueJoules, "ps3/true-energy")
+}
+
+// BenchmarkFig7bAMDTrace regenerates Fig. 7b: PS3 vs AMD SMI on the W7700.
+func BenchmarkFig7bAMDTrace(b *testing.B) {
+	var res experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig7b(experiments.Fig7Options{
+			KernelDuration: time.Second, Tail: 800 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.VendorJoules/res.TrueJoules, "amdsmi/true-energy")
+	b.ReportMetric(res.PS3Joules/res.TrueJoules, "ps3/true-energy")
+}
+
+// BenchmarkFig8TuningRTX regenerates Fig. 8 on a reduced space (every 17th
+// variant, 3 clocks) and reports the headline metrics, including the
+// tuning-time speedup the paper quotes as 3.25×.
+func BenchmarkFig8TuningRTX(b *testing.B) {
+	var res experiments.TuningResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig8(experiments.TuningOptions{
+			Subsample: 17, Trials: 3, Clocks: []float64{1485, 1635, 1815},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FastestTFLOPS, "fastest-TFLOPs")
+	b.ReportMetric(res.FastestTFLOPJ, "fastest-TFLOPJ")
+	b.ReportMetric(res.Speedup, "tuning-speedup-x")
+}
+
+// BenchmarkFig10TuningJetson regenerates Fig. 10 on the Jetson AGX Orin.
+func BenchmarkFig10TuningJetson(b *testing.B) {
+	var res experiments.TuningResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig10(experiments.TuningOptions{
+			Subsample: 17, Trials: 3, Clocks: []float64{408, 816, 1300},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FastestTFLOPS, "fastest-TFLOPs")
+	b.ReportMetric(res.Speedup, "tuning-speedup-x")
+}
+
+// BenchmarkFig12aRandomReads regenerates Fig. 12a: SSD random-read power
+// and bandwidth versus request size.
+func BenchmarkFig12aRandomReads(b *testing.B) {
+	var res experiments.Fig12aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig12a(experiments.Fig12aOptions{
+			Sizes: []int{4, 64, 1024, 4096}, PerPoint: 2 * time.Second, IODepth: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.MiBps, "peak-MiBps")
+	b.ReportMetric(last.PowerW, "peak-power-W")
+	b.ReportMetric(res.Points[0].PowerW, "small-req-power-W")
+}
+
+// BenchmarkFig12bRandomWrites regenerates Fig. 12b: sustained random writes
+// with GC-induced bandwidth variability against flat power.
+func BenchmarkFig12bRandomWrites(b *testing.B) {
+	var res experiments.Fig12bResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig12b(experiments.Fig12bOptions{
+			Duration: 40 * time.Second, IODepth: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BandwidthCV, "bandwidth-CV")
+	b.ReportMetric(res.PowerCV, "power-CV")
+	b.ReportMetric(res.WriteAmp, "write-amplification")
+}
+
+// BenchmarkExtSSDHiRes regenerates the §V-C future-work experiment:
+// sub-millisecond SSD power analysis.
+func BenchmarkExtSSDHiRes(b *testing.B) {
+	var res experiments.SSDHiResResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSSDHiRes(experiments.SSDHiResOptions{Window: 2 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HiResP2P, "hires-p2p-W")
+	b.ReportMetric(res.CoarseP2P, "coarse-p2p-W")
+	b.ReportMetric(res.BurstsPerSecond, "bursts/s")
+}
+
+// BenchmarkAblationSamplingRate regenerates the sampling-rate ablation:
+// kernel-energy error at the rates of the tools the paper surveys.
+func BenchmarkAblationSamplingRate(b *testing.B) {
+	var res experiments.AblationRateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationSamplingRate(experiments.AblationRateOptions{Kernels: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.RateHz {
+		case 20000:
+			b.ReportMetric(row.MeanErr*100, "err%-20kHz")
+		case 1000:
+			b.ReportMetric(row.MeanErr*100, "err%-1kHz")
+		case 10:
+			b.ReportMetric(row.MeanErr*100, "err%-10Hz")
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

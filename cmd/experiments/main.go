@@ -1,0 +1,220 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulated measurement chain.
+//
+// Usage:
+//
+//	experiments [-quick] [name ...]
+//
+// Names: table1 fig4 table2 stability fig5 fig7a fig7b fig8 fig10 fig12a
+// fig12b (default: all). -quick shrinks sample counts and search spaces so
+// the full set finishes in seconds; without it the paper-sized runs execute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+type runner struct {
+	quick bool
+	rep   *report.Builder
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample counts and spaces")
+	out := flag.String("out", "", "also write a Markdown report to this file")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"table1", "fig4", "table2", "stability", "fig5",
+			"fig7a", "fig7b", "fig8", "fig10", "fig12a", "fig12b",
+			"ssdhires", "ablation"}
+	}
+	r := runner{quick: *quick}
+	if *out != "" {
+		r.rep = report.New("PowerSensor3 reproduction — generated results")
+	}
+	for _, name := range names {
+		if err := r.run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if r.rep != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.rep.Write(f, time.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *out)
+	}
+}
+
+// emit prints a table (and optional plot) and mirrors it into the report.
+func (r runner) emit(heading string, t experiments.Table, plot string) {
+	fmt.Println(t.Render())
+	if plot != "" {
+		fmt.Println(plot)
+	}
+	if r.rep != nil {
+		r.rep.AddTable(heading, t)
+		if plot != "" {
+			r.rep.AddText(heading+" (plot)", "```\n"+plot+"```")
+		}
+	}
+}
+
+func (r runner) run(name string) error {
+	start := time.Now()
+	defer func() {
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}()
+	switch name {
+	case "table1":
+		r.emit("Table I", experiments.RunTable1().Table(), "")
+	case "fig4":
+		opts := experiments.DefaultFig4Options()
+		if r.quick {
+			opts.Samples = 8 * 1024
+			opts.StepA = 2.5
+		}
+		res, err := experiments.RunFig4(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 4", res.Table(), res.Plot())
+	case "table2":
+		opts := experiments.Table2Options{Samples: 128 * 1024}
+		if r.quick {
+			opts.Samples = 16 * 1024
+		}
+		res, err := experiments.RunTable2(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Table II", res.Table(), "")
+	case "stability":
+		opts := experiments.DefaultStabilityOptions()
+		if r.quick {
+			opts.Duration = 2 * time.Hour
+			opts.Samples = 16 * 1024
+		}
+		res, err := experiments.RunStability(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Long-term stability", res.Table(), "")
+	case "fig5":
+		res, err := experiments.RunFig5()
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 5", res.Table(), res.Plot())
+	case "fig7a":
+		res, err := experiments.RunFig7a(r.fig7Options())
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 7a", res.Table(), res.Plot())
+	case "fig7b":
+		res, err := experiments.RunFig7b(r.fig7Options())
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 7b", res.Table(), res.Plot())
+	case "fig8":
+		res, err := experiments.RunFig8(r.tuningOptions())
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 8", res.Table(), res.Plot())
+	case "fig10":
+		res, err := experiments.RunFig10(r.tuningOptions())
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 10", res.Table(), res.Plot())
+	case "fig12a":
+		opts := experiments.DefaultFig12aOptions()
+		if r.quick {
+			opts.Sizes = []int{1, 8, 64, 512, 4096}
+			opts.PerPoint = 2 * time.Second
+		}
+		res, err := experiments.RunFig12a(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 12a", res.Table(), res.Plot())
+	case "fig12b":
+		opts := experiments.DefaultFig12bOptions()
+		if r.quick {
+			opts.Duration = 60 * time.Second
+		}
+		res, err := experiments.RunFig12b(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Fig. 12b", res.Table(), res.Plot())
+	case "ssdhires":
+		opts := experiments.SSDHiResOptions{Window: 4 * time.Second}
+		if r.quick {
+			opts.Window = 2 * time.Second
+		}
+		res, err := experiments.RunSSDHiRes(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Sub-millisecond SSD analysis", res.Table(), res.Plot())
+	case "ablation":
+		opts := experiments.AblationRateOptions{Kernels: 20}
+		if r.quick {
+			opts.Kernels = 8
+		}
+		res, err := experiments.RunAblationSamplingRate(opts)
+		if err != nil {
+			return err
+		}
+		r.emit("Sampling-rate ablation", res.Table(), "")
+		avg := experiments.RunAblationAveraging()
+		fmt.Println("Averaging-depth trade (firmware design point = 6 samples):")
+		for _, row := range avg.Rows {
+			marker := " "
+			if row.SamplesPerAvg == 6 {
+				marker = "*"
+			}
+			fmt.Printf("  %s %2d samples → %6.1f kHz, noise std %.2f W\n",
+				marker, row.SamplesPerAvg, row.OutputRateHz/1000, row.NoiseStdW)
+		}
+		fmt.Println()
+	default:
+		return fmt.Errorf("unknown experiment (have table1 fig4 table2 stability fig5 fig7a fig7b fig8 fig10 fig12a fig12b ssdhires ablation)")
+	}
+	return nil
+}
+
+func (r runner) fig7Options() experiments.Fig7Options {
+	opts := experiments.DefaultFig7Options()
+	if r.quick {
+		opts.KernelDuration = time.Second
+		opts.Tail = 800 * time.Millisecond
+	}
+	return opts
+}
+
+func (r runner) tuningOptions() experiments.TuningOptions {
+	if r.quick {
+		return experiments.TuningOptions{Subsample: 16, Trials: 3}
+	}
+	return experiments.TuningOptions{}
+}

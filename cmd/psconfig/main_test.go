@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestReadOnly(t *testing.T) {
+	if err := run(-1, "", 0, 0, 0, true, false, false, 1024, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateAndReboot(t *testing.T) {
+	if err := run(-1, "", 0, 0, 0, true, true, true, 4096, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSensor(t *testing.T) {
+	if err := run(0, "renamed", 0.119, 12, 0.01, true, false, false, 1024, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSensorOutOfRange(t *testing.T) {
+	if err := run(9, "x", 0, 0, 0, true, false, false, 1024, 4); err == nil {
+		t.Fatal("expected error")
+	}
+}

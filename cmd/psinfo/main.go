@@ -1,0 +1,69 @@
+// Command psinfo shows the configuration values of each enabled sensor, the
+// latest measurements, and the total power — the counterpart of the paper's
+// psinfo utility, on a simulated device.
+//
+// Usage:
+//
+//	psinfo [-module slot10a:12] [-amps 3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/simsetup"
+)
+
+func main() {
+	module := flag.String("module", "slot10a:12", "sensor module as kind:volts")
+	amps := flag.Float64("amps", 3, "bench load current in amperes")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := run(*module, *amps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(module string, amps float64, seed uint64) error {
+	dev, err := simsetup.BenchDevice(module, amps, seed)
+	if err != nil {
+		return err
+	}
+	ps, err := core.Open(dev)
+	if err != nil {
+		return err
+	}
+	defer ps.Close()
+	ps.Advance(10 * time.Millisecond)
+
+	fmt.Println("sensor configuration:")
+	for i := 0; i < protocol.MaxSensors; i++ {
+		cfg := ps.SensorConfig(i)
+		if !cfg.Enabled {
+			continue
+		}
+		kind := "current"
+		if i%2 == 1 {
+			kind = "voltage"
+		}
+		fmt.Printf("  sensor %d (%s): name=%-18q rail=%gV sensitivity=%g offset=%g polarity=%+d\n",
+			i, kind, cfg.Name, cfg.Volt, cfg.Sensitivity, cfg.Offset, cfg.Polarity)
+	}
+
+	st := ps.Read()
+	fmt.Println("latest measurements:")
+	var total float64
+	for m := 0; m < ps.Pairs(); m++ {
+		fmt.Printf("  pair %d: %7.3f V  %7.3f A  %8.3f W\n",
+			m, st.Volts[m], st.Amps[m], st.Watts[m])
+		total += st.Watts[m]
+	}
+	fmt.Printf("total power: %.3f W\n", total)
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("slot10a:12", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadModule(t *testing.T) {
+	if err := run("bogus", 3, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,112 @@
+// Command psrun connects to a PowerSensor3, runs the requested workload,
+// and reports the total energy consumed after execution — the counterpart
+// of the paper's psrun utility (Section III-C). Where the real psrun execs
+// an arbitrary program, this simulated version runs one of the paper's
+// workloads on the matching simulated device.
+//
+// Usage:
+//
+//	psrun [-seed 1] <workload>
+//
+// Workloads:
+//
+//	fma-nvidia     synthetic FMA kernel on the RTX 4000 Ada (Fig. 7a)
+//	fma-amd        synthetic FMA kernel on the AMD W7700 (Fig. 7b)
+//	fma-jetson     synthetic FMA kernel on the Jetson AGX Orin
+//	beamformer     one Tensor-Core Beamformer launch on the RTX 4000 Ada
+//	ssd-read       10 s of 128 KiB random reads on the simulated SSD
+//	ssd-write      10 s of 4 KiB random writes on the simulated SSD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/kernels"
+	"repro/internal/simsetup"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psrun [-seed N] <workload>")
+		fmt.Fprintln(os.Stderr, "workloads: fma-nvidia fma-amd fma-jetson beamformer ssd-read ssd-write")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, seed uint64) error {
+	switch workload {
+	case "fma-nvidia":
+		return runGPU("rtx4000ada", seed, 2*time.Second, false)
+	case "fma-amd":
+		return runGPU("w7700", seed, 2*time.Second, false)
+	case "fma-jetson":
+		return runGPU("jetson", seed, 2*time.Second, false)
+	case "beamformer":
+		return runGPU("rtx4000ada", seed, 0, true)
+	case "ssd-read":
+		return runSSD(seed, fio.RandRead, 128)
+	case "ssd-write":
+		return runSSD(seed, fio.RandWrite, 4)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+func runGPU(device string, seed uint64, fmaDuration time.Duration, beamformer bool) error {
+	r, err := simsetup.GPURig(device, seed)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	r.Idle(100 * time.Millisecond)
+
+	var dur time.Duration
+	var joules float64
+	if beamformer {
+		cfg := kernels.Space()[300]
+		k := cfg.Kernel(r.GPU.Spec(), r.GPU.Spec().BoostClockMHz, kernels.DefaultProblem())
+		dur, joules = r.MeasureKernel(k)
+		fmt.Printf("workload: Tensor-Core Beamformer variant %s\n", cfg)
+	} else {
+		k := kernels.SyntheticFMA(r.GPU.Spec(), fmaDuration)
+		dur, joules = r.MeasureKernel(k)
+		fmt.Printf("workload: synthetic FMA on %s\n", r.GPU.Spec().Name)
+	}
+	fmt.Printf("execution time : %v\n", dur.Round(time.Microsecond))
+	fmt.Printf("energy consumed: %.2f J\n", joules)
+	fmt.Printf("average power  : %.2f W\n", joules/dur.Seconds())
+	return nil
+}
+
+func runSSD(seed uint64, pattern fio.Pattern, blockKiB int) error {
+	r, err := simsetup.NewDiskRig(seed, true)
+	if err != nil {
+		return err
+	}
+	defer r.PS.Close()
+
+	before := r.PS.Read()
+	res := fio.Run(r.Disk, fio.Job{
+		Pattern: pattern, BlockKiB: blockKiB, IODepth: 8,
+		Runtime: 10 * time.Second, Seed: seed,
+	}, r.Sync)
+	after := r.PS.Read()
+
+	fmt.Printf("workload: fio %s bs=%dKiB iodepth=8 10s\n", pattern, blockKiB)
+	fmt.Printf("bandwidth      : %.0f MiB/s\n", res.MeanMiBps)
+	fmt.Printf("IOPS           : %.0f\n", res.IOPS)
+	fmt.Printf("energy consumed: %.2f J\n", core.Joules(before, after, -1))
+	fmt.Printf("average power  : %.2f W\n", core.Watts(before, after, -1))
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestWorkloads(t *testing.T) {
+	// The GPU FMA workloads take a couple of virtual seconds each; the SSD
+	// ones run 10 virtual seconds. All should succeed.
+	for _, w := range []string{"fma-nvidia", "fma-amd", "beamformer"} {
+		if err := run(w, 1); err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+	}
+}
+
+func TestSSDWorkload(t *testing.T) {
+	if err := run("ssd-read", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if err := run("mine-bitcoin", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

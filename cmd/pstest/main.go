@@ -1,0 +1,57 @@
+// Command pstest measures and reports power and energy at increasing
+// intervals for testing purposes — the counterpart of the paper's pstest
+// utility (Section III-C), operating on a simulated bench setup.
+//
+// Usage:
+//
+//	pstest [-module slot10a:12] [-amps 8] [-max 8s] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simsetup"
+)
+
+func main() {
+	module := flag.String("module", "slot10a:12", "sensor module as kind:volts")
+	amps := flag.Float64("amps", 8, "bench load current in amperes")
+	maxIv := flag.Duration("max", 8*time.Second, "longest measurement interval")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := run(*module, *amps, *maxIv, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pstest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(module string, amps float64, maxIv time.Duration, seed uint64) error {
+	dev, err := simsetup.BenchDevice(module, amps, seed)
+	if err != nil {
+		return err
+	}
+	ps, err := core.Open(dev)
+	if err != nil {
+		return err
+	}
+	defer ps.Close()
+
+	fmt.Printf("pstest: module %s, load %.2f A\n", module, amps)
+	fmt.Printf("%12s %12s %12s %12s\n", "interval", "joules", "watts", "samples")
+	for iv := time.Millisecond; iv <= maxIv; iv *= 2 {
+		first := ps.Read()
+		ps.Advance(iv)
+		second := ps.Read()
+		fmt.Printf("%12v %12.4f %12.3f %12d\n",
+			iv,
+			core.Joules(first, second, -1),
+			core.Watts(first, second, -1),
+			second.Samples-first.Samples)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRun(t *testing.T) {
+	if err := run("slot10a:12", 4, 8*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadModule(t *testing.T) {
+	if err := run("bogus", 4, time.Millisecond, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "PowerSensor3: A Fast
+// and Accurate Open Source Power Measurement Tool" (ISPASS 2025).
+//
+// The implementation lives under internal/: the host library in
+// internal/core, the simulated hardware (sensors, ADC, firmware, USB,
+// display) in their own packages, the device-under-test models (GPUs, SSD)
+// beside them, and one experiment harness per paper table/figure in
+// internal/experiments. See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,60 @@
+// Auto-tuning example: optimise the Tensor-Core Beamformer for both compute
+// performance and energy efficiency on a simulated RTX 4000 Ada, the
+// Section V-A2 workflow.
+//
+// A reduced search space keeps the example fast; cmd/experiments fig8 runs
+// the paper-sized 5120-configuration sweep.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/tuner"
+)
+
+func main() {
+	g := gpu.New(gpu.RTX4000Ada(), 21)
+	r, err := rig.NewPCIe(g, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	opts := tuner.DefaultOptions(g.Spec())
+	opts.Trials = 3
+	// Every 15th variant (odd stride to cover all parameter dimensions).
+	space := kernels.Space()
+	for i := 0; i < len(space); i += 15 {
+		opts.Configs = append(opts.Configs, space[i])
+	}
+	opts.Clocks = []float64{1485, 1590, 1710, 1815}
+
+	res, err := tuner.Tune(r, tuner.PowerSensor3Strategy, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmarked %d configurations in %.0f s of tuning time\n",
+		len(res.Measurements), res.TuningTime.Seconds())
+
+	fast, eff := res.Fastest(), res.MostEfficient()
+	fmt.Printf("\nfastest        : %s @ %v MHz → %.1f TFLOP/s, %.2f TFLOP/J\n",
+		fast.Config, fast.ClockMHz, fast.TFLOPS, fast.TFLOPJ)
+	fmt.Printf("most efficient : %s @ %v MHz → %.1f TFLOP/s, %.2f TFLOP/J\n",
+		eff.Config, eff.ClockMHz, eff.TFLOPS, eff.TFLOPJ)
+	fmt.Printf("trade-off      : +%.1f%% efficiency for -%.1f%% performance\n",
+		(eff.TFLOPJ/fast.TFLOPJ-1)*100, (1-eff.TFLOPS/fast.TFLOPS)*100)
+
+	fmt.Println("\nPareto front (TFLOP/J ↑, TFLOP/s ↓):")
+	for _, p := range res.Front {
+		m := res.Measurements[p.Tag]
+		fmt.Printf("  %.2f TFLOP/J  %5.1f TFLOP/s  %s @ %v MHz\n",
+			m.TFLOPJ, m.TFLOPS, m.Config, m.ClockMHz)
+	}
+}

@@ -1,0 +1,89 @@
+// Package adc models the STM32F411 analog-to-digital converter as configured
+// by the PowerSensor3 firmware (Section III-B): 10-bit resolution, a 15-cycle
+// sampling window plus one cycle per bit at a 24 MHz ADC clock — 25 cycles or
+// 1.04 µs per conversion — scanning up to sixteen inputs of which eight are
+// used (four modules × current/voltage pairs on consecutive channels).
+package adc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Hardware constants of the converter as configured by the firmware.
+const (
+	// ClockHz is the ADC clock frequency.
+	ClockHz = 24_000_000
+
+	// SamplingCycles is the configured sample-and-hold window.
+	SamplingCycles = 15
+
+	// ConversionCycles is the total cycles per conversion: the sampling
+	// window plus one cycle per output bit.
+	ConversionCycles = SamplingCycles + protocol.ADCBits
+
+	// Channels is the number of analog inputs the STM32F411 can sample.
+	Channels = 16
+)
+
+// ConversionTime is the duration of one conversion: 25 cycles at 24 MHz,
+// which the paper rounds to 1.04 µs.
+const ConversionTime = time.Second * ConversionCycles / ClockHz
+
+// Converter quantizes pin voltages into 10-bit codes. The integral
+// nonlinearity of the real converter is far below the sensor noise floor, so
+// the model is an ideal mid-tread quantizer over [0, VRef].
+type Converter struct {
+	// VRef is the reference voltage; codes map [0, VRef] onto [0, 1023].
+	VRef float64
+}
+
+// New returns a Converter referenced to the PowerSensor3 supply rail.
+func New() *Converter { return &Converter{VRef: protocol.VRef} }
+
+// Convert quantizes volts into a 10-bit code, clamping at the rails.
+func (c *Converter) Convert(volts float64) int {
+	if volts <= 0 {
+		return 0
+	}
+	code := int(volts / c.VRef * protocol.Levels)
+	if code >= protocol.Levels {
+		code = protocol.Levels - 1
+	}
+	return code
+}
+
+// Midpoint returns the voltage at the centre of the given code's bin — the
+// value the host reconstructs from a code.
+func (c *Converter) Midpoint(code int) float64 {
+	if code < 0 || code >= protocol.Levels {
+		panic(fmt.Sprintf("adc: code %d out of range", code))
+	}
+	return (float64(code) + 0.5) / protocol.Levels * c.VRef
+}
+
+// LSB returns the width of one quantization step in volts.
+func (c *Converter) LSB() float64 { return c.VRef / protocol.Levels }
+
+// ScanTime returns how long a full scan of n channels takes.
+func ScanTime(n int) time.Duration {
+	return time.Duration(n) * ConversionTime
+}
+
+// Scan converts a set of pin voltages in channel order, modelling the
+// sequential scan the DMA controller drains to RAM. The small inter-channel
+// skew (one ConversionTime per channel) is why the firmware wires each
+// module's current and voltage sensors to consecutive channels — it keeps
+// the V/I pair nearly simultaneous (Section III-B).
+func (c *Converter) Scan(pins []float64) []int {
+	if len(pins) > Channels {
+		panic(fmt.Sprintf("adc: %d channels requested, hardware has %d", len(pins), Channels))
+	}
+	codes := make([]int, len(pins))
+	for i, v := range pins {
+		codes[i] = c.Convert(v)
+	}
+	return codes
+}

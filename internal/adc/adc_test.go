@@ -1,0 +1,122 @@
+package adc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func TestConversionTimeMatchesPaper(t *testing.T) {
+	// Section III-B: 25 cycles at 24 MHz ≈ 1.04 µs.
+	want := 1042 * time.Nanosecond
+	if d := ConversionTime - want; d < -2*time.Nanosecond || d > 2*time.Nanosecond {
+		t.Fatalf("conversion time = %v, want ~%v", ConversionTime, want)
+	}
+}
+
+func TestConvertEndpoints(t *testing.T) {
+	c := New()
+	if got := c.Convert(-1); got != 0 {
+		t.Errorf("negative input → %d", got)
+	}
+	if got := c.Convert(0); got != 0 {
+		t.Errorf("0 V → %d", got)
+	}
+	if got := c.Convert(protocol.VRef); got != protocol.Levels-1 {
+		t.Errorf("VRef → %d", got)
+	}
+	if got := c.Convert(100); got != protocol.Levels-1 {
+		t.Errorf("overvoltage → %d", got)
+	}
+}
+
+func TestConvertMonotonic(t *testing.T) {
+	c := New()
+	prev := -1
+	for v := 0.0; v <= protocol.VRef; v += 0.001 {
+		code := c.Convert(v)
+		if code < prev {
+			t.Fatalf("non-monotonic at %v: %d < %d", v, code, prev)
+		}
+		prev = code
+	}
+}
+
+func TestQuantizationErrorBounded(t *testing.T) {
+	c := New()
+	lsb := c.LSB()
+	for v := 0.001; v < protocol.VRef; v += 0.0137 {
+		code := c.Convert(v)
+		back := c.Midpoint(code)
+		if math.Abs(back-v) > lsb/2+1e-12 {
+			t.Fatalf("quantization error at %v: %v", v, back-v)
+		}
+	}
+}
+
+func TestQuickQuantizationError(t *testing.T) {
+	c := New()
+	lsb := c.LSB()
+	f := func(raw uint16) bool {
+		v := float64(raw) / math.MaxUint16 * protocol.VRef * 0.999
+		back := c.Midpoint(c.Convert(v))
+		return math.Abs(back-v) <= lsb/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidpointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().Midpoint(protocol.Levels)
+}
+
+func TestScan(t *testing.T) {
+	c := New()
+	codes := c.Scan([]float64{0, 1.65, 3.3})
+	if len(codes) != 3 {
+		t.Fatalf("len = %d", len(codes))
+	}
+	if codes[0] != 0 {
+		t.Errorf("ch0 = %d", codes[0])
+	}
+	if codes[1] != protocol.Levels/2 {
+		t.Errorf("ch1 = %d, want %d", codes[1], protocol.Levels/2)
+	}
+	if codes[2] != protocol.Levels-1 {
+		t.Errorf("ch2 = %d", codes[2])
+	}
+}
+
+func TestScanTooManyChannels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().Scan(make([]float64, Channels+1))
+}
+
+func TestScanTimeSupports20kHz(t *testing.T) {
+	// 8 channels × 6 averaged samples must fit in the 50 µs budget.
+	total := time.Duration(protocol.SamplesPerAverage) * ScanTime(protocol.MaxSensors)
+	if total > 50*time.Microsecond {
+		t.Fatalf("full averaged scan takes %v, exceeding the 50 µs sample interval", total)
+	}
+}
+
+func BenchmarkScan8(b *testing.B) {
+	c := New()
+	pins := []float64{0.1, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.2}
+	for i := 0; i < b.N; i++ {
+		_ = c.Scan(pins)
+	}
+}

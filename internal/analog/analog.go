@@ -1,0 +1,132 @@
+// Package analog models the analog front-end of a PowerSensor3 sensor
+// module: the Melexis MLX91221 differential Hall current sensor and the
+// Broadcom ACPL-C87B optically isolated voltage sensor behind its divider
+// (Section III-A of the paper).
+//
+// Both sensors are modelled as a first-order low-pass response (the
+// datasheet bandwidth: 300 kHz for the Hall sensor, 100 kHz for the voltage
+// sensor) followed by additive Gaussian noise and a small residual
+// nonlinearity. The outputs are voltages at the ADC pin, in [0, VRef].
+package analog
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// HallSensor models an MLX91221-family isolated current sensor. The output
+// is ratiometric around VRef/2: zero current reads mid-scale, positive
+// current raises the output by Sensitivity volts per ampere.
+type HallSensor struct {
+	// Sensitivity is the transfer gain in volts per ampere at the ADC pin.
+	Sensitivity float64
+	// RangeA is the nominal measurement range in amperes (±RangeA).
+	RangeA float64
+	// NoiseRMS is the input-referred white noise per raw conversion, in
+	// amperes RMS (115 mA for the 10 A variant per the paper).
+	NoiseRMS float64
+	// OffsetA is the residual input-referred offset after calibration.
+	OffsetA float64
+	// NonlinFrac is the full-scale fraction of the cubic nonlinearity term;
+	// Hall sensors exhibit a smooth odd-order error across the range.
+	NonlinFrac float64
+	// BandwidthHz is the −3 dB bandwidth of the sensor.
+	BandwidthHz float64
+
+	// ExternalFieldA is the ambient magnetic field at the sensing element,
+	// expressed as the equivalent current (amperes) a non-differential
+	// sensor would report. Server enclosures are magnetically noisy; the
+	// paper selected the differential MLX91221 exactly because it rejects
+	// this (Section I: "current sensors that are hardly sensitive to
+	// changes of the external magnetic field").
+	ExternalFieldA float64
+	// FieldCoupling is the fraction of the external field that leaks into
+	// the reading: ~0.02 for the differential MLX91221, ~1.0 for the
+	// single-ended sensor of PowerSensor2.
+	FieldCoupling float64
+
+	filt   float64 // low-pass state, amperes
+	primed bool
+}
+
+// Sense advances the sensor by dt with input current i (amperes) and returns
+// the output voltage at the ADC pin. rnd supplies the noise draw.
+func (h *HallSensor) Sense(i float64, dt time.Duration, rnd *rng.Source) float64 {
+	h.filt = lowpass(h.filt, i, h.BandwidthHz, dt, &h.primed)
+	x := h.filt
+	// Odd-order nonlinearity: exact at zero and full scale, bowed between.
+	if h.NonlinFrac != 0 && h.RangeA > 0 {
+		n := x / h.RangeA
+		x += h.NonlinFrac * h.RangeA * (n - n*n*n)
+	}
+	x += h.OffsetA + rnd.NormSigma(h.NoiseRMS)
+	x += h.ExternalFieldA * h.FieldCoupling
+	return clamp(protocol.VRef/2+h.Sensitivity*x, 0, protocol.VRef)
+}
+
+// VoltageSensor models the divider + ACPL-C87B isolation amplifier chain.
+// The output at the ADC pin is Gain × rail voltage.
+type VoltageSensor struct {
+	// Gain is the divider × amplifier transfer from rail volts to ADC volts.
+	Gain float64
+	// GainErr is the residual multiplicative gain error after calibration.
+	GainErr float64
+	// NoiseRMS is the rail-referred amplifier noise per raw conversion, in
+	// volts RMS. The divider amplifies the amplifier's input noise when
+	// referred back to the rail, which is why high-voltage modules are
+	// noisier (Section III-A).
+	NoiseRMS float64
+	// BandwidthHz is the −3 dB bandwidth of the isolation amplifier.
+	BandwidthHz float64
+
+	filt   float64
+	primed bool
+}
+
+// Sense advances the sensor by dt with rail voltage v and returns the output
+// voltage at the ADC pin.
+func (s *VoltageSensor) Sense(v float64, dt time.Duration, rnd *rng.Source) float64 {
+	s.filt = lowpass(s.filt, v, s.BandwidthHz, dt, &s.primed)
+	x := s.filt + rnd.NormSigma(s.NoiseRMS)
+	return clamp(s.Gain*(1+s.GainErr)*x, 0, protocol.VRef)
+}
+
+// lowpass advances a first-order low-pass filter state toward target over dt.
+// The first call primes the state so the filter does not ramp from zero.
+func lowpass(state, target, bwHz float64, dt time.Duration, primed *bool) float64 {
+	if !*primed {
+		*primed = true
+		return target
+	}
+	if bwHz <= 0 {
+		return target
+	}
+	alpha := 1 - math.Exp(-2*math.Pi*bwHz*dt.Seconds())
+	return state + alpha*(target-state)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// CurrentFromADC converts an ADC pin voltage back to amperes given the
+// sensitivity — the inverse transfer the host library applies using the
+// configuration values stored on the device.
+func CurrentFromADC(pinVolts, sensitivity float64) float64 {
+	return (pinVolts - protocol.VRef/2) / sensitivity
+}
+
+// VoltageFromADC converts an ADC pin voltage back to rail volts given the
+// divider gain.
+func VoltageFromADC(pinVolts, gain float64) float64 {
+	return pinVolts / gain
+}

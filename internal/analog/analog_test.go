@@ -1,0 +1,275 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+const rawDt = 8333 * time.Nanosecond // ~120 kHz per-channel raw rate
+
+func noiselessHall(sens, rangeA float64) HallSensor {
+	return HallSensor{Sensitivity: sens, RangeA: rangeA, BandwidthHz: 300e3}
+}
+
+func TestHallZeroCurrentReadsMidScale(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	r := rng.New(1)
+	v := h.Sense(0, rawDt, r)
+	if math.Abs(v-protocol.VRef/2) > 1e-9 {
+		t.Fatalf("zero current reads %v, want %v", v, protocol.VRef/2)
+	}
+}
+
+func TestHallLinearTransfer(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	r := rng.New(1)
+	for _, i := range []float64{-10, -5, 0, 5, 10} {
+		h.filt, h.primed = 0, false // reset filter so steady state is instant
+		v := h.Sense(i, rawDt, r)
+		want := protocol.VRef/2 + 0.120*i
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("I=%v: v=%v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestHallNonlinearityVanishesAtEndpoints(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	h.NonlinFrac = 0.01
+	r := rng.New(1)
+	for _, i := range []float64{-10, 0, 10} {
+		h.filt, h.primed = 0, false
+		v := h.Sense(i, rawDt, r)
+		want := protocol.VRef/2 + 0.120*i
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("endpoint I=%v has nonlinearity error: %v vs %v", i, v, want)
+		}
+	}
+	// But it must bow in between.
+	h.filt, h.primed = 0, false
+	v := h.Sense(5, rawDt, r)
+	ideal := protocol.VRef/2 + 0.120*5
+	if math.Abs(v-ideal) < 1e-6 {
+		t.Fatal("mid-scale nonlinearity absent")
+	}
+}
+
+func TestHallNoiseMagnitude(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	h.NoiseRMS = 0.115
+	r := rng.New(7)
+	const n = 50000
+	amps := make([]float64, n)
+	for k := 0; k < n; k++ {
+		v := h.Sense(2, rawDt, r)
+		amps[k] = CurrentFromADC(v, 0.120)
+	}
+	s := stats.Summarize(amps)
+	if math.Abs(s.Mean-2) > 0.05 {
+		t.Errorf("mean current = %v, want ~2", s.Mean)
+	}
+	if math.Abs(s.Std-0.115)/0.115 > 0.1 {
+		t.Errorf("current noise std = %v, want ~0.115", s.Std)
+	}
+}
+
+func TestHallOffsetShiftsReading(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	h.OffsetA = 0.25
+	r := rng.New(1)
+	v := h.Sense(0, rawDt, r)
+	got := CurrentFromADC(v, 0.120)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("offset reading = %v, want 0.25", got)
+	}
+}
+
+func TestHallOutputClamped(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	r := rng.New(1)
+	v := h.Sense(1000, rawDt, r) // absurd overcurrent
+	if v > protocol.VRef || v < 0 {
+		t.Fatalf("output %v escaped the ADC range", v)
+	}
+}
+
+func TestHallBandwidthStepSettling(t *testing.T) {
+	h := noiselessHall(0.120, 10)
+	r := rng.New(1)
+	h.Sense(0, rawDt, r) // prime at 0 A
+	// After a step, a 300 kHz single-pole filter settles to >99% within
+	// 2 raw samples (8.3 µs each).
+	var v float64
+	for k := 0; k < 2; k++ {
+		v = h.Sense(8, rawDt, r)
+	}
+	got := CurrentFromADC(v, 0.120)
+	if got < 8*0.99 {
+		t.Fatalf("after 2 raw samples, current = %v, want >7.92", got)
+	}
+}
+
+func TestVoltageSensorTransfer(t *testing.T) {
+	s := VoltageSensor{Gain: 0.2, BandwidthHz: 100e3}
+	r := rng.New(1)
+	v := s.Sense(12, rawDt, r)
+	if math.Abs(v-2.4) > 1e-9 {
+		t.Fatalf("12 V reads %v at ADC, want 2.4", v)
+	}
+	if got := VoltageFromADC(v, 0.2); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("inverse transfer = %v", got)
+	}
+}
+
+func TestVoltageSensorGainError(t *testing.T) {
+	s := VoltageSensor{Gain: 0.2, GainErr: 0.01, BandwidthHz: 100e3}
+	r := rng.New(1)
+	v := s.Sense(12, rawDt, r)
+	got := VoltageFromADC(v, 0.2)
+	if math.Abs(got-12.12) > 1e-9 {
+		t.Fatalf("1%% gain error gives %v, want 12.12", got)
+	}
+}
+
+func TestVoltageNoiseRailReferred(t *testing.T) {
+	s := VoltageSensor{Gain: 0.2, NoiseRMS: 0.006, BandwidthHz: 100e3}
+	r := rng.New(9)
+	const n = 50000
+	vs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		vs[k] = VoltageFromADC(s.Sense(12, rawDt, r), 0.2)
+	}
+	st := stats.Summarize(vs)
+	if math.Abs(st.Std-0.006)/0.006 > 0.1 {
+		t.Errorf("rail-referred noise = %v, want ~0.006", st.Std)
+	}
+}
+
+func TestQuickADCInverseTransfers(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := (float64(raw%2000) - 1000) / 100 // −10..10 A
+		pin := protocol.VRef/2 + 0.120*i
+		back := CurrentFromADC(pin, 0.120)
+		return math.Abs(back-i) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewModuleCatalogue(t *testing.T) {
+	cases := []struct {
+		kind  ModuleKind
+		railV float64
+		rangeA,
+		sens float64
+	}{
+		{Slot10A, 12, 10, 0.120},
+		{Slot10A, 3.3, 10, 0.120},
+		{PCIe8Pin20A, 12, 20, 0.060},
+		{USBC, 20, 5, 0.240},
+		{Terminal20A, 12, 20, 0.060},
+		{HighCurrent50A, 12, 50, 0.024},
+	}
+	for _, c := range cases {
+		m := NewModule(c.kind, c.railV)
+		if m.Current.RangeA != c.rangeA {
+			t.Errorf("%v: range %v, want %v", c.kind, m.Current.RangeA, c.rangeA)
+		}
+		if m.Current.Sensitivity != c.sens {
+			t.Errorf("%v: sensitivity %v, want %v", c.kind, m.Current.Sensitivity, c.sens)
+		}
+		// Full-scale current and voltage must stay inside the ADC range.
+		maxPin := protocol.VRef/2 + m.Current.Sensitivity*m.Current.RangeA
+		if maxPin > protocol.VRef+1e-9 {
+			t.Errorf("%v: full-scale current output %v exceeds VRef", c.kind, maxPin)
+		}
+		vPin := m.Voltage.Gain * c.railV * 1.1
+		if vPin > protocol.VRef {
+			t.Errorf("%v: 110%% rail voltage output %v exceeds VRef", c.kind, vPin)
+		}
+	}
+}
+
+func TestModuleConfigBlocks(t *testing.T) {
+	m := NewModule(Slot10A, 12)
+	cur, vol := m.Config()
+	if !cur.Enabled || !vol.Enabled {
+		t.Fatal("new module sensors must be enabled")
+	}
+	if cur.Sensitivity != 0.120 {
+		t.Errorf("current sensitivity %v", cur.Sensitivity)
+	}
+	if vol.Sensitivity != 0.2 {
+		t.Errorf("voltage gain %v", vol.Sensitivity)
+	}
+	if cur.Volt != 12 || vol.Volt != 12 {
+		t.Error("rail voltage not recorded")
+	}
+}
+
+// Table I reproduction: the closed-form worst case must match the paper's
+// values within rounding (±0.1 W on power, ±1 mV, ±0.02 A).
+func TestWorstCaseAccuracyMatchesTableI(t *testing.T) {
+	cases := []struct {
+		kind               ModuleKind
+		railV              float64
+		wantEu             float64 // volts
+		wantEi             float64 // amperes
+		wantEp             float64 // watts
+		tolEu, tolEi, tolP float64
+	}{
+		{Slot10A, 12, 0.0286, 0.35, 4.2, 0.004, 0.02, 0.15},
+		{Slot10A, 3.3, 0.0199, 0.35, 1.2, 0.004, 0.02, 0.15},
+		{USBC, 20, 0.0286, 0.35, 7.0, 0.006, 0.02, 0.25},
+		{PCIe8Pin20A, 12, 0.0286, 0.41, 5.0, 0.004, 0.03, 0.2},
+	}
+	for _, c := range cases {
+		m := NewModule(c.kind, c.railV)
+		wc := m.WorstCaseAccuracy()
+		if math.Abs(wc.VoltErr-c.wantEu) > c.tolEu {
+			t.Errorf("%s Eu = %.4f V, paper %.4f", wc.Module, wc.VoltErr, c.wantEu)
+		}
+		if math.Abs(wc.CurrErr-c.wantEi) > c.tolEi {
+			t.Errorf("%s Ei = %.3f A, paper %.3f", wc.Module, wc.CurrErr, c.wantEi)
+		}
+		if math.Abs(wc.PowerErr-c.wantEp) > c.tolP {
+			t.Errorf("%s Ep = %.2f W, paper %.2f", wc.Module, wc.PowerErr, c.wantEp)
+		}
+	}
+}
+
+// The 3.3 V module must be more accurate in power than the 12 V module —
+// the observation the paper makes about Fig. 4.
+func TestLowVoltageModuleMoreAccurate(t *testing.T) {
+	m12 := NewModule(Slot10A, 12)
+	m33 := NewModule(Slot10A, 3.3)
+	if m33.WorstCaseAccuracy().PowerErr >= m12.WorstCaseAccuracy().PowerErr {
+		t.Fatal("3.3 V module should have lower worst-case power error")
+	}
+}
+
+func TestModuleKindString(t *testing.T) {
+	for _, k := range []ModuleKind{PCIe8Pin20A, Slot10A, USBC, Terminal20A, HighCurrent50A} {
+		if k.String() == "" || k.String()[0] == 'M' {
+			t.Errorf("kind %d has bad name %q", int(k), k.String())
+		}
+	}
+	if ModuleKind(99).String() != "ModuleKind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func BenchmarkHallSense(b *testing.B) {
+	h := HallSensor{Sensitivity: 0.120, RangeA: 10, NoiseRMS: 0.115, NonlinFrac: 0.004, BandwidthHz: 300e3}
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = h.Sense(5, rawDt, r)
+	}
+}

@@ -1,0 +1,189 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+)
+
+// ModuleKind enumerates the five sensor-module designs that ship with
+// PowerSensor3 (Section III-A).
+type ModuleKind int
+
+const (
+	// PCIe8Pin20A has a PCIe 8-pin connector for external GPU power.
+	PCIe8Pin20A ModuleKind = iota
+	// Slot10A measures power between the PCIe slot and the card (one module
+	// per slot rail: 3.3 V or 12 V).
+	Slot10A
+	// USBC measures USB-powered systems (up to 20 V / 5 A).
+	USBC
+	// Terminal20A is the general-purpose medium-power module with terminal
+	// blocks.
+	Terminal20A
+	// HighCurrent50A is the high-power module.
+	HighCurrent50A
+)
+
+// String returns the catalogue name of the module kind.
+func (k ModuleKind) String() string {
+	switch k {
+	case PCIe8Pin20A:
+		return "PCIe-8pin-20A"
+	case Slot10A:
+		return "Slot-10A"
+	case USBC:
+		return "USB-C"
+	case Terminal20A:
+		return "Terminal-20A"
+	case HighCurrent50A:
+		return "HighCurrent-50A"
+	default:
+		return fmt.Sprintf("ModuleKind(%d)", int(k))
+	}
+}
+
+// Module is a populated sensor module: a current/voltage sensor pair plus
+// the nominal rail it is installed on. One Module occupies one baseboard
+// slot and two consecutive ADC channels.
+type Module struct {
+	Kind    ModuleKind
+	Name    string  // e.g. "12V/10A"
+	RailV   float64 // nominal rail voltage, used for labelling and Table I
+	Current HallSensor
+	Voltage VoltageSensor
+}
+
+// rawNoiseA is the input-referred current noise per raw ADC conversion for
+// the 10 A Hall sensor. The paper quotes 115 mA RMS at the sensor bandwidth;
+// per-conversion noise at the 120 kHz raw channel rate is somewhat higher so
+// that the 6-sample averaged 20 kHz output reproduces the measured ~0.72 W
+// standard deviation of Table II (12 V module).
+const rawNoiseA10 = 0.145
+
+// differentialCoupling is the residual external-field sensitivity of the
+// differential MLX91221: two sensing elements subtract a uniform ambient
+// field, leaving only the gradient term.
+const differentialCoupling = 0.02
+
+// NewModule builds a sensor module of the given kind installed on a rail
+// with the given nominal voltage. Sensor parameters follow the datasheet
+// values cited in the paper; residual offset/gain errors default to zero
+// (the state after the one-time calibration of Section III-D) and can be
+// perturbed afterwards to model an uncalibrated device.
+func NewModule(kind ModuleKind, railV float64) Module {
+	m := Module{Kind: kind, RailV: railV}
+	switch kind {
+	case Slot10A:
+		m.Current = HallSensor{
+			Sensitivity: 0.120, RangeA: 10, NoiseRMS: rawNoiseA10,
+			NonlinFrac: 0.004, BandwidthHz: 300e3, FieldCoupling: differentialCoupling,
+		}
+	case PCIe8Pin20A, Terminal20A:
+		m.Current = HallSensor{
+			Sensitivity: 0.060, RangeA: 20, NoiseRMS: rawNoiseA10 * 1.17,
+			NonlinFrac: 0.004, BandwidthHz: 300e3, FieldCoupling: differentialCoupling,
+		}
+	case USBC:
+		m.Current = HallSensor{
+			Sensitivity: 0.240, RangeA: 5, NoiseRMS: rawNoiseA10,
+			NonlinFrac: 0.004, BandwidthHz: 300e3, FieldCoupling: differentialCoupling,
+		}
+	case HighCurrent50A:
+		m.Current = HallSensor{
+			Sensitivity: 0.024, RangeA: 50, NoiseRMS: rawNoiseA10 * 1.6,
+			NonlinFrac: 0.004, BandwidthHz: 300e3, FieldCoupling: differentialCoupling,
+		}
+	default:
+		panic(fmt.Sprintf("analog: unknown module kind %d", int(kind)))
+	}
+	m.Voltage = VoltageSensor{
+		Gain:        dividerGain(kind, railV),
+		NoiseRMS:    0.006, // ~6 mV RMS rail-referred amplifier noise
+		BandwidthHz: 100e3,
+	}
+	m.Name = fmt.Sprintf("%gV/%gA", railV, m.Current.RangeA)
+	return m
+}
+
+// dividerGain chooses the voltage divider so the rail's worst-case voltage
+// maps comfortably inside the ADC range.
+func dividerGain(kind ModuleKind, railV float64) float64 {
+	switch {
+	case kind == USBC:
+		return protocol.VRef / 23.0 // USB-PD up to 20 V + headroom
+	case railV <= 3.3:
+		return 0.8 // 3.3 V slot rail: ~4.1 V full scale
+	default:
+		return 0.2 // 12 V rails: 16.5 V full scale
+	}
+}
+
+// Config returns the EEPROM configuration block the firmware stores for this
+// module's current sensor (even channel) and voltage sensor (odd channel).
+func (m *Module) Config() (current, voltage protocol.SensorConfig) {
+	current = protocol.SensorConfig{
+		Name:        m.Name + "-I",
+		Volt:        m.RailV,
+		Sensitivity: m.Current.Sensitivity,
+		Polarity:    1,
+		Enabled:     true,
+	}
+	voltage = protocol.SensorConfig{
+		Name:        m.Name + "-U",
+		Volt:        m.RailV,
+		Sensitivity: m.Voltage.Gain,
+		Polarity:    1,
+		Enabled:     true,
+	}
+	return current, voltage
+}
+
+// WorstCase holds the closed-form worst-case accuracy of a module as derived
+// in Section III-A and tabulated in Table I.
+type WorstCase struct {
+	Module   string
+	VoltErr  float64 // Eu, volts
+	CurrErr  float64 // Ei, amperes
+	PowerErr float64 // Ep, watts, at full scale
+}
+
+// WorstCaseAccuracy computes the theoretical worst-case voltage, current and
+// power error of the module at its full-scale operating point:
+//
+//	Ei = 3σ_hall + ½ LSB (amperes)
+//	Eu = 3σ_amp  + ½ LSB (volts, rail-referred; divider amplifies both terms)
+//	Ep = sqrt((U·Ei)² + (I·Eu)² + (Ei·Eu)²)
+//
+// using the paper's error-propagation formula. σ values are the datasheet
+// sensor noise figures (115 mA RMS for the 10 A Hall variant).
+func (m *Module) WorstCaseAccuracy() WorstCase {
+	lsb := protocol.VRef / protocol.Levels
+
+	// Current: datasheet noise (at sensor bandwidth) plus quantization.
+	sigmaI := datasheetNoiseA(m.Kind)
+	ei := 3*sigmaI + 0.5*lsb/m.Current.Sensitivity
+
+	// Voltage: amplifier noise and quantization, both rail-referred.
+	eu := 3*m.Voltage.NoiseRMS + 0.5*lsb/m.Voltage.Gain
+
+	u, i := m.RailV, m.Current.RangeA
+	ep := math.Sqrt(u*u*ei*ei + i*i*eu*eu + ei*ei*eu*eu)
+	return WorstCase{Module: m.Name, VoltErr: eu, CurrErr: ei, PowerErr: ep}
+}
+
+// datasheetNoiseA is the RMS current noise quoted on the Hall sensor
+// datasheet at the sensor's own bandwidth, per variant.
+func datasheetNoiseA(kind ModuleKind) float64 {
+	switch kind {
+	case Slot10A, USBC:
+		return 0.115
+	case PCIe8Pin20A, Terminal20A:
+		return 0.128
+	case HighCurrent50A:
+		return 0.150
+	default:
+		return 0.115
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench models the laboratory measurement setup of Fig. 3 in the
+// paper: a Keysight N6705B-class power supply, a Kniel E.Last-class
+// programmable electronic load, and Fluke hand-held reference meters.
+//
+// The evaluation experiments (Fig. 4, Table II, Fig. 5, the long-term
+// stability run) all sweep a known load against the sensor chain; this
+// package provides those known loads as functions of virtual time.
+package bench
+
+import (
+	"math"
+	"time"
+)
+
+// Supply models a laboratory power supply: an ideal voltage source behind a
+// small source impedance, with optional slow drift (thermal) used by the
+// long-term stability experiment.
+type Supply struct {
+	// Nominal is the programmed output voltage.
+	Nominal float64
+	// SourceOhms is the output impedance; the rail sags by I×R under load.
+	SourceOhms float64
+	// DriftPerHour is a slow sinusoidal thermal drift amplitude in volts.
+	DriftPerHour float64
+}
+
+// Voltage returns the rail voltage at time t while sourcing current i.
+func (s *Supply) Voltage(t time.Duration, i float64) float64 {
+	v := s.Nominal - i*s.SourceOhms
+	if s.DriftPerHour != 0 {
+		// One slow cycle per 10 hours; amplitude DriftPerHour.
+		v += s.DriftPerHour * math.Sin(2*math.Pi*t.Hours()/10)
+	}
+	return v
+}
+
+// Load is a programmable electronic load: it demands a current as a function
+// of virtual time. Implementations are pure functions of t so experiments
+// can re-evaluate them at arbitrary sample instants.
+type Load interface {
+	// Current returns the current drawn at time t, in amperes. Negative
+	// values model reversed flow (the Fig. 4 sweep spans −10 A to +10 A).
+	Current(t time.Duration) float64
+}
+
+// ConstantLoad draws a fixed current.
+type ConstantLoad float64
+
+// Current implements Load.
+func (c ConstantLoad) Current(time.Duration) float64 { return float64(c) }
+
+// SquareLoad modulates between Base and Base±Depth·Base at FreqHz with a 50%
+// duty cycle — the configuration of the step-response experiment (Fig. 5):
+// 8 A with 100 Hz modulation and 50% depth steps between 8 A and 4 A... the
+// paper plots steps from 3.3 A to 8 A, i.e. modulation around the mean.
+type SquareLoad struct {
+	High   float64 // current during the high half-period
+	Low    float64 // current during the low half-period
+	FreqHz float64 // full-cycle modulation frequency
+	Phase  float64 // phase offset in fractions of a cycle
+}
+
+// Current implements Load.
+func (s SquareLoad) Current(t time.Duration) float64 {
+	cyc := t.Seconds()*s.FreqHz + s.Phase
+	frac := cyc - math.Floor(cyc)
+	if frac < 0.5 {
+		return s.High
+	}
+	return s.Low
+}
+
+// SineLoad draws Mean + Amplitude·sin(2π f t); used for bandwidth probing.
+type SineLoad struct {
+	Mean      float64
+	Amplitude float64
+	FreqHz    float64
+}
+
+// Current implements Load.
+func (s SineLoad) Current(t time.Duration) float64 {
+	return s.Mean + s.Amplitude*math.Sin(2*math.Pi*s.FreqHz*t.Seconds())
+}
+
+// StepLoad switches from Before to After at the given instant.
+type StepLoad struct {
+	Before, After float64
+	At            time.Duration
+}
+
+// Current implements Load.
+func (s StepLoad) Current(t time.Duration) float64 {
+	if t < s.At {
+		return s.Before
+	}
+	return s.After
+}
+
+// RampLoad sweeps linearly from Start to End over the given duration, then
+// holds End. Used to exercise sensor linearity.
+type RampLoad struct {
+	Start, End float64
+	Over       time.Duration
+}
+
+// Current implements Load.
+func (r RampLoad) Current(t time.Duration) float64 {
+	if t >= r.Over {
+		return r.End
+	}
+	frac := float64(t) / float64(r.Over)
+	return r.Start + frac*(r.End-r.Start)
+}
+
+// LoadFunc adapts a plain function to the Load interface.
+type LoadFunc func(t time.Duration) float64
+
+// Current implements Load.
+func (f LoadFunc) Current(t time.Duration) float64 { return f(t) }
+
+// ReferenceMeter models the Fluke hand-held meters used to establish ground
+// truth in the accuracy experiments. The 6000-count instruments resolve to
+// 0.001 of range with a basic accuracy around 0.09% + 2 counts; far better
+// than the sensor under test, which is what makes them usable references.
+type ReferenceMeter struct {
+	// Range is the full-scale range of the selected mode.
+	Range float64
+	// BasicAccuracy is the fractional gain accuracy (e.g. 0.0009).
+	BasicAccuracy float64
+	// Counts is the ±count error at the least significant digit.
+	Counts int
+}
+
+// FlukeVoltmeter returns a Fluke 177-class voltmeter on the given range.
+func FlukeVoltmeter(rangeV float64) ReferenceMeter {
+	return ReferenceMeter{Range: rangeV, BasicAccuracy: 0.0009, Counts: 2}
+}
+
+// FlukeAmmeter returns a Fluke 77-class ammeter on the given range.
+func FlukeAmmeter(rangeA float64) ReferenceMeter {
+	return ReferenceMeter{Range: rangeA, BasicAccuracy: 0.0015, Counts: 2}
+}
+
+// WorstError returns the guaranteed error bound when reading value.
+func (m ReferenceMeter) WorstError(value float64) float64 {
+	digit := m.Range / 6000
+	return math.Abs(value)*m.BasicAccuracy + float64(m.Counts)*digit
+}
+
+// Read returns the meter's indicated value: the true value quantized to the
+// instrument's resolution. Reference meters in this simulation are treated
+// as exact up to display resolution, since their error is negligible against
+// the device under test.
+func (m ReferenceMeter) Read(true_ float64) float64 {
+	digit := m.Range / 6000
+	return math.Round(true_/digit) * digit
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSupplySag(t *testing.T) {
+	s := Supply{Nominal: 12, SourceOhms: 0.01}
+	if v := s.Voltage(0, 0); v != 12 {
+		t.Fatalf("unloaded voltage %v", v)
+	}
+	if v := s.Voltage(0, 10); math.Abs(v-11.9) > 1e-12 {
+		t.Fatalf("loaded voltage %v, want 11.9", v)
+	}
+}
+
+func TestSupplyDriftBounded(t *testing.T) {
+	s := Supply{Nominal: 12, DriftPerHour: 0.005}
+	for h := 0; h < 50; h++ {
+		v := s.Voltage(time.Duration(h)*time.Hour, 0)
+		if math.Abs(v-12) > 0.005+1e-12 {
+			t.Fatalf("drift at %dh = %v", h, v-12)
+		}
+	}
+}
+
+func TestConstantLoad(t *testing.T) {
+	var l Load = ConstantLoad(7.5)
+	if l.Current(time.Hour) != 7.5 {
+		t.Fatal("constant load not constant")
+	}
+}
+
+func TestSquareLoadDutyCycle(t *testing.T) {
+	l := SquareLoad{High: 8, Low: 3.3, FreqHz: 100}
+	period := 10 * time.Millisecond
+	// First half-period high, second low.
+	if got := l.Current(period / 4); got != 8 {
+		t.Fatalf("quarter period: %v", got)
+	}
+	if got := l.Current(3 * period / 4); got != 3.3 {
+		t.Fatalf("three-quarter period: %v", got)
+	}
+	// Periodicity.
+	if l.Current(period/4) != l.Current(period/4+period*17) {
+		t.Fatal("not periodic")
+	}
+}
+
+func TestSquareLoadMeanIsHalfway(t *testing.T) {
+	l := SquareLoad{High: 8, Low: 3.3, FreqHz: 100}
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += l.Current(time.Duration(i) * 10 * time.Microsecond) // 100 ms total
+	}
+	mean := sum / n
+	want := (8 + 3.3) / 2
+	if math.Abs(mean-want) > 0.01 {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+}
+
+func TestSineLoad(t *testing.T) {
+	l := SineLoad{Mean: 5, Amplitude: 2, FreqHz: 1}
+	if got := l.Current(0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("t=0: %v", got)
+	}
+	if got := l.Current(250 * time.Millisecond); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("quarter cycle: %v", got)
+	}
+}
+
+func TestStepLoad(t *testing.T) {
+	l := StepLoad{Before: 3.3, After: 8, At: time.Millisecond}
+	if l.Current(999*time.Microsecond) != 3.3 {
+		t.Fatal("before step")
+	}
+	if l.Current(time.Millisecond) != 8 {
+		t.Fatal("at step")
+	}
+}
+
+func TestRampLoad(t *testing.T) {
+	l := RampLoad{Start: -10, End: 10, Over: time.Second}
+	if got := l.Current(0); got != -10 {
+		t.Fatalf("start: %v", got)
+	}
+	if got := l.Current(500 * time.Millisecond); math.Abs(got) > 1e-9 {
+		t.Fatalf("midpoint: %v", got)
+	}
+	if got := l.Current(2 * time.Second); got != 10 {
+		t.Fatalf("after end: %v", got)
+	}
+}
+
+func TestLoadFunc(t *testing.T) {
+	l := LoadFunc(func(t time.Duration) float64 { return t.Seconds() })
+	if l.Current(2*time.Second) != 2 {
+		t.Fatal("LoadFunc passthrough")
+	}
+}
+
+func TestReferenceMeterBetterThanDUT(t *testing.T) {
+	// The references must contribute far less *power* error at the Fig. 4
+	// operating point (12 V, 10 A) than the DUT's ±4.2 W worst case.
+	v := FlukeVoltmeter(60)
+	a := FlukeAmmeter(10)
+	powerErr := v.WorstError(12)*10 + a.WorstError(10)*12
+	if powerErr > 4.2/5 {
+		t.Fatalf("reference power error %v W too large vs DUT's 4.2 W", powerErr)
+	}
+}
+
+func TestReferenceMeterQuantizes(t *testing.T) {
+	m := FlukeVoltmeter(60)
+	digit := 60.0 / 6000
+	got := m.Read(12.0037)
+	if math.Mod(got, digit) > 1e-9 && digit-math.Mod(got, digit) > 1e-9 {
+		t.Fatalf("reading %v not on a digit boundary", got)
+	}
+	if math.Abs(got-12.0037) > digit/2+1e-9 {
+		t.Fatalf("reading %v too far from input", got)
+	}
+}

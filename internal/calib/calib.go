@@ -1,0 +1,112 @@
+// Package calib implements the one-time calibration procedure of
+// Section III-D: with the sensor modules unloaded (no current flowing), take
+// 128 k samples, determine the Hall sensor's offset error from the average
+// current reading and the voltage sensor's gain error against the known
+// supply voltage, and store the corrections in the device's EEPROM.
+//
+// The paper's long-term stability measurement shows the corrections hold, so
+// calibration is needed only once at production; the tests in this package
+// verify both halves: accuracy improves after calibration, and the
+// corrections survive a power cycle.
+package calib
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// DefaultSamples is the sample count the paper's procedure collects.
+const DefaultSamples = 128 * 1024
+
+// Result records the corrections determined for one sensor pair.
+type Result struct {
+	Pair           int
+	CurrentOffsetA float64 // mean unloaded current reading (Hall offset)
+	VoltageGain    float64 // measured/true voltage ratio
+	NoiseARMS      float64 // residual current noise, for the report
+}
+
+// Reference is the known calibration condition per pair: the true rail
+// voltage as read from the bench reference meter, with the load removed.
+type Reference struct {
+	TrueVolts float64
+}
+
+// Calibrate measures corrections for every active pair of an open sensor and
+// writes them back to the device. refs must supply one Reference per pair.
+// The device must be unloaded (zero current) for the duration.
+func Calibrate(ps *core.PowerSensor, tr core.Transport, refs []Reference, samples int) ([]Result, error) {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	if len(refs) < ps.Pairs() {
+		return nil, fmt.Errorf("calib: %d references for %d pairs", len(refs), ps.Pairs())
+	}
+
+	// Collect per-sample current and voltage readings for every pair.
+	amps := make([][]float64, ps.Pairs())
+	volts := make([][]float64, ps.Pairs())
+	collected := 0
+	ps.OnSample(func(s core.Sample) {
+		if collected >= samples {
+			return
+		}
+		for m := 0; m < ps.Pairs(); m++ {
+			amps[m] = append(amps[m], s.Amps[m])
+			volts[m] = append(volts[m], s.Volts[m])
+		}
+		collected++
+	})
+	defer ps.OnSample(nil)
+
+	span := time.Duration(samples+16) * protocol.SampleIntervalMicros * time.Microsecond
+	ps.Advance(span)
+	if collected < samples {
+		return nil, fmt.Errorf("calib: collected %d of %d samples", collected, samples)
+	}
+
+	var results []Result
+	for m := 0; m < ps.Pairs(); m++ {
+		ai := stats.Summarize(amps[m])
+		vi := stats.Summarize(volts[m])
+		res := Result{
+			Pair:           m,
+			CurrentOffsetA: ai.Mean,
+			VoltageGain:    vi.Mean / refs[m].TrueVolts,
+			NoiseARMS:      ai.Std,
+		}
+		results = append(results, res)
+
+		// Fold the corrections into the device configuration: the offset
+		// adds to the current sensor's stored offset; the gain multiplies
+		// the voltage sensor's stored sensitivity.
+		ccfg := ps.SensorConfig(2 * m)
+		ccfg.Offset += res.CurrentOffsetA
+		vcfg := ps.SensorConfig(2*m + 1)
+		vcfg.Sensitivity *= res.VoltageGain
+
+		if err := writeConfig(tr, 2*m, ccfg); err != nil {
+			return nil, err
+		}
+		if err := writeConfig(tr, 2*m+1, vcfg); err != nil {
+			return nil, err
+		}
+	}
+	// Let the device process the writes.
+	tr.Run(10 * time.Millisecond)
+	return results, nil
+}
+
+// writeConfig sends a CmdWriteConfig for one sensor.
+func writeConfig(tr core.Transport, sensor int, cfg protocol.SensorConfig) error {
+	if sensor < 0 || sensor >= protocol.MaxSensors {
+		return fmt.Errorf("calib: sensor index %d out of range", sensor)
+	}
+	cmd := append([]byte{protocol.CmdWriteConfig, byte(sensor)}, protocol.MarshalConfig(cfg)...)
+	tr.Write(cmd)
+	return nil
+}

@@ -1,0 +1,130 @@
+package calib
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// uncalibratedDevice builds a device whose module carries factory errors:
+// a Hall offset and a voltage-divider gain error.
+func uncalibratedDevice(seed uint64, offsetA, gainErr float64, load bench.Load) *device.Device {
+	m := analog.NewModule(analog.Slot10A, 12)
+	m.Current.OffsetA = offsetA
+	m.Voltage.GainErr = gainErr
+	return device.New(seed, device.Slot{
+		Module: m,
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: load},
+	})
+}
+
+func TestCalibrationFindsOffsetAndGain(t *testing.T) {
+	dev := uncalibratedDevice(1, 0.30, 0.02, bench.ConstantLoad(0))
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	res, err := Calibrate(ps, dev, []Reference{{TrueVolts: 12}}, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d results", len(res))
+	}
+	if math.Abs(res[0].CurrentOffsetA-0.30) > 0.02 {
+		t.Errorf("offset = %v, want ~0.30", res[0].CurrentOffsetA)
+	}
+	if math.Abs(res[0].VoltageGain-1.02) > 0.005 {
+		t.Errorf("gain = %v, want ~1.02", res[0].VoltageGain)
+	}
+}
+
+func TestCalibrationImprovesAccuracy(t *testing.T) {
+	dev := uncalibratedDevice(2, 0.25, 0.015, bench.ConstantLoad(0))
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measure error before calibration at 8 A.
+	measure := func() (ampErr, voltErr float64) {
+		dev.SetSource(0, device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(8)})
+		var sumA, sumV float64
+		n := 0
+		ps.OnSample(func(s core.Sample) {
+			sumA += s.Amps[0]
+			sumV += s.Volts[0]
+			n++
+		})
+		ps.Advance(200 * time.Millisecond)
+		ps.OnSample(nil)
+		dev.SetSource(0, device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(0)})
+		ps.Advance(10 * time.Millisecond) // settle back to unloaded
+		return sumA/float64(n) - 8, sumV/float64(n) - 12
+	}
+
+	ampBefore, voltBefore := measure()
+	if _, err := Calibrate(ps, dev, []Reference{{TrueVolts: 12}}, 16*1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// The calibration wrote new configs to the device; reopen so the host
+	// picks them up (the real psconfig flow reboots the device too).
+	ps.Close()
+	ps, err = core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ampAfter, voltAfter := measure()
+
+	if math.Abs(ampAfter) > math.Abs(ampBefore)/5 {
+		t.Errorf("current error barely improved: %v → %v", ampBefore, ampAfter)
+	}
+	if math.Abs(voltAfter) > math.Abs(voltBefore)/5 {
+		t.Errorf("voltage error barely improved: %v → %v", voltBefore, voltAfter)
+	}
+	if math.Abs(ampAfter) > 0.05 {
+		t.Errorf("residual current error %v A too large", ampAfter)
+	}
+	if math.Abs(voltAfter) > 0.05 {
+		t.Errorf("residual voltage error %v V too large", voltAfter)
+	}
+}
+
+func TestCalibrationSurvivesPowerCycle(t *testing.T) {
+	dev := uncalibratedDevice(3, 0.2, 0.01, bench.ConstantLoad(0))
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Calibrate(ps, dev, []Reference{{TrueVolts: 12}}, 8*1024); err != nil {
+		t.Fatal(err)
+	}
+	calibrated := dev.Firmware().SensorConfig(0)
+	ps.Close()
+
+	dev.PowerCycle()
+	if got := dev.Firmware().SensorConfig(0); got != calibrated {
+		t.Fatalf("config after power cycle = %+v, want %+v", got, calibrated)
+	}
+}
+
+func TestCalibrateRequiresReferences(t *testing.T) {
+	dev := uncalibratedDevice(4, 0, 0, bench.ConstantLoad(0))
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := Calibrate(ps, dev, nil, 1024); err == nil {
+		t.Fatal("expected error with no references")
+	}
+}

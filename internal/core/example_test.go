@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// The paper's interval mode: snapshot, run the workload, snapshot,
+// difference. The bench setup here is the Fig. 3 accuracy rig with an 8 A
+// load on a 12 V rail.
+func Example() {
+	dev := device.New(42, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{
+			Supply: &bench.Supply{Nominal: 12},
+			Load:   bench.ConstantLoad(8),
+		},
+	})
+
+	ps, err := core.Open(dev)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer ps.Close()
+
+	first := ps.Read()
+	ps.Advance(time.Second)
+	second := ps.Read()
+
+	fmt.Printf("%.0f W over %.0f s\n",
+		core.Watts(first, second, 0), core.Seconds(first, second))
+	// Output: 96 W over 1 s
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Monitor runs a PowerSensor from a background goroutine — the Go
+// counterpart of the real host library's lightweight receiver thread
+// (Section III-C). The goroutine continuously advances the transport in
+// small virtual-time slices and folds samples into the totals; callers take
+// thread-safe snapshots whenever they like.
+//
+// All access to the underlying PowerSensor is serialised through the
+// monitor; do not use the PowerSensor directly while a Monitor owns it.
+type Monitor struct {
+	mu sync.Mutex
+	ps *PowerSensor
+
+	slice time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMonitor starts monitoring. slice is the virtual-time quantum advanced
+// per iteration (default 1 ms); smaller slices reduce snapshot latency.
+func NewMonitor(ps *PowerSensor, slice time.Duration) *Monitor {
+	if slice <= 0 {
+		slice = time.Millisecond
+	}
+	m := &Monitor{
+		ps:    ps,
+		slice: slice,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// loop is the receiver: it advances the device and yields between slices.
+func (m *Monitor) loop() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.mu.Lock()
+		m.ps.Advance(m.slice)
+		m.mu.Unlock()
+	}
+}
+
+// State returns a thread-safe snapshot of the accumulated measurements.
+func (m *Monitor) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ps.Read()
+}
+
+// Mark requests a time-synced marker through the monitor.
+func (m *Monitor) Mark(c byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ps.Mark(c)
+}
+
+// RunFor lets the monitor advance until at least d of virtual time has
+// elapsed since the call, then returns the closing snapshot. It is the
+// monitored equivalent of Advance+Read for callers that do not want to
+// manage snapshots themselves.
+func (m *Monitor) RunFor(d time.Duration) (State, State) {
+	first := m.State()
+	target := first.TimeAtRead + d
+	for {
+		st := m.State()
+		if st.TimeAtRead >= target {
+			return first, st
+		}
+		// Yield to the receiver goroutine.
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Stop halts the receiver goroutine and returns the final snapshot. The
+// PowerSensor may be used directly again afterwards.
+func (m *Monitor) Stop() State {
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ps.Read()
+}

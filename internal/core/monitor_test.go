@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonitorAccumulates(t *testing.T) {
+	dev := newBenchDevice(601, 8)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(ps, time.Millisecond)
+	first, second := m.RunFor(200 * time.Millisecond)
+	final := m.Stop()
+
+	if w := Watts(first, second, 0); math.Abs(w-96) > 3 {
+		t.Fatalf("monitored power %v W, want ~96", w)
+	}
+	if final.Samples < second.Samples {
+		t.Fatal("final snapshot regressed")
+	}
+	ps.Close()
+}
+
+func TestMonitorConcurrentSnapshots(t *testing.T) {
+	dev := newBenchDevice(602, 5)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(ps, time.Millisecond)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev State
+			for i := 0; i < 200; i++ {
+				st := m.State()
+				if st.TimeAtRead < prev.TimeAtRead {
+					errs <- "time went backwards"
+					return
+				}
+				if st.ConsumedJoules[0] < prev.ConsumedJoules[0] {
+					errs <- "energy went backwards"
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+	wg.Wait()
+	m.Stop()
+	ps.Close()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestMonitorMarkDelivered(t *testing.T) {
+	dev := newBenchDevice(603, 3)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump safeBuffer
+	ps.StartDump(&dump)
+	m := NewMonitor(ps, time.Millisecond)
+	m.RunFor(10 * time.Millisecond)
+	m.Mark('Z')
+	m.RunFor(10 * time.Millisecond)
+	m.Stop()
+	ps.StopDump()
+	ps.Close()
+	if !dump.contains(" MZ") {
+		t.Fatal("marker missing from monitored dump")
+	}
+}
+
+// safeBuffer is a mutex-guarded byte sink: the dump writer runs on the
+// monitor goroutine while the test reads.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *safeBuffer) contains(s string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf) != "" && indexOf(b.buf, s) >= 0
+}
+
+func indexOf(b []byte, s string) int {
+	n := len(s)
+	for i := 0; i+n <= len(b); i++ {
+		if string(b[i:i+n]) == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestMonitorStopIdempotentState(t *testing.T) {
+	dev := newBenchDevice(604, 2)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(ps, 500*time.Microsecond)
+	m.RunFor(5 * time.Millisecond)
+	final := m.Stop()
+	if final.Samples == 0 {
+		t.Fatal("no samples processed")
+	}
+	// After Stop, direct use of the PowerSensor works again.
+	a := ps.Read()
+	ps.Advance(10 * time.Millisecond)
+	b := ps.Read()
+	if b.Samples <= a.Samples {
+		t.Fatal("direct use after Stop failed")
+	}
+	ps.Close()
+}

@@ -1,0 +1,389 @@
+// Package core is the PowerSensor3 host library — the Go counterpart of the
+// C++ PowerSensor class described in Section III-C of the paper.
+//
+// The library connects to a device, reads its sensor configuration, and
+// consumes the 20 kHz sample stream, internally tracking the cumulative
+// energy measured by each sensor pair. Both of the paper's measurement modes
+// are supported, simultaneously if desired:
+//
+//   - Interval mode: request a State at two instants and derive the energy,
+//     average power and elapsed time between them with Joules, Watts and
+//     Seconds.
+//   - Continuous mode: Dump writes every sample set to a writer at full
+//     20 kHz resolution, including time-synced user marker characters.
+//
+// The real library drains USB from a lightweight thread; this simulation is
+// single-threaded in virtual time, so the drain happens inside Advance,
+// which steps the device and processes whatever arrived.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Transport is the device link the host library drives. *device.Device
+// implements it; tests may substitute fakes.
+type Transport interface {
+	// Write queues host-to-device command bytes.
+	Write(cmd []byte)
+	// Read drains available device-to-host bytes.
+	Read() []byte
+	// Run advances the device by dt of virtual time.
+	Run(dt time.Duration)
+	// Now returns the device's virtual time.
+	Now() time.Duration
+}
+
+// MaxPairs is the number of sensor pairs (modules) a device can carry.
+const MaxPairs = protocol.MaxModules
+
+// State is a snapshot of the accumulated measurements, as returned by Read.
+// Differencing two States yields energy, power and time over the interval.
+type State struct {
+	// ConsumedJoules is the cumulative energy per sensor pair since Open.
+	ConsumedJoules [MaxPairs]float64
+	// Watts is the instantaneous power per pair at snapshot time.
+	Watts [MaxPairs]float64
+	// Volts and Amps are the latest per-pair readings.
+	Volts [MaxPairs]float64
+	Amps  [MaxPairs]float64
+	// TimeAtRead is the host virtual time of the snapshot.
+	TimeAtRead time.Duration
+	// Samples is the number of sample sets processed since Open.
+	Samples uint64
+}
+
+// ErrNoDevice is returned by Open when the device does not answer the
+// configuration request.
+var ErrNoDevice = errors.New("core: no response from device")
+
+// PowerSensor is a handle to an open device.
+type PowerSensor struct {
+	tr  Transport
+	dec protocol.StreamDecoder
+
+	configs [protocol.MaxSensors]protocol.SensorConfig
+	pairs   int
+
+	levels    [protocol.MaxSensors]int
+	haveLevel [protocol.MaxSensors]bool
+
+	consumed [MaxPairs]float64
+	watts    [MaxPairs]float64
+	volts    [MaxPairs]float64
+	amps     [MaxPairs]float64
+	samples  uint64
+
+	// device-time reconstruction from 10-bit wrapping µs timestamps
+	devMicros   uint64
+	haveDevTime bool
+
+	dump         io.Writer
+	dumpErr      error
+	pendingMarks []byte
+	currentSet   [protocol.MaxSensors]bool // sensors seen in the current set
+	setHasMarker bool
+	onSample     func(Sample) // per-sample-set observer
+	totalResyncs int
+}
+
+// Sample is one processed 20 kHz sample set, as delivered to OnSample
+// observers. DeviceTime is reconstructed from the unwrapped 10-bit device
+// timestamps.
+type Sample struct {
+	DeviceTime time.Duration
+	Watts      [MaxPairs]float64
+	Volts      [MaxPairs]float64
+	Amps       [MaxPairs]float64
+	Marker     bool
+}
+
+// Open connects to the device over tr: it stops any running stream, requests
+// the sensor configuration, then starts streaming.
+func Open(tr Transport) (*PowerSensor, error) {
+	ps := &PowerSensor{tr: tr}
+	// Stop any running stream and flush stale bytes so the configuration
+	// response is parsed from a clean pipe.
+	tr.Write([]byte{protocol.CmdStopStream})
+	tr.Run(5 * time.Millisecond)
+	tr.Read()
+	tr.Write([]byte{protocol.CmdReadConfig})
+
+	// Give the device time to answer: the 337-byte configuration block
+	// takes a few ms of link time.
+	deadline := tr.Now() + 100*time.Millisecond
+	var buf []byte
+	for tr.Now() < deadline {
+		tr.Run(time.Millisecond)
+		buf = append(buf, tr.Read()...)
+		if n := len(buf); n > 0 && buf[n-1] == protocol.CmdConfigDone &&
+			n >= protocol.MaxSensors*protocol.ConfigBlockLen+1 {
+			break
+		}
+	}
+	if len(buf) < protocol.MaxSensors*protocol.ConfigBlockLen+1 {
+		return nil, fmt.Errorf("%w: got %d config bytes", ErrNoDevice, len(buf))
+	}
+	for i := 0; i < protocol.MaxSensors; i++ {
+		cfg, err := protocol.UnmarshalConfig(buf[i*protocol.ConfigBlockLen:])
+		if err != nil {
+			return nil, fmt.Errorf("core: sensor %d config: %w", i, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("core: sensor %d: %w (is this a PowerSensor?)", i, err)
+		}
+		ps.configs[i] = cfg
+	}
+	for m := 0; m < MaxPairs; m++ {
+		if ps.configs[2*m].Enabled && ps.configs[2*m+1].Enabled {
+			ps.pairs = m + 1
+		}
+	}
+
+	tr.Write([]byte{protocol.CmdStartStream})
+	return ps, nil
+}
+
+// Pairs returns the number of active sensor pairs.
+func (ps *PowerSensor) Pairs() int { return ps.pairs }
+
+// SensorConfig returns the configuration of sensor index i (0..7).
+func (ps *PowerSensor) SensorConfig(i int) protocol.SensorConfig {
+	return ps.configs[i]
+}
+
+// Advance runs the device for dt of virtual time while draining and
+// processing the sample stream. It is the virtual-time stand-in for the
+// background receiver thread of the real library.
+func (ps *PowerSensor) Advance(dt time.Duration) {
+	const chunk = 10 * time.Millisecond
+	for dt > 0 {
+		step := dt
+		if step > chunk {
+			step = chunk
+		}
+		ps.tr.Run(step)
+		ps.process(ps.tr.Read())
+		dt -= step
+	}
+}
+
+// process decodes stream bytes and folds samples into the energy totals.
+func (ps *PowerSensor) process(buf []byte) {
+	samples := ps.dec.Feed(nil, buf)
+	for _, s := range samples {
+		if s.IsTimestamp() {
+			ps.finishSet()
+			ps.advanceDevTime(uint64(s.Level))
+			continue
+		}
+		ps.levels[s.Sensor] = s.Level
+		ps.haveLevel[s.Sensor] = true
+		ps.currentSet[s.Sensor] = true
+		if s.IsUserMarker() {
+			ps.setHasMarker = true
+		}
+	}
+	ps.totalResyncs = ps.dec.Resyncs()
+}
+
+// advanceDevTime unwraps the 10-bit microsecond timestamp counter.
+func (ps *PowerSensor) advanceDevTime(ts uint64) {
+	if !ps.haveDevTime {
+		ps.devMicros = ts
+		ps.haveDevTime = true
+		return
+	}
+	prev := ps.devMicros % protocol.TimestampWrapMicros
+	delta := (ts + protocol.TimestampWrapMicros - prev) % protocol.TimestampWrapMicros
+	if delta == 0 {
+		delta = protocol.TimestampWrapMicros
+	}
+	ps.devMicros += delta
+}
+
+// finishSet integrates the completed sample set into the totals and emits
+// the continuous-mode dump line.
+func (ps *PowerSensor) finishSet() {
+	complete := false
+	for m := 0; m < ps.pairs; m++ {
+		if ps.currentSet[2*m] || ps.currentSet[2*m+1] {
+			complete = true
+		}
+	}
+	if !complete {
+		return // stream start: timestamp seen before any data
+	}
+	dt := float64(protocol.SampleIntervalMicros) / 1e6
+	var total float64
+	for m := 0; m < ps.pairs; m++ {
+		ci, vi := 2*m, 2*m+1
+		if !ps.haveLevel[ci] || !ps.haveLevel[vi] {
+			continue
+		}
+		amps := ps.convertCurrent(ci)
+		volts := ps.convertVoltage(vi)
+		p := amps * volts
+		ps.amps[m], ps.volts[m], ps.watts[m] = amps, volts, p
+		ps.consumed[m] += p * dt
+		total += p
+	}
+	ps.samples++
+	for m := 0; m < ps.pairs; m++ {
+		ps.currentSet[2*m], ps.currentSet[2*m+1] = false, false
+	}
+	if ps.dump != nil {
+		ps.writeDumpLine(total)
+	}
+	if ps.onSample != nil {
+		var s Sample
+		s.DeviceTime = time.Duration(ps.devMicros) * time.Microsecond
+		copy(s.Watts[:], ps.watts[:])
+		copy(s.Volts[:], ps.volts[:])
+		copy(s.Amps[:], ps.amps[:])
+		s.Marker = ps.setHasMarker
+		ps.onSample(s)
+	}
+	ps.setHasMarker = false
+}
+
+// OnSample registers f to be called after every processed sample set — the
+// hook the experiment harnesses use to capture full-rate traces. Pass nil to
+// remove the observer.
+func (ps *PowerSensor) OnSample(f func(Sample)) {
+	ps.onSample = f
+}
+
+// convertCurrent applies the device-stored conversion for a current channel.
+func (ps *PowerSensor) convertCurrent(ch int) float64 {
+	cfg := ps.configs[ch]
+	pin := (float64(ps.levels[ch]) + 0.5) / protocol.Levels * protocol.VRef
+	amps := (pin - protocol.VRef/2) / cfg.Sensitivity
+	return float64(cfg.Polarity)*amps - cfg.Offset
+}
+
+// convertVoltage applies the device-stored conversion for a voltage channel.
+func (ps *PowerSensor) convertVoltage(ch int) float64 {
+	cfg := ps.configs[ch]
+	pin := (float64(ps.levels[ch]) + 0.5) / protocol.Levels * protocol.VRef
+	return pin/cfg.Sensitivity - cfg.Offset
+}
+
+// writeDumpLine emits one continuous-mode record: device time in seconds,
+// per-pair power, total power, and any marker character.
+func (ps *PowerSensor) writeDumpLine(total float64) {
+	if ps.dumpErr != nil {
+		return
+	}
+	t := float64(ps.devMicros) / 1e6
+	line := fmt.Sprintf("S %.6f", t)
+	for m := 0; m < ps.pairs; m++ {
+		line += fmt.Sprintf(" %.4f", ps.watts[m])
+	}
+	line += fmt.Sprintf(" %.4f", total)
+	if ps.setHasMarker && len(ps.pendingMarks) > 0 {
+		line += " M" + string(ps.pendingMarks[0])
+		ps.pendingMarks = ps.pendingMarks[1:]
+	}
+	if _, err := io.WriteString(ps.dump, line+"\n"); err != nil {
+		ps.dumpErr = err
+	}
+}
+
+// Read returns a snapshot of the accumulated state — the interval-based mode
+// of Section III-C. Call Advance (or run a workload) between two Reads and
+// difference them with Joules, Watts and Seconds.
+func (ps *PowerSensor) Read() State {
+	st := State{
+		TimeAtRead: ps.tr.Now(),
+		Samples:    ps.samples,
+	}
+	copy(st.ConsumedJoules[:], ps.consumed[:])
+	copy(st.Watts[:], ps.watts[:])
+	copy(st.Volts[:], ps.volts[:])
+	copy(st.Amps[:], ps.amps[:])
+	return st
+}
+
+// Mark requests a time-synced marker: the device flags the next sample set,
+// and the continuous-mode dump annotates that set with c.
+func (ps *PowerSensor) Mark(c byte) {
+	ps.pendingMarks = append(ps.pendingMarks, c)
+	ps.tr.Write([]byte{protocol.CmdMarker})
+}
+
+// StartDump enables continuous mode, recording every sample set to w.
+func (ps *PowerSensor) StartDump(w io.Writer) {
+	ps.dump = w
+	ps.dumpErr = nil
+}
+
+// StopDump disables continuous mode and reports any write error encountered.
+func (ps *PowerSensor) StopDump() error {
+	ps.dump = nil
+	return ps.dumpErr
+}
+
+// FirmwareVersion queries the device's firmware version string. The stream
+// is paused for the exchange and restarted afterwards.
+func (ps *PowerSensor) FirmwareVersion() (string, error) {
+	ps.tr.Write([]byte{protocol.CmdStopStream})
+	ps.tr.Run(2 * time.Millisecond)
+	ps.process(ps.tr.Read()) // drain remaining samples first
+	ps.tr.Write([]byte{protocol.CmdVersion})
+
+	var buf []byte
+	deadline := ps.tr.Now() + 50*time.Millisecond
+	for ps.tr.Now() < deadline {
+		ps.tr.Run(time.Millisecond)
+		buf = append(buf, ps.tr.Read()...)
+		if n := len(buf); n > 0 && buf[n-1] == protocol.VersionTerminator {
+			ps.tr.Write([]byte{protocol.CmdStartStream})
+			return string(buf[:n-1]), nil
+		}
+	}
+	ps.tr.Write([]byte{protocol.CmdStartStream})
+	return "", fmt.Errorf("core: no version response")
+}
+
+// Close stops the device stream.
+func (ps *PowerSensor) Close() {
+	ps.tr.Write([]byte{protocol.CmdStopStream})
+	ps.tr.Run(time.Millisecond)
+}
+
+// Resyncs reports how many stream bytes were skipped to regain alignment.
+func (ps *PowerSensor) Resyncs() int { return ps.totalResyncs }
+
+// Joules returns the energy consumed by sensor pair between two states, or
+// summed over all pairs if pair is -1 — matching the C++ API.
+func Joules(first, second State, pair int) float64 {
+	if pair >= 0 {
+		return second.ConsumedJoules[pair] - first.ConsumedJoules[pair]
+	}
+	var sum float64
+	for m := 0; m < MaxPairs; m++ {
+		sum += second.ConsumedJoules[m] - first.ConsumedJoules[m]
+	}
+	return sum
+}
+
+// Seconds returns the elapsed time between two states.
+func Seconds(first, second State) float64 {
+	return (second.TimeAtRead - first.TimeAtRead).Seconds()
+}
+
+// Watts returns the average power between two states for a pair (or all
+// pairs if pair is -1).
+func Watts(first, second State, pair int) float64 {
+	s := Seconds(first, second)
+	if s <= 0 {
+		return 0
+	}
+	return Joules(first, second, pair) / s
+}

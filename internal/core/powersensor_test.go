@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/device"
+)
+
+// newBenchDevice builds a device with one 12 V / 10 A module driving a
+// constant load — the basic accuracy setup of Fig. 3.
+func newBenchDevice(seed uint64, amps float64) *device.Device {
+	return device.New(seed, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{
+			Supply: &bench.Supply{Nominal: 12},
+			Load:   bench.ConstantLoad(amps),
+		},
+	})
+}
+
+func TestOpenReadsConfig(t *testing.T) {
+	dev := newBenchDevice(1, 0)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if ps.Pairs() != 1 {
+		t.Fatalf("pairs = %d", ps.Pairs())
+	}
+	cfg := ps.SensorConfig(0)
+	if cfg.Sensitivity != 0.120 || !cfg.Enabled {
+		t.Fatalf("sensor 0 config = %+v", cfg)
+	}
+}
+
+func TestMeasuredPowerMatchesLoad(t *testing.T) {
+	dev := newBenchDevice(2, 8) // 8 A × 12 V = 96 W
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	first := ps.Read()
+	ps.Advance(time.Second)
+	second := ps.Read()
+
+	j := Joules(first, second, 0)
+	w := Watts(first, second, 0)
+	s := Seconds(first, second)
+	if math.Abs(s-1) > 0.001 {
+		t.Fatalf("interval = %v s", s)
+	}
+	if math.Abs(w-96) > 2 {
+		t.Fatalf("average power = %v W, want ~96", w)
+	}
+	if math.Abs(j-96) > 2 {
+		t.Fatalf("energy = %v J, want ~96", j)
+	}
+}
+
+func TestSumOverPairs(t *testing.T) {
+	dev := device.New(3,
+		device.Slot{
+			Module: analog.NewModule(analog.Slot10A, 12),
+			Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(4)},
+		},
+		device.Slot{
+			Module: analog.NewModule(analog.Slot10A, 3.3),
+			Source: device.BenchSource{Supply: &bench.Supply{Nominal: 3.3}, Load: bench.ConstantLoad(2)},
+		},
+	)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if ps.Pairs() != 2 {
+		t.Fatalf("pairs = %d", ps.Pairs())
+	}
+	first := ps.Read()
+	ps.Advance(500 * time.Millisecond)
+	second := ps.Read()
+	total := Watts(first, second, -1)
+	want := 12*4.0 + 3.3*2.0
+	if math.Abs(total-want) > 2 {
+		t.Fatalf("total power = %v, want ~%v", total, want)
+	}
+}
+
+func TestSampleRateIs20kHz(t *testing.T) {
+	dev := newBenchDevice(4, 1)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	first := ps.Read()
+	ps.Advance(time.Second)
+	second := ps.Read()
+	got := second.Samples - first.Samples
+	if got < 19900 || got > 20100 {
+		t.Fatalf("%d samples per second, want ~20000", got)
+	}
+}
+
+func TestEnergyIsMonotonicUnderPositiveLoad(t *testing.T) {
+	dev := newBenchDevice(5, 6)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	prev := ps.Read()
+	for i := 0; i < 20; i++ {
+		ps.Advance(10 * time.Millisecond)
+		cur := ps.Read()
+		if Joules(prev, cur, 0) < 0 {
+			t.Fatalf("energy decreased at step %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestDumpContinuousMode(t *testing.T) {
+	dev := newBenchDevice(6, 8)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	var buf bytes.Buffer
+	ps.StartDump(&buf)
+	ps.Advance(50 * time.Millisecond)
+	if err := ps.StopDump(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 50 ms at 20 kHz ≈ 1000 lines.
+	if len(lines) < 950 || len(lines) > 1050 {
+		t.Fatalf("%d dump lines, want ~1000", len(lines))
+	}
+	for _, l := range lines[:5] {
+		if !strings.HasPrefix(l, "S ") {
+			t.Fatalf("bad dump line %q", l)
+		}
+	}
+}
+
+func TestMarkerLandsInDump(t *testing.T) {
+	dev := newBenchDevice(7, 5)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	var buf bytes.Buffer
+	ps.StartDump(&buf)
+	ps.Advance(5 * time.Millisecond)
+	ps.Mark('A')
+	ps.Advance(5 * time.Millisecond)
+	ps.StopDump()
+
+	if n := strings.Count(buf.String(), " MA"); n != 1 {
+		t.Fatalf("marker appears %d times, want 1", n)
+	}
+	// The marker must be time-synced: it lands mid-dump, not at the edges.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	idx := -1
+	for i, l := range lines {
+		if strings.Contains(l, " MA") {
+			idx = i
+		}
+	}
+	if idx < len(lines)/4 || idx > 3*len(lines)/4 {
+		t.Fatalf("marker at line %d of %d, expected near the middle", idx, len(lines))
+	}
+}
+
+func TestInstantaneousWatts(t *testing.T) {
+	dev := newBenchDevice(8, 8)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ps.Advance(10 * time.Millisecond)
+	st := ps.Read()
+	if math.Abs(st.Watts[0]-96) > 5 {
+		t.Fatalf("instantaneous power = %v, want ~96", st.Watts[0])
+	}
+	if math.Abs(st.Volts[0]-12) > 0.2 {
+		t.Fatalf("volts = %v", st.Volts[0])
+	}
+	if math.Abs(st.Amps[0]-8) > 0.5 {
+		t.Fatalf("amps = %v", st.Amps[0])
+	}
+}
+
+func TestNegativeCurrentMeasured(t *testing.T) {
+	dev := newBenchDevice(9, -5)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ps.Advance(10 * time.Millisecond)
+	st := ps.Read()
+	if st.Amps[0] > -4.5 || st.Amps[0] < -5.5 {
+		t.Fatalf("amps = %v, want ~-5", st.Amps[0])
+	}
+}
+
+func TestWattsZeroInterval(t *testing.T) {
+	dev := newBenchDevice(10, 1)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	st := ps.Read()
+	if w := Watts(st, st, 0); w != 0 {
+		t.Fatalf("zero-interval watts = %v", w)
+	}
+}
+
+func TestCloseStopsStream(t *testing.T) {
+	dev := newBenchDevice(11, 1)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Advance(time.Millisecond)
+	ps.Close()
+	if dev.Firmware().Streaming() {
+		t.Fatal("device still streaming after Close")
+	}
+}
+
+func TestNoResyncsOnCleanStream(t *testing.T) {
+	dev := newBenchDevice(12, 3)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ps.Advance(100 * time.Millisecond)
+	if ps.Resyncs() != 0 {
+		t.Fatalf("%d resyncs on a clean stream", ps.Resyncs())
+	}
+}
+
+// Energy conservation: Joules between two states must equal the integral of
+// the dumped power series within quantization error.
+func TestEnergyMatchesDumpIntegral(t *testing.T) {
+	dev := newBenchDevice(13, 7)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	var buf bytes.Buffer
+	first := ps.Read()
+	ps.StartDump(&buf)
+	ps.Advance(100 * time.Millisecond)
+	ps.StopDump()
+	second := ps.Read()
+
+	var sum float64
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) < 4 || fields[0] != "S" {
+			t.Fatalf("bad dump line %q", l)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", l, err)
+		}
+		sum += w * 50e-6
+	}
+	j := Joules(first, second, 0)
+	if math.Abs(sum-j)/j > 0.01 {
+		t.Fatalf("dump integral %v J vs state diff %v J", sum, j)
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// corruptTransport wraps a device and damages the byte stream: it drops or
+// flips bytes with the given probabilities — a noisy USB cable.
+type corruptTransport struct {
+	*device.Device
+	rnd      *rng.Source
+	dropProb float64
+	flipProb float64
+	dropped  int
+	flipped  int
+}
+
+func (c *corruptTransport) Read() []byte {
+	buf := c.Device.Read()
+	out := buf[:0]
+	for _, b := range buf {
+		r := c.rnd.Float64()
+		switch {
+		case r < c.dropProb:
+			c.dropped++
+		case r < c.dropProb+c.flipProb:
+			out = append(out, b^byte(1<<c.rnd.Intn(8)))
+			c.flipped++
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func newCorrupt(seed uint64, amps, dropProb, flipProb float64) *corruptTransport {
+	dev := device.New(seed, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(amps)},
+	})
+	return &corruptTransport{Device: dev, rnd: rng.New(seed ^ 0xbad), dropProb: dropProb, flipProb: flipProb}
+}
+
+func TestHostSurvivesDroppedBytes(t *testing.T) {
+	tr := newCorrupt(501, 8, 0.001, 0) // 0.1% byte loss
+	ps, err := Open(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	first := ps.Read()
+	ps.Advance(500 * time.Millisecond)
+	second := ps.Read()
+
+	if tr.dropped == 0 {
+		t.Skip("no bytes dropped this run")
+	}
+	if ps.Resyncs() == 0 {
+		t.Fatal("decoder did not resynchronise despite byte loss")
+	}
+	// The energy estimate must stay close: each lost sample set costs at
+	// most one 50 µs slice.
+	w := Watts(first, second, 0)
+	if math.Abs(w-96) > 4 {
+		t.Fatalf("average power %v W under 0.1%% byte loss, want ~96", w)
+	}
+}
+
+func TestHostSurvivesBitFlips(t *testing.T) {
+	tr := newCorrupt(502, 5, 0, 0.0005)
+	ps, err := Open(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	first := ps.Read()
+	ps.Advance(500 * time.Millisecond)
+	second := ps.Read()
+	if tr.flipped == 0 {
+		t.Skip("no bits flipped this run")
+	}
+	// Flips inside the 10-bit level corrupt single samples; the average
+	// over 10k samples must barely move.
+	w := Watts(first, second, 0)
+	if math.Abs(w-60) > 5 {
+		t.Fatalf("average power %v W under bit flips, want ~60", w)
+	}
+}
+
+func TestOpenFailsCleanlyOnGarbage(t *testing.T) {
+	// A transport that answers with noise instead of a configuration.
+	tr := &garbageTransport{rnd: rng.New(99)}
+	if _, err := Open(tr); err == nil {
+		t.Fatal("Open accepted a garbage device")
+	}
+}
+
+type garbageTransport struct {
+	rnd *rng.Source
+	now time.Duration
+}
+
+func (g *garbageTransport) Write([]byte) {}
+func (g *garbageTransport) Read() []byte {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(g.rnd.Intn(255)) // never the config terminator pattern
+	}
+	return buf[:32]
+}
+func (g *garbageTransport) Run(dt time.Duration) { g.now += dt }
+func (g *garbageTransport) Now() time.Duration   { return g.now }
+
+func TestFirmwareVersionQuery(t *testing.T) {
+	dev := device.New(503, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(1)},
+	})
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ps.Advance(10 * time.Millisecond)
+
+	v, err := ps.FirmwareVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == "" {
+		t.Fatal("empty version")
+	}
+	// The stream must restart after the query.
+	before := ps.Read()
+	ps.Advance(20 * time.Millisecond)
+	after := ps.Read()
+	if after.Samples == before.Samples {
+		t.Fatal("stream did not resume after version query")
+	}
+}
+
+// Fuzz the firmware with random command bytes: the device must neither
+// panic nor corrupt its configuration.
+func TestFirmwareCommandFuzz(t *testing.T) {
+	dev := device.New(504, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(2)},
+	})
+	want := dev.Firmware().SensorConfig(1) // voltage sensor config
+	rnd := rng.New(505)
+	for round := 0; round < 200; round++ {
+		n := rnd.Intn(16) + 1
+		cmd := make([]byte, n)
+		for i := range cmd {
+			// Exclude 'W' (config write) — any other byte must be harmless.
+			for {
+				cmd[i] = byte(rnd.Intn(256))
+				if cmd[i] != protocol.CmdWriteConfig {
+					break
+				}
+			}
+		}
+		dev.Write(cmd)
+		dev.Run(time.Millisecond)
+		dev.Read()
+	}
+	if got := dev.Firmware().SensorConfig(1); got != want {
+		t.Fatalf("fuzz corrupted sensor config: %+v → %+v", want, got)
+	}
+	// The device must still function: open and measure.
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	first := ps.Read()
+	ps.Advance(50 * time.Millisecond)
+	second := ps.Read()
+	if w := Watts(first, second, 0); math.Abs(w-24) > 3 {
+		t.Fatalf("post-fuzz power %v W, want ~24", w)
+	}
+}
+
+// Property: energy is additive over adjacent intervals.
+func TestEnergyAdditivity(t *testing.T) {
+	dev := device.New(506, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(7)},
+	})
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	a := ps.Read()
+	ps.Advance(30 * time.Millisecond)
+	b := ps.Read()
+	ps.Advance(70 * time.Millisecond)
+	c := ps.Read()
+	sum := Joules(a, b, 0) + Joules(b, c, 0)
+	whole := Joules(a, c, 0)
+	if math.Abs(sum-whole) > 1e-9 {
+		t.Fatalf("additivity violated: %v + %v != %v", Joules(a, b, 0), Joules(b, c, 0), whole)
+	}
+}
+
+// End-to-end property: for any in-range constant load on any rail, the
+// measured average power converges on V × I within the module's worst-case
+// accuracy budget.
+func TestQuickEndToEndAccuracy(t *testing.T) {
+	r := rng.New(507)
+	f := func(rawAmps, rawVolt uint16) bool {
+		amps := (float64(rawAmps%1900) - 950) / 100 // −9.5 .. +9.5 A
+		railV := 12.0
+		if rawVolt%2 == 0 {
+			railV = 3.3
+		}
+		dev := device.New(r.Uint64(), device.Slot{
+			Module: analog.NewModule(analog.Slot10A, railV),
+			Source: device.BenchSource{Supply: &bench.Supply{Nominal: railV}, Load: bench.ConstantLoad(amps)},
+		})
+		ps, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		defer ps.Close()
+		a := ps.Read()
+		ps.Advance(40 * time.Millisecond)
+		b := ps.Read()
+		got := Watts(a, b, 0)
+		want := railV * amps
+		// Averaged over 800 samples the error budget shrinks well below
+		// the per-sample worst case; 1.5 W leaves margin for nonlinearity.
+		return math.Abs(got-want) < 1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

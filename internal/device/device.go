@@ -1,0 +1,176 @@
+// Package device assembles a complete PowerSensor3: baseboard with up to
+// four sensor modules, the STM32 firmware, the USB pipe and the display. It
+// is the "hardware" object the host library opens.
+//
+// Each populated module slot is wired to a RailSource — a bench supply and
+// electronic load for the evaluation experiments, or one rail of a simulated
+// GPU/SSD for the application case studies. The device runs in virtual time;
+// Run advances it.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/display"
+	"repro/internal/eeprom"
+	"repro/internal/firmware"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/usb"
+)
+
+// RailSource provides the instantaneous voltage and current on one monitored
+// power rail at virtual time t.
+type RailSource interface {
+	VI(t time.Duration) (volts, amps float64)
+}
+
+// BenchSource is the laboratory configuration: a supply driving an
+// electronic load (Fig. 3 in the paper).
+type BenchSource struct {
+	Supply *bench.Supply
+	Load   bench.Load
+}
+
+// VI implements RailSource.
+func (b BenchSource) VI(t time.Duration) (float64, float64) {
+	i := b.Load.Current(t)
+	return b.Supply.Voltage(t, i), i
+}
+
+// SourceFunc adapts a function to RailSource.
+type SourceFunc func(t time.Duration) (volts, amps float64)
+
+// VI implements RailSource.
+func (f SourceFunc) VI(t time.Duration) (float64, float64) { return f(t) }
+
+// Slot pairs a sensor module with the rail it monitors.
+type Slot struct {
+	Module analog.Module
+	Source RailSource
+}
+
+// Device is an assembled PowerSensor3.
+type Device struct {
+	fw    *firmware.Firmware
+	pipe  *usb.Pipe
+	rom   *eeprom.Store
+	panel *display.Panel
+	slots []Slot
+	noise *rng.Source
+
+	pending time.Duration // un-stepped remainder of Run requests
+}
+
+// New assembles a device with the given module slots (at most
+// protocol.MaxModules) and factory-programs the sensor configuration into
+// EEPROM, as production does before calibration. seed fixes the noise
+// streams.
+func New(seed uint64, slots ...Slot) *Device {
+	if len(slots) > protocol.MaxModules {
+		panic(fmt.Sprintf("device: %d modules, baseboard has %d slots", len(slots), protocol.MaxModules))
+	}
+	d := &Device{
+		pipe:  usb.NewPipe(),
+		rom:   eeprom.New(),
+		panel: display.NewPanel(),
+		slots: slots,
+		noise: rng.New(seed),
+	}
+	d.fw = firmware.New(firmware.Config{
+		Pipe:  d.pipe,
+		ROM:   d.rom,
+		Panel: d.panel,
+		Read:  d.readPins,
+	})
+	for i := range d.slots {
+		cur, vol := d.slots[i].Module.Config()
+		mustStore(d.fw.StoreConfig(2*i, cur))
+		mustStore(d.fw.StoreConfig(2*i+1, vol))
+	}
+	return d
+}
+
+func mustStore(err error) {
+	if err != nil {
+		panic("device: factory programming failed: " + err.Error())
+	}
+}
+
+// readPins evaluates every slot's sensor chain at time t, producing the
+// analog pin voltages for one raw conversion round.
+func (d *Device) readPins(t time.Duration) []float64 {
+	pins := make([]float64, protocol.MaxSensors)
+	const rawDt = firmware.SampleInterval / protocol.SamplesPerAverage
+	for i := range d.slots {
+		v, a := d.slots[i].Source.VI(t)
+		pins[2*i] = d.slots[i].Module.Current.Sense(a, rawDt, d.noise)
+		pins[2*i+1] = d.slots[i].Module.Voltage.Sense(v, rawDt, d.noise)
+	}
+	// Unpopulated channels float at mid-scale (current) / ground (voltage).
+	for i := len(d.slots); i < protocol.MaxModules; i++ {
+		pins[2*i] = protocol.VRef / 2
+		pins[2*i+1] = 0
+	}
+	return pins
+}
+
+// Run advances the device by dt of virtual time, stepping the firmware in
+// 50 µs sample intervals. Fractions below one interval accumulate.
+func (d *Device) Run(dt time.Duration) {
+	d.pending += dt
+	for d.pending >= firmware.SampleInterval {
+		d.fw.Step()
+		d.pending -= firmware.SampleInterval
+	}
+}
+
+// Now returns the device's virtual time.
+func (d *Device) Now() time.Duration { return d.fw.Now() }
+
+// Skip fast-forwards the device clock without sampling.
+func (d *Device) Skip(dt time.Duration) { d.fw.Skip(dt) }
+
+// Write queues host command bytes to the device (Transport interface).
+func (d *Device) Write(cmd []byte) { d.pipe.HostWrite(cmd) }
+
+// Read drains all pending device-to-host bytes (Transport interface).
+func (d *Device) Read() []byte { return d.pipe.HostReadAll() }
+
+// Firmware exposes the firmware for tests and tools.
+func (d *Device) Firmware() *firmware.Firmware { return d.fw }
+
+// Panel exposes the display.
+func (d *Device) Panel() *display.Panel { return d.panel }
+
+// Pipe exposes the USB pipe for diagnostics.
+func (d *Device) Pipe() *usb.Pipe { return d.pipe }
+
+// Slots returns the populated module slots.
+func (d *Device) Slots() []Slot { return d.slots }
+
+// SetSource rewires the rail source of a slot (e.g. attaching a different
+// load between experiments without re-assembling the device).
+func (d *Device) SetSource(slot int, src RailSource) {
+	d.slots[slot].Source = src
+}
+
+// PowerCycle models unplugging and replugging the device: the firmware
+// reboots and reloads its EEPROM configuration; flash content survives.
+func (d *Device) PowerCycle() {
+	snap := d.rom.Snapshot()
+	d.rom = eeprom.New()
+	if err := d.rom.Restore(snap); err != nil {
+		panic("device: flash restore failed: " + err.Error())
+	}
+	d.pipe = usb.NewPipe()
+	d.fw = firmware.New(firmware.Config{
+		Pipe:  d.pipe,
+		ROM:   d.rom,
+		Panel: d.panel,
+		Read:  d.readPins,
+	})
+}

@@ -1,0 +1,210 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/protocol"
+)
+
+func benchSlot(railV, amps float64) Slot {
+	kind := analog.Slot10A
+	return Slot{
+		Module: analog.NewModule(kind, railV),
+		Source: BenchSource{Supply: &bench.Supply{Nominal: railV}, Load: bench.ConstantLoad(amps)},
+	}
+}
+
+func TestNewProgramsEEPROM(t *testing.T) {
+	dev := New(1, benchSlot(12, 0))
+	cfg := dev.Firmware().SensorConfig(0)
+	if !cfg.Enabled || cfg.Sensitivity != 0.120 {
+		t.Fatalf("sensor 0 config = %+v", cfg)
+	}
+	vcfg := dev.Firmware().SensorConfig(1)
+	if !vcfg.Enabled || vcfg.Sensitivity != 0.2 {
+		t.Fatalf("sensor 1 config = %+v", vcfg)
+	}
+	// Unpopulated slots stay disabled.
+	if dev.Firmware().SensorConfig(2).Enabled {
+		t.Fatal("empty slot enabled")
+	}
+}
+
+func TestTooManyModulesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1, benchSlot(12, 0), benchSlot(12, 0), benchSlot(12, 0),
+		benchSlot(12, 0), benchSlot(12, 0))
+}
+
+func TestRunAdvancesTime(t *testing.T) {
+	dev := New(2, benchSlot(12, 1))
+	dev.Run(10 * time.Millisecond)
+	if dev.Now() < 10*time.Millisecond {
+		t.Fatalf("now = %v", dev.Now())
+	}
+}
+
+func TestRunAccumulatesFractions(t *testing.T) {
+	dev := New(3, benchSlot(12, 1))
+	// 25 µs twice = one 50 µs sample interval.
+	dev.Run(25 * time.Microsecond)
+	if dev.Now() != 0 {
+		t.Fatalf("half interval should not step: now=%v", dev.Now())
+	}
+	dev.Run(25 * time.Microsecond)
+	if dev.Now() != 50*time.Microsecond {
+		t.Fatalf("now = %v", dev.Now())
+	}
+}
+
+func TestSkipFastForwards(t *testing.T) {
+	dev := New(4, benchSlot(12, 1))
+	dev.Skip(time.Hour)
+	if dev.Now() < time.Hour {
+		t.Fatalf("now = %v", dev.Now())
+	}
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	dev := New(5, benchSlot(12, 2))
+	dev.Write([]byte{protocol.CmdStartStream})
+	dev.Run(time.Millisecond)
+	buf := dev.Read()
+	if len(buf) == 0 {
+		t.Fatal("no stream bytes")
+	}
+	var dec protocol.StreamDecoder
+	samples := dec.Feed(nil, buf)
+	if len(samples) == 0 {
+		t.Fatal("no samples decoded")
+	}
+}
+
+func TestSetSourceSwitchesLoad(t *testing.T) {
+	dev := New(6, benchSlot(12, 0))
+	dev.Write([]byte{protocol.CmdStartStream})
+	dev.Run(5 * time.Millisecond)
+	dev.Read()
+
+	dev.SetSource(0, BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(8)})
+	dev.Run(5 * time.Millisecond)
+	var dec protocol.StreamDecoder
+	samples := dec.Feed(nil, dev.Read())
+	// Current channel (sensor 0) should now read well above mid-scale.
+	var last int
+	for _, s := range samples {
+		if !s.IsTimestamp() && s.Sensor == 0 {
+			last = s.Level
+		}
+	}
+	mid := protocol.Levels / 2
+	if last <= mid+100 {
+		t.Fatalf("level %d after 8 A load, want well above %d", last, mid)
+	}
+}
+
+func TestPowerCyclePreservesConfig(t *testing.T) {
+	dev := New(7, benchSlot(3.3, 1))
+	before := dev.Firmware().SensorConfig(0)
+	dev.Write([]byte{protocol.CmdStartStream})
+	dev.Run(time.Millisecond)
+	dev.PowerCycle()
+	if dev.Firmware().Streaming() {
+		t.Fatal("streaming after power cycle")
+	}
+	if got := dev.Firmware().SensorConfig(0); got != before {
+		t.Fatalf("config lost: %+v", got)
+	}
+	if dev.Firmware().Boots() != 1 {
+		t.Fatalf("fresh firmware boots = %d", dev.Firmware().Boots())
+	}
+}
+
+func TestDisplayShowsWhileIdle(t *testing.T) {
+	dev := New(8, benchSlot(12, 5))
+	dev.Run(time.Second)
+	if dev.Panel().Frames() == 0 {
+		t.Fatal("display never refreshed while idle")
+	}
+}
+
+func TestDisplayPausedWhileStreaming(t *testing.T) {
+	dev := New(9, benchSlot(12, 5))
+	dev.Write([]byte{protocol.CmdStartStream})
+	dev.Run(100 * time.Millisecond)
+	dev.Read()
+	frames := dev.Panel().Frames()
+	dev.Run(time.Second)
+	dev.Read()
+	if dev.Panel().Frames() != frames {
+		t.Fatal("display refreshed during streaming; the paper says the panel shows values when the sensor is not in use by the host")
+	}
+}
+
+func TestFullyPopulatedBaseboard(t *testing.T) {
+	// All four slots in the Fig. 1 configuration: two slot rails, the
+	// external 8-pin, and a USB-C module on a separate 20 V source.
+	dev := New(10,
+		Slot{Module: analog.NewModule(analog.Slot10A, 3.3),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 3.3}, Load: bench.ConstantLoad(2)}},
+		Slot{Module: analog.NewModule(analog.Slot10A, 12),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(4)}},
+		Slot{Module: analog.NewModule(analog.PCIe8Pin20A, 12),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(10)}},
+		Slot{Module: analog.NewModule(analog.USBC, 20),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 20}, Load: bench.ConstantLoad(1)}},
+	)
+	for i := 0; i < 2*protocol.MaxModules; i++ {
+		if !dev.Firmware().SensorConfig(i).Enabled {
+			t.Fatalf("sensor %d not enabled on full baseboard", i)
+		}
+	}
+	dev.Write([]byte{protocol.CmdStartStream})
+	dev.Run(10 * time.Millisecond)
+	var dec protocol.StreamDecoder
+	samples := dec.Feed(nil, dev.Read())
+	perSensor := map[int]int{}
+	for _, s := range samples {
+		if !s.IsTimestamp() {
+			perSensor[s.Sensor]++
+		}
+	}
+	if len(perSensor) != 8 {
+		t.Fatalf("stream carries %d sensors, want 8", len(perSensor))
+	}
+	// All sensors must deliver the same sample count (one per set).
+	for sensor, n := range perSensor {
+		if n != perSensor[0] {
+			t.Fatalf("sensor %d has %d samples, sensor 0 has %d", sensor, n, perSensor[0])
+		}
+	}
+}
+
+// A 4-module stream must still fit the USB budget — the design constraint.
+func TestFullBaseboardNoOverruns(t *testing.T) {
+	dev := New(11,
+		Slot{Module: analog.NewModule(analog.Slot10A, 3.3),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 3.3}, Load: bench.ConstantLoad(1)}},
+		Slot{Module: analog.NewModule(analog.Slot10A, 12),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(1)}},
+		Slot{Module: analog.NewModule(analog.Terminal20A, 12),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(1)}},
+		Slot{Module: analog.NewModule(analog.HighCurrent50A, 12),
+			Source: BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(1)}},
+	)
+	dev.Write([]byte{protocol.CmdStartStream})
+	for i := 0; i < 100; i++ {
+		dev.Run(10 * time.Millisecond)
+		dev.Read()
+	}
+	if dev.Pipe().Overruns() != 0 {
+		t.Fatalf("%d overruns on a drained 4-module stream", dev.Pipe().Overruns())
+	}
+}

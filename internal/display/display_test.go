@@ -1,0 +1,102 @@
+package display
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFontAtlasPrecomputesAllCombinations(t *testing.T) {
+	a := NewFontAtlas("01", []int{1, 2}, []uint16{ColorWhite})
+	if a.Size() != 4 {
+		t.Fatalf("atlas size %d, want 4", a.Size())
+	}
+	if a.Lookup('0', 1, ColorWhite) == nil {
+		t.Fatal("missing glyph")
+	}
+	if a.Lookup('0', 3, ColorWhite) != nil {
+		t.Fatal("unexpected glyph for scale 3")
+	}
+}
+
+func TestGlyphScaling(t *testing.T) {
+	g1 := renderGlyph('8', 1, ColorWhite)
+	g2 := renderGlyph('8', 2, ColorWhite)
+	ones := func(g *Glyph) int {
+		n := 0
+		for _, b := range g.Bitmap {
+			for b != 0 {
+				n += int(b & 1)
+				b >>= 1
+			}
+		}
+		return n
+	}
+	if got, want := ones(g2), 4*ones(g1); got != want {
+		t.Fatalf("2x glyph has %d pixels, want %d", got, want)
+	}
+}
+
+func TestShowRendersInk(t *testing.T) {
+	p := NewPanel()
+	p.Show(123.4, []Readout{{Name: "12V", Volts: 12.01, Amps: 8.2, PowerW: 98.5}})
+	lit := 0
+	for y := 0; y < Height; y++ {
+		for x := 0; x < Width; x++ {
+			if p.PixelLit(x, y) {
+				lit++
+			}
+		}
+	}
+	if lit == 0 {
+		t.Fatal("no pixels lit after Show")
+	}
+	if p.Frames() != 1 {
+		t.Fatalf("frames = %d", p.Frames())
+	}
+	if !strings.Contains(p.LastText(), "123.4W") {
+		t.Fatalf("last text %q", p.LastText())
+	}
+}
+
+func TestDMACutsCPUTime(t *testing.T) {
+	dma := NewPanel()
+	cpu := NewPanel()
+	cpu.UseDMA = false
+	for i := 0; i < 10; i++ {
+		dma.Show(50, nil)
+		cpu.Show(50, nil)
+	}
+	if dma.BusTime() != cpu.BusTime() {
+		t.Fatal("DMA must not change wire time")
+	}
+	if dma.CPUTime()*100 > cpu.CPUTime() {
+		t.Fatalf("DMA CPU time %v not ≪ CPU-driven %v", dma.CPUTime(), cpu.CPUTime())
+	}
+}
+
+func TestRefreshFitsFrameBudget(t *testing.T) {
+	// A full frame at 24 MHz SPI must transfer well within a 10 Hz refresh
+	// period, or the display would starve the sample loop.
+	if TransferTime(FrameBytes) > 100*time.Millisecond/2 {
+		t.Fatalf("frame transfer %v too slow", TransferTime(FrameBytes))
+	}
+}
+
+func TestTransferTimeLinear(t *testing.T) {
+	if TransferTime(2000) != 2*TransferTime(1000) {
+		t.Fatal("transfer time not linear")
+	}
+}
+
+func BenchmarkShow(b *testing.B) {
+	p := NewPanel()
+	pairs := []Readout{
+		{Volts: 12, Amps: 8, PowerW: 96},
+		{Volts: 3.3, Amps: 2, PowerW: 6.6},
+		{Volts: 12, Amps: 15, PowerW: 180},
+	}
+	for i := 0; i < b.N; i++ {
+		p.Show(282.6, pairs)
+	}
+}

@@ -1,0 +1,179 @@
+// Package eeprom emulates the STM32 virtual-EEPROM layer the firmware uses
+// to persist sensor configuration in flash (Section III-B1).
+//
+// Real STM32 parts have no EEPROM; the vendor's emulation layer maps logical
+// variables onto flash pages that can only be erased in bulk, so writes
+// append new records until the page fills, then compact into the sibling
+// page. The model reproduces that behaviour — including the erase cycle
+// accounting — because the one-time-calibration claim of the paper rests on
+// configuration surviving power cycles without wearing out the flash.
+package eeprom
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// PageSize is the usable record capacity per emulated page. The
+	// STM32F411 erases flash in 16 KiB sectors; the emulation layer uses a
+	// conservative slice of one sector.
+	PageSize = 1024
+
+	// recordSize is one logical record: a 1-byte key plus a value chunk.
+	recordSize = 1 + chunkSize
+	chunkSize  = 8
+)
+
+// Errors reported by the EEPROM layer.
+var (
+	ErrFull        = errors.New("eeprom: storage full")
+	ErrNotFound    = errors.New("eeprom: key not found")
+	ErrBadKey      = errors.New("eeprom: key 0xFF is reserved for erased cells")
+	ErrValueTooBig = errors.New("eeprom: value exceeds maximum length")
+)
+
+// MaxValueLen bounds a stored value so it always fits one page worth of
+// chunks.
+const MaxValueLen = 128
+
+type record struct {
+	key  byte
+	data []byte
+}
+
+// Store is a key→bytes store with flash-like append/compact semantics.
+// The zero value is not usable; call New.
+type Store struct {
+	active   []record // append-only until compaction
+	erases   int      // page-erase cycles performed
+	writes   int      // record writes performed
+	capacity int      // records per page
+}
+
+// New returns an empty Store.
+func New() *Store {
+	return &Store{capacity: PageSize / recordSize * chunkSize}
+}
+
+// Write stores value under key, appending records and compacting when the
+// active page fills. Keys are logical sensor/config identifiers.
+func (s *Store) Write(key byte, value []byte) error {
+	if key == 0xFF {
+		return ErrBadKey
+	}
+	if len(value) > MaxValueLen {
+		return ErrValueTooBig
+	}
+	s.active = append(s.active, record{key: key, data: append([]byte(nil), value...)})
+	s.writes++
+	if s.footprint() > s.capacity {
+		if err := s.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read returns the most recently written value for key.
+func (s *Store) Read(key byte) ([]byte, error) {
+	for i := len(s.active) - 1; i >= 0; i-- {
+		if s.active[i].key == key {
+			return append([]byte(nil), s.active[i].data...), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: 0x%02x", ErrNotFound, key)
+}
+
+// Delete removes key by writing a zero-length tombstone record.
+func (s *Store) Delete(key byte) {
+	s.active = append(s.active, record{key: key, data: nil})
+	s.writes++
+}
+
+// Keys returns the keys currently holding non-empty values, in ascending
+// order.
+func (s *Store) Keys() []byte {
+	latest := map[byte][]byte{}
+	for _, r := range s.active {
+		latest[r.key] = r.data
+	}
+	var keys []byte
+	for k := byte(0); k < 0xFF; k++ {
+		if v, ok := latest[k]; ok && len(v) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// footprint is the flash consumption of the active page in value bytes.
+func (s *Store) footprint() int {
+	n := 0
+	for _, r := range s.active {
+		n += chunkSize + len(r.data)
+	}
+	return n
+}
+
+// compact migrates only the latest value per key into a fresh page,
+// consuming one erase cycle — the wear-levelling step of the ST emulation
+// layer.
+func (s *Store) compact() error {
+	latest := map[byte][]byte{}
+	var order []byte
+	for _, r := range s.active {
+		if _, seen := latest[r.key]; !seen {
+			order = append(order, r.key)
+		}
+		latest[r.key] = r.data
+	}
+	var fresh []record
+	used := 0
+	for _, k := range order {
+		v := latest[k]
+		if len(v) == 0 {
+			continue // drop tombstones
+		}
+		fresh = append(fresh, record{key: k, data: v})
+		used += chunkSize + len(v)
+	}
+	if used > s.capacity {
+		return ErrFull
+	}
+	s.active = fresh
+	s.erases++
+	return nil
+}
+
+// Erases returns how many page-erase cycles have occurred; flash endurance
+// is typically 10k cycles, so this should stay tiny under the paper's
+// calibrate-once usage model.
+func (s *Store) Erases() int { return s.erases }
+
+// Writes returns the total record writes performed.
+func (s *Store) Writes() int { return s.writes }
+
+// Snapshot serializes the store's logical content (for device "power
+// cycling" in tests and for psconfig backups).
+func (s *Store) Snapshot() map[byte][]byte {
+	out := map[byte][]byte{}
+	for _, k := range s.Keys() {
+		v, _ := s.Read(k)
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the store content with the given snapshot.
+func (s *Store) Restore(snap map[byte][]byte) error {
+	s.active = nil
+	for k := byte(0); k < 0xFF; k++ {
+		if v, ok := snap[k]; ok {
+			if err := s.Write(k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

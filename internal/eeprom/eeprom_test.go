@@ -1,0 +1,179 @@
+package eeprom
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteRead(t *testing.T) {
+	s := New()
+	if err := s.Write(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	s := New()
+	if _, err := s.Read(7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverwriteReturnsLatest(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		if err := s.Write(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 {
+		t.Fatalf("latest value = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Write(3, []byte("x"))
+	s.Delete(3)
+	if _, err := s.Read(3); err != nil {
+		// A tombstone is an empty value, Read still finds it.
+		t.Fatalf("read after delete: %v", err)
+	}
+	got, _ := s.Read(3)
+	if len(got) != 0 {
+		t.Fatalf("deleted key has value %q", got)
+	}
+	for _, k := range s.Keys() {
+		if k == 3 {
+			t.Fatal("deleted key listed")
+		}
+	}
+}
+
+func TestReservedKey(t *testing.T) {
+	s := New()
+	if err := s.Write(0xFF, []byte("x")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValueTooBig(t *testing.T) {
+	s := New()
+	if err := s.Write(1, make([]byte, MaxValueLen+1)); !errors.Is(err, ErrValueTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	s := New()
+	// Hammer a few keys until several compactions have occurred.
+	for i := 0; i < 2000; i++ {
+		key := byte(i % 8)
+		if err := s.Write(key, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Erases() == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	for key := byte(0); key < 8; key++ {
+		got, err := s.Read(key)
+		if err != nil {
+			t.Fatalf("key %d lost after compaction: %v", key, err)
+		}
+		// Last write of key k was iteration i where i%8==k; find it.
+		last := 2000 - 8 + int(key)
+		want := []byte{byte(last), byte(last >> 8)}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %d = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestWearIsBounded(t *testing.T) {
+	s := New()
+	for i := 0; i < 10000; i++ {
+		s.Write(byte(i%4), []byte{1, 2, 3, 4})
+	}
+	// Each page holds ~capacity/12 records; 10k writes should cost far
+	// fewer than 10k/10 erases.
+	if s.Erases() > 1000 {
+		t.Fatalf("excessive wear: %d erases", s.Erases())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Write(1, []byte("a"))
+	s.Write(9, []byte("bb"))
+	s.Write(1, []byte("a2"))
+	snap := s.Snapshot()
+
+	fresh := New()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range snap {
+		got, err := fresh.Read(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %d: %q != %q", k, got, want)
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	s.Write(9, []byte("x"))
+	s.Write(1, []byte("y"))
+	s.Write(5, []byte("z"))
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 5 || keys[2] != 9 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// Property: after any sequence of writes, Read(k) returns the last value
+// written to k.
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val uint32
+	}) bool {
+		s := New()
+		want := map[byte][]byte{}
+		for _, op := range ops {
+			k := op.Key % 16
+			v := []byte{byte(op.Val), byte(op.Val >> 8)}
+			if s.Write(k, v) != nil {
+				return false
+			}
+			want[k] = v
+		}
+		for k, w := range want {
+			got, err := s.Read(k)
+			if err != nil || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (Section IV) and case studies (Section V). Each
+// harness builds the full measurement chain — bench or DUT model, sensor
+// modules, firmware, host library — runs the paper's procedure in virtual
+// time, and returns typed results plus a textual rendering that mirrors the
+// published table/figure.
+//
+// The experiment index lives in DESIGN.md; paper-versus-measured values are
+// recorded in EXPERIMENTS.md. cmd/experiments regenerates everything.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Series is one plotted line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Decimate returns the series reduced to at most n points (for rendering).
+func (s Series) Decimate(n int) Series {
+	if len(s.X) <= n || n < 2 {
+		return s
+	}
+	out := Series{Name: s.Name}
+	step := float64(len(s.X)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * step)
+		out.X = append(out.X, s.X[idx])
+		out.Y = append(out.Y, s.Y[idx])
+	}
+	return out
+}
+
+// AsciiPlot renders series as a crude terminal plot, good enough to see the
+// shape the paper's figure shows.
+func AsciiPlot(title string, width, height int, series ...Series) string {
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = min(xmin, s.X[i])
+			xmax = max(xmax, s.X[i])
+			ymin = min(ymin, s.Y[i])
+			ymax = max(ymax, s.Y[i])
+		}
+	}
+	if first || xmax == xmin || ymax == ymin {
+		return title + " (no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#'}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			grid[r][c] = m
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [y: %.3g..%.3g, x: %.3g..%.3g]\n", title, ymin, ymax, xmin, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	for _, row := range grid {
+		sb.WriteString("  |" + string(row) + "\n")
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return sb.String()
+}

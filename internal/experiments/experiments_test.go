@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------- rendering helpers ----------
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestSeriesDecimate(t *testing.T) {
+	s := Series{Name: "x"}
+	for i := 0; i < 1000; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i*i))
+	}
+	d := s.Decimate(10)
+	if len(d.X) != 10 {
+		t.Fatalf("decimated to %d", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[9] != 999 {
+		t.Fatalf("endpoints %v %v", d.X[0], d.X[9])
+	}
+}
+
+func TestAsciiPlotProducesInk(t *testing.T) {
+	s := Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}
+	out := AsciiPlot("t", 20, 8, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no marks:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	if out := AsciiPlot("t", 20, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %s", out)
+	}
+}
+
+// ---------- Table I ----------
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res := RunTable1()
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Paper values: module → (Eu mV, Ei A, Ep W).
+	want := []struct {
+		eu, ei, ep float64
+	}{
+		{28.6, 0.35, 4.2},
+		{19.9, 0.35, 1.2},
+		{28.6, 0.35, 7.0},
+		{28.6, 0.41, 5.0},
+	}
+	for i, w := range want {
+		r := res.Rows[i]
+		if math.Abs(r.VoltErr*1000-w.eu) > 4 {
+			t.Errorf("row %d (%s): Eu %.1f mV, paper %.1f", i, r.Module, r.VoltErr*1000, w.eu)
+		}
+		if math.Abs(r.CurrErr-w.ei) > 0.03 {
+			t.Errorf("row %d (%s): Ei %.2f A, paper %.2f", i, r.Module, r.CurrErr, w.ei)
+		}
+		if math.Abs(r.PowErr-w.ep) > 0.35 {
+			t.Errorf("row %d (%s): Ep %.1f W, paper %.1f", i, r.Module, r.PowErr, w.ep)
+		}
+	}
+	if out := res.Table().Render(); !strings.Contains(out, "Table I") {
+		t.Fatal("render broke")
+	}
+}
+
+// ---------- Fig. 4 ----------
+
+func TestFig4Shapes(t *testing.T) {
+	res, err := RunFig4(Fig4Options{Samples: 8 * 1024, StepA: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweeps) != 4 {
+		t.Fatalf("%d sweeps", len(res.Sweeps))
+	}
+	byName := map[string]Fig4Sweep{}
+	for _, sw := range res.Sweeps {
+		byName[sw.Module] = sw
+	}
+	worstAbsMean := func(sw Fig4Sweep) float64 {
+		worst := 0.0
+		for _, p := range sw.Points {
+			if a := math.Abs(p.MeanErr); a > worst {
+				worst = a
+			}
+		}
+		return worst
+	}
+	// The paper's observation: the 3.3 V sensor is more accurate than the
+	// 12 V sensor, because the current error is multiplied by the rail
+	// voltage.
+	if worstAbsMean(byName["3.3V 10A"]) >= worstAbsMean(byName["12V 10A"]) {
+		t.Errorf("3.3 V sweep (%.2f W) should beat 12 V sweep (%.2f W)",
+			worstAbsMean(byName["3.3V 10A"]), worstAbsMean(byName["12V 10A"]))
+	}
+	// Errors must stay within the same order as the worst-case budget.
+	for name, sw := range byName {
+		for _, p := range sw.Points {
+			if math.Abs(p.MeanErr) > 8 {
+				t.Errorf("%s at %.1f A: mean error %.2f W implausibly large", name, p.LoadA, p.MeanErr)
+			}
+			if p.MinErr > p.MeanErr || p.MaxErr < p.MeanErr {
+				t.Errorf("%s at %.1f A: envelope does not bracket mean", name, p.LoadA)
+			}
+		}
+	}
+	if !strings.Contains(res.Plot(), "Fig. 4") {
+		t.Error("plot broke")
+	}
+}
+
+// ---------- Table II ----------
+
+func TestTable2NoiseScaling(t *testing.T) {
+	res, err := RunTable2(Table2Options{Samples: 32 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Index rows by (rate, load).
+	get := func(khz, load float64) Table2Row {
+		for _, r := range res.Rows {
+			if r.RateKHz == khz && r.LoadA == load {
+				return r
+			}
+		}
+		t.Fatalf("row %v/%v missing", khz, load)
+		return Table2Row{}
+	}
+	for _, load := range []float64{0.5, 1.0} {
+		r20 := get(20, load)
+		r05 := get(0.5, load)
+		// Paper: std at 20 kHz ~0.72 W; at 0.5 kHz ~0.115 W (≈ √40 gain).
+		if load == 1.0 {
+			if r20.Std < 0.4 || r20.Std > 1.1 {
+				t.Errorf("20 kHz std = %.3f W, paper ~0.72", r20.Std)
+			}
+		}
+		gain := r20.Std / r05.Std
+		if gain < 4 || gain > 9 {
+			t.Errorf("load %v: averaging gain %.2f, want ~√40≈6.3", load, gain)
+		}
+		// P2P must shrink with averaging.
+		if r05.P2P >= r20.P2P {
+			t.Errorf("load %v: p-p did not shrink (%.3f → %.3f)", load, r20.P2P, r05.P2P)
+		}
+		// Means stay near the expected power (12 V × load).
+		mean20 := (r20.Min + r20.Max) / 2
+		if math.Abs(mean20-12*load) > 1.5 {
+			t.Errorf("load %v: block centre %.2f W far from %.2f W", load, mean20, 12*load)
+		}
+	}
+}
+
+// ---------- stability ----------
+
+func TestStabilityShort(t *testing.T) {
+	res, err := RunStability(StabilityOptions{
+		Duration: 2 * time.Hour, Interval: 15 * time.Minute, Samples: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// The paper reports ±0.09 W fluctuation of the means; the model's
+	// drift plus noise should stay in that regime (well under half a watt).
+	if res.MeanFluctuation > 0.3 {
+		t.Fatalf("mean fluctuation %.3f W too large", res.MeanFluctuation)
+	}
+	// Means must hover around 12 V × 7.5 A = 90 W.
+	for _, p := range res.Points {
+		if math.Abs(p.Mean-90) > 2 {
+			t.Fatalf("point at %v: mean %.2f W", p.At, p.Mean)
+		}
+	}
+}
+
+// ---------- Fig. 5 ----------
+
+func TestFig5StepResponse(t *testing.T) {
+	res, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plateaus at 12 V: 3.3 A → ~39.6 W, 8 A → 96 W.
+	if math.Abs(res.LowW-39.6) > 3 {
+		t.Errorf("low plateau %.1f W, want ~39.6", res.LowW)
+	}
+	if math.Abs(res.HighW-96) > 4 {
+		t.Errorf("high plateau %.1f W, want ~96", res.HighW)
+	}
+	// The step must resolve within a few 50 µs samples (sensor bandwidth
+	// 300 kHz ≫ sample rate): the paper's µs inset shows exactly this.
+	if res.RiseSamples > 4 {
+		t.Errorf("rise spans %d samples; the step should be nearly instant", res.RiseSamples)
+	}
+	if len(res.MsView.X) < 900 {
+		t.Errorf("ms view has only %d samples", len(res.MsView.X))
+	}
+	if len(res.UsView.X) == 0 {
+		t.Error("µs view empty")
+	}
+}
+
+// ---------- Fig. 7 ----------
+
+func TestFig7aNvidia(t *testing.T) {
+	res, err := RunFig7a(Fig7Options{KernelDuration: 1500 * time.Millisecond, Tail: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PS3 must resolve more inter-wave dips than NVML.
+	if res.DipsPS3 < 1 {
+		t.Errorf("PS3 saw %d dips; expected the wave structure", res.DipsPS3)
+	}
+	if res.DipsVendor >= res.DipsPS3 {
+		t.Errorf("NVML saw %d dips vs PS3 %d; NVML should miss them", res.DipsVendor, res.DipsPS3)
+	}
+	// PS3 energy tracks ground truth closely.
+	if rel := math.Abs(res.PS3Joules-res.TrueJoules) / res.TrueJoules; rel > 0.08 {
+		t.Errorf("PS3 energy off by %.1f%%", rel*100)
+	}
+	// NVIDIA takes a long time to return to idle (paper: over a second).
+	if res.IdleReturn < 300*time.Millisecond {
+		t.Errorf("idle return %v; NVIDIA should decay slowly", res.IdleReturn)
+	}
+}
+
+func TestFig7bAMD(t *testing.T) {
+	res, err := RunFig7b(Fig7Options{KernelDuration: 1500 * time.Millisecond, Tail: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: AMD SMI closely matches PowerSensor3.
+	if rel := math.Abs(res.VendorJoules-res.TrueJoules) / res.TrueJoules; rel > 0.1 {
+		t.Errorf("AMD SMI energy off by %.1f%%; should closely match", rel*100)
+	}
+	if rel := math.Abs(res.PS3Joules-res.TrueJoules) / res.TrueJoules; rel > 0.08 {
+		t.Errorf("PS3 energy off by %.1f%%", rel*100)
+	}
+}
+
+// ---------- Fig. 8 / Fig. 10 ----------
+
+func TestFig8Reduced(t *testing.T) {
+	res, err := RunFig8(TuningOptions{Subsample: 32, Trials: 3,
+		Clocks: []float64{1485, 1635, 1815}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions from the paper's Fig. 8 narrative.
+	if res.FastestTFLOPS < 40 || res.FastestTFLOPS > 96 {
+		t.Errorf("fastest %.1f TFLOP/s out of range", res.FastestTFLOPS)
+	}
+	if res.EfficiencyGain <= 0 {
+		t.Errorf("most-efficient gains %.1f%%; must be positive", res.EfficiencyGain*100)
+	}
+	if res.Slowdown <= 0 {
+		t.Errorf("most-efficient slowdown %.1f%%; must be positive", res.Slowdown*100)
+	}
+	// The headline claim: PowerSensor3 tunes ~3.25× faster.
+	if res.Speedup < 2.2 || res.Speedup > 4.5 {
+		t.Errorf("tuning speedup %.2fx, paper 3.25x", res.Speedup)
+	}
+	if res.ParetoSize < 2 {
+		t.Errorf("Pareto front has %d points", res.ParetoSize)
+	}
+}
+
+func TestFig10Reduced(t *testing.T) {
+	res, err := RunFig10(TuningOptions{Subsample: 32, Trials: 3,
+		Clocks: []float64{408, 816, 1300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jetson peaks far below the discrete GPU (paper: ~25 vs ~80 TFLOP/s).
+	if res.FastestTFLOPS > 45 {
+		t.Errorf("Jetson fastest %.1f TFLOP/s too high", res.FastestTFLOPS)
+	}
+	if res.FastestTFLOPS < 8 {
+		t.Errorf("Jetson fastest %.1f TFLOP/s too low", res.FastestTFLOPS)
+	}
+	if res.EfficiencyGain <= 0 || res.Slowdown <= 0 {
+		t.Error("Pareto trade-off missing on Jetson")
+	}
+	if res.Speedup < 1.5 {
+		t.Errorf("tuning speedup %.2fx", res.Speedup)
+	}
+}
+
+// ---------- Fig. 12 ----------
+
+func TestFig12aShape(t *testing.T) {
+	res, err := RunFig12a(Fig12aOptions{
+		Sizes:    []int{4, 64, 1024, 4096},
+		PerPoint: 2 * time.Second,
+		IODepth:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Bandwidth and power must both rise with request size (until
+	// saturation), and power must stay in a plausible SSD range.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].MiBps < res.Points[i-1].MiBps*0.9 {
+			t.Errorf("bandwidth fell from %d to %d KiB", res.Points[i-1].RequestKiB, res.Points[i].RequestKiB)
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.PowerW <= first.PowerW {
+		t.Errorf("power flat: %.2f → %.2f W", first.PowerW, last.PowerW)
+	}
+	if first.PowerW < 1 || last.PowerW > 8 {
+		t.Errorf("power range %.2f..%.2f W implausible", first.PowerW, last.PowerW)
+	}
+}
+
+func TestFig12bShape(t *testing.T) {
+	res, err := RunFig12b(Fig12bOptions{Duration: 40 * time.Second, IODepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) < 30 {
+		t.Fatalf("only %d series points", len(res.Times))
+	}
+	// The paper's conclusion: bandwidth varies, power does not — bandwidth
+	// is not a power proxy.
+	if res.BandwidthCV < 0.02 {
+		t.Errorf("bandwidth CV %.3f too smooth; GC variability missing", res.BandwidthCV)
+	}
+	if res.PowerCV > res.BandwidthCV {
+		t.Errorf("power CV %.3f exceeds bandwidth CV %.3f; power should be the stable one",
+			res.PowerCV, res.BandwidthCV)
+	}
+	if res.WriteAmp <= 1.1 {
+		t.Errorf("write amplification %.2f; steady-state random writes must amplify", res.WriteAmp)
+	}
+	// Steady power near the paper's ~5 W.
+	var mean float64
+	for _, p := range res.Power[len(res.Power)/2:] {
+		mean += p
+	}
+	mean /= float64(len(res.Power) - len(res.Power)/2)
+	if mean < 2.5 || mean > 7 {
+		t.Errorf("steady write power %.2f W, paper ~5 W", mean)
+	}
+}

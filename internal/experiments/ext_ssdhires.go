@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// SSDHiResResult is the paper's stated future work (end of Section V-C):
+// evaluating SSD power at sub-millisecond granularity. PowerSensor3's
+// 20 kHz stream resolves individual garbage-collection bursts that a 1 s
+// view averages away entirely.
+type SSDHiResResult struct {
+	// Full-rate capture of a write window, in milliseconds / watts.
+	HiRes Series
+	// The same window at the paper's 1 s granularity.
+	Coarse Series
+
+	// HiResP2P and CoarseP2P are the peak-to-peak power excursions at each
+	// granularity: the headline of the experiment is HiResP2P ≫ CoarseP2P.
+	HiResP2P  float64
+	CoarseP2P float64
+
+	// BurstsPerSecond counts sub-millisecond power excursions above the
+	// median + threshold — individual program/erase bursts.
+	BurstsPerSecond float64
+}
+
+// SSDHiResOptions sizes the run.
+type SSDHiResOptions struct {
+	Window time.Duration // capture window (default 4 s)
+}
+
+// RunSSDHiRes preconditions a drive into steady state, runs 4 KiB random
+// writes, and captures the PowerSensor3 stream at full 20 kHz resolution.
+func RunSSDHiRes(opts SSDHiResOptions) (SSDHiResResult, error) {
+	if opts.Window <= 0 {
+		opts.Window = 4 * time.Second
+	}
+	disk := ssd.New(ssd.Samsung980Pro(), 13001)
+	fio.Precondition(disk, 13001)
+	rig, err := newSSDRig(disk, 13001)
+	if err != nil {
+		return SSDHiResResult{}, err
+	}
+	defer rig.ps.Close()
+	rig.dev.Skip(disk.Now())
+
+	var res SSDHiResResult
+	res.HiRes.Name = "PowerSensor3 20 kHz"
+	res.Coarse.Name = "1 s average"
+
+	var watts []float64
+	start := rig.dev.Now()
+	rig.ps.OnSample(func(s core.Sample) {
+		var total float64
+		for _, w := range s.Watts {
+			total += w
+		}
+		watts = append(watts, total)
+	})
+	fio.Run(disk, fio.Job{
+		Pattern: fio.RandWrite, BlockKiB: 4, IODepth: 8,
+		Runtime: opts.Window, Seed: 13001,
+	}, rig.sync)
+	rig.ps.OnSample(nil)
+	_ = start
+
+	if len(watts) < 1000 {
+		return SSDHiResResult{}, fmt.Errorf("ssdhires: only %d samples captured", len(watts))
+	}
+
+	// Hi-res series (decimated for plotting; stats on the full series).
+	for i, w := range watts {
+		if i%10 == 0 {
+			res.HiRes.X = append(res.HiRes.X, float64(i)*0.05) // ms
+			res.HiRes.Y = append(res.HiRes.Y, w)
+		}
+	}
+	res.HiResP2P = stats.Summarize(watts).P2P()
+
+	// Coarse view: 1 s block averages (20000 samples per block).
+	coarse := stats.BlockAverage(watts, 20000)
+	for i, w := range coarse {
+		res.Coarse.X = append(res.Coarse.X, float64(i)*1000)
+		res.Coarse.Y = append(res.Coarse.Y, w)
+	}
+	if len(coarse) >= 2 {
+		res.CoarseP2P = stats.Summarize(coarse).P2P()
+	}
+
+	// Burst detection: excursions above the 90th percentile by a margin.
+	p50 := stats.Percentile(watts, 50)
+	threshold := p50 + 0.5
+	bursts := 0
+	above := false
+	for _, w := range watts {
+		is := w > threshold
+		if is && !above {
+			bursts++
+		}
+		above = is
+	}
+	res.BurstsPerSecond = float64(bursts) / opts.Window.Seconds()
+	return res, nil
+}
+
+// Table summarises the comparison.
+func (r SSDHiResResult) Table() Table {
+	return Table{
+		Title:  "Extension (paper §V-C future work): sub-millisecond SSD power analysis",
+		Header: []string{"granularity", "power p-p (W)", "bursts/s"},
+		Rows: [][]string{
+			{"20 kHz (50 µs)", fmt.Sprintf("%.2f", r.HiResP2P), fmt.Sprintf("%.0f", r.BurstsPerSecond)},
+			{"1 s average", fmt.Sprintf("%.2f", r.CoarseP2P), "invisible"},
+		},
+	}
+}
+
+// Plot renders both granularities.
+func (r SSDHiResResult) Plot() string {
+	return AsciiPlot("SSD write power at 20 kHz vs 1 s averages", 76, 16,
+		r.HiRes.Decimate(300), r.Coarse)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSSDHiResResolvesBursts(t *testing.T) {
+	res, err := RunSSDHiRes(SSDHiResOptions{Window: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The future-work claim: sub-millisecond features exist and the 1 s
+	// view cannot see them.
+	if res.HiResP2P < 2*res.CoarseP2P {
+		t.Fatalf("hi-res p-p %.2f W vs coarse %.2f W; 20 kHz should reveal much larger excursions",
+			res.HiResP2P, res.CoarseP2P)
+	}
+	if res.BurstsPerSecond < 1 {
+		t.Fatalf("%.1f bursts/s; GC/program activity should be visible", res.BurstsPerSecond)
+	}
+	if !strings.Contains(res.Table().Render(), "sub-millisecond") {
+		t.Error("table render broke")
+	}
+	if len(res.HiRes.X) == 0 || len(res.Coarse.X) == 0 {
+		t.Error("series missing")
+	}
+}
+
+func TestAblationSamplingRate(t *testing.T) {
+	res, err := RunAblationSamplingRate(AblationRateOptions{Kernels: 8, KernelTime: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Error must grow monotonically (within tolerance) as rate drops, and
+	// the extremes must differ dramatically: this is why 20 kHz matters.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.RateHz != 20000 || last.RateHz != 10 {
+		t.Fatalf("row order wrong: %+v", res.Rows)
+	}
+	if first.MeanErr > 0.05 {
+		t.Errorf("PS3-rate error %.1f%% too high for a 10 ms kernel", first.MeanErr*100)
+	}
+	if last.MeanErr < 3*first.MeanErr {
+		t.Errorf("10 Hz error %.1f%% vs 20 kHz %.1f%%: low rates must be far worse",
+			last.MeanErr*100, first.MeanErr*100)
+	}
+	// 1 kHz (the commercial meters) already degrades vs 20 kHz.
+	for _, row := range res.Rows {
+		if row.RateHz == 1000 && row.MaxErr <= first.MaxErr {
+			t.Errorf("1 kHz max error %.1f%% not worse than 20 kHz %.1f%%",
+				row.MaxErr*100, first.MaxErr*100)
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "PowerSensor2") {
+		t.Error("table render broke")
+	}
+}
+
+func TestAblationAveraging(t *testing.T) {
+	res := RunAblationAveraging()
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Find the firmware's operating point.
+	var found bool
+	for _, r := range res.Rows {
+		if r.SamplesPerAvg == 6 {
+			found = true
+			if r.OutputRateHz != 20000 {
+				t.Errorf("6-sample averaging gives %v Hz, want 20 kHz", r.OutputRateHz)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("design point missing")
+	}
+	// Noise must fall monotonically with averaging depth; rate likewise.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].NoiseStdW >= res.Rows[i-1].NoiseStdW {
+			t.Error("noise not monotone in averaging depth")
+		}
+		if res.Rows[i].OutputRateHz >= res.Rows[i-1].OutputRateHz {
+			t.Error("rate not monotone in averaging depth")
+		}
+	}
+}

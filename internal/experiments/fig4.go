@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/stats"
+)
+
+// Fig4Point is one measurement point of the load sweep.
+type Fig4Point struct {
+	LoadA   float64
+	MeanErr float64 // average power error over the sample block, W
+	MinErr  float64
+	MaxErr  float64
+}
+
+// Fig4Sweep is the sweep of one sensor module type.
+type Fig4Sweep struct {
+	Module string
+	Points []Fig4Point
+}
+
+// Fig4Result reproduces Fig. 4: power error versus load current for four
+// sensor types, with min/max envelopes per point.
+type Fig4Result struct {
+	Sweeps  []Fig4Sweep
+	Samples int
+}
+
+// Fig4Options sizes the experiment.
+type Fig4Options struct {
+	// Samples per measurement point (paper: 128 k).
+	Samples int
+	// StepA is the sweep step (paper: 1 A).
+	StepA float64
+}
+
+// DefaultFig4Options returns the paper's configuration.
+func DefaultFig4Options() Fig4Options {
+	return Fig4Options{Samples: 128 * 1024, StepA: 1}
+}
+
+// RunFig4 sweeps each module type from −range to +range, collecting a block
+// of samples per step through the full measurement chain, and reports the
+// power error against the bench reference meters.
+func RunFig4(opts Fig4Options) (Fig4Result, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = 128 * 1024
+	}
+	if opts.StepA <= 0 {
+		opts.StepA = 1
+	}
+	cases := []struct {
+		kind  analog.ModuleKind
+		railV float64
+		maxA  float64
+		name  string
+	}{
+		{analog.Slot10A, 3.3, 10, "3.3V 10A"},
+		{analog.Slot10A, 12, 10, "12V 10A"},
+		{analog.PCIe8Pin20A, 12, 10, "Ext 12V 20A"},
+		{analog.USBC, 20, 5, "USB-C 20V 5A"},
+	}
+	res := Fig4Result{Samples: opts.Samples}
+	for ci, c := range cases {
+		supply := &bench.Supply{Nominal: c.railV}
+		load := &settableLoad{}
+		dev := device.New(1000+uint64(ci), device.Slot{
+			Module: analog.NewModule(c.kind, c.railV),
+			Source: device.BenchSource{Supply: supply, Load: load},
+		})
+		ps, err := core.Open(dev)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("fig4 %s: %w", c.name, err)
+		}
+
+		sweep := Fig4Sweep{Module: c.name}
+		volt := bench.FlukeVoltmeter(60)
+		amp := bench.FlukeAmmeter(c.maxA * 2)
+		for i := -c.maxA; i <= c.maxA+1e-9; i += opts.StepA {
+			load.amps = i
+			// Reference power from the bench meters.
+			refV := volt.Read(supply.Voltage(dev.Now(), i))
+			refI := amp.Read(i)
+			refP := refV * refI
+
+			// Let the sensor settle after the step, then collect.
+			ps.Advance(2 * time.Millisecond)
+			errs := collectPowerErrors(ps, opts.Samples, refP)
+			s := stats.Summarize(errs)
+			sweep.Points = append(sweep.Points, Fig4Point{
+				LoadA: i, MeanErr: s.Mean, MinErr: s.Min, MaxErr: s.Max,
+			})
+		}
+		ps.Close()
+		res.Sweeps = append(res.Sweeps, sweep)
+	}
+	return res, nil
+}
+
+// settableLoad is a constant-current load the sweep adjusts in place.
+type settableLoad struct{ amps float64 }
+
+// Current implements bench.Load.
+func (l *settableLoad) Current(time.Duration) float64 { return l.amps }
+
+// collectPowerErrors gathers n per-sample power readings minus refP.
+func collectPowerErrors(ps *core.PowerSensor, n int, refP float64) []float64 {
+	errs := make([]float64, 0, n)
+	ps.OnSample(func(s core.Sample) {
+		if len(errs) < n {
+			errs = append(errs, s.Watts[0]-refP)
+		}
+	})
+	defer ps.OnSample(nil)
+	span := time.Duration(n+32) * 50 * time.Microsecond
+	ps.Advance(span)
+	return errs
+}
+
+// Table summarises the sweep endpoints and worst errors per module.
+func (r Fig4Result) Table() Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 4: power error vs load (%d samples/point)", r.Samples),
+		Header: []string{"Module", "worst |mean err| (W)", "envelope min (W)", "envelope max (W)"},
+	}
+	for _, sw := range r.Sweeps {
+		var worstMean, envMin, envMax float64
+		for _, p := range sw.Points {
+			if m := abs(p.MeanErr); m > worstMean {
+				worstMean = m
+			}
+			if p.MinErr < envMin {
+				envMin = p.MinErr
+			}
+			if p.MaxErr > envMax {
+				envMax = p.MaxErr
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			sw.Module,
+			fmt.Sprintf("%.2f", worstMean),
+			fmt.Sprintf("%.2f", envMin),
+			fmt.Sprintf("%.2f", envMax),
+		})
+	}
+	return t
+}
+
+// Plot renders the mean-error curves.
+func (r Fig4Result) Plot() string {
+	var series []Series
+	for _, sw := range r.Sweeps {
+		s := Series{Name: sw.Module}
+		for _, p := range sw.Points {
+			s.X = append(s.X, p.LoadA)
+			s.Y = append(s.Y, p.MeanErr)
+		}
+		series = append(series, s)
+	}
+	return AsciiPlot("Fig. 4: mean power error vs load current", 72, 18, series...)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

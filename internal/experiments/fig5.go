@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Fig5Result reproduces Fig. 5: the step response of a 12 V / 10 A sensor
+// sampling at 20 kHz while the electronic load modulates between 3.3 A and
+// 8 A at 100 Hz (8 A setpoint, 50% modulation depth).
+type Fig5Result struct {
+	// MsView is the power trace over several modulation periods.
+	MsView Series
+	// UsView zooms on one rising edge, microsecond scale.
+	UsView Series
+	// RiseSamples is how many 50 µs samples the 10%→90% transition spans.
+	RiseSamples int
+	// LowW and HighW are the settled plateau power levels.
+	LowW, HighW float64
+}
+
+// RunFig5 captures the step response.
+func RunFig5() (Fig5Result, error) {
+	load := bench.SquareLoad{High: 8, Low: 3.3, FreqHz: 100}
+	dev := device.New(4000, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: load},
+	})
+	ps, err := core.Open(dev)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	defer ps.Close()
+
+	// Capture 50 ms = 5 modulation periods = 1000 samples.
+	type sample struct {
+		t time.Duration
+		w float64
+	}
+	var trace []sample
+	ps.OnSample(func(s core.Sample) {
+		trace = append(trace, sample{s.DeviceTime, s.Watts[0]})
+	})
+	ps.Advance(50 * time.Millisecond)
+	ps.OnSample(nil)
+
+	var res Fig5Result
+	res.MsView.Name = "PowerSensor3 20 kHz"
+	for _, s := range trace {
+		res.MsView.X = append(res.MsView.X, float64(s.t)/float64(time.Millisecond))
+		res.MsView.Y = append(res.MsView.Y, s.w)
+	}
+
+	// Plateau levels: split the samples at the midpoint of the observed
+	// range and average each cluster — robust to the phase offset between
+	// the modulator and the capture start.
+	tmin, tmax := trace[0].w, trace[0].w
+	for _, s := range trace {
+		if s.w < tmin {
+			tmin = s.w
+		}
+		if s.w > tmax {
+			tmax = s.w
+		}
+	}
+	split := (tmin + tmax) / 2
+	lowSum, lowN, highSum, highN := 0.0, 0, 0.0, 0
+	for _, s := range trace {
+		if s.w >= split {
+			highSum += s.w
+			highN++
+		} else {
+			lowSum += s.w
+			lowN++
+		}
+	}
+	if lowN == 0 || highN == 0 {
+		return Fig5Result{}, fmt.Errorf("fig5: no plateau samples")
+	}
+	res.LowW = lowSum / float64(lowN)
+	res.HighW = highSum / float64(highN)
+
+	// Locate a rising edge (low→high crossing) and measure its width.
+	mid := (res.LowW + res.HighW) / 2
+	lo10 := res.LowW + 0.1*(res.HighW-res.LowW)
+	hi90 := res.LowW + 0.9*(res.HighW-res.LowW)
+	edge := -1
+	for i := 1; i < len(trace); i++ {
+		if trace[i-1].w < mid && trace[i].w >= mid && i > 20 {
+			edge = i
+			break
+		}
+	}
+	if edge < 0 {
+		return Fig5Result{}, fmt.Errorf("fig5: no rising edge found")
+	}
+	// Walk outward from the crossing to the 10% and 90% levels.
+	first := edge
+	for first > 0 && trace[first-1].w > lo10 {
+		first--
+	}
+	last := edge
+	for last < len(trace)-1 && trace[last].w < hi90 {
+		last++
+	}
+	res.RiseSamples = last - first
+
+	// µs view: ±15 samples around the edge.
+	res.UsView.Name = "PowerSensor3 (edge zoom)"
+	for i := edge - 15; i <= edge+15 && i < len(trace); i++ {
+		if i < 0 {
+			continue
+		}
+		res.UsView.X = append(res.UsView.X, float64(trace[i].t)/float64(time.Microsecond))
+		res.UsView.Y = append(res.UsView.Y, trace[i].w)
+	}
+	return res, nil
+}
+
+// Table summarises the step metrics.
+func (r Fig5Result) Table() Table {
+	return Table{
+		Title:  "Fig. 5: step response, 3.3 A → 8 A at 100 Hz, 20 kHz sampling",
+		Header: []string{"low plateau (W)", "high plateau (W)", "10–90% rise (samples)", "rise (µs)"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.1f", r.LowW),
+			fmt.Sprintf("%.1f", r.HighW),
+			fmt.Sprintf("%d", r.RiseSamples),
+			fmt.Sprintf("%d", r.RiseSamples*50),
+		}},
+	}
+}
+
+// Plot renders both views.
+func (r Fig5Result) Plot() string {
+	return AsciiPlot("Fig. 5 (ms view)", 72, 14, r.MsView.Decimate(200)) +
+		AsciiPlot("Fig. 5 (µs view)", 72, 14, r.UsView)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/tuner"
+)
+
+// TuningResult reproduces Fig. 8 (RTX 4000 Ada) or Fig. 10 (Jetson AGX
+// Orin): the energy-efficiency versus compute-performance cloud of all
+// beamformer variants, its Pareto front, and the tuning-time comparison
+// between PowerSensor3 and the on-board sensor.
+type TuningResult struct {
+	Device string
+
+	Result tuner.Result // the PowerSensor3-strategy sweep
+
+	// Headline numbers (paper, Fig. 8: 80.4 TFLOP/s @ 0.83 TFLOP/J fastest;
+	// most efficient +12.7% efficiency, −21.5% performance).
+	FastestTFLOPS   float64
+	FastestTFLOPJ   float64
+	EfficientTFLOPS float64
+	EfficientTFLOPJ float64
+	EfficiencyGain  float64 // most-efficient vs fastest, fractional
+	Slowdown        float64 // most-efficient vs fastest, fractional
+	ParetoSize      int
+
+	// Tuning-time comparison (paper: 2274 s vs 7394 s → 3.25×).
+	PS3Time     time.Duration
+	OnboardTime time.Duration
+	Speedup     float64
+}
+
+// TuningOptions sizes the sweep.
+type TuningOptions struct {
+	// Subsample > 1 keeps every n-th variant (tests); 1 = full space.
+	Subsample int
+	// Clocks restricts the clock sweep (nil = the device's ten clocks).
+	Clocks []float64
+	// Trials per configuration (0 = paper's 7).
+	Trials int
+}
+
+// RunFig8 runs the sweep on the RTX 4000 Ada.
+func RunFig8(opts TuningOptions) (TuningResult, error) {
+	g := gpu.New(gpu.RTX4000Ada(), 8001)
+	r, err := rig.NewPCIe(g, 8001)
+	if err != nil {
+		return TuningResult{}, err
+	}
+	defer r.Close()
+	return runTuning(r, opts)
+}
+
+// RunFig10 runs the sweep on the Jetson AGX Orin through its USB-C supply.
+func RunFig10(opts TuningOptions) (TuningResult, error) {
+	g := gpu.New(gpu.JetsonAGXOrin(), 8002)
+	r, err := rig.NewUSBC(g, 8002)
+	if err != nil {
+		return TuningResult{}, err
+	}
+	defer r.Close()
+	return runTuning(r, opts)
+}
+
+// runTuning executes both strategies and assembles the comparison.
+func runTuning(r *rig.Rig, opts TuningOptions) (TuningResult, error) {
+	spec := r.GPU.Spec()
+	topts := tuner.DefaultOptions(spec)
+	if opts.Trials > 0 {
+		topts.Trials = opts.Trials
+	}
+	if opts.Clocks != nil {
+		topts.Clocks = opts.Clocks
+	}
+	if opts.Subsample > 1 {
+		// The 512-variant space enumerates parameters in nested powers of
+		// two, so an even stride would fix the inner parameters; bump to
+		// the next odd stride to sample across every dimension.
+		stride := opts.Subsample | 1
+		space := kernels.Space()
+		var cfgs []kernels.BeamformerConfig
+		for i := 0; i < len(space); i += stride {
+			cfgs = append(cfgs, space[i])
+		}
+		topts.Configs = cfgs
+	}
+
+	ps3, err := tuner.Tune(r, tuner.PowerSensor3Strategy, topts)
+	if err != nil {
+		return TuningResult{}, err
+	}
+	onboard, err := tuner.Tune(r, tuner.OnboardStrategy, topts)
+	if err != nil {
+		return TuningResult{}, err
+	}
+
+	res := TuningResult{Device: spec.Name, Result: ps3}
+	fast := ps3.Fastest()
+	eff := ps3.MostEfficient()
+	res.FastestTFLOPS, res.FastestTFLOPJ = fast.TFLOPS, fast.TFLOPJ
+	res.EfficientTFLOPS, res.EfficientTFLOPJ = eff.TFLOPS, eff.TFLOPJ
+	res.EfficiencyGain = eff.TFLOPJ/fast.TFLOPJ - 1
+	res.Slowdown = 1 - eff.TFLOPS/fast.TFLOPS
+	res.ParetoSize = len(ps3.Front)
+	res.PS3Time = ps3.TuningTime
+	res.OnboardTime = onboard.TuningTime
+	res.Speedup = float64(onboard.TuningTime) / float64(ps3.TuningTime)
+	return res, nil
+}
+
+// Table summarises the tuning outcome.
+func (r TuningResult) Table() Table {
+	return Table{
+		Title: fmt.Sprintf("Fig. 8/10: beamformer auto-tuning on %s (%d configs)",
+			r.Device, len(r.Result.Measurements)),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"fastest", fmt.Sprintf("%.1f TFLOP/s @ %.2f TFLOP/J", r.FastestTFLOPS, r.FastestTFLOPJ)},
+			{"most efficient", fmt.Sprintf("%.1f TFLOP/s @ %.2f TFLOP/J", r.EfficientTFLOPS, r.EfficientTFLOPJ)},
+			{"efficiency gain", fmt.Sprintf("+%.1f%%", r.EfficiencyGain*100)},
+			{"slowdown", fmt.Sprintf("-%.1f%%", r.Slowdown*100)},
+			{"Pareto points", fmt.Sprintf("%d", r.ParetoSize)},
+			{"tuning time, PowerSensor3", fmt.Sprintf("%.0f s", r.PS3Time.Seconds())},
+			{"tuning time, onboard", fmt.Sprintf("%.0f s", r.OnboardTime.Seconds())},
+			{"speedup", fmt.Sprintf("%.2fx", r.Speedup)},
+		},
+	}
+}
+
+// Plot renders the efficiency/performance cloud with the Pareto front.
+func (r TuningResult) Plot() string {
+	cloud := Series{Name: "configurations"}
+	for _, m := range r.Result.Measurements {
+		cloud.X = append(cloud.X, m.TFLOPJ)
+		cloud.Y = append(cloud.Y, m.TFLOPS)
+	}
+	front := Series{Name: "Pareto front"}
+	for _, p := range r.Result.Front {
+		front.X = append(front.X, p.X)
+		front.Y = append(front.Y, p.Y)
+	}
+	return AsciiPlot(fmt.Sprintf("%s: TFLOP/s vs TFLOP/J", r.Device), 76, 20, cloud, front)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// StabilityPoint is one measurement of the long-term run.
+type StabilityPoint struct {
+	At   time.Duration
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+// StabilityResult reproduces the Section IV-B long-term stability run: a
+// PCIe 8-pin module under a 7.5 A load, a block of samples every 15 minutes
+// for 50 hours.
+type StabilityResult struct {
+	Points []StabilityPoint
+	// MeanFluctuation is the peak deviation of per-point means from the
+	// overall mean (the paper reports ±0.09 W).
+	MeanFluctuation float64
+}
+
+// StabilityOptions sizes the run.
+type StabilityOptions struct {
+	Duration time.Duration // total run (paper: 50 h)
+	Interval time.Duration // gap between blocks (paper: 15 min)
+	Samples  int           // samples per block (paper: 128 k)
+}
+
+// DefaultStabilityOptions returns the paper's configuration.
+func DefaultStabilityOptions() StabilityOptions {
+	return StabilityOptions{Duration: 50 * time.Hour, Interval: 15 * time.Minute, Samples: 128 * 1024}
+}
+
+// RunStability executes the long-term run, fast-forwarding the device clock
+// between measurement blocks.
+func RunStability(opts StabilityOptions) (StabilityResult, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = 128 * 1024
+	}
+	dev := device.New(3000, device.Slot{
+		Module: analog.NewModule(analog.PCIe8Pin20A, 12),
+		Source: device.BenchSource{
+			// A realistic bench supply drifts slightly with lab temperature.
+			Supply: &bench.Supply{Nominal: 12, DriftPerHour: 0.004},
+			Load:   bench.ConstantLoad(7.5),
+		},
+	})
+	ps, err := core.Open(dev)
+	if err != nil {
+		return StabilityResult{}, err
+	}
+	defer ps.Close()
+
+	var res StabilityResult
+	var means []float64
+	for at := time.Duration(0); at <= opts.Duration; at += opts.Interval {
+		powers := make([]float64, 0, opts.Samples)
+		ps.OnSample(func(s core.Sample) {
+			if len(powers) < opts.Samples {
+				powers = append(powers, s.Watts[0])
+			}
+		})
+		ps.Advance(time.Duration(opts.Samples+32) * protocol.SampleIntervalMicros * time.Microsecond)
+		ps.OnSample(nil)
+		s := stats.Summarize(powers)
+		res.Points = append(res.Points, StabilityPoint{At: at, Mean: s.Mean, Min: s.Min, Max: s.Max})
+		means = append(means, s.Mean)
+
+		dev.Skip(opts.Interval)
+	}
+
+	overall := stats.Mean(means)
+	for _, m := range means {
+		if d := abs(m - overall); d > res.MeanFluctuation {
+			res.MeanFluctuation = d
+		}
+	}
+	return res, nil
+}
+
+// Table summarises the run.
+func (r StabilityResult) Table() Table {
+	t := Table{
+		Title:  "Section IV-B: long-term stability (7.5 A load)",
+		Header: []string{"points", "mean fluctuation (W)", "first mean (W)", "last mean (W)"},
+	}
+	if len(r.Points) > 0 {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", len(r.Points)),
+			fmt.Sprintf("±%.3f", r.MeanFluctuation),
+			fmt.Sprintf("%.2f", r.Points[0].Mean),
+			fmt.Sprintf("%.2f", r.Points[len(r.Points)-1].Mean),
+		})
+	}
+	return t
+}

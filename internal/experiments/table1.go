@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+)
+
+// Table1Row is one module's theoretical worst-case accuracy.
+type Table1Row struct {
+	Module  string
+	VoltErr float64 // ± volts
+	CurrErr float64 // ± amperes
+	PowErr  float64 // ± watts
+}
+
+// Table1Result reproduces Table I.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 computes the closed-form worst-case accuracy of the four sensor
+// modules the paper tabulates.
+func RunTable1() Table1Result {
+	modules := []struct {
+		kind  analog.ModuleKind
+		railV float64
+	}{
+		{analog.Slot10A, 12},
+		{analog.Slot10A, 3.3},
+		{analog.USBC, 20},
+		{analog.PCIe8Pin20A, 12},
+	}
+	var res Table1Result
+	for _, m := range modules {
+		mod := analog.NewModule(m.kind, m.railV)
+		wc := mod.WorstCaseAccuracy()
+		res.Rows = append(res.Rows, Table1Row{
+			Module:  wc.Module,
+			VoltErr: wc.VoltErr,
+			CurrErr: wc.CurrErr,
+			PowErr:  wc.PowerErr,
+		})
+	}
+	return res
+}
+
+// Table renders the result in the paper's layout.
+func (r Table1Result) Table() Table {
+	t := Table{
+		Title:  "Table I: theoretical worst-case accuracy of PowerSensor3 modules",
+		Header: []string{"Module", "Voltage", "Current", "Power"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Module,
+			fmt.Sprintf("±%.1f mV", row.VoltErr*1000),
+			fmt.Sprintf("±%.2f A", row.CurrErr),
+			fmt.Sprintf("±%.1f W", row.PowErr),
+		})
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// Table2Row is the error summary at one effective sample rate for one load.
+type Table2Row struct {
+	RateKHz float64
+	LoadA   float64
+	Min     float64 // minimum power over the block, W
+	Max     float64
+	P2P     float64
+	Std     float64
+}
+
+// Table2Result reproduces Table II: averaging blocks of 20 kHz samples
+// trades time resolution for noise.
+type Table2Result struct {
+	Rows    []Table2Row
+	Samples int
+}
+
+// Table2Options sizes the experiment.
+type Table2Options struct {
+	Samples int // base 20 kHz samples per load (paper: 128 k)
+}
+
+// RunTable2 measures a 12 V / 10 A module at 0.5 A and 1 A loads, collects a
+// block of 20 kHz power samples, then block-averages to 10/5/1/0.5 kHz and
+// summarises each rate.
+func RunTable2(opts Table2Options) (Table2Result, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = 128 * 1024
+	}
+	res := Table2Result{Samples: opts.Samples}
+	for _, loadA := range []float64{0.5, 1.0} {
+		dev := device.New(2000+uint64(loadA*10), device.Slot{
+			Module: analog.NewModule(analog.Slot10A, 12),
+			Source: device.BenchSource{
+				Supply: &bench.Supply{Nominal: 12},
+				Load:   bench.ConstantLoad(loadA),
+			},
+		})
+		ps, err := core.Open(dev)
+		if err != nil {
+			return Table2Result{}, err
+		}
+		powers := make([]float64, 0, opts.Samples)
+		ps.OnSample(func(s core.Sample) {
+			if len(powers) < opts.Samples {
+				powers = append(powers, s.Watts[0])
+			}
+		})
+		ps.Advance(time.Duration(opts.Samples+32) * protocol.SampleIntervalMicros * time.Microsecond)
+		ps.OnSample(nil)
+		ps.Close()
+
+		for _, rate := range []struct {
+			khz   float64
+			block int
+		}{{20, 1}, {10, 2}, {5, 4}, {1, 20}, {0.5, 40}} {
+			avg := stats.BlockAverage(powers, rate.block)
+			s := stats.Summarize(avg)
+			res.Rows = append(res.Rows, Table2Row{
+				RateKHz: rate.khz, LoadA: loadA,
+				Min: s.Min, Max: s.Max, P2P: s.P2P(), Std: s.Std,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result in the paper's layout (rates as rows, one block
+// of columns per load).
+func (r Table2Result) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Table II: error vs sample rate after averaging (%d samples)", r.Samples),
+		Header: []string{"Fs kHz",
+			"0.5A min W", "0.5A max W", "0.5A p-p W", "0.5A std W",
+			"1A min W", "1A max W", "1A p-p W", "1A std W"},
+	}
+	byRate := map[float64][2]Table2Row{}
+	for _, row := range r.Rows {
+		pair := byRate[row.RateKHz]
+		if row.LoadA == 0.5 {
+			pair[0] = row
+		} else {
+			pair[1] = row
+		}
+		byRate[row.RateKHz] = pair
+	}
+	for _, khz := range []float64{20, 10, 5, 1, 0.5} {
+		p := byRate[khz]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", khz),
+			fmt.Sprintf("%.2f", p[0].Min), fmt.Sprintf("%.2f", p[0].Max),
+			fmt.Sprintf("%.3f", p[0].P2P), fmt.Sprintf("%.3f", p[0].Std),
+			fmt.Sprintf("%.2f", p[1].Min), fmt.Sprintf("%.2f", p[1].Max),
+			fmt.Sprintf("%.3f", p[1].P2P), fmt.Sprintf("%.3f", p[1].Std),
+		})
+	}
+	return t
+}

@@ -1,0 +1,199 @@
+// Package fio is a workload generator in the spirit of the fio tool the
+// paper uses for its storage case study (Section V-C): random/sequential
+// read/write jobs with direct I/O semantics, a fixed queue depth (io_uring
+// style), a runtime budget, and per-interval bandwidth reporting.
+package fio
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/ssd"
+)
+
+// Pattern selects the access pattern.
+type Pattern int
+
+// Supported patterns.
+const (
+	RandRead Pattern = iota
+	RandWrite
+	SeqRead
+	SeqWrite
+)
+
+// String names the pattern in fio's vocabulary.
+func (p Pattern) String() string {
+	switch p {
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	case SeqRead:
+		return "read"
+	case SeqWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Job describes one workload.
+type Job struct {
+	Pattern   Pattern
+	BlockKiB  int           // request size in KiB
+	IODepth   int           // outstanding requests (io_uring queue depth)
+	Runtime   time.Duration // how long to run
+	Seed      uint64
+	ReportGap time.Duration // bandwidth series granularity (default 1 s)
+}
+
+// Result reports a finished job.
+type Result struct {
+	Job         Job
+	BytesMoved  int64
+	Elapsed     time.Duration
+	MeanMiBps   float64
+	SeriesTimes []float64 // seconds since job start
+	SeriesMiBps []float64 // bandwidth per reporting interval
+	IOPS        float64
+}
+
+// Run executes the job against the disk starting at the disk's current
+// time. onTick, if non-nil, is called with monotonically increasing virtual
+// times roughly every reporting interval boundary crossing and at least
+// every few milliseconds of virtual time — the hook the experiments use to
+// advance the PowerSensor3 in lockstep.
+func Run(d *ssd.Disk, job Job, onTick func(now time.Duration)) Result {
+	if job.IODepth <= 0 {
+		job.IODepth = 1
+	}
+	if job.ReportGap <= 0 {
+		job.ReportGap = time.Second
+	}
+	rnd := rng.New(job.Seed ^ 0x5eed)
+
+	cfg := d.Config()
+	pagesPerReq := job.BlockKiB * 1024 / cfg.PageBytes
+	if pagesPerReq < 1 {
+		pagesPerReq = 1
+	}
+	maxStart := cfg.LogicalPages - pagesPerReq
+
+	start := d.Now()
+	deadline := start + job.Runtime
+
+	// The queue holds the completion times of outstanding requests; the
+	// submission loop keeps IODepth requests in flight, submitting the next
+	// when the earliest completes (io_uring poll-mode behaviour).
+	type slot struct{ done time.Duration }
+	queue := make([]slot, 0, job.IODepth)
+
+	res := Result{Job: job}
+	seqCursor := 0
+	nextReport := start + job.ReportGap
+	lastTick := start
+	var windowBytes int64
+
+	submit := func(at time.Duration) slot {
+		var page int
+		switch job.Pattern {
+		case RandRead, RandWrite:
+			page = rnd.Intn(maxStart + 1)
+		default:
+			page = seqCursor
+			seqCursor += pagesPerReq
+			if seqCursor > maxStart {
+				seqCursor = 0
+			}
+		}
+		comp := d.Submit(ssd.Request{
+			Write:  job.Pattern == RandWrite || job.Pattern == SeqWrite,
+			Page:   page,
+			Pages:  pagesPerReq,
+			Submit: at,
+		})
+		return slot{done: comp.Done}
+	}
+
+	// Prime the queue.
+	for i := 0; i < job.IODepth; i++ {
+		queue = append(queue, submit(start))
+	}
+
+	now := start
+	for now < deadline {
+		// Find the earliest completion.
+		idx := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].done < queue[idx].done {
+				idx = i
+			}
+		}
+		now = queue[idx].done
+		d.Advance(now)
+		res.BytesMoved += int64(pagesPerReq * cfg.PageBytes)
+		windowBytes += int64(pagesPerReq * cfg.PageBytes)
+		res.IOPS++
+
+		// Reporting and tick callbacks.
+		for now >= nextReport {
+			res.SeriesTimes = append(res.SeriesTimes, (nextReport - start).Seconds())
+			res.SeriesMiBps = append(res.SeriesMiBps,
+				float64(windowBytes)/job.ReportGap.Seconds()/(1024*1024))
+			windowBytes = 0
+			nextReport += job.ReportGap
+		}
+		if onTick != nil && now-lastTick >= 2*time.Millisecond {
+			onTick(now)
+			lastTick = now
+		}
+
+		if now >= deadline {
+			break
+		}
+		queue[idx] = submit(now)
+	}
+
+	res.Elapsed = now - start
+	if res.Elapsed > 0 {
+		res.MeanMiBps = float64(res.BytesMoved) / res.Elapsed.Seconds() / (1024 * 1024)
+		res.IOPS /= res.Elapsed.Seconds()
+	}
+	if onTick != nil {
+		onTick(now)
+	}
+	return res
+}
+
+// PreconditionSequential fills the drive with 128 KiB sequential writes —
+// the state for the read experiment: every logical extent maps to intact
+// flash pages. Requests are chained at queue depth 1, so the drive's clock
+// advances through the fill as it would on a real system.
+func PreconditionSequential(d *ssd.Disk) {
+	cfg := d.Config()
+	fillReq := 128 * 1024 / cfg.PageBytes
+	for p := 0; p+fillReq <= cfg.LogicalPages; p += fillReq {
+		c := d.Submit(ssd.Request{Write: true, Page: p, Pages: fillReq, Submit: d.Now()})
+		d.Advance(c.Done)
+	}
+}
+
+// Precondition prepares the drive the way the paper does before the write
+// experiment (Section V-C): format (fresh mapping), fill sequentially with
+// 128 KiB writes, then issue random 4 KiB writes until the FTL reaches
+// steady-state garbage collection.
+func Precondition(d *ssd.Disk, seed uint64) {
+	PreconditionSequential(d)
+	rnd := rng.New(seed ^ 0xfeed)
+	churn := d.Config().LogicalPages / 2
+	for i := 0; i < churn; i++ {
+		page := rnd.Intn(d.Config().LogicalPages)
+		c := d.Submit(ssd.Request{Write: true, Page: page, Pages: 1, Submit: d.Now()})
+		d.Advance(c.Done)
+	}
+	// Let outstanding flash work and the SLC cache drain before the
+	// measured phase begins.
+	d.DrainSLC(d.Now() + time.Hour)
+}

@@ -1,0 +1,144 @@
+package fio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+func smallDisk(seed uint64) *ssd.Disk {
+	cfg := ssd.Samsung980Pro()
+	cfg.LogicalPages = 32 * 1024 // 128 MiB for fast tests
+	cfg.PagesPerBlock = 64
+	cfg.SLCCachePages = 4 * 1024
+	return ssd.New(cfg, seed)
+}
+
+func TestRandReadProducesBandwidth(t *testing.T) {
+	d := smallDisk(1)
+	Precondition(d, 1)
+	res := Run(d, Job{Pattern: RandRead, BlockKiB: 128, IODepth: 8, Runtime: 2 * time.Second, Seed: 1}, nil)
+	if res.MeanMiBps <= 0 {
+		t.Fatal("no bandwidth")
+	}
+	if res.BytesMoved == 0 {
+		t.Fatal("no data moved")
+	}
+}
+
+// Fig. 12a's premise: bandwidth rises with request size until saturation.
+func TestReadBandwidthRisesWithRequestSize(t *testing.T) {
+	var prev float64
+	for i, kib := range []int{4, 64, 1024} {
+		d := smallDisk(2)
+		PreconditionSequential(d)
+		res := Run(d, Job{Pattern: RandRead, BlockKiB: kib, IODepth: 8, Runtime: time.Second, Seed: 3}, nil)
+		if i > 0 && res.MeanMiBps <= prev {
+			t.Fatalf("bandwidth at %d KiB (%v) not above %v", kib, res.MeanMiBps, prev)
+		}
+		prev = res.MeanMiBps
+	}
+}
+
+func TestLargeReadsApproachLinkCeiling(t *testing.T) {
+	d := smallDisk(3)
+	PreconditionSequential(d)
+	res := Run(d, Job{Pattern: RandRead, BlockKiB: 4096, IODepth: 8, Runtime: time.Second, Seed: 4}, nil)
+	cfg := d.Config()
+	if res.MeanMiBps < cfg.HostLinkMiBps*0.5 {
+		t.Fatalf("4 MiB reads reach only %v MiB/s of %v link", res.MeanMiBps, cfg.HostLinkMiBps)
+	}
+	if res.MeanMiBps > cfg.HostLinkMiBps*1.05 {
+		t.Fatalf("bandwidth %v exceeds the link ceiling", res.MeanMiBps)
+	}
+}
+
+// Fig. 12b's premise: steady-state random-write bandwidth is variable.
+func TestRandomWriteVariability(t *testing.T) {
+	d := smallDisk(4)
+	Precondition(d, 4)
+	res := Run(d, Job{Pattern: RandWrite, BlockKiB: 4, IODepth: 8,
+		Runtime: 20 * time.Second, Seed: 5, ReportGap: 500 * time.Millisecond}, nil)
+	if len(res.SeriesMiBps) < 10 {
+		t.Fatalf("only %d series points", len(res.SeriesMiBps))
+	}
+	s := stats.Summarize(res.SeriesMiBps)
+	cv := s.Std / s.Mean
+	if cv < 0.02 {
+		t.Fatalf("write bandwidth too smooth (CV=%v); GC should cause variability", cv)
+	}
+	if d.Stats().WriteAmplification() <= 1.1 {
+		t.Fatalf("WA=%v: steady-state random writes must amplify", d.Stats().WriteAmplification())
+	}
+}
+
+func TestSeqReadFasterThanRandSmall(t *testing.T) {
+	d1 := smallDisk(5)
+	PreconditionSequential(d1)
+	seq := Run(d1, Job{Pattern: SeqRead, BlockKiB: 4, IODepth: 8, Runtime: time.Second, Seed: 6}, nil)
+	d2 := smallDisk(5)
+	PreconditionSequential(d2)
+	rnd := Run(d2, Job{Pattern: RandRead, BlockKiB: 4, IODepth: 8, Runtime: time.Second, Seed: 6}, nil)
+	// Sequential 4 KiB reads hit consecutive pages that share flash pages.
+	if seq.MeanMiBps < rnd.MeanMiBps {
+		t.Fatalf("sequential (%v) slower than random (%v)", seq.MeanMiBps, rnd.MeanMiBps)
+	}
+}
+
+func TestOnTickMonotonic(t *testing.T) {
+	d := smallDisk(6)
+	var last time.Duration = -1
+	Run(d, Job{Pattern: RandWrite, BlockKiB: 4, IODepth: 4, Runtime: 200 * time.Millisecond, Seed: 7},
+		func(now time.Duration) {
+			if now < last {
+				t.Fatalf("tick went backwards: %v after %v", now, last)
+			}
+			last = now
+		})
+	if last < 0 {
+		t.Fatal("tick never called")
+	}
+}
+
+func TestSeriesTimesAscending(t *testing.T) {
+	d := smallDisk(7)
+	Precondition(d, 7)
+	res := Run(d, Job{Pattern: RandRead, BlockKiB: 64, IODepth: 4,
+		Runtime: 3 * time.Second, Seed: 8}, nil)
+	for i := 1; i < len(res.SeriesTimes); i++ {
+		if res.SeriesTimes[i] <= res.SeriesTimes[i-1] {
+			t.Fatal("series times not ascending")
+		}
+	}
+}
+
+func TestPreconditionFillsDrive(t *testing.T) {
+	d := smallDisk(8)
+	Precondition(d, 8)
+	st := d.Stats()
+	want := int64(d.Config().LogicalPages)
+	if st.HostWritePages < want {
+		t.Fatalf("precondition wrote %d pages, want ≥ %d", st.HostWritePages, want)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if RandRead.String() != "randread" || RandWrite.String() != "randwrite" {
+		t.Fatal("pattern names")
+	}
+	if SeqRead.String() != "read" || SeqWrite.String() != "write" {
+		t.Fatal("sequential names")
+	}
+}
+
+func BenchmarkFioRandRead128k(b *testing.B) {
+	d := smallDisk(1)
+	Precondition(d, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(d, Job{Pattern: RandRead, BlockKiB: 128, IODepth: 8,
+			Runtime: 100 * time.Millisecond, Seed: uint64(i)}, nil)
+	}
+}

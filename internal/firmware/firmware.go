@@ -1,0 +1,331 @@
+// Package firmware implements the PowerSensor3 microcontroller program
+// (Section III-B) over the simulated STM32F411 peripherals: the ADC scan
+// loop with DMA-style buffering, 6-sample CPU averaging to 20 kHz, 2-byte
+// packet streaming over USB with a device timestamp per sample set, the host
+// command set, virtual-EEPROM configuration, and the status display.
+//
+// The firmware runs in virtual time: each call to Step advances one 50 µs
+// sample interval. This keeps the whole simulation deterministic while
+// preserving every rate relationship of the real device.
+package firmware
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adc"
+	"repro/internal/display"
+	"repro/internal/eeprom"
+	"repro/internal/protocol"
+	"repro/internal/usb"
+)
+
+// Version is the firmware version string reported by CmdVersion.
+const Version = "PowerSensor3-sim 1.0.0"
+
+// SampleInterval is the interval between transmitted sample sets.
+const SampleInterval = protocol.SampleIntervalMicros * time.Microsecond
+
+// subInterval is the spacing between the raw conversions that get averaged:
+// 6 sub-samples per 50 µs interval.
+const subInterval = SampleInterval / protocol.SamplesPerAverage
+
+// displayPeriod is the panel refresh period while not streaming.
+const displayPeriod = 100 * time.Millisecond
+
+// PinReader supplies the analog pin voltages for one raw conversion round.
+// t is the virtual time of the round; the implementation must evaluate the
+// sensor chain (and its noise) at that instant. The returned slice has one
+// entry per ADC channel in use (protocol.MaxSensors).
+type PinReader func(t time.Duration) []float64
+
+// Firmware is the microcontroller program state.
+type Firmware struct {
+	conv  *adc.Converter
+	pipe  *usb.Pipe
+	rom   *eeprom.Store
+	panel *display.Panel
+	read  PinReader
+
+	now       time.Duration
+	streaming bool
+	dfu       bool
+	boots     int
+
+	markerQueued int // user markers requested but not yet transmitted
+
+	configs [protocol.MaxSensors]protocol.SensorConfig
+
+	// lastLevels caches the latest averaged codes for the display.
+	lastLevels  [protocol.MaxSensors]int
+	nextDisplay time.Duration
+
+	// partial host command accumulator (for multi-byte commands).
+	cmdBuf []byte
+
+	setsSent uint64
+}
+
+// Config bundles the firmware's peripherals.
+type Config struct {
+	Pipe  *usb.Pipe
+	ROM   *eeprom.Store
+	Panel *display.Panel // optional
+	Read  PinReader
+}
+
+// New boots the firmware: peripherals are initialised and the sensor
+// configuration is loaded from EEPROM (missing entries become disabled
+// sensors, as on a factory-fresh device).
+func New(cfg Config) *Firmware {
+	f := &Firmware{
+		conv:  adc.New(),
+		pipe:  cfg.Pipe,
+		rom:   cfg.ROM,
+		panel: cfg.Panel,
+		read:  cfg.Read,
+	}
+	f.loadConfig()
+	f.boots = 1
+	return f
+}
+
+// loadConfig populates the sensor table from EEPROM.
+func (f *Firmware) loadConfig() {
+	for i := range f.configs {
+		blob, err := f.rom.Read(byte(i))
+		if err != nil {
+			f.configs[i] = protocol.SensorConfig{Polarity: 1}
+			continue
+		}
+		cfg, err := protocol.UnmarshalConfig(blob)
+		if err != nil {
+			f.configs[i] = protocol.SensorConfig{Polarity: 1}
+			continue
+		}
+		f.configs[i] = cfg
+	}
+}
+
+// StoreConfig persists a sensor configuration to EEPROM and the live table.
+// It is used by device assembly (factory programming) and by CmdWriteConfig.
+func (f *Firmware) StoreConfig(sensor int, cfg protocol.SensorConfig) error {
+	if sensor < 0 || sensor >= protocol.MaxSensors {
+		return fmt.Errorf("firmware: sensor index %d out of range", sensor)
+	}
+	if err := f.rom.Write(byte(sensor), protocol.MarshalConfig(cfg)); err != nil {
+		return err
+	}
+	f.configs[sensor] = cfg
+	return nil
+}
+
+// SensorConfig returns the live configuration of one sensor.
+func (f *Firmware) SensorConfig(sensor int) protocol.SensorConfig {
+	return f.configs[sensor]
+}
+
+// Now returns the device's virtual time since boot.
+func (f *Firmware) Now() time.Duration { return f.now }
+
+// Streaming reports whether sensor data is being transmitted.
+func (f *Firmware) Streaming() bool { return f.streaming }
+
+// InDFU reports whether the device rebooted into the bootloader.
+func (f *Firmware) InDFU() bool { return f.dfu }
+
+// Boots returns how many times the device has (re)booted.
+func (f *Firmware) Boots() int { return f.boots }
+
+// SetsSent returns how many sample sets have been transmitted.
+func (f *Firmware) SetsSent() uint64 { return f.setsSent }
+
+// Step advances one 50 µs sample interval: process host commands, run the
+// ADC scan with averaging, transmit the sample set if streaming, and refresh
+// the display when idle.
+func (f *Firmware) Step() {
+	f.handleCommands()
+	if f.dfu {
+		// The bootloader does not sample; time still passes.
+		f.now += SampleInterval
+		f.pipe.Advance(SampleInterval)
+		return
+	}
+
+	// ADC scan: 6 rounds of 8 conversions, DMA collecting into RAM. The
+	// device timestamp is latched after the 3rd round (Section III-B).
+	var acc [protocol.MaxSensors]int
+	var tsMicros uint64
+	for round := 0; round < protocol.SamplesPerAverage; round++ {
+		t := f.now + time.Duration(round)*subInterval
+		pins := f.read(t)
+		for ch := 0; ch < protocol.MaxSensors && ch < len(pins); ch++ {
+			acc[ch] += f.conv.Convert(pins[ch])
+		}
+		if round == protocol.SamplesPerAverage/2 {
+			tsMicros = uint64(t / time.Microsecond)
+		}
+	}
+	for ch := range acc {
+		f.lastLevels[ch] = acc[ch] / protocol.SamplesPerAverage
+	}
+
+	f.pipe.Advance(SampleInterval)
+
+	if f.streaming {
+		f.transmitSet(tsMicros)
+	} else if f.panel != nil && f.now >= f.nextDisplay {
+		f.refreshDisplay()
+		f.nextDisplay = f.now + displayPeriod
+	}
+
+	f.now += SampleInterval
+}
+
+// transmitSet encodes the timestamp packet plus one packet per enabled
+// sensor and queues them on the USB pipe.
+func (f *Firmware) transmitSet(tsMicros uint64) {
+	buf := make([]byte, 0, 2*(protocol.MaxSensors+1))
+	ts := protocol.Encode(protocol.TimestampSample(tsMicros))
+	buf = append(buf, ts[0], ts[1])
+
+	marker := false
+	if f.markerQueued > 0 {
+		f.markerQueued--
+		marker = true
+	}
+	for ch := 0; ch < protocol.MaxSensors; ch++ {
+		if !f.configs[ch].Enabled {
+			continue
+		}
+		s := protocol.Sample{Sensor: ch, Level: f.lastLevels[ch]}
+		// A real marker can only be carried by sensor 0.
+		if marker && ch == 0 {
+			s.Marker = true
+		}
+		p := protocol.Encode(s)
+		buf = append(buf, p[0], p[1])
+	}
+	// Overruns drop the set, exactly as the real firmware drops data when
+	// the host stops draining; the error is intentionally not fatal.
+	if err := f.pipe.DeviceWrite(buf); err == nil {
+		f.setsSent++
+	}
+}
+
+// refreshDisplay renders the idle screen: total power plus per-pair values.
+func (f *Firmware) refreshDisplay() {
+	var pairs []display.Readout
+	var total float64
+	for m := 0; m < protocol.MaxModules; m++ {
+		ci, vi := 2*m, 2*m+1
+		if !f.configs[ci].Enabled || !f.configs[vi].Enabled {
+			continue
+		}
+		amps := f.levelToAmps(ci)
+		volts := f.levelToVolts(vi)
+		p := amps * volts
+		total += p
+		pairs = append(pairs, display.Readout{
+			Name: f.configs[ci].Name, Volts: volts, Amps: amps, PowerW: p,
+		})
+	}
+	f.panel.Show(total, pairs)
+}
+
+// levelToAmps applies the stored conversion for a current channel.
+func (f *Firmware) levelToAmps(ch int) float64 {
+	cfg := f.configs[ch]
+	pin := f.conv.Midpoint(f.lastLevels[ch])
+	amps := (pin - protocol.VRef/2) / cfg.Sensitivity
+	return float64(cfg.Polarity)*amps - cfg.Offset
+}
+
+// levelToVolts applies the stored conversion for a voltage channel.
+func (f *Firmware) levelToVolts(ch int) float64 {
+	cfg := f.configs[ch]
+	pin := f.conv.Midpoint(f.lastLevels[ch])
+	return pin/cfg.Sensitivity - cfg.Offset
+}
+
+// handleCommands drains and executes host commands.
+func (f *Firmware) handleCommands() {
+	f.cmdBuf = append(f.cmdBuf, f.pipe.DeviceRead()...)
+	for len(f.cmdBuf) > 0 {
+		switch f.cmdBuf[0] {
+		case protocol.CmdStartStream:
+			f.streaming = true
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdStopStream:
+			f.streaming = false
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdMarker:
+			f.markerQueued++
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdVersion:
+			f.pipe.DeviceWrite(append([]byte(Version), protocol.VersionTerminator))
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdReadConfig:
+			f.sendConfig()
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdWriteConfig:
+			// 'W' + sensor index + config block.
+			need := 2 + protocol.ConfigBlockLen
+			if len(f.cmdBuf) < need {
+				return // wait for the rest of the command
+			}
+			sensor := int(f.cmdBuf[1])
+			cfg, err := protocol.UnmarshalConfig(f.cmdBuf[2:need])
+			if err == nil {
+				// Best effort, like the real firmware: bad writes are
+				// silently ignored rather than crashing the device.
+				_ = f.StoreConfig(sensor, cfg)
+			}
+			f.cmdBuf = f.cmdBuf[need:]
+		case protocol.CmdReboot:
+			f.reboot(false)
+			f.cmdBuf = f.cmdBuf[1:]
+		case protocol.CmdRebootDFU:
+			f.reboot(true)
+			f.cmdBuf = f.cmdBuf[1:]
+		default:
+			// Unknown byte: skip it to stay in sync.
+			f.cmdBuf = f.cmdBuf[1:]
+		}
+	}
+}
+
+// sendConfig transmits all sensor configuration blocks followed by the
+// terminator. Config exchange happens while not streaming, so the blocks are
+// not confused with sample packets.
+func (f *Firmware) sendConfig() {
+	var buf []byte
+	for i := 0; i < protocol.MaxSensors; i++ {
+		buf = append(buf, protocol.MarshalConfig(f.configs[i])...)
+	}
+	buf = append(buf, protocol.CmdConfigDone)
+	f.pipe.DeviceWrite(buf)
+}
+
+// reboot restarts the firmware, reloading configuration from EEPROM.
+func (f *Firmware) reboot(dfu bool) {
+	f.streaming = false
+	f.markerQueued = 0
+	f.dfu = dfu
+	f.boots++
+	f.loadConfig()
+}
+
+// LeaveDFU returns from the bootloader (models a firmware upload finishing).
+func (f *Firmware) LeaveDFU() {
+	f.dfu = false
+}
+
+// Skip advances the device clock by dt without sampling — used by long
+// experiments to fast-forward through idle stretches (e.g. the 15-minute
+// gaps of the 50-hour stability run). Samples that would have streamed
+// during the gap are simply not generated, as if streaming were paused.
+func (f *Firmware) Skip(dt time.Duration) {
+	f.now += dt
+	f.pipe.Advance(dt)
+}

@@ -1,0 +1,295 @@
+package firmware
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eeprom"
+	"repro/internal/protocol"
+	"repro/internal/usb"
+)
+
+// fixedPins returns a PinReader producing constant pin voltages.
+func fixedPins(v []float64) PinReader {
+	return func(time.Duration) []float64 { return v }
+}
+
+func newTestFW(t *testing.T, pins []float64) (*Firmware, *usb.Pipe) {
+	t.Helper()
+	pipe := usb.NewPipe()
+	fw := New(Config{Pipe: pipe, ROM: eeprom.New(), Read: fixedPins(pins)})
+	// Enable sensors 0 and 1 with identity-ish config.
+	if err := fw.StoreConfig(0, protocol.SensorConfig{Name: "I", Volt: 12, Sensitivity: 0.12, Polarity: 1, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.StoreConfig(1, protocol.SensorConfig{Name: "U", Volt: 12, Sensitivity: 0.2, Polarity: 1, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	return fw, pipe
+}
+
+func drainSamples(pipe *usb.Pipe) []protocol.Sample {
+	var dec protocol.StreamDecoder
+	return dec.Feed(nil, pipe.HostReadAll())
+}
+
+func TestNoStreamWithoutStart(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	for i := 0; i < 100; i++ {
+		fw.Step()
+	}
+	if n := len(drainSamples(pipe)); n != 0 {
+		t.Fatalf("%d samples without start command", n)
+	}
+}
+
+func TestStreamingProducesTimestampPlusEnabledSensors(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	fw.Step()
+	samples := drainSamples(pipe)
+	// One set: timestamp + sensors 0 and 1 (only enabled ones).
+	if len(samples) != 3 {
+		t.Fatalf("got %d packets, want 3: %+v", len(samples), samples)
+	}
+	if !samples[0].IsTimestamp() {
+		t.Fatalf("first packet not a timestamp: %+v", samples[0])
+	}
+	if samples[1].Sensor != 0 || samples[2].Sensor != 1 {
+		t.Fatalf("sensor order wrong: %+v", samples)
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	start := fw.Now()
+	for fw.Now()-start < 100*time.Millisecond {
+		fw.Step()
+	}
+	samples := drainSamples(pipe)
+	sets := 0
+	for _, s := range samples {
+		if s.IsTimestamp() {
+			sets++
+		}
+	}
+	// 100 ms at 20 kHz = 2000 sets (±1 for boundary).
+	if sets < 1999 || sets > 2001 {
+		t.Fatalf("%d sets in 100 ms, want ~2000", sets)
+	}
+}
+
+func TestStopStream(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	fw.Step()
+	drainSamples(pipe)
+	pipe.HostWrite([]byte{protocol.CmdStopStream})
+	fw.Step()
+	fw.Step()
+	if n := len(drainSamples(pipe)); n != 0 {
+		t.Fatalf("%d packets after stop", n)
+	}
+}
+
+func TestLevelEncodesPinVoltage(t *testing.T) {
+	// Pin at mid-scale plus exactly 0.6 V (0.12 V/A × 5 A).
+	fw, pipe := newTestFW(t, []float64{1.65 + 0.6, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	fw.Step()
+	samples := drainSamples(pipe)
+	level := samples[1].Level
+	wantPin := 1.65 + 0.6
+	gotPin := (float64(level) + 0.5) / protocol.Levels * protocol.VRef
+	if diff := gotPin - wantPin; diff < -0.004 || diff > 0.004 {
+		t.Fatalf("level %d decodes to %v V, want ~%v", level, gotPin, wantPin)
+	}
+}
+
+func TestMarkerAppearsOnSensorZeroOnce(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream, protocol.CmdMarker})
+	fw.Step()
+	fw.Step()
+	samples := drainSamples(pipe)
+	markers := 0
+	for _, s := range samples {
+		if s.IsUserMarker() {
+			markers++
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("%d user markers, want 1", markers)
+	}
+}
+
+func TestVersionCommand(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdVersion})
+	fw.Step()
+	got := string(pipe.HostReadAll())
+	want := Version + string(rune(protocol.VersionTerminator))
+	if got != want {
+		t.Fatalf("version = %q, want %q", got, want)
+	}
+}
+
+func TestReadConfigCommand(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdReadConfig})
+	// The 337-byte response needs several 50 µs link credits to drain.
+	var buf []byte
+	for i := 0; i < 20; i++ {
+		fw.Step()
+		buf = append(buf, pipe.HostReadAll()...)
+	}
+	wantLen := protocol.MaxSensors*protocol.ConfigBlockLen + 1
+	if len(buf) != wantLen {
+		t.Fatalf("config response %d bytes, want %d", len(buf), wantLen)
+	}
+	if buf[len(buf)-1] != protocol.CmdConfigDone {
+		t.Fatal("missing terminator")
+	}
+	cfg0, err := protocol.UnmarshalConfig(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg0.Name != "I" || !cfg0.Enabled || cfg0.Sensitivity != 0.12 {
+		t.Fatalf("sensor 0 config = %+v", cfg0)
+	}
+}
+
+func TestWriteConfigCommand(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	newCfg := protocol.SensorConfig{Name: "cal", Volt: 12, Sensitivity: 0.119, Offset: 0.02, Polarity: 1, Enabled: true}
+	cmd := append([]byte{protocol.CmdWriteConfig, 0}, protocol.MarshalConfig(newCfg)...)
+	pipe.HostWrite(cmd)
+	fw.Step()
+	if got := fw.SensorConfig(0); got != newCfg {
+		t.Fatalf("config after write = %+v", got)
+	}
+}
+
+func TestWriteConfigPartialArrival(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	newCfg := protocol.SensorConfig{Name: "p", Volt: 3.3, Sensitivity: 0.8, Polarity: 1, Enabled: true}
+	cmd := append([]byte{protocol.CmdWriteConfig, 1}, protocol.MarshalConfig(newCfg)...)
+	// Deliver in two fragments across steps.
+	pipe.HostWrite(cmd[:5])
+	fw.Step()
+	pipe.HostWrite(cmd[5:])
+	fw.Step()
+	if got := fw.SensorConfig(1); got != newCfg {
+		t.Fatalf("config after fragmented write = %+v", got)
+	}
+}
+
+func TestConfigSurvivesReboot(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdReboot})
+	fw.Step()
+	if fw.Boots() != 2 {
+		t.Fatalf("boots = %d", fw.Boots())
+	}
+	if cfg := fw.SensorConfig(0); cfg.Name != "I" || !cfg.Enabled {
+		t.Fatalf("config lost on reboot: %+v", cfg)
+	}
+	if fw.Streaming() {
+		t.Fatal("streaming must stop on reboot")
+	}
+}
+
+func TestDFUModeStopsSampling(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdRebootDFU, protocol.CmdStartStream})
+	fw.Step()
+	if !fw.InDFU() {
+		t.Fatal("not in DFU")
+	}
+	before := fw.SetsSent()
+	for i := 0; i < 10; i++ {
+		fw.Step()
+	}
+	if fw.SetsSent() != before {
+		t.Fatal("bootloader transmitted samples")
+	}
+	fw.LeaveDFU()
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	fw.Step()
+	fw.Step()
+	if fw.SetsSent() == before {
+		t.Fatal("no samples after leaving DFU")
+	}
+}
+
+func TestUnknownCommandSkipped(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{0x00, 0xEE, protocol.CmdStartStream})
+	fw.Step()
+	if !fw.Streaming() {
+		t.Fatal("start command after junk not executed")
+	}
+}
+
+func TestTimestampMonotonicModuloWrap(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	for i := 0; i < 200; i++ {
+		fw.Step()
+	}
+	samples := drainSamples(pipe)
+	prev := -1
+	for _, s := range samples {
+		if !s.IsTimestamp() {
+			continue
+		}
+		if prev >= 0 {
+			delta := (s.Level - prev + protocol.TimestampWrapMicros) % protocol.TimestampWrapMicros
+			if delta != protocol.SampleIntervalMicros {
+				t.Fatalf("timestamp delta %d µs, want %d", delta, protocol.SampleIntervalMicros)
+			}
+		}
+		prev = s.Level
+	}
+}
+
+func TestSustainedStreamNoOverrunsWhenDrained(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	for i := 0; i < 20000; i++ { // 1 virtual second
+		fw.Step()
+		if i%200 == 0 {
+			pipe.HostReadAll()
+		}
+	}
+	if pipe.Overruns() != 0 {
+		t.Fatalf("%d overruns on a drained 20 kHz stream", pipe.Overruns())
+	}
+}
+
+func TestStreamOverrunsWhenHostAbsent(t *testing.T) {
+	fw, pipe := newTestFW(t, []float64{1.65, 2.4})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	for i := 0; i < 20000*30; i++ { // 30 s with nobody reading
+		fw.Step()
+	}
+	if pipe.Overruns() == 0 {
+		t.Fatal("expected overruns when host never drains")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	pipe := usb.NewPipe()
+	fw := New(Config{Pipe: pipe, ROM: eeprom.New(), Read: fixedPins([]float64{1.65, 2.4})})
+	fw.StoreConfig(0, protocol.SensorConfig{Name: "I", Sensitivity: 0.12, Polarity: 1, Enabled: true})
+	fw.StoreConfig(1, protocol.SensorConfig{Name: "U", Sensitivity: 0.2, Polarity: 1, Enabled: true})
+	pipe.HostWrite([]byte{protocol.CmdStartStream})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Step()
+		if i%1000 == 0 {
+			pipe.HostReadAll()
+		}
+	}
+}

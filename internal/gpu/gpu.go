@@ -1,0 +1,450 @@
+// Package gpu provides behavioural power models of the accelerators the
+// paper evaluates: the NVIDIA RTX 4000 Ada, the AMD Radeon Pro W7700, and
+// the NVIDIA Jetson AGX Orin SoC.
+//
+// The paper's Fig. 7 depends on the *shape* of each device's power trace —
+// clock ramp-up, per-wave execution phases with dips in between, power-limit
+// governor transients, and slow idle decay — rather than on absolute
+// silicon-accurate numbers. The model reproduces those shapes:
+//
+//   - NVIDIA: on kernel start the clock steps up quickly, then ramps
+//     gradually to boost (the 95 W → 120 W climb); distinct waves of thread
+//     blocks separated by short dips; after the kernel, over a second of
+//     elevated power while clocks decay (Section V-A1).
+//   - AMD: an initial spike to the power limit, a sharp drop, a ramp with a
+//     brief overshoot, and stabilisation at the limit; fast return to idle.
+//   - Jetson: NVIDIA-like but milder, plus a carrier board that draws power
+//     the on-module sensor cannot see (Section V-B).
+//
+// The model runs in virtual time. Power queries must be (weakly) monotonic
+// in t; the PowerSensor3 device and the vendor-API emulations share one GPU
+// instance and sample it as they please.
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Vendor distinguishes governor behaviours.
+type Vendor int
+
+// Vendors of the modelled devices.
+const (
+	NVIDIA Vendor = iota
+	AMD
+	JetsonSoC
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	switch v {
+	case NVIDIA:
+		return "NVIDIA"
+	case AMD:
+		return "AMD"
+	case JetsonSoC:
+		return "Jetson"
+	default:
+		return fmt.Sprintf("Vendor(%d)", int(v))
+	}
+}
+
+// Spec is the datasheet-level description of a device.
+type Spec struct {
+	Name   string
+	Vendor Vendor
+
+	// SMs is the number of streaming multiprocessors / compute units.
+	SMs int
+
+	// IdleW is the board idle power; LimitW the board power limit.
+	IdleW  float64
+	LimitW float64
+
+	// Clock domain in MHz.
+	IdleClockMHz  float64
+	BaseClockMHz  float64
+	BoostClockMHz float64
+
+	// PeakTensorTFLOPS is the 16-bit tensor/matrix-core throughput at boost.
+	PeakTensorTFLOPS float64
+
+	// ClockRampMHzPerSec is the governor's upward clock slew when busy.
+	ClockRampMHzPerSec float64
+
+	// BoostHold is how long clocks stay up after work ends; IdleTau the
+	// exponential decay constant afterwards.
+	BoostHold time.Duration
+	IdleTau   time.Duration
+
+	// DynAlpha is the exponent of dynamic power versus clock.
+	DynAlpha float64
+
+	// CarrierBoardW is power drawn by parts the on-module sensor cannot
+	// see (Jetson carrier board); zero for discrete cards.
+	CarrierBoardW float64
+
+	// InterWaveGap is the pause between thread-block waves, visible as a
+	// power dip at high-resolution sampling.
+	InterWaveGap time.Duration
+}
+
+// RTX4000Ada returns the NVIDIA RTX 4000 Ada Generation spec used in
+// Section V-A (130 W board limit, 48 SMs).
+func RTX4000Ada() Spec {
+	return Spec{
+		Name: "NVIDIA RTX 4000 Ada", Vendor: NVIDIA, SMs: 48,
+		IdleW: 16, LimitW: 130,
+		IdleClockMHz: 210, BaseClockMHz: 1500, BoostClockMHz: 1815,
+		PeakTensorTFLOPS:   96,
+		ClockRampMHzPerSec: 260, BoostHold: 300 * time.Millisecond,
+		IdleTau: 450 * time.Millisecond, DynAlpha: 2.2,
+		InterWaveGap: 3 * time.Millisecond,
+	}
+}
+
+// W7700 returns the AMD Radeon Pro W7700 spec (150 W limit, 48 CUs).
+func W7700() Spec {
+	return Spec{
+		Name: "AMD Radeon Pro W7700", Vendor: AMD, SMs: 48,
+		IdleW: 15, LimitW: 150,
+		IdleClockMHz: 300, BaseClockMHz: 1900, BoostClockMHz: 2226,
+		PeakTensorTFLOPS:   76,
+		ClockRampMHzPerSec: 2500, BoostHold: 40 * time.Millisecond,
+		IdleTau: 90 * time.Millisecond, DynAlpha: 2.2,
+		InterWaveGap: time.Millisecond,
+	}
+}
+
+// JetsonAGXOrin returns the Jetson AGX Orin spec: a 60 W SoC module plus a
+// carrier board the module's own sensor does not measure.
+func JetsonAGXOrin() Spec {
+	return Spec{
+		Name: "NVIDIA Jetson AGX Orin", Vendor: JetsonSoC, SMs: 16,
+		IdleW: 7, LimitW: 50,
+		IdleClockMHz: 115, BaseClockMHz: 930, BoostClockMHz: 1300,
+		// Dense FP16 tensor throughput at the 1.3 GHz GPU clock; the
+		// beamformer's achieved ~25 TFLOP/s in Fig. 10 then follows from
+		// the ~0.84 best variant efficiency.
+		PeakTensorTFLOPS:   30,
+		ClockRampMHzPerSec: 900, BoostHold: 150 * time.Millisecond,
+		IdleTau: 250 * time.Millisecond, DynAlpha: 2.1,
+		CarrierBoardW: 6,
+		InterWaveGap:  2 * time.Millisecond,
+	}
+}
+
+// Kernel describes a workload to launch.
+type Kernel struct {
+	Name string
+	// FLOPs is the total floating-point work.
+	FLOPs float64
+	// Waves is how many sequential thread-block waves execute (the grid's
+	// y-dimension in the paper's synthetic workload).
+	Waves int
+	// Intensity in (0, 1] scales dynamic power: compute-dense kernels pull
+	// more power at a given clock than memory-bound ones.
+	Intensity float64
+	// Efficiency in (0, 1] scales achieved throughput versus peak.
+	Efficiency float64
+}
+
+// wave is one scheduled execution span.
+type wave struct {
+	start, end time.Duration
+	intensity  float64
+}
+
+// GPU is a stateful device instance.
+type GPU struct {
+	spec Spec
+
+	appClockMHz float64 // locked application clock; 0 = governor default
+
+	waves    []wave
+	lastBusy time.Duration // end of the most recent completed work
+	runStart time.Duration // start of the current/most recent kernel
+
+	t     time.Duration // time of the last power query
+	clock float64       // current clock, MHz
+	power float64       // current board power (filtered), W
+
+	noise  *rng.Source
+	energy float64 // true consumed energy since creation, J
+}
+
+// New returns an idle GPU.
+func New(spec Spec, seed uint64) *GPU {
+	return &GPU{
+		spec:  spec,
+		clock: spec.IdleClockMHz,
+		power: spec.IdleW,
+		noise: rng.New(seed),
+	}
+}
+
+// Spec returns the device description.
+func (g *GPU) Spec() Spec { return g.spec }
+
+// SetAppClock locks the application clock in MHz (0 restores the governor).
+// Locked clocks are how the auto-tuning experiments sweep DVFS states.
+func (g *GPU) SetAppClock(mhz float64) { g.appClockMHz = mhz }
+
+// AppClock returns the locked application clock (0 if unlocked).
+func (g *GPU) AppClock() float64 { return g.appClockMHz }
+
+// EffectiveClock returns the clock the kernel would execute at in steady
+// state: the locked app clock, or boost.
+func (g *GPU) EffectiveClock() float64 {
+	if g.appClockMHz > 0 {
+		return g.appClockMHz
+	}
+	return g.spec.BoostClockMHz
+}
+
+// TFLOPS returns the achievable 16-bit throughput at the given clock.
+func (g *GPU) TFLOPS(clockMHz float64) float64 {
+	return g.spec.PeakTensorTFLOPS * clockMHz / g.spec.BoostClockMHz
+}
+
+// KernelRun reports the scheduled execution of a launched kernel.
+type KernelRun struct {
+	Start, End time.Duration
+	WaveSpans  []time.Duration // end time of each wave
+}
+
+// Duration returns the wall-clock execution time.
+func (r KernelRun) Duration() time.Duration { return r.End - r.Start }
+
+// LaunchKernel schedules k starting at time at (which must not precede the
+// last power query) and returns its timing. Execution time is derived from
+// the kernel's FLOPs, its efficiency, and the steady-state clock.
+func (g *GPU) LaunchKernel(k Kernel, at time.Duration) KernelRun {
+	if at < g.t {
+		at = g.t
+	}
+	if k.Waves < 1 {
+		k.Waves = 1
+	}
+	if k.Intensity <= 0 {
+		k.Intensity = 1
+	}
+	if k.Efficiency <= 0 {
+		k.Efficiency = 1
+	}
+	clock := g.EffectiveClock()
+	total := time.Duration(k.FLOPs / (g.TFLOPS(clock) * 1e12 * k.Efficiency) * float64(time.Second))
+	perWave := total / time.Duration(k.Waves)
+	if perWave <= 0 {
+		perWave = time.Microsecond
+	}
+
+	run := KernelRun{Start: at}
+	cursor := at
+	for w := 0; w < k.Waves; w++ {
+		g.waves = append(g.waves, wave{start: cursor, end: cursor + perWave, intensity: k.Intensity})
+		cursor += perWave
+		run.WaveSpans = append(run.WaveSpans, cursor)
+		if w != k.Waves-1 {
+			cursor += g.spec.InterWaveGap
+		}
+	}
+	run.End = cursor
+	if len(g.waves) > 0 && g.runStart < g.t {
+		g.runStart = at
+	}
+	return run
+}
+
+// Busy reports whether work is scheduled at or after t.
+func (g *GPU) Busy(t time.Duration) bool {
+	for _, w := range g.waves {
+		if w.end > t {
+			return true
+		}
+	}
+	return false
+}
+
+// utilization returns the intensity of the wave executing at t, or 0.
+func (g *GPU) utilization(t time.Duration) float64 {
+	for _, w := range g.waves {
+		if t >= w.start && t < w.end {
+			return w.intensity
+		}
+	}
+	return 0
+}
+
+// PowerAt advances the device to time t and returns total power in watts,
+// including any carrier board. Queries at or before the current time return
+// the cached value.
+func (g *GPU) PowerAt(t time.Duration) float64 {
+	if t <= g.t {
+		return g.power + g.spec.CarrierBoardW
+	}
+	// Step in bounded increments so the dynamics are step-size robust.
+	const maxStep = 500 * time.Microsecond
+	for g.t < t {
+		step := t - g.t
+		if step > maxStep {
+			step = maxStep
+		}
+		g.advance(step)
+	}
+	g.pruneWaves()
+	return g.power + g.spec.CarrierBoardW
+}
+
+// advance integrates the clock/power dynamics over dt.
+func (g *GPU) advance(dt time.Duration) {
+	now := g.t + dt
+	u := g.utilization(now)
+	if u > 0 {
+		g.lastBusy = now
+		if g.runStart == 0 || g.runStart < now-10*time.Minute {
+			g.runStart = now
+		}
+	}
+
+	// Clock dynamics.
+	target := g.targetClock(now, u)
+	switch {
+	case g.appClockMHz > 0 && u > 0:
+		g.clock = g.appClockMHz
+	case u > 0 && g.clock < g.spec.BaseClockMHz-1:
+		// PLL relock: the governor steps to base clock within milliseconds
+		// of work arriving, then ramps boost bins slowly (below).
+		a := 1 - math.Exp(-dt.Seconds()/0.008)
+		g.clock += a * (g.spec.BaseClockMHz - g.clock)
+		if g.clock >= g.spec.BaseClockMHz-1 {
+			g.clock = g.spec.BaseClockMHz
+		}
+	case u > 0 && target > g.clock:
+		g.clock += g.spec.ClockRampMHzPerSec * dt.Seconds() * rampScale(g.spec.Vendor)
+		if g.clock > target {
+			g.clock = target
+		}
+	case u > 0:
+		g.clock = target
+	default:
+		// Idle: hold boost briefly, then decay exponentially.
+		if now-g.lastBusy > g.spec.BoostHold {
+			a := 1 - math.Exp(-dt.Seconds()/g.spec.IdleTau.Seconds())
+			g.clock += a * (g.spec.IdleClockMHz - g.clock)
+		}
+	}
+
+	// Instantaneous power target from clock, utilisation and governor.
+	pt := g.targetPower(now, u)
+
+	// Board VRM + capacitance smooth the power with a ~1.5 ms time constant.
+	const vrmTau = 1.5e-3
+	a := 1 - math.Exp(-dt.Seconds()/vrmTau)
+	g.power += a * (pt - g.power)
+
+	// Small supply ripple, ~0.5% RMS.
+	g.power += g.noise.NormSigma(0.005 * g.power * math.Sqrt(dt.Seconds()/50e-6))
+	if g.power < 0.5*g.spec.IdleW {
+		g.power = 0.5 * g.spec.IdleW
+	}
+
+	g.energy += (g.power + g.spec.CarrierBoardW) * dt.Seconds()
+	g.t = now
+}
+
+// rampScale differentiates how aggressively vendors raise clocks.
+func rampScale(v Vendor) float64 {
+	if v == AMD {
+		return 4
+	}
+	return 1
+}
+
+// targetClock is the governor's desired clock under utilisation u.
+func (g *GPU) targetClock(now time.Duration, u float64) float64 {
+	if u <= 0 {
+		return g.clock
+	}
+	if g.appClockMHz > 0 {
+		return g.appClockMHz
+	}
+	return g.spec.BoostClockMHz
+}
+
+// targetPower computes the pre-filter power level.
+func (g *GPU) targetPower(now time.Duration, u float64) float64 {
+	s := g.spec
+	if u <= 0 {
+		// Idle, possibly still with boosted clocks: leakage and fabric
+		// power scale weakly with the residual clock.
+		frac := (g.clock - s.IdleClockMHz) / (s.BoostClockMHz - s.IdleClockMHz)
+		if frac < 0 {
+			frac = 0
+		}
+		return s.IdleW + 0.28*(s.LimitW-s.IdleW)*frac*0.5
+	}
+
+	dyn := (s.LimitW - s.IdleW) * u * math.Pow(g.clock/s.BoostClockMHz, s.DynAlpha)
+	p := s.IdleW + dyn
+
+	if s.Vendor == AMD && g.appClockMHz == 0 {
+		p = g.amdGovernor(now, p)
+	}
+	if p > s.LimitW*1.06 {
+		p = s.LimitW * 1.06 // brief overshoot headroom before the cap bites
+	}
+	return p
+}
+
+// amdGovernor shapes the W7700's characteristic transient: spike to the
+// limit, sharp drop, ramp with brief overshoot, stabilisation at the limit
+// (Fig. 7b).
+func (g *GPU) amdGovernor(now time.Duration, raw float64) float64 {
+	dt := (now - g.runStart).Seconds()
+	limit := g.spec.LimitW
+	switch {
+	case dt < 0.02:
+		return limit // initial spike to the power limit
+	case dt < 0.06:
+		return limit * 0.62 // sharp drop while the governor re-plans
+	default:
+		// Ramp back toward the limit with a small overshoot bump.
+		p := limit * (1 - 0.38*math.Exp(-(dt-0.06)/0.12))
+		p += 0.05 * limit * math.Exp(-sq((dt-0.45)/0.08))
+		if raw < p {
+			return raw
+		}
+		return p
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// pruneWaves drops waves that ended long before the current time.
+func (g *GPU) pruneWaves() {
+	cut := 0
+	for cut < len(g.waves) && g.waves[cut].end < g.t-time.Second {
+		cut++
+	}
+	if cut > 0 {
+		g.waves = g.waves[cut:]
+	}
+}
+
+// TrueEnergy returns the exact energy consumed since creation — the ground
+// truth the measurement chain is judged against.
+func (g *GPU) TrueEnergy() float64 { return g.energy }
+
+// ClockMHz returns the current clock.
+func (g *GPU) ClockMHz() float64 { return g.clock }
+
+// ModulePower returns the power the on-module sensor sees: total power
+// minus the carrier board share (Jetson); identical to total elsewhere.
+func (g *GPU) ModulePower(t time.Duration) float64 {
+	return g.PowerAt(t) - g.spec.CarrierBoardW
+}

@@ -1,0 +1,227 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestIdlePower(t *testing.T) {
+	g := New(RTX4000Ada(), 1)
+	p := g.PowerAt(100 * time.Millisecond)
+	if math.Abs(p-g.Spec().IdleW) > 3 {
+		t.Fatalf("idle power = %v, want ~%v", p, g.Spec().IdleW)
+	}
+}
+
+func TestKernelRaisesPower(t *testing.T) {
+	g := New(RTX4000Ada(), 2)
+	k := Kernel{Name: "fma", FLOPs: 100e12, Waves: 1, Intensity: 1, Efficiency: 0.9}
+	run := g.LaunchKernel(k, 50*time.Millisecond)
+	mid := run.Start + run.Duration()/2
+	p := g.PowerAt(mid)
+	if p < 2*g.Spec().IdleW {
+		t.Fatalf("power under load = %v, idle = %v", p, g.Spec().IdleW)
+	}
+}
+
+func TestPowerNeverExceedsLimitMuch(t *testing.T) {
+	for _, spec := range []Spec{RTX4000Ada(), W7700(), JetsonAGXOrin()} {
+		g := New(spec, 3)
+		k := Kernel{FLOPs: 200e12, Waves: 8, Intensity: 1, Efficiency: 1}
+		run := g.LaunchKernel(k, 10*time.Millisecond)
+		for ts := run.Start; ts < run.End; ts += 500 * time.Microsecond {
+			if p := g.PowerAt(ts); p > spec.LimitW*1.12+spec.CarrierBoardW {
+				t.Fatalf("%s: power %v far above limit %v", spec.Name, p, spec.LimitW)
+			}
+		}
+	}
+}
+
+func TestNvidiaClockRampsGradually(t *testing.T) {
+	g := New(RTX4000Ada(), 4)
+	k := Kernel{FLOPs: 400e12, Waves: 1, Intensity: 1, Efficiency: 1}
+	run := g.LaunchKernel(k, 10*time.Millisecond)
+	early := g.PowerAt(run.Start + 100*time.Millisecond)
+	late := g.PowerAt(run.Start + 2*time.Second)
+	if late <= early+10 {
+		t.Fatalf("no ramp: early %v W, late %v W", early, late)
+	}
+}
+
+func TestAmdSpikesEarly(t *testing.T) {
+	g := New(W7700(), 5)
+	k := Kernel{FLOPs: 300e12, Waves: 1, Intensity: 1, Efficiency: 1}
+	run := g.LaunchKernel(k, 10*time.Millisecond)
+	spike := g.PowerAt(run.Start + 15*time.Millisecond)
+	dip := g.PowerAt(run.Start + 45*time.Millisecond)
+	if spike < g.Spec().LimitW*0.85 {
+		t.Fatalf("initial spike only %v W, limit %v", spike, g.Spec().LimitW)
+	}
+	if dip > spike*0.85 {
+		t.Fatalf("no post-spike drop: spike %v, dip %v", spike, dip)
+	}
+	// Stabilises at the limit later on.
+	late := g.PowerAt(run.Start + 1500*time.Millisecond)
+	if math.Abs(late-g.Spec().LimitW) > 0.15*g.Spec().LimitW {
+		t.Fatalf("late power %v not near the %v W limit", late, g.Spec().LimitW)
+	}
+}
+
+func TestNvidiaSlowIdleReturn(t *testing.T) {
+	nv := New(RTX4000Ada(), 6)
+	amd := New(W7700(), 6)
+	k := Kernel{FLOPs: 150e12, Waves: 1, Intensity: 1, Efficiency: 1}
+	nvRun := nv.LaunchKernel(k, 10*time.Millisecond)
+	amdRun := amd.LaunchKernel(k, 10*time.Millisecond)
+	// 300 ms after the kernel, NVIDIA should still be well above idle,
+	// AMD should be much closer to idle (Fig. 7 insets).
+	nvAfter := nv.PowerAt(nvRun.End + 400*time.Millisecond)
+	amdAfter := amd.PowerAt(amdRun.End + 400*time.Millisecond)
+	nvExcess := (nvAfter - nv.Spec().IdleW) / nv.Spec().IdleW
+	amdExcess := (amdAfter - amd.Spec().IdleW) / amd.Spec().IdleW
+	if nvExcess < 0.3 {
+		t.Fatalf("NVIDIA already at idle %v W after 400 ms", nvAfter)
+	}
+	if amdExcess > nvExcess {
+		t.Fatalf("AMD (%.2f) decays slower than NVIDIA (%.2f)", amdExcess, nvExcess)
+	}
+}
+
+func TestWaveDipsVisible(t *testing.T) {
+	g := New(RTX4000Ada(), 7)
+	g.SetAppClock(1800) // lock clocks so dips are not masked by the ramp
+	k := Kernel{FLOPs: 500e12, Waves: 5, Intensity: 1, Efficiency: 1}
+	run := g.LaunchKernel(k, 10*time.Millisecond)
+	if len(run.WaveSpans) != 5 {
+		t.Fatalf("%d wave spans", len(run.WaveSpans))
+	}
+	// Sample power right inside a wave and inside the following gap.
+	inWave := g.PowerAt(run.WaveSpans[1] - 5*time.Millisecond)
+	inGap := g.PowerAt(run.WaveSpans[1] + g.Spec().InterWaveGap - 200*time.Microsecond)
+	if inGap > inWave-8 {
+		t.Fatalf("no inter-wave dip: wave %v W, gap %v W", inWave, inGap)
+	}
+}
+
+func TestAppClockControlsPower(t *testing.T) {
+	duration := func(clock float64) (time.Duration, float64) {
+		g := New(RTX4000Ada(), 8)
+		g.SetAppClock(clock)
+		k := Kernel{FLOPs: 100e12, Waves: 1, Intensity: 1, Efficiency: 1}
+		run := g.LaunchKernel(k, 10*time.Millisecond)
+		p := g.PowerAt(run.Start + run.Duration()/2)
+		return run.Duration(), p
+	}
+	dLow, pLow := duration(1485)
+	dHigh, pHigh := duration(1815)
+	if dLow <= dHigh {
+		t.Fatalf("lower clock not slower: %v vs %v", dLow, dHigh)
+	}
+	if pLow >= pHigh {
+		t.Fatalf("lower clock not lower power: %v vs %v", pLow, pHigh)
+	}
+}
+
+func TestEnergyEfficiencyPeaksBelowMaxClock(t *testing.T) {
+	// The premise of the Fig. 8 experiment: TFLOP/J improves at reduced
+	// clocks even though TFLOP/s drops.
+	eff := func(clock float64) float64 {
+		g := New(RTX4000Ada(), 9)
+		g.SetAppClock(clock)
+		k := Kernel{FLOPs: 100e12, Waves: 1, Intensity: 1, Efficiency: 1}
+		run := g.LaunchKernel(k, 10*time.Millisecond)
+		e0 := g.TrueEnergy()
+		g.PowerAt(run.End)
+		joules := g.TrueEnergy() - e0
+		return 100.0 / joules // TFLOP of work / J
+	}
+	if eff(1485) <= eff(1815) {
+		t.Fatal("efficiency at 1485 MHz should exceed 1815 MHz")
+	}
+}
+
+func TestTrueEnergyMatchesPowerIntegral(t *testing.T) {
+	g := New(W7700(), 10)
+	k := Kernel{FLOPs: 50e12, Waves: 2, Intensity: 1, Efficiency: 1}
+	run := g.LaunchKernel(k, 5*time.Millisecond)
+	var sum float64
+	const dt = 100 * time.Microsecond
+	e0 := g.TrueEnergy()
+	for ts := time.Duration(0); ts < run.End+100*time.Millisecond; ts += dt {
+		sum += g.PowerAt(ts) * dt.Seconds()
+	}
+	got := g.TrueEnergy() - e0
+	if math.Abs(sum-got)/got > 0.02 {
+		t.Fatalf("power integral %v J vs TrueEnergy %v J", sum, got)
+	}
+}
+
+func TestRailSplitConservesPower(t *testing.T) {
+	g := New(RTX4000Ada(), 11)
+	s3, s12, e12 := g.PCIeRails()
+	k := Kernel{FLOPs: 100e12, Waves: 1, Intensity: 1, Efficiency: 1}
+	run := g.LaunchKernel(k, 10*time.Millisecond)
+	ts := run.Start + run.Duration()/2
+	total := g.PowerAt(ts)
+	v1, i1 := s3.VI(ts)
+	v2, i2 := s12.VI(ts)
+	v3, i3 := e12.VI(ts)
+	sum := v1*i1 + v2*i2 + v3*i3
+	if math.Abs(sum-total)/total > 0.02 {
+		t.Fatalf("rails sum to %v, total %v", sum, total)
+	}
+	if v1 > 3.3 || v2 > 12 || v3 > 12 {
+		t.Fatal("rail voltage above nominal")
+	}
+	// The slot limits must be respected.
+	if v1*i1 > 10 {
+		t.Fatalf("3.3 V slot rail carries %v W (>10 W)", v1*i1)
+	}
+	if v2*i2 > 66 {
+		t.Fatalf("12 V slot rail carries %v W (>66 W)", v2*i2)
+	}
+}
+
+func TestJetsonCarrierBoardVisibleOnlyOnUSBC(t *testing.T) {
+	g := New(JetsonAGXOrin(), 12)
+	rail := g.USBCRail()
+	ts := 100 * time.Millisecond
+	v, i := rail.VI(ts)
+	usbPower := v * i
+	module := g.ModulePower(ts)
+	if usbPower <= module {
+		t.Fatalf("USB-C power %v must exceed module power %v by the carrier share", usbPower, module)
+	}
+	if diff := usbPower - module; math.Abs(diff-g.Spec().CarrierBoardW) > 1.5 {
+		t.Fatalf("carrier share = %v, want ~%v", diff, g.Spec().CarrierBoardW)
+	}
+}
+
+func TestTFLOPSScalesWithClock(t *testing.T) {
+	g := New(RTX4000Ada(), 13)
+	if g.TFLOPS(g.Spec().BoostClockMHz) != g.Spec().PeakTensorTFLOPS {
+		t.Fatal("peak at boost clock")
+	}
+	if g.TFLOPS(g.Spec().BoostClockMHz/2) != g.Spec().PeakTensorTFLOPS/2 {
+		t.Fatal("linear clock scaling")
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if NVIDIA.String() != "NVIDIA" || AMD.String() != "AMD" || JetsonSoC.String() != "Jetson" {
+		t.Fatal("vendor names")
+	}
+}
+
+func BenchmarkPowerAt(b *testing.B) {
+	g := New(RTX4000Ada(), 1)
+	k := Kernel{FLOPs: 1e15, Waves: 4, Intensity: 1, Efficiency: 1}
+	g.LaunchKernel(k, 0)
+	ts := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts += 50 * time.Microsecond
+		_ = g.PowerAt(ts)
+	}
+}

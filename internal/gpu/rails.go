@@ -1,0 +1,76 @@
+package gpu
+
+import (
+	"time"
+
+	"repro/internal/device"
+)
+
+// Rail split of a discrete PCIe card, as in Fig. 1 of the paper: the card
+// draws from the PCIe slot's 3.3 V and 12 V rails (at most 75 W combined,
+// 10 W of which on 3.3 V) and from the external 8-pin connector for the
+// rest. The measurement setup intercepts all three with separate sensor
+// modules on a modified riser card.
+const (
+	slot3v3W     = 2.8  // logic/aux draw on the 3.3 V slot rail
+	slot12MaxW   = 55.0 // what this card takes from the 12 V slot rail
+	slot12Frac   = 0.45 // share of 12 V power drawn via the slot below the cap
+	railSagOhms  = 0.008
+	usbCSagOhms  = 0.02
+	nominal12V   = 12.0
+	nominal3V3   = 3.3
+	nominalUSBCV = 20.0 // USB-PD contract of the Jetson development kit
+)
+
+// split divides total board power across the three PCIe sources.
+func split(total float64) (p3v3, pSlot12, pExt12 float64) {
+	p3v3 = slot3v3W
+	if p3v3 > total {
+		p3v3 = total
+		return p3v3, 0, 0
+	}
+	rest := total - p3v3
+	pSlot12 = rest * slot12Frac
+	if pSlot12 > slot12MaxW {
+		pSlot12 = slot12MaxW
+	}
+	pExt12 = rest - pSlot12
+	return p3v3, pSlot12, pExt12
+}
+
+// PCIeRails returns the three rail sources of a discrete card, in the order
+// the paper instruments them: slot 3.3 V, slot 12 V, external 12 V. Each
+// rail sags slightly under load, which is why every sensor module measures
+// voltage too.
+func (g *GPU) PCIeRails() (slot3, slot12, ext12 device.RailSource) {
+	mk := func(sel func(total float64) float64, nominal, sag float64) device.RailSource {
+		return device.SourceFunc(func(t time.Duration) (float64, float64) {
+			p := sel(g.PowerAt(t))
+			// Solve v = nominal − i·R with i = p/v (one fixed-point pass is
+			// ample at these impedances).
+			v := nominal
+			i := p / v
+			v = nominal - i*sag
+			i = p / v
+			return v, i
+		})
+	}
+	slot3 = mk(func(tp float64) float64 { a, _, _ := split(tp); return a }, nominal3V3, railSagOhms)
+	slot12 = mk(func(tp float64) float64 { _, b, _ := split(tp); return b }, nominal12V, railSagOhms)
+	ext12 = mk(func(tp float64) float64 { _, _, c := split(tp); return c }, nominal12V, railSagOhms)
+	return slot3, slot12, ext12
+}
+
+// USBCRail returns the single USB-C supply of a Jetson development kit —
+// total system power including the carrier board, which is exactly what the
+// on-module sensor misses (Section V-B).
+func (g *GPU) USBCRail() device.RailSource {
+	return device.SourceFunc(func(t time.Duration) (float64, float64) {
+		p := g.PowerAt(t)
+		v := nominalUSBCV
+		i := p / v
+		v = nominalUSBCV - i*usbCSagOhms
+		i = p / v
+		return v, i
+	})
+}

@@ -1,0 +1,171 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+func TestSyntheticFMATargetsDuration(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	k := SyntheticFMA(spec, 2*time.Second)
+	g := gpu.New(spec, 1)
+	run := g.LaunchKernel(k, 0)
+	if d := run.Duration(); d < 1500*time.Millisecond || d > 3*time.Second {
+		t.Fatalf("kernel runs %v, want ~2 s", d)
+	}
+	if k.Waves < 2 {
+		t.Fatalf("waves = %d; phases must be visible", k.Waves)
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	// The paper: 512 code variants.
+	if got := len(Space()); got != 512 {
+		t.Fatalf("search space = %d variants, want 512", got)
+	}
+}
+
+func TestSpaceDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Space() {
+		s := c.String()
+		if seen[s] {
+			t.Fatalf("duplicate variant %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestProblemFLOPs(t *testing.T) {
+	p := DefaultProblem()
+	want := 8 * 4096.0 * 4096 * 4096
+	if p.FLOPs() != want {
+		t.Fatalf("FLOPs = %v", p.FLOPs())
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	for _, c := range Space() {
+		for _, clock := range []float64{1485, 1815} {
+			e := c.Efficiency(spec, clock)
+			if e <= 0 || e > 1 {
+				t.Fatalf("%s @%v: efficiency %v out of (0,1]", c, clock, e)
+			}
+		}
+	}
+}
+
+func TestBestEfficiencyIsRealistic(t *testing.T) {
+	// The fastest variant should reach roughly 80-90% of peak — enough to
+	// land near the paper's 80.4 TFLOP/s on a 96 TFLOPS device.
+	spec := gpu.RTX4000Ada()
+	best := 0.0
+	for _, c := range Space() {
+		if e := c.Efficiency(spec, spec.BoostClockMHz); e > best {
+			best = e
+		}
+	}
+	if best < 0.75 || best > 0.95 {
+		t.Fatalf("best efficiency %v, want in [0.75, 0.95]", best)
+	}
+}
+
+func TestSharedMemoryPressurePunishesHugeTiles(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	small := BeamformerConfig{BlockX: 128, BlockY: 2, FragsPerBlock: 4, FragsPerWarp: 4, DoubleBuffer: false}
+	huge := BeamformerConfig{BlockX: 128, BlockY: 8, FragsPerBlock: 8, FragsPerWarp: 4, DoubleBuffer: true}
+	if huge.sharedMemBytes() <= sharedMemBudget {
+		t.Skip("huge config unexpectedly fits")
+	}
+	if huge.Efficiency(spec, 1815) >= small.Efficiency(spec, 1815) {
+		t.Fatal("over-budget shared memory must hurt")
+	}
+}
+
+func TestDoubleBufferingHelpsWhenFits(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	base := BeamformerConfig{BlockX: 128, BlockY: 2, FragsPerBlock: 2, FragsPerWarp: 4}
+	db := base
+	db.DoubleBuffer = true
+	if db.sharedMemBytes() > sharedMemBudget {
+		t.Skip("double-buffered config does not fit")
+	}
+	// Jitter differs per variant; require the benefit to exceed it.
+	if db.Efficiency(spec, 1815) < base.Efficiency(spec, 1815)*1.00 {
+		t.Fatalf("double buffering hurt: %v vs %v",
+			db.Efficiency(spec, 1815), base.Efficiency(spec, 1815))
+	}
+}
+
+func TestMemoryRolloffGrowsWithClock(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	c := BeamformerConfig{BlockX: 64, BlockY: 1, FragsPerBlock: 1, FragsPerWarp: 1}
+	lo := c.Efficiency(spec, 1485)
+	hi := c.Efficiency(spec, 1815)
+	if hi >= lo {
+		t.Fatalf("low-reuse variant should lose efficiency at high clock: %v vs %v", lo, hi)
+	}
+}
+
+func TestIntensityRange(t *testing.T) {
+	for _, c := range Space() {
+		i := c.Intensity()
+		if i < 0.6 || i > 0.8 {
+			t.Fatalf("%s: intensity %v outside [0.6, 0.8]", c, i)
+		}
+	}
+}
+
+func TestEfficiencyDeterministic(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	c := Space()[137]
+	if c.Efficiency(spec, 1600) != c.Efficiency(spec, 1600) {
+		t.Fatal("efficiency not deterministic")
+	}
+}
+
+func TestKernelMaterialisation(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	c := Space()[0]
+	k := c.Kernel(spec, 1815, DefaultProblem())
+	if k.FLOPs != DefaultProblem().FLOPs() {
+		t.Fatal("FLOPs mismatch")
+	}
+	if k.Efficiency != c.Efficiency(spec, 1815) {
+		t.Fatal("efficiency mismatch")
+	}
+	g := gpu.New(spec, 2)
+	g.SetAppClock(1815)
+	run := g.LaunchKernel(k, 0)
+	// 5.5e11 FLOPs at tens of TFLOP/s → milliseconds.
+	if run.Duration() < time.Millisecond || run.Duration() > 500*time.Millisecond {
+		t.Fatalf("beamformer kernel runs %v", run.Duration())
+	}
+}
+
+// The central premise of Fig. 8: across the space, performance and energy
+// efficiency must correlate positively but imperfectly.
+func TestPerfEfficiencyCorrelation(t *testing.T) {
+	spec := gpu.RTX4000Ada()
+	g := gpu.New(spec, 3)
+	var perf, eff []float64
+	for _, c := range Space() {
+		for _, clock := range []float64{1485.0, 1665, 1815} {
+			e := c.Efficiency(spec, clock)
+			tf := g.TFLOPS(clock) * e
+			powerW := spec.IdleW + (spec.LimitW-spec.IdleW)*c.Intensity()*
+				math.Pow(clock/spec.BoostClockMHz, spec.DynAlpha)
+			perf = append(perf, tf)
+			eff = append(eff, tf/powerW)
+		}
+	}
+	r := stats.Pearson(perf, eff)
+	if r < 0.3 || r > 0.98 {
+		t.Fatalf("perf/efficiency correlation r=%v, want positive but imperfect", r)
+	}
+}

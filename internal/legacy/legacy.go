@@ -1,0 +1,119 @@
+// Package legacy models PowerSensor2 (Romein & Veenboer, ISPASS 2018) — the
+// predecessor the paper improves upon and the natural baseline for every
+// "improvements over PowerSensor2" claim in the introduction:
+//
+//   - a 2.8 kHz sample rate instead of 20 kHz,
+//   - single-ended current sensors that couple the ambient magnetic field
+//     of a server enclosure straight into the reading,
+//   - a fiddly multi-point calibration that drifts, so devices need
+//     periodic recalibration (PowerSensor3's calibration is once, ever),
+//   - a fixed board instead of swappable sensor modules.
+//
+// The model reuses the analog/ADC substrate with PowerSensor2's parameters,
+// so head-to-head comparisons (step response, interference, noise) measure
+// design differences rather than modelling differences.
+package legacy
+
+import (
+	"time"
+
+	"repro/internal/adc"
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// SampleRateHz is PowerSensor2's output rate.
+const SampleRateHz = 2800
+
+// SampleInterval is the spacing between PowerSensor2 samples.
+const SampleInterval = time.Second / SampleRateHz
+
+// fieldCoupling is the external-field sensitivity of the single-ended
+// ACS712-class sensor PowerSensor2 used.
+const fieldCoupling = 1.0
+
+// PowerSensor2 is one measurement channel of the legacy device.
+type PowerSensor2 struct {
+	current analog.HallSensor
+	voltage analog.VoltageSensor
+	conv    *adc.Converter
+	rnd     *rng.Source
+
+	// DriftPerHour models the calibration drift that forced periodic
+	// recalibration of PowerSensor2 (amperes of offset per hour).
+	DriftPerHour float64
+
+	now time.Duration
+}
+
+// New returns a PowerSensor2 channel for a 12 V rail.
+func New(seed uint64) *PowerSensor2 {
+	return &PowerSensor2{
+		current: analog.HallSensor{
+			Sensitivity: 0.120, RangeA: 10,
+			// The older sensor was noisier per sample and had no headroom
+			// to average: 2.8 kHz output is near the raw conversion rate.
+			NoiseRMS:      0.160,
+			NonlinFrac:    0.008,
+			BandwidthHz:   80e3, // ACS712-class bandwidth
+			FieldCoupling: fieldCoupling,
+		},
+		voltage: analog.VoltageSensor{
+			Gain: 0.2, NoiseRMS: 0.008, BandwidthHz: 50e3,
+		},
+		conv:         adc.New(),
+		rnd:          rng.New(seed),
+		DriftPerHour: 0.02,
+		now:          0,
+	}
+}
+
+// SetExternalField exposes the channel to an ambient magnetic field, given
+// as the equivalent amperes a fully coupled sensor would report.
+func (p *PowerSensor2) SetExternalField(equivalentA float64) {
+	p.current.ExternalFieldA = equivalentA
+}
+
+// Now returns the device's virtual time.
+func (p *PowerSensor2) Now() time.Duration { return p.now }
+
+// Sample advances one 357 µs interval against the supply/load pair and
+// returns the measured power. Calibration drift accumulates with time.
+type Sample struct {
+	Time  time.Duration
+	Volts float64
+	Amps  float64
+	Watts float64
+}
+
+// Step measures one sample of the given source.
+func (p *PowerSensor2) Step(supply *bench.Supply, load bench.Load) Sample {
+	p.now += SampleInterval
+	i := load.Current(p.now)
+	v := supply.Voltage(p.now, i)
+
+	// Calibration drift as an offset that grows with uptime.
+	p.current.OffsetA = p.DriftPerHour * p.now.Hours()
+
+	ipin := p.current.Sense(i, SampleInterval, p.rnd)
+	vpin := p.voltage.Sense(v, SampleInterval, p.rnd)
+
+	iCode := p.conv.Convert(ipin)
+	vCode := p.conv.Convert(vpin)
+
+	amps := (p.conv.Midpoint(iCode) - protocol.VRef/2) / p.current.Sensitivity
+	volts := p.conv.Midpoint(vCode) / p.voltage.Gain
+	return Sample{Time: p.now, Volts: volts, Amps: amps, Watts: amps * volts}
+}
+
+// Capture records a window of samples.
+func (p *PowerSensor2) Capture(supply *bench.Supply, load bench.Load, d time.Duration) []Sample {
+	n := int(d / SampleInterval)
+	out := make([]Sample, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, p.Step(supply, load))
+	}
+	return out
+}

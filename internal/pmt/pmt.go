@@ -1,0 +1,117 @@
+// Package pmt reproduces the Power Measurement Toolkit (PMT) of Corda et
+// al., the high-level library the paper uses in its case studies
+// (Section V-A1): a single Meter interface over vendor-specific sensors
+// (NVML, AMD SMI, Jetson, RAPL) and over PowerSensor3 itself.
+//
+// As in the real PMT, a measurement is a pair of States; Joules, Seconds and
+// Watts difference them.
+package pmt
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vendorapi"
+)
+
+// State is one PMT reading: a timestamp plus cumulative energy.
+type State struct {
+	Time   time.Duration
+	Joules float64
+	// WattsNow is the meter's current instantaneous power estimate.
+	WattsNow float64
+}
+
+// Meter is the unified measurement interface.
+type Meter interface {
+	// Name identifies the backing sensor.
+	Name() string
+	// Read returns the cumulative state at virtual time t.
+	Read(t time.Duration) State
+}
+
+// Joules returns the energy consumed between two states.
+func Joules(first, second State) float64 { return second.Joules - first.Joules }
+
+// Seconds returns the elapsed time between two states.
+func Seconds(first, second State) float64 { return (second.Time - first.Time).Seconds() }
+
+// Watts returns the average power between two states.
+func Watts(first, second State) float64 {
+	s := Seconds(first, second)
+	if s <= 0 {
+		return 0
+	}
+	return Joules(first, second) / s
+}
+
+// NVMLMeter adapts the NVML emulation.
+type NVMLMeter struct{ NVML *vendorapi.NVML }
+
+// Name implements Meter.
+func (m NVMLMeter) Name() string { return "nvml" }
+
+// Read implements Meter.
+func (m NVMLMeter) Read(t time.Duration) State {
+	return State{Time: t, Joules: m.NVML.EnergyJoules(t), WattsNow: m.NVML.PowerInstant(t)}
+}
+
+// AMDSMIMeter adapts the ROCm/AMD SMI emulation.
+type AMDSMIMeter struct{ SMI *vendorapi.AMDSMI }
+
+// Name implements Meter.
+func (m AMDSMIMeter) Name() string { return "amdsmi" }
+
+// Read implements Meter.
+func (m AMDSMIMeter) Read(t time.Duration) State {
+	return State{Time: t, Joules: m.SMI.EnergyJoules(t), WattsNow: m.SMI.Power(t)}
+}
+
+// JetsonMeter adapts the Jetson on-module sensor.
+type JetsonMeter struct{ INA *vendorapi.JetsonINA }
+
+// Name implements Meter.
+func (m JetsonMeter) Name() string { return "jetson" }
+
+// Read implements Meter.
+func (m JetsonMeter) Read(t time.Duration) State {
+	return State{Time: t, Joules: m.INA.EnergyJoules(t), WattsNow: m.INA.Power(t)}
+}
+
+// RAPLMeter adapts the CPU RAPL emulation.
+type RAPLMeter struct{ RAPL *vendorapi.RAPL }
+
+// Name implements Meter.
+func (m RAPLMeter) Name() string { return "rapl" }
+
+// Read implements Meter.
+func (m RAPLMeter) Read(t time.Duration) State {
+	return State{Time: t, Joules: m.RAPL.EnergyJoules(t)}
+}
+
+// PowerSensorMeter adapts an open PowerSensor3. Pair -1 sums all pairs.
+type PowerSensorMeter struct {
+	PS   *core.PowerSensor
+	Pair int
+}
+
+// Name implements Meter.
+func (m PowerSensorMeter) Name() string { return "powersensor3" }
+
+// Read implements Meter. Unlike the vendor meters, the PowerSensor3 state
+// advances only when the host library processes the stream; callers advance
+// the simulation through the PowerSensor itself.
+func (m PowerSensorMeter) Read(t time.Duration) State {
+	st := m.PS.Read()
+	var joules, watts float64
+	if m.Pair >= 0 {
+		joules = st.ConsumedJoules[m.Pair]
+		watts = st.Watts[m.Pair]
+	} else {
+		for i := range st.ConsumedJoules {
+			joules += st.ConsumedJoules[i]
+			watts += st.Watts[i]
+		}
+	}
+	return State{Time: st.TimeAtRead, Joules: joules, WattsNow: watts}
+}

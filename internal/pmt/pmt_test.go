@@ -1,0 +1,124 @@
+package pmt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/vendorapi"
+)
+
+func TestJoulesWattsSeconds(t *testing.T) {
+	a := State{Time: 0, Joules: 10}
+	b := State{Time: 2 * time.Second, Joules: 110}
+	if Joules(a, b) != 100 {
+		t.Fatal("joules")
+	}
+	if Seconds(a, b) != 2 {
+		t.Fatal("seconds")
+	}
+	if Watts(a, b) != 50 {
+		t.Fatal("watts")
+	}
+	if Watts(a, a) != 0 {
+		t.Fatal("zero interval")
+	}
+}
+
+func TestNVMLMeter(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 1)
+	m := NVMLMeter{NVML: vendorapi.NewNVML(g)}
+	if m.Name() != "nvml" {
+		t.Fatal("name")
+	}
+	first := m.Read(0)
+	g.LaunchKernel(gpu.Kernel{FLOPs: 100e12, Waves: 1, Intensity: 1, Efficiency: 1}, 100*time.Millisecond)
+	second := m.Read(2 * time.Second)
+	if Joules(first, second) <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	if second.WattsNow <= g.Spec().IdleW {
+		t.Fatal("no load power")
+	}
+}
+
+func TestAMDSMIMeterTracksTruth(t *testing.T) {
+	g := gpu.New(gpu.W7700(), 2)
+	m := AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)}
+	m.Read(0)
+	run := g.LaunchKernel(gpu.Kernel{FLOPs: 150e12, Waves: 1, Intensity: 1, Efficiency: 1}, 50*time.Millisecond)
+	e0 := g.TrueEnergy()
+	_ = e0
+	st := m.Read(run.End + 100*time.Millisecond)
+	trueJ := g.TrueEnergy()
+	if rel := math.Abs(st.Joules-trueJ) / trueJ; rel > 0.05 {
+		t.Fatalf("AMD SMI energy off by %.1f%%", rel*100)
+	}
+}
+
+func TestJetsonMeterModuleOnly(t *testing.T) {
+	g := gpu.New(gpu.JetsonAGXOrin(), 3)
+	m := JetsonMeter{INA: vendorapi.NewJetsonINA(g)}
+	st := m.Read(time.Second)
+	if st.WattsNow >= g.PowerAt(time.Second) {
+		t.Fatal("Jetson meter must not see the carrier board")
+	}
+}
+
+func TestRAPLMeter(t *testing.T) {
+	cpu := &vendorapi.CPU{IdleW: 20, TDPW: 120, Util: 0.5}
+	m := RAPLMeter{RAPL: vendorapi.NewRAPL(cpu)}
+	a := m.Read(0)
+	b := m.Read(time.Second)
+	want := 20 + 0.5*100
+	if math.Abs(Joules(a, b)-want) > 1 {
+		t.Fatalf("RAPL joules = %v, want ~%v", Joules(a, b), want)
+	}
+}
+
+func TestPowerSensorMeter(t *testing.T) {
+	dev := device.New(4, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(4)},
+	})
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	m := PowerSensorMeter{PS: ps, Pair: -1}
+	if m.Name() != "powersensor3" {
+		t.Fatal("name")
+	}
+	first := m.Read(0)
+	ps.Advance(500 * time.Millisecond)
+	second := m.Read(0)
+	w := Watts(first, second)
+	if math.Abs(w-48) > 2 {
+		t.Fatalf("PS meter watts = %v, want ~48", w)
+	}
+}
+
+// The PMT promise: one interface across all backends.
+func TestUnifiedInterface(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 5)
+	meters := []Meter{
+		NVMLMeter{NVML: vendorapi.NewNVML(g)},
+		AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)},
+		JetsonMeter{INA: vendorapi.NewJetsonINA(g)},
+		RAPLMeter{RAPL: vendorapi.NewRAPL(&vendorapi.CPU{IdleW: 10, TDPW: 65})},
+	}
+	seen := map[string]bool{}
+	for _, m := range meters {
+		if seen[m.Name()] {
+			t.Fatalf("duplicate meter name %q", m.Name())
+		}
+		seen[m.Name()] = true
+		_ = m.Read(time.Millisecond)
+	}
+}

@@ -1,0 +1,37 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// A sensor value travels as two bytes with framing, index and marker bits —
+// the Section III-B wire format.
+func ExampleEncode() {
+	packet := protocol.Encode(protocol.Sample{Sensor: 3, Level: 612})
+	decoded, err := protocol.Decode(packet[0], packet[1])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sensor %d level %d\n", decoded.Sensor, decoded.Level)
+	// Output: sensor 3 level 612
+}
+
+// The stream decoder survives a host that starts reading mid-packet.
+func ExampleStreamDecoder() {
+	a := protocol.Encode(protocol.Sample{Sensor: 0, Level: 100})
+	b := protocol.Encode(protocol.Sample{Sensor: 1, Level: 200})
+	// The first byte of packet a was lost before the host attached.
+	stream := []byte{a[1], b[0], b[1]}
+
+	var dec protocol.StreamDecoder
+	for _, s := range dec.Feed(nil, stream) {
+		fmt.Printf("sensor %d level %d\n", s.Sensor, s.Level)
+	}
+	fmt.Printf("resyncs: %d\n", dec.Resyncs())
+	// Output:
+	// sensor 1 level 200
+	// resyncs: 1
+}

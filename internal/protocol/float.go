@@ -1,0 +1,16 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// putFloat64 stores v little-endian at the start of buf.
+func putFloat64(buf []byte, v float64) {
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+}
+
+// getFloat64 loads a little-endian float64 from the start of buf.
+func getFloat64(buf []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf))
+}

@@ -1,0 +1,263 @@
+// Package protocol defines the PowerSensor3 wire format shared by the
+// firmware (internal/firmware) and the host library (internal/core).
+//
+// The device streams 2-byte packets over USB. Each packet carries a 10-bit
+// ADC level plus 6 bits of metadata, exactly as described in Section III-B of
+// the paper: one bit in each byte differentiates the first byte from the
+// second, 3 bits carry the sensor index, and 1 bit carries a marker flag.
+//
+// Layout:
+//
+//	byte 0: 1 | index[2:0] | marker | level[9:7]
+//	byte 1: 0 |          level[6:0]
+//
+// A marker bit with sensor index 0 is a *real* marker (time-synced user
+// marker). A marker bit with a nonzero index is repurposed: index 7 carries
+// the 10-bit device timestamp in microseconds that precedes each sample set.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Electrical and sampling constants of the PowerSensor3 design
+// (Section III of the paper).
+const (
+	// MaxSensors is the number of sensor inputs: 4 modules × (current +
+	// voltage) sensor pairs.
+	MaxSensors = 8
+
+	// MaxModules is the number of sensor module slots on the baseboard.
+	MaxModules = 4
+
+	// ADCBits is the resolution used from the STM32F411 ADC.
+	ADCBits = 10
+
+	// Levels is the number of distinct ADC codes.
+	Levels = 1 << ADCBits
+
+	// VRef is the ADC reference voltage in volts (STM32 VDDA).
+	VRef = 3.3
+
+	// SamplesPerAverage is how many consecutive raw conversions the CPU
+	// averages per transmitted value.
+	SamplesPerAverage = 6
+
+	// SampleInterval is the interval between transmitted sample sets:
+	// reading 8 sensors and averaging 6 samples amounts to 50 µs → 20 kHz.
+	SampleIntervalMicros = 50
+
+	// SampleRateHz is the resulting output sample rate.
+	SampleRateHz = 1e6 / SampleIntervalMicros
+
+	// TimestampIndex is the pseudo sensor index used for timestamp packets.
+	TimestampIndex = 7
+
+	// TimestampWrapMicros is the period of the 10-bit device timestamp.
+	TimestampWrapMicros = 1 << ADCBits
+)
+
+// Host-to-device command bytes (Section III-B, "firmware supports several
+// options through the host").
+const (
+	CmdStartStream    = 'S'  // start streaming sensor data
+	CmdStopStream     = 'T'  // stop streaming
+	CmdReadConfig     = 'R'  // send sensor configuration to host
+	CmdWriteConfig    = 'W'  // receive sensor configuration from host
+	CmdMarker         = 'M'  // attach a marker to the next sensor data
+	CmdVersion        = 'V'  // send firmware version string
+	CmdReboot         = 'X'  // reboot the device
+	CmdRebootDFU      = 'D'  // reboot to DFU mode for firmware upload
+	CmdConfigDone     = 0x2e // '.' terminates a configuration block
+	VersionTerminator = '\n'
+)
+
+// Errors returned by the decoder.
+var (
+	ErrNotFirstByte  = errors.New("protocol: first byte does not have the start bit set")
+	ErrNotSecondByte = errors.New("protocol: second byte has the start bit set")
+)
+
+// Sample is one decoded 2-byte packet.
+type Sample struct {
+	Sensor int  // 0..7; TimestampIndex means Level is a device timestamp
+	Level  int  // 10-bit ADC level or timestamp value
+	Marker bool // marker flag (meaningful per the index rules above)
+}
+
+// IsTimestamp reports whether the packet carries the device timestamp rather
+// than an ADC level.
+func (s Sample) IsTimestamp() bool {
+	return s.Marker && s.Sensor == TimestampIndex
+}
+
+// IsUserMarker reports whether the packet carries a user marker: the marker
+// bit is only a real marker on sensor 0.
+func (s Sample) IsUserMarker() bool {
+	return s.Marker && s.Sensor == 0
+}
+
+// Encode packs the sample into the 2-byte wire representation.
+// It panics if the sensor index or level is out of range, as those can only
+// arise from a firmware bug.
+func Encode(s Sample) [2]byte {
+	if s.Sensor < 0 || s.Sensor >= MaxSensors {
+		panic(fmt.Sprintf("protocol: sensor index %d out of range", s.Sensor))
+	}
+	if s.Level < 0 || s.Level >= Levels {
+		panic(fmt.Sprintf("protocol: level %d out of range", s.Level))
+	}
+	var m byte
+	if s.Marker {
+		m = 1
+	}
+	return [2]byte{
+		0x80 | byte(s.Sensor)<<4 | m<<3 | byte(s.Level>>7),
+		byte(s.Level & 0x7f),
+	}
+}
+
+// Decode unpacks a 2-byte wire packet.
+func Decode(b0, b1 byte) (Sample, error) {
+	if b0&0x80 == 0 {
+		return Sample{}, ErrNotFirstByte
+	}
+	if b1&0x80 != 0 {
+		return Sample{}, ErrNotSecondByte
+	}
+	return Sample{
+		Sensor: int(b0 >> 4 & 0x7),
+		Level:  int(b0&0x7)<<7 | int(b1&0x7f),
+		Marker: b0&0x08 != 0,
+	}, nil
+}
+
+// TimestampSample builds the timestamp packet transmitted before each sample
+// set: marker bit set, sensor index 7, level = microseconds mod 1024.
+func TimestampSample(micros uint64) Sample {
+	return Sample{
+		Sensor: TimestampIndex,
+		Level:  int(micros % TimestampWrapMicros),
+		Marker: true,
+	}
+}
+
+// StreamDecoder incrementally decodes the device byte stream, resynchronising
+// on the start bit if a byte is lost (e.g. when the host starts reading mid
+// stream).
+type StreamDecoder struct {
+	havePending bool
+	pending     byte
+	resyncs     int
+}
+
+// Feed consumes buf and appends decoded samples to dst, returning the
+// extended slice. Bytes that cannot start a packet are skipped and counted as
+// resynchronisations.
+func (d *StreamDecoder) Feed(dst []Sample, buf []byte) []Sample {
+	for _, b := range buf {
+		if !d.havePending {
+			if b&0x80 == 0 {
+				d.resyncs++
+				continue // wait for a first byte
+			}
+			d.pending = b
+			d.havePending = true
+			continue
+		}
+		if b&0x80 != 0 {
+			// Expected a second byte but got a first byte: drop the
+			// pending byte and restart from this one.
+			d.resyncs++
+			d.pending = b
+			continue
+		}
+		s, err := Decode(d.pending, b)
+		d.havePending = false
+		if err != nil {
+			d.resyncs++
+			continue
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// Resyncs returns how many bytes were discarded to regain packet alignment.
+func (d *StreamDecoder) Resyncs() int { return d.resyncs }
+
+// SensorConfig is the per-sensor configuration stored in the device's virtual
+// EEPROM and exchanged with the host (Section III-B1).
+type SensorConfig struct {
+	Name        string  // sensor name, at most NameLen bytes
+	Volt        float64 // reference voltage of the monitored rail
+	Sensitivity float64 // V/A for current sensors, gain for voltage sensors
+	Offset      float64 // calibration offset: amperes (current) / volts (voltage)
+	Polarity    int8    // +1 or -1; allows reversed sensor mounting
+	Enabled     bool    // sensor state
+}
+
+// NameLen is the fixed on-wire length of the sensor name field.
+const NameLen = 16
+
+// ConfigBlockLen is the serialized size of one SensorConfig.
+const ConfigBlockLen = NameLen + 8 + 8 + 8 + 1 + 1
+
+// MarshalConfig serializes cfg into its fixed-size wire block.
+func MarshalConfig(cfg SensorConfig) []byte {
+	buf := make([]byte, ConfigBlockLen)
+	copy(buf[:NameLen], cfg.Name)
+	putFloat64(buf[NameLen:], cfg.Volt)
+	putFloat64(buf[NameLen+8:], cfg.Sensitivity)
+	putFloat64(buf[NameLen+16:], cfg.Offset)
+	buf[NameLen+24] = byte(cfg.Polarity)
+	if cfg.Enabled {
+		buf[NameLen+25] = 1
+	}
+	return buf
+}
+
+// Validate reports whether the configuration is semantically plausible —
+// the host library's defence against parsing a non-PowerSensor device's
+// noise as configuration.
+func (c SensorConfig) Validate() error {
+	if c.Polarity != 1 && c.Polarity != -1 {
+		return fmt.Errorf("protocol: polarity %d invalid", c.Polarity)
+	}
+	if !c.Enabled {
+		return nil // disabled sensors may carry stale values
+	}
+	if c.Sensitivity <= 0 || c.Sensitivity > 100 {
+		return fmt.Errorf("protocol: sensitivity %g implausible", c.Sensitivity)
+	}
+	if c.Volt < 0 || c.Volt > 1000 {
+		return fmt.Errorf("protocol: rail voltage %g implausible", c.Volt)
+	}
+	for _, b := range []byte(c.Name) {
+		if b < 0x20 || b > 0x7e {
+			return fmt.Errorf("protocol: sensor name contains non-printable byte 0x%02x", b)
+		}
+	}
+	return nil
+}
+
+// UnmarshalConfig parses a wire block produced by MarshalConfig.
+func UnmarshalConfig(buf []byte) (SensorConfig, error) {
+	if len(buf) < ConfigBlockLen {
+		return SensorConfig{}, fmt.Errorf("protocol: config block too short: %d bytes", len(buf))
+	}
+	name := buf[:NameLen]
+	end := 0
+	for end < len(name) && name[end] != 0 {
+		end++
+	}
+	return SensorConfig{
+		Name:        string(name[:end]),
+		Volt:        getFloat64(buf[NameLen:]),
+		Sensitivity: getFloat64(buf[NameLen+8:]),
+		Offset:      getFloat64(buf[NameLen+16:]),
+		Polarity:    int8(buf[NameLen+24]),
+		Enabled:     buf[NameLen+25] != 0,
+	}, nil
+}

@@ -1,0 +1,272 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for sensor := 0; sensor < MaxSensors; sensor++ {
+		for _, level := range []int{0, 1, 127, 128, 511, 512, Levels - 1} {
+			for _, marker := range []bool{false, true} {
+				in := Sample{Sensor: sensor, Level: level, Marker: marker}
+				b := Encode(in)
+				out, err := Decode(b[0], b[1])
+				if err != nil {
+					t.Fatalf("decode error: %v", err)
+				}
+				if out != in {
+					t.Fatalf("round trip: got %+v, want %+v", out, in)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(sensor uint8, level uint16, marker bool) bool {
+		in := Sample{
+			Sensor: int(sensor) % MaxSensors,
+			Level:  int(level) % Levels,
+			Marker: marker,
+		}
+		b := Encode(in)
+		out, err := Decode(b[0], b[1])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramingBits(t *testing.T) {
+	b := Encode(Sample{Sensor: 3, Level: 1023, Marker: true})
+	if b[0]&0x80 == 0 {
+		t.Error("first byte missing start bit")
+	}
+	if b[1]&0x80 != 0 {
+		t.Error("second byte has start bit set")
+	}
+}
+
+func TestEncodePanicsOnBadSensor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Encode(Sample{Sensor: 8, Level: 0})
+}
+
+func TestEncodePanicsOnBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Encode(Sample{Sensor: 0, Level: Levels})
+}
+
+func TestDecodeRejectsBadFraming(t *testing.T) {
+	if _, err := Decode(0x00, 0x00); err != ErrNotFirstByte {
+		t.Errorf("want ErrNotFirstByte, got %v", err)
+	}
+	if _, err := Decode(0x80, 0x80); err != ErrNotSecondByte {
+		t.Errorf("want ErrNotSecondByte, got %v", err)
+	}
+}
+
+func TestTimestampSample(t *testing.T) {
+	s := TimestampSample(1024 + 37)
+	if !s.IsTimestamp() {
+		t.Fatal("timestamp sample not recognized")
+	}
+	if s.Level != 37 {
+		t.Fatalf("timestamp level = %d, want 37 (wrapped)", s.Level)
+	}
+	if s.IsUserMarker() {
+		t.Fatal("timestamp must not read as user marker")
+	}
+}
+
+func TestUserMarkerOnlyOnSensorZero(t *testing.T) {
+	if !(Sample{Sensor: 0, Level: 5, Marker: true}).IsUserMarker() {
+		t.Error("sensor 0 + marker must be a user marker")
+	}
+	if (Sample{Sensor: 1, Level: 5, Marker: true}).IsUserMarker() {
+		t.Error("sensor 1 + marker must not be a user marker")
+	}
+	if (Sample{Sensor: 0, Level: 5, Marker: false}).IsUserMarker() {
+		t.Error("marker bit clear must not be a user marker")
+	}
+}
+
+func TestStreamDecoderCleanStream(t *testing.T) {
+	var buf []byte
+	var want []Sample
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		s := Sample{Sensor: r.Intn(MaxSensors), Level: r.Intn(Levels), Marker: r.Intn(2) == 0}
+		want = append(want, s)
+		b := Encode(s)
+		buf = append(buf, b[0], b[1])
+	}
+	var dec StreamDecoder
+	// Feed in ragged chunks to exercise byte-at-a-time reassembly.
+	var got []Sample
+	for len(buf) > 0 {
+		n := r.Intn(7) + 1
+		if n > len(buf) {
+			n = len(buf)
+		}
+		got = dec.Feed(got, buf[:n])
+		buf = buf[n:]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if dec.Resyncs() != 0 {
+		t.Fatalf("clean stream caused %d resyncs", dec.Resyncs())
+	}
+}
+
+func TestStreamDecoderResyncAfterTruncatedStart(t *testing.T) {
+	s1 := Encode(Sample{Sensor: 2, Level: 700})
+	s2 := Encode(Sample{Sensor: 3, Level: 30})
+	// Host starts reading mid-packet: sees only the second byte of s1.
+	stream := []byte{s1[1], s2[0], s2[1]}
+	var dec StreamDecoder
+	got := dec.Feed(nil, stream)
+	if len(got) != 1 || got[0].Sensor != 3 || got[0].Level != 30 {
+		t.Fatalf("got %+v", got)
+	}
+	if dec.Resyncs() == 0 {
+		t.Fatal("expected a resync")
+	}
+}
+
+func TestStreamDecoderResyncAfterLostSecondByte(t *testing.T) {
+	s1 := Encode(Sample{Sensor: 1, Level: 100})
+	s2 := Encode(Sample{Sensor: 4, Level: 200})
+	// s1's second byte is lost in transit.
+	stream := []byte{s1[0], s2[0], s2[1]}
+	var dec StreamDecoder
+	got := dec.Feed(nil, stream)
+	if len(got) != 1 || got[0].Sensor != 4 || got[0].Level != 200 {
+		t.Fatalf("got %+v", got)
+	}
+	if dec.Resyncs() == 0 {
+		t.Fatal("expected a resync")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	in := SensorConfig{
+		Name:        "12V/10A",
+		Volt:        12.0,
+		Sensitivity: 0.120,
+		Polarity:    -1,
+		Enabled:     true,
+	}
+	out, err := UnmarshalConfig(MarshalConfig(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestConfigNameTruncation(t *testing.T) {
+	in := SensorConfig{Name: "a-very-long-sensor-name-exceeding-the-field", Polarity: 1}
+	out, err := UnmarshalConfig(MarshalConfig(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Name) != NameLen {
+		t.Fatalf("name %q not truncated to %d", out.Name, NameLen)
+	}
+}
+
+func TestConfigTooShort(t *testing.T) {
+	if _, err := UnmarshalConfig(make([]byte, 3)); err == nil {
+		t.Fatal("expected error for short block")
+	}
+}
+
+func TestQuickConfigRoundTrip(t *testing.T) {
+	f := func(volt, sens float64, enabled bool, pol bool) bool {
+		p := int8(1)
+		if pol {
+			p = -1
+		}
+		in := SensorConfig{Name: "x", Volt: volt, Sensitivity: sens, Polarity: p, Enabled: enabled}
+		out, err := UnmarshalConfig(MarshalConfig(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRateArithmetic(t *testing.T) {
+	// Section III-B: 8 sensors, 6-sample averaging → 50 µs → 20 kHz.
+	if SampleRateHz != 20000 {
+		t.Fatalf("sample rate = %v", SampleRateHz)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	s := Sample{Sensor: 3, Level: 512}
+	for i := 0; i < b.N; i++ {
+		_ = Encode(s)
+	}
+}
+
+func BenchmarkStreamDecoder(b *testing.B) {
+	var buf []byte
+	r := rng.New(1)
+	for i := 0; i < 4096; i++ {
+		p := Encode(Sample{Sensor: r.Intn(MaxSensors), Level: r.Intn(Levels)})
+		buf = append(buf, p[0], p[1])
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dec StreamDecoder
+		_ = dec.Feed(nil, buf)
+	}
+}
+
+func TestValidateAcceptsRealConfigs(t *testing.T) {
+	good := SensorConfig{Name: "12V/10A-I", Volt: 12, Sensitivity: 0.12, Polarity: 1, Enabled: true}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	disabled := SensorConfig{Polarity: -1}
+	if err := disabled.Validate(); err != nil {
+		t.Fatalf("disabled config rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	cases := []SensorConfig{
+		{Name: "x", Volt: 12, Sensitivity: 0.12, Polarity: 0, Enabled: true},       // bad polarity
+		{Name: "x", Volt: 12, Sensitivity: -1, Polarity: 1, Enabled: true},         // bad sensitivity
+		{Name: "x", Volt: 12, Sensitivity: 1e6, Polarity: 1, Enabled: true},        // absurd sensitivity
+		{Name: "x", Volt: -5, Sensitivity: 0.12, Polarity: 1, Enabled: true},       // negative rail
+		{Name: "\x01bad", Volt: 12, Sensitivity: 0.12, Polarity: 1, Enabled: true}, // binary name
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package report renders experiment results into a Markdown document — the
+// machine-written counterpart of EXPERIMENTS.md, so a full reproduction run
+// can publish its numbers directly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Builder accumulates sections of a reproduction report.
+type Builder struct {
+	title    string
+	sections []section
+}
+
+type section struct {
+	heading string
+	body    string
+}
+
+// New starts a report with the given title.
+func New(title string) *Builder {
+	return &Builder{title: title}
+}
+
+// Sections returns how many sections have been added.
+func (b *Builder) Sections() int { return len(b.sections) }
+
+// AddTable appends a section rendering an experiments.Table as Markdown.
+func (b *Builder) AddTable(heading string, t experiments.Table) {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = strings.TrimSpace(row[i])
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	b.sections = append(b.sections, section{heading: heading, body: sb.String()})
+}
+
+// AddText appends a free-text section.
+func (b *Builder) AddText(heading, text string) {
+	b.sections = append(b.sections, section{heading: heading, body: text + "\n"})
+}
+
+// AddSeries appends a section summarising a data series (count, range) with
+// an optional preformatted plot.
+func (b *Builder) AddSeries(heading string, s experiments.Series, plot string) {
+	var sb strings.Builder
+	if len(s.Y) > 0 {
+		lo, hi := s.Y[0], s.Y[0]
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(&sb, "%d points, range %.3g – %.3g.\n\n", len(s.Y), lo, hi)
+	}
+	if plot != "" {
+		sb.WriteString("```\n" + strings.TrimRight(plot, "\n") + "\n```\n")
+	}
+	b.sections = append(b.sections, section{heading: heading, body: sb.String()})
+}
+
+// Write emits the assembled document.
+func (b *Builder) Write(w io.Writer, generatedAt time.Time) error {
+	var sb strings.Builder
+	sb.WriteString("# " + b.title + "\n\n")
+	fmt.Fprintf(&sb, "_Generated %s by cmd/experiments._\n\n", generatedAt.Format("2006-01-02 15:04:05"))
+	for _, s := range b.sections {
+		sb.WriteString("## " + s.heading + "\n\n")
+		sb.WriteString(s.body + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestReportRendersMarkdown(t *testing.T) {
+	b := New("Reproduction report")
+	b.AddTable("Table I", experiments.Table{
+		Title:  "ignored here",
+		Header: []string{"Module", "Power"},
+		Rows:   [][]string{{"12V/10A", "±4.3 W"}, {"3.3V/10A", "±1.2 W"}},
+	})
+	b.AddText("Notes", "Shapes hold.")
+	b.AddSeries("Fig. 5", experiments.Series{
+		Name: "step", X: []float64{0, 1, 2}, Y: []float64{40, 96, 40},
+	}, "plot-goes-here")
+
+	if b.Sections() != 3 {
+		t.Fatalf("%d sections", b.Sections())
+	}
+
+	var out bytes.Buffer
+	if err := b.Write(&out, time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Table I",
+		"| Module | Power |",
+		"| --- | --- |",
+		"| 12V/10A | ±4.3 W |",
+		"## Notes",
+		"Shapes hold.",
+		"3 points, range 40 – 96.",
+		"```\nplot-goes-here\n```",
+		"2026-06-12",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportHandlesRaggedRows(t *testing.T) {
+	b := New("r")
+	b.AddTable("T", experiments.Table{
+		Header: []string{"a", "b", "c"},
+		Rows:   [][]string{{"1"}}, // short row must not panic
+	})
+	var out bytes.Buffer
+	if err := b.Write(&out, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| 1 |  |  |") {
+		t.Fatalf("ragged row rendering:\n%s", out.String())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	b := New("r")
+	b.AddSeries("empty", experiments.Series{}, "")
+	var out bytes.Buffer
+	if err := b.Write(&out, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "## empty") {
+		t.Fatal("empty series section missing")
+	}
+}

@@ -1,0 +1,83 @@
+// Package rig wires a simulated accelerator to a PowerSensor3 the way the
+// paper's case studies do: discrete GPUs through a modified riser card (slot
+// 3.3 V + slot 12 V modules) plus the external PCIe 8-pin module (Fig. 6),
+// and SoC boards through a single USB-C module (Fig. 9).
+package rig
+
+import (
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpu"
+)
+
+// Rig is a device-under-test with an attached, open PowerSensor3.
+type Rig struct {
+	GPU *gpu.GPU
+	Dev *device.Device
+	PS  *core.PowerSensor
+}
+
+// NewPCIe builds the discrete-GPU measurement setup: three sensor modules
+// intercepting the 3.3 V slot, 12 V slot and external 12 V rails.
+func NewPCIe(g *gpu.GPU, seed uint64) (*Rig, error) {
+	slot3, slot12, ext12 := g.PCIeRails()
+	dev := device.New(seed,
+		device.Slot{Module: analog.NewModule(analog.Slot10A, 3.3), Source: slot3},
+		device.Slot{Module: analog.NewModule(analog.Slot10A, 12), Source: slot12},
+		device.Slot{Module: analog.NewModule(analog.PCIe8Pin20A, 12), Source: ext12},
+	)
+	ps, err := core.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{GPU: g, Dev: dev, PS: ps}, nil
+}
+
+// NewUSBC builds the SoC measurement setup: one USB-C module carrying the
+// whole system supply.
+func NewUSBC(g *gpu.GPU, seed uint64) (*Rig, error) {
+	dev := device.New(seed,
+		device.Slot{Module: analog.NewModule(analog.USBC, 20), Source: g.USBCRail()},
+	)
+	ps, err := core.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{GPU: g, Dev: dev, PS: ps}, nil
+}
+
+// Now returns the shared virtual time of the rig.
+func (r *Rig) Now() time.Duration { return r.Dev.Now() }
+
+// MeasureKernel launches k now, advances through its execution, and returns
+// its duration plus the total board energy PowerSensor3 measured over the
+// window — the paper's "instant capturing of the energy consumption of GPU
+// kernels".
+func (r *Rig) MeasureKernel(k gpu.Kernel) (time.Duration, float64) {
+	run := r.GPU.LaunchKernel(k, r.Now())
+	before := r.PS.Read()
+	r.PS.Advance(run.End - r.Now())
+	after := r.PS.Read()
+	return run.Duration(), core.Joules(before, after, -1)
+}
+
+// Idle advances the rig without work, letting the DUT settle.
+func (r *Rig) Idle(d time.Duration) {
+	r.PS.Advance(d)
+}
+
+// Skip fast-forwards the rig's timeline without generating samples — used
+// when the measurement chain is not needed (e.g. the onboard-sensor dwell,
+// which only polls the vendor API).
+func (r *Rig) Skip(d time.Duration) {
+	r.GPU.PowerAt(r.Now() + d)
+	r.Dev.Skip(d)
+}
+
+// Close releases the sensor.
+func (r *Rig) Close() {
+	r.PS.Close()
+}

@@ -1,0 +1,86 @@
+package rig
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+)
+
+func TestPCIeRigMeasuresKernelEnergy(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 1)
+	r, err := NewPCIe(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	g.SetAppClock(1815)
+	k := gpu.Kernel{Name: "x", FLOPs: 20e12, Waves: 1, Intensity: 0.8, Efficiency: 0.8}
+	r.Idle(50 * time.Millisecond)
+
+	e0 := g.TrueEnergy()
+	dur, joules := r.MeasureKernel(k)
+	trueJ := g.TrueEnergy() - e0
+
+	if dur <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	if relErr := math.Abs(joules-trueJ) / trueJ; relErr > 0.08 {
+		t.Fatalf("PS3 energy %v J vs true %v J (%.1f%% error)", joules, trueJ, relErr*100)
+	}
+}
+
+func TestUSBCRigSeesCarrierBoard(t *testing.T) {
+	g := gpu.New(gpu.JetsonAGXOrin(), 2)
+	r, err := NewUSBC(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	r.Idle(200 * time.Millisecond)
+	st := r.PS.Read()
+	total := st.Watts[0]
+	module := g.ModulePower(r.Now())
+	if total <= module {
+		t.Fatalf("USB-C measurement %v W must include the carrier board (module %v W)",
+			total, module)
+	}
+}
+
+func TestRigTimelineAdvances(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 3)
+	r, err := NewPCIe(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	t0 := r.Now()
+	r.Idle(30 * time.Millisecond)
+	if r.Now()-t0 < 29*time.Millisecond {
+		t.Fatalf("timeline advanced only %v", r.Now()-t0)
+	}
+}
+
+func TestBeamformerKernelOnRig(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 4)
+	r, err := NewPCIe(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g.SetAppClock(1815)
+	cfg := kernels.Space()[100]
+	k := cfg.Kernel(g.Spec(), 1815, kernels.DefaultProblem())
+	dur, joules := r.MeasureKernel(k)
+	if joules <= 0 {
+		t.Fatalf("energy %v", joules)
+	}
+	tflops := kernels.DefaultProblem().FLOPs() / dur.Seconds() / 1e12
+	if tflops < 5 || tflops > 96 {
+		t.Fatalf("TFLOPS = %v out of plausible range", tflops)
+	}
+}

@@ -1,0 +1,142 @@
+// Package rng provides a small, deterministic random source used by every
+// noise model in the simulator.
+//
+// The simulator must be reproducible: the same seed must yield the same
+// sample stream regardless of Go version or platform. math/rand's global
+// source is both global and historically unstable across versions, so we
+// implement xoshiro256** seeded via splitmix64, the combination recommended
+// by the xoshiro authors. Gaussian variates use the polar Box–Muller method.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; create one Source per simulated component instead.
+type Source struct {
+	s [4]uint64
+
+	// Box–Muller produces variates in pairs; cache the spare.
+	gaussValid bool
+	gauss      float64
+}
+
+// New returns a Source seeded from seed via splitmix64, which guarantees the
+// internal state is never all-zero.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the generator to the deterministic state derived from seed.
+func (r *Source) Seed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	r.gaussValid = false
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method (unbiased).
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Norm returns a standard-normal variate (mean 0, standard deviation 1).
+func (r *Source) Norm() float64 {
+	if r.gaussValid {
+		r.gaussValid = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.gaussValid = true
+		return u * f
+	}
+}
+
+// NormSigma returns a normal variate with mean 0 and the given standard
+// deviation.
+func (r *Source) NormSigma(sigma float64) float64 {
+	return sigma * r.Norm()
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent child source. Deriving rather than sharing keeps
+// per-component streams stable when unrelated components add or remove draws.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}

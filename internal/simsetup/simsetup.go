@@ -1,0 +1,123 @@
+// Package simsetup assembles the simulated measurement setups the command
+// line tools operate on. A real deployment would open /dev/ttyACM*; this
+// reproduction builds the equivalent virtual hardware from a textual
+// description instead.
+package simsetup
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fio"
+	"repro/internal/gpu"
+	"repro/internal/rig"
+	"repro/internal/ssd"
+)
+
+// moduleKinds maps CLI names to module kinds.
+var moduleKinds = map[string]analog.ModuleKind{
+	"pcie8pin": analog.PCIe8Pin20A,
+	"slot10a":  analog.Slot10A,
+	"usbc":     analog.USBC,
+	"tb20a":    analog.Terminal20A,
+	"hc50a":    analog.HighCurrent50A,
+}
+
+// ModuleNames lists the accepted module names.
+func ModuleNames() []string {
+	var names []string
+	for k := range moduleKinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BenchDevice builds a device with one sensor module wired to a constant
+// bench load. spec is "kind:volts" (e.g. "slot10a:12").
+func BenchDevice(spec string, amps float64, seed uint64) (*device.Device, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	kind, ok := moduleKinds[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("unknown module %q (have %s)", parts[0],
+			strings.Join(ModuleNames(), ", "))
+	}
+	volts := 12.0
+	if len(parts) == 2 {
+		if _, err := fmt.Sscanf(parts[1], "%f", &volts); err != nil {
+			return nil, fmt.Errorf("bad voltage in %q: %w", spec, err)
+		}
+	}
+	return device.New(seed, device.Slot{
+		Module: analog.NewModule(kind, volts),
+		Source: device.BenchSource{
+			Supply: &bench.Supply{Nominal: volts},
+			Load:   bench.ConstantLoad(amps),
+		},
+	}), nil
+}
+
+// GPUNames lists the accepted GPU model names.
+func GPUNames() []string { return []string{"rtx4000ada", "w7700", "jetson"} }
+
+// GPURig builds a GPU plus an attached PowerSensor3 in the paper's wiring.
+func GPURig(name string, seed uint64) (*rig.Rig, error) {
+	switch name {
+	case "rtx4000ada":
+		return rig.NewPCIe(gpu.New(gpu.RTX4000Ada(), seed), seed)
+	case "w7700":
+		return rig.NewPCIe(gpu.New(gpu.W7700(), seed), seed)
+	case "jetson":
+		return rig.NewUSBC(gpu.New(gpu.JetsonAGXOrin(), seed), seed)
+	default:
+		return nil, fmt.Errorf("unknown GPU %q (have %s)", name,
+			strings.Join(GPUNames(), ", "))
+	}
+}
+
+// DiskRig is an SSD with an attached PowerSensor3 on the riser rails.
+type DiskRig struct {
+	Disk *ssd.Disk
+	Dev  *device.Device
+	PS   *core.PowerSensor
+}
+
+// NewDiskRig builds the Fig. 11 setup: a scaled Samsung 980 PRO behind
+// 3.3 V and 12 V slot modules.
+func NewDiskRig(seed uint64, precondition bool) (*DiskRig, error) {
+	disk := ssd.New(ssd.Samsung980Pro(), seed)
+	if precondition {
+		fio.PreconditionSequential(disk)
+	}
+	const share3v3, share12 = 0.92, 0.08
+	rail := func(share, nominal float64) device.RailSource {
+		return device.SourceFunc(func(t time.Duration) (float64, float64) {
+			p := disk.PowerAt(t) * share
+			v := nominal - p/nominal*0.01
+			return v, p / v
+		})
+	}
+	dev := device.New(seed,
+		device.Slot{Module: analog.NewModule(analog.Slot10A, 3.3), Source: rail(share3v3, 3.3)},
+		device.Slot{Module: analog.NewModule(analog.Slot10A, 12), Source: rail(share12, 12)},
+	)
+	ps, err := core.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	dev.Skip(disk.Now())
+	return &DiskRig{Disk: disk, Dev: dev, PS: ps}, nil
+}
+
+// Sync advances the PowerSensor3 to the disk's timeline.
+func (r *DiskRig) Sync(now time.Duration) {
+	if d := now - r.Dev.Now(); d > 0 {
+		r.PS.Advance(d)
+	}
+}

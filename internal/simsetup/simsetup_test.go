@@ -1,0 +1,96 @@
+package simsetup
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+)
+
+func TestModuleNamesSorted(t *testing.T) {
+	names := ModuleNames()
+	if len(names) != 5 {
+		t.Fatalf("%d module names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestBenchDeviceSpecs(t *testing.T) {
+	for _, spec := range []string{"slot10a:12", "slot10a:3.3", "pcie8pin:12", "usbc:20", "hc50a:12", "tb20a"} {
+		dev, err := BenchDevice(spec, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if !dev.Firmware().SensorConfig(0).Enabled {
+			t.Fatalf("%s: sensor disabled", spec)
+		}
+	}
+}
+
+func TestBenchDeviceErrors(t *testing.T) {
+	if _, err := BenchDevice("nope:12", 1, 1); err == nil || !strings.Contains(err.Error(), "unknown module") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BenchDevice("slot10a:abc", 1, 1); err == nil {
+		t.Fatal("bad voltage accepted")
+	}
+}
+
+func TestBenchDeviceMeasures(t *testing.T) {
+	dev, err := BenchDevice("slot10a:12", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	a := ps.Read()
+	ps.Advance(100 * time.Millisecond)
+	b := ps.Read()
+	if w := core.Watts(a, b, 0); w < 55 || w > 65 {
+		t.Fatalf("watts = %v, want ~60", w)
+	}
+}
+
+func TestGPURigNames(t *testing.T) {
+	for _, name := range GPUNames() {
+		r, err := GPURig(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r.Idle(time.Millisecond)
+		r.Close()
+	}
+	if _, err := GPURig("voodoo2", 3); err == nil {
+		t.Fatal("unknown GPU accepted")
+	}
+}
+
+func TestDiskRigMeasures(t *testing.T) {
+	r, err := NewDiskRig(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.PS.Close()
+	before := r.PS.Read()
+	res := fio.Run(r.Disk, fio.Job{
+		Pattern: fio.RandRead, BlockKiB: 64, IODepth: 4,
+		Runtime: time.Second, Seed: 4,
+	}, r.Sync)
+	after := r.PS.Read()
+	if res.MeanMiBps <= 0 {
+		t.Fatal("no bandwidth")
+	}
+	w := core.Watts(before, after, -1)
+	if w < 1 || w > 8 {
+		t.Fatalf("SSD power %v W implausible", w)
+	}
+}

@@ -1,0 +1,517 @@
+// Package ssd models an NVMe flash SSD at the level of detail the paper's
+// storage case study (Section V-C) depends on: a multi-channel, multi-die
+// flash back-end behind an FTL with superblock striping, a dynamic SLC write
+// cache and greedy garbage collection.
+//
+// The two phenomena Fig. 12 demonstrates both emerge from this structure:
+//
+//   - Random-read bandwidth and power rise with request size until the dies
+//     or the host link saturate (Fig. 12a): larger requests amortise
+//     controller overhead and flash-page reads across more bytes.
+//   - Sustained random writes show highly variable bandwidth once garbage
+//     collection starts relocating pages, while power stays comparatively
+//     flat — dies are busy either way, so bandwidth is not a power proxy
+//     (Fig. 12b).
+//
+// The FTL manages superblocks: one erase block on every die, striped so
+// consecutive programs land on consecutive dies, as real controllers do.
+// Geometry and timing are scaled from the Samsung 980 PRO 1 TB: the
+// simulated drive keeps the channel/die parallelism, the over-provisioning
+// ratio and the latency ratios, with a reduced capacity so that steady state
+// is reached within simulable time (documented on Samsung980Pro).
+package ssd
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the drive geometry, timing and power model.
+type Config struct {
+	// Channels and DiesPerChannel set the flash parallelism.
+	Channels, DiesPerChannel int
+
+	// PageBytes is the logical mapping unit (4 KiB).
+	PageBytes int
+	// PagesPerFlashPage is how many logical pages share one physical flash
+	// page read (16 KiB flash pages → 4).
+	PagesPerFlashPage int
+	// PagesPerBlock is the logical pages per erase block on one die.
+	PagesPerBlock int
+	// LogicalPages is the advertised capacity in logical pages.
+	LogicalPages int
+	// OverProvision is the extra physical share (0.12 = 12%).
+	OverProvision float64
+
+	// SLCCachePages is the dynamic SLC cache capacity in logical pages.
+	SLCCachePages int
+
+	// Timing.
+	ReadFlashPage time.Duration // one flash-page read
+	ProgPage      time.Duration // one logical page TLC program (multi-plane amortised)
+	ProgPageSLC   time.Duration // one logical page SLC program
+	EraseBlock    time.Duration
+	XferPerPage   time.Duration // channel transfer per logical page
+	ControllerOp  time.Duration // per-command controller overhead
+	HostLinkMiBps float64       // PCIe link ceiling
+
+	// Power model.
+	IdleW       float64
+	DieReadW    float64 // per die actively reading
+	DieProgW    float64 // per die actively programming
+	DieEraseW   float64
+	ControllerW float64 // controller+DRAM while IO is in flight
+	PerGiBpsW   float64 // data-movement power per GiB/s of host throughput
+}
+
+// Samsung980Pro returns the scaled 980 PRO model: 8 channels × 2 dies,
+// 1 GiB usable capacity (1024× smaller than the real 1 TB drive, so the
+// write experiment reaches steady state in simulable time), with the real
+// drive's parallelism, over-provisioning and latency ratios.
+func Samsung980Pro() Config {
+	return Config{
+		Channels: 8, DiesPerChannel: 2,
+		PageBytes:         4096,
+		PagesPerFlashPage: 4,
+		PagesPerBlock:     256, // 1 MiB per-die blocks → 16 MiB superblocks
+		LogicalPages:      256 * 1024,
+		OverProvision:     0.12,
+		SLCCachePages:     24 * 1024, // ~96 MiB dynamic cache
+
+		ReadFlashPage: 50 * time.Microsecond,
+		ProgPage:      64 * time.Microsecond,
+		ProgPageSLC:   20 * time.Microsecond,
+		EraseBlock:    3 * time.Millisecond,
+		XferPerPage:   3300 * time.Nanosecond,
+		ControllerOp:  6 * time.Microsecond,
+		HostLinkMiBps: 3500,
+
+		IdleW: 1.3, DieReadW: 0.12, DieProgW: 0.30, DieEraseW: 0.40,
+		ControllerW: 0.5, PerGiBpsW: 0.8,
+	}
+}
+
+// Dies returns the total die count.
+func (c Config) Dies() int { return c.Channels * c.DiesPerChannel }
+
+// PagesPerSuperblock returns the logical pages in one striped superblock.
+func (c Config) PagesPerSuperblock() int { return c.PagesPerBlock * c.Dies() }
+
+// Superblocks returns the physical superblock count including OP, always at
+// least one superblock above the logical capacity.
+func (c Config) Superblocks() int {
+	logical := (c.LogicalPages + c.PagesPerSuperblock() - 1) / c.PagesPerSuperblock()
+	phys := int(float64(logical) * (1 + c.OverProvision))
+	if phys < logical+2 {
+		phys = logical + 2
+	}
+	return phys
+}
+
+// opKind labels what a die is doing.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	opRead
+	opProg
+	opErase
+)
+
+// die is one flash die's execution state.
+type die struct {
+	busyUntil time.Duration
+	kind      opKind
+}
+
+// superblock bookkeeping.
+type superblock struct {
+	valid int
+	free  bool
+}
+
+// Request is a host command handed to the disk.
+type Request struct {
+	Write  bool
+	Page   int // starting logical page
+	Pages  int // length in logical pages
+	Submit time.Duration
+}
+
+// Completion reports when a request finished.
+type Completion struct {
+	Req  Request
+	Done time.Duration
+}
+
+// Stats aggregates drive-internal activity.
+type Stats struct {
+	HostReadPages  int64
+	HostWritePages int64
+	GCMovedPages   int64
+	Erases         int64 // superblock erases
+	SLCHits        int64
+}
+
+// WriteAmplification returns (host+GC)/host writes.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWritePages == 0 {
+		return 1
+	}
+	return float64(s.HostWritePages+s.GCMovedPages) / float64(s.HostWritePages)
+}
+
+// Disk is a simulated NVMe SSD.
+type Disk struct {
+	cfg Config
+
+	mapTable []int32 // logical page → physical page (-1 = unmapped)
+	revTable []int32 // physical page → logical page (-1 = free/invalid)
+	sbs      []superblock
+	freeCnt  int
+	dies     []die
+
+	open    int // superblock accepting host programs (-1 = none)
+	openPtr int
+	gc      int // superblock accepting GC relocations (-1 = none)
+	gcPtr   int
+
+	slcUsed int // logical pages currently in the SLC cache
+
+	now          time.Duration
+	linkBusyTill time.Duration
+	hostBytes    float64
+	hostBytesT   time.Duration
+	lastGiBps    float64
+
+	stats    Stats
+	linkRate float64 // bytes/sec
+}
+
+// New formats a drive: all logical pages unmapped, all superblocks free.
+func New(cfg Config, seed uint64) *Disk {
+	_ = seed // geometry is deterministic; seed reserved for future wear models
+	nPhys := cfg.Superblocks() * cfg.PagesPerSuperblock()
+	d := &Disk{
+		cfg:      cfg,
+		mapTable: make([]int32, cfg.LogicalPages),
+		revTable: make([]int32, nPhys),
+		sbs:      make([]superblock, cfg.Superblocks()),
+		dies:     make([]die, cfg.Dies()),
+		open:     -1,
+		gc:       -1,
+		freeCnt:  cfg.Superblocks(),
+		linkRate: cfg.HostLinkMiBps * 1024 * 1024,
+	}
+	for i := range d.mapTable {
+		d.mapTable[i] = -1
+	}
+	for i := range d.revTable {
+		d.revTable[i] = -1
+	}
+	for i := range d.sbs {
+		d.sbs[i].free = true
+	}
+	return d
+}
+
+// Config returns the drive configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Stats returns drive-internal counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Now returns the drive's virtual time.
+func (d *Disk) Now() time.Duration { return d.now }
+
+// dieOf returns the die a physical page lives on: superblocks stripe
+// consecutive slots across dies.
+func (d *Disk) dieOf(phys int32) int {
+	return int(phys) % d.cfg.Dies()
+}
+
+// Submit executes a request and returns its completion time. Submit times
+// must be non-decreasing across calls.
+func (d *Disk) Submit(req Request) Completion {
+	if req.Page < 0 || req.Page+req.Pages > d.cfg.LogicalPages {
+		panic(fmt.Sprintf("ssd: request [%d, %d) outside %d logical pages",
+			req.Page, req.Page+req.Pages, d.cfg.LogicalPages))
+	}
+	if req.Submit > d.now {
+		d.now = req.Submit
+	}
+	start := d.now + d.cfg.ControllerOp
+	var done time.Duration
+	if req.Write {
+		done = d.doWrite(req, start)
+	} else {
+		done = d.doRead(req, start)
+	}
+	// Host link transfer serialises with other transfers but overlaps the
+	// flash work where possible.
+	xfer := time.Duration(float64(req.Pages*d.cfg.PageBytes) / d.linkRate * float64(time.Second))
+	linkStart := maxDur(done-xfer, d.linkBusyTill)
+	d.linkBusyTill = linkStart + xfer
+	if d.linkBusyTill > done {
+		done = d.linkBusyTill
+	}
+	d.hostBytes += float64(req.Pages * d.cfg.PageBytes)
+	return Completion{Req: req, Done: done}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// flashPageOf returns the (die, flash page on that die) a physical slot
+// lives in: striping assigns slot s to die s mod D; the slots of one die are
+// packed PagesPerFlashPage per physical flash page.
+func (d *Disk) flashPageOf(phys int32) (dieID, fp int) {
+	dieID = int(phys) % d.cfg.Dies()
+	slotOnDie := int(phys) / d.cfg.Dies()
+	return dieID, slotOnDie / d.cfg.PagesPerFlashPage
+}
+
+// doRead schedules the flash reads of a request and returns the finish time.
+// Logical pages sharing a physical flash page cost one flash read plus one
+// channel transfer per page — how larger or better-clustered requests earn
+// their bandwidth (Fig. 12a).
+func (d *Disk) doRead(req Request, start time.Duration) time.Duration {
+	d.stats.HostReadPages += int64(req.Pages)
+	finish := start
+
+	// Count the logical pages needed from each unique flash page.
+	type fpKey struct{ die, fp int }
+	needed := make(map[fpKey]int, req.Pages)
+	for p := req.Page; p < req.Page+req.Pages; p++ {
+		phys := d.mapTable[p]
+		if phys < 0 {
+			continue // unmapped: controller returns zeroes
+		}
+		dieID, fp := d.flashPageOf(phys)
+		needed[fpKey{dieID, fp}]++
+	}
+	for key, pages := range needed {
+		dd := &d.dies[key.die]
+		opStart := maxDur(start, dd.busyUntil)
+		end := opStart + d.cfg.ReadFlashPage + time.Duration(pages)*d.cfg.XferPerPage
+		dd.busyUntil = end
+		dd.kind = opRead
+		if end > finish {
+			finish = end
+		}
+	}
+	return finish
+}
+
+// doWrite programs the request's pages and returns the finish time.
+func (d *Disk) doWrite(req Request, start time.Duration) time.Duration {
+	d.stats.HostWritePages += int64(req.Pages)
+	finish := start
+	for p := req.Page; p < req.Page+req.Pages; p++ {
+		if end := d.programPage(p, start); end > finish {
+			finish = end
+		}
+	}
+	return finish
+}
+
+// programPage writes one logical page into the open superblock, striped to
+// the next die, invalidating the old copy and collecting garbage as needed.
+func (d *Disk) programPage(lp int, start time.Duration) time.Duration {
+	if d.open < 0 || d.openPtr >= d.cfg.PagesPerSuperblock() {
+		d.ensureFree(1)
+		d.open = d.takeFree()
+		d.openPtr = 0
+	}
+
+	phys := int32(d.open*d.cfg.PagesPerSuperblock() + d.openPtr)
+	d.openPtr++
+
+	lat := d.cfg.ProgPage
+	if d.slcUsed < d.cfg.SLCCachePages {
+		lat = d.cfg.ProgPageSLC
+		d.slcUsed++
+		d.stats.SLCHits++
+	}
+	dd := &d.dies[d.dieOf(phys)]
+	opStart := maxDur(start, dd.busyUntil)
+	end := opStart + lat
+	dd.busyUntil = end
+	dd.kind = opProg
+
+	if old := d.mapTable[lp]; old >= 0 {
+		d.revTable[old] = -1
+		d.sbs[int(old)/d.cfg.PagesPerSuperblock()].valid--
+	}
+	d.mapTable[lp] = phys
+	d.revTable[phys] = int32(lp)
+	d.sbs[d.open].valid++
+
+	// Background reclaim once the free list is empty and cheap victims
+	// exist; expensive compaction is deferred to allocation time, where it
+	// appears as the foreground-GC stall real drives exhibit.
+	for d.freeCnt < 1 {
+		if !d.collect(false) {
+			break
+		}
+	}
+	return end
+}
+
+// ensureFree reclaims until at least n superblocks are free, forcing
+// compaction when no cheap victims remain. Each collect erases one
+// superblock, so progress is monotone; the guard catches impossible
+// geometries.
+func (d *Disk) ensureFree(n int) {
+	for guard := 4 * len(d.sbs); d.freeCnt < n && guard > 0; guard-- {
+		if !d.collect(false) && !d.collect(true) {
+			break
+		}
+	}
+	if d.freeCnt < 1 {
+		panic("ssd: no reclaimable space")
+	}
+}
+
+// takeFree claims a free superblock.
+func (d *Disk) takeFree() int {
+	for i := range d.sbs {
+		if d.sbs[i].free {
+			d.sbs[i].free = false
+			d.sbs[i].valid = 0
+			d.freeCnt--
+			return i
+		}
+	}
+	panic("ssd: takeFree with no free superblock")
+}
+
+// collect performs one greedy GC cycle: pick the closed superblock with the
+// fewest valid pages, read its survivors, erase it, and re-place the
+// survivors in the GC superblock. In cheap mode it refuses mostly-valid
+// victims — relocating them costs endurance and bandwidth for almost no
+// reclaimed space. Returns whether a victim was processed.
+func (d *Disk) collect(force bool) bool {
+	victim, bestValid := -1, 1<<30
+	for i := range d.sbs {
+		if d.sbs[i].free || i == d.open || i == d.gc {
+			continue
+		}
+		if d.sbs[i].valid < bestValid {
+			victim, bestValid = i, d.sbs[i].valid
+		}
+	}
+	if victim < 0 || bestValid >= d.cfg.PagesPerSuperblock() {
+		return false
+	}
+	if !force && bestValid > d.cfg.PagesPerSuperblock()*7/10 {
+		return false
+	}
+
+	// Read survivors (before the erase, as the controller does), charging
+	// each die its share.
+	base := victim * d.cfg.PagesPerSuperblock()
+	var moved []int32
+	for s := 0; s < d.cfg.PagesPerSuperblock(); s++ {
+		if lp := d.revTable[base+s]; lp >= 0 {
+			moved = append(moved, lp)
+			d.revTable[base+s] = -1
+			dd := &d.dies[d.dieOf(int32(base+s))]
+			dd.busyUntil += d.cfg.ReadFlashPage / time.Duration(d.cfg.PagesPerFlashPage)
+			dd.kind = opRead
+		}
+	}
+
+	// Erase: every die erases its constituent block (in parallel).
+	for i := range d.dies {
+		d.dies[i].busyUntil += d.cfg.EraseBlock / time.Duration(d.cfg.Dies())
+		d.dies[i].kind = opErase
+	}
+	d.sbs[victim].free = true
+	d.sbs[victim].valid = 0
+	d.freeCnt++
+	d.stats.Erases++
+
+	// Re-place survivors into the GC superblock.
+	for _, lp := range moved {
+		if d.gc < 0 || d.gcPtr >= d.cfg.PagesPerSuperblock() {
+			d.gc = d.takeFree()
+			d.gcPtr = 0
+		}
+		phys := int32(d.gc*d.cfg.PagesPerSuperblock() + d.gcPtr)
+		d.gcPtr++
+		dd := &d.dies[d.dieOf(phys)]
+		dd.busyUntil += d.cfg.ProgPage
+		dd.kind = opProg
+		d.mapTable[lp] = phys
+		d.revTable[phys] = lp
+		d.sbs[d.gc].valid++
+		d.stats.GCMovedPages++
+	}
+	return true
+}
+
+// DrainSLC folds cached SLC pages back to TLC during idle time; callers
+// invoke it periodically (the fio runner does). Each fold consumes die time.
+func (d *Disk) DrainSLC(until time.Duration) {
+	i := 0
+	for d.slcUsed > 0 {
+		dd := &d.dies[i%len(d.dies)]
+		if dd.busyUntil >= until {
+			return
+		}
+		dd.busyUntil += d.cfg.ProgPage
+		dd.kind = opProg
+		d.slcUsed--
+		i++
+	}
+}
+
+// SLCUsed returns the pages currently held in the SLC cache.
+func (d *Disk) SLCUsed() int { return d.slcUsed }
+
+// Advance moves the drive's clock forward (idle time).
+func (d *Disk) Advance(t time.Duration) {
+	if t > d.now {
+		d.now = t
+	}
+}
+
+// PowerAt returns the drive's power draw at time t: idle floor, per-die
+// activity, controller overhead while commands are in flight, and a
+// data-movement term proportional to recent host throughput.
+func (d *Disk) PowerAt(t time.Duration) float64 {
+	p := d.cfg.IdleW
+	anyBusy := false
+	for i := range d.dies {
+		dd := &d.dies[i]
+		if dd.busyUntil > t {
+			anyBusy = true
+			switch dd.kind {
+			case opProg:
+				p += d.cfg.DieProgW
+			case opErase:
+				p += d.cfg.DieEraseW
+			default:
+				p += d.cfg.DieReadW
+			}
+		}
+	}
+	if anyBusy || d.linkBusyTill > t {
+		p += d.cfg.ControllerW
+	}
+	// Host-throughput term over a sliding accounting window.
+	if t > d.hostBytesT {
+		if dt := (t - d.hostBytesT).Seconds(); dt > 0.05 {
+			d.lastGiBps = d.hostBytes / dt / (1 << 30)
+			d.hostBytes = 0
+			d.hostBytesT = t
+		}
+	}
+	p += d.cfg.PerGiBpsW * d.lastGiBps
+	return p
+}

@@ -1,0 +1,210 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func smallConfig() Config {
+	cfg := Samsung980Pro()
+	cfg.LogicalPages = 16 * 1024 // 64 MiB drive for fast tests
+	cfg.PagesPerBlock = 64       // keep a healthy number of blocks per die
+	cfg.SLCCachePages = 2 * 1024
+	return cfg
+}
+
+func TestFreshDriveReadsUnmapped(t *testing.T) {
+	d := New(smallConfig(), 1)
+	c := d.Submit(Request{Page: 0, Pages: 8, Submit: 0})
+	// Unmapped reads skip flash; only controller + link time.
+	if c.Done > time.Millisecond {
+		t.Fatalf("unmapped read took %v", c.Done)
+	}
+}
+
+func TestWriteThenReadMapping(t *testing.T) {
+	d := New(smallConfig(), 2)
+	d.Submit(Request{Write: true, Page: 100, Pages: 4, Submit: 0})
+	c := d.Submit(Request{Page: 100, Pages: 4, Submit: d.Now() + time.Millisecond})
+	if c.Done <= c.Req.Submit {
+		t.Fatal("mapped read takes time")
+	}
+	if d.Stats().HostReadPages != 4 || d.Stats().HostWritePages != 4 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestMappingInvariant(t *testing.T) {
+	cfg := smallConfig()
+	d := New(cfg, 3)
+	// Random overwrites.
+	for i := 0; i < 20000; i++ {
+		page := (i * 7919) % cfg.LogicalPages
+		d.Submit(Request{Write: true, Page: page, Pages: 1, Submit: d.Now()})
+	}
+	// Every mapped logical page must have a consistent reverse mapping.
+	for lp, phys := range d.mapTable {
+		if phys < 0 {
+			continue
+		}
+		if got := d.revTable[phys]; got != int32(lp) {
+			t.Fatalf("reverse map broken: lp %d → phys %d → lp %d", lp, phys, got)
+		}
+	}
+	// Valid counters must sum to the mapped page count.
+	mapped := 0
+	for _, phys := range d.mapTable {
+		if phys >= 0 {
+			mapped++
+		}
+	}
+	validSum := 0
+	for _, b := range d.sbs {
+		validSum += b.valid
+	}
+	if mapped != validSum {
+		t.Fatalf("valid counters %d != mapped pages %d", validSum, mapped)
+	}
+}
+
+func TestGarbageCollectionKicksIn(t *testing.T) {
+	cfg := smallConfig()
+	d := New(cfg, 4)
+	rnd := rng.New(99)
+	// Write 3 full drives' worth of uniformly random single pages: far
+	// beyond physical capacity, forcing GC with scattered invalidation.
+	for i := 0; i < 3*cfg.LogicalPages; i++ {
+		page := rnd.Intn(cfg.LogicalPages)
+		d.Submit(Request{Write: true, Page: page, Pages: 1, Submit: d.Now()})
+	}
+	st := d.Stats()
+	if st.Erases == 0 {
+		t.Fatal("no erases after overwriting the drive repeatedly")
+	}
+	if st.GCMovedPages == 0 {
+		t.Fatal("no GC relocations")
+	}
+	if wa := st.WriteAmplification(); wa <= 1.05 {
+		t.Fatalf("write amplification %v; random overwrite must exceed 1", wa)
+	}
+}
+
+func TestSequentialFillHasLowWA(t *testing.T) {
+	cfg := smallConfig()
+	d := New(cfg, 5)
+	req := 32
+	// Two sequential passes: invalidation happens block-aligned, so GC
+	// victims are empty and write amplification stays near 1.
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p+req <= cfg.LogicalPages; p += req {
+			d.Submit(Request{Write: true, Page: p, Pages: req, Submit: d.Now()})
+		}
+	}
+	if wa := d.Stats().WriteAmplification(); wa > 1.3 {
+		t.Fatalf("sequential write amplification %v, want ~1", wa)
+	}
+}
+
+func TestSLCCacheSpeedsBursts(t *testing.T) {
+	cfg := smallConfig()
+	fast := New(cfg, 6)
+	cfgNo := cfg
+	cfgNo.SLCCachePages = 0
+	slow := New(cfgNo, 6)
+
+	burst := func(d *Disk) time.Duration {
+		t0 := d.Now()
+		var last time.Duration
+		for i := 0; i < 1024; i++ {
+			c := d.Submit(Request{Write: true, Page: i, Pages: 1, Submit: d.Now()})
+			last = c.Done
+		}
+		return last - t0
+	}
+	tFast := burst(fast)
+	tSlow := burst(slow)
+	if tFast >= tSlow {
+		t.Fatalf("SLC cache did not speed burst: %v vs %v", tFast, tSlow)
+	}
+}
+
+func TestPowerIdleVsActive(t *testing.T) {
+	cfg := smallConfig()
+	d := New(cfg, 7)
+	idle := d.PowerAt(0)
+	if idle < cfg.IdleW || idle > cfg.IdleW+0.1 {
+		t.Fatalf("idle power %v", idle)
+	}
+	// Load the drive.
+	for i := 0; i < 64; i++ {
+		d.Submit(Request{Write: true, Page: i * 64, Pages: 32, Submit: d.Now()})
+	}
+	busy := d.PowerAt(d.Now())
+	if busy <= idle+0.3 {
+		t.Fatalf("busy power %v barely above idle %v", busy, idle)
+	}
+}
+
+func TestPowerBoundedByWorstCase(t *testing.T) {
+	cfg := smallConfig()
+	worst := cfg.IdleW + float64(cfg.Dies())*cfg.DieEraseW + cfg.ControllerW +
+		cfg.PerGiBpsW*cfg.HostLinkMiBps/1024
+	d := New(cfg, 8)
+	for i := 0; i < 2*cfg.LogicalPages; i++ {
+		page := (i * 31) % cfg.LogicalPages
+		d.Submit(Request{Write: true, Page: page, Pages: 1, Submit: d.Now()})
+		if i%1000 == 0 {
+			if p := d.PowerAt(d.Now()); p > worst {
+				t.Fatalf("power %v exceeds worst case %v", p, worst)
+			}
+		}
+	}
+}
+
+func TestRequestBoundsChecked(t *testing.T) {
+	d := New(smallConfig(), 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range request")
+		}
+	}()
+	d.Submit(Request{Page: d.Config().LogicalPages - 1, Pages: 2, Submit: 0})
+}
+
+func TestDrainSLCFreesCache(t *testing.T) {
+	cfg := smallConfig()
+	d := New(cfg, 10)
+	for i := 0; i < 512; i++ {
+		d.Submit(Request{Write: true, Page: i, Pages: 1, Submit: d.Now()})
+	}
+	if d.SLCUsed() == 0 {
+		t.Skip("no SLC pages cached")
+	}
+	d.DrainSLC(d.Now() + 10*time.Second)
+	if d.SLCUsed() != 0 {
+		t.Fatalf("%d SLC pages left after drain", d.SLCUsed())
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := Samsung980Pro()
+	if cfg.Dies() != 16 {
+		t.Fatalf("dies = %d", cfg.Dies())
+	}
+	logicalSBs := cfg.LogicalPages / cfg.PagesPerSuperblock()
+	if cfg.Superblocks() <= logicalSBs {
+		t.Fatal("no over-provisioning")
+	}
+}
+
+func BenchmarkRandomWrites(b *testing.B) {
+	cfg := smallConfig()
+	d := New(cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page := (i * 7919) % cfg.LogicalPages
+		d.Submit(Request{Write: true, Page: page, Pages: 1, Submit: d.Now()})
+	}
+}

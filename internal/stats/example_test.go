@@ -1,0 +1,44 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Block averaging is the trade behind Table II of the paper: fewer, quieter
+// samples.
+func ExampleBlockAverage() {
+	samples := []float64{10, 12, 11, 13, 9, 11, 10, 12}
+	avg := stats.BlockAverage(samples, 4)
+	fmt.Println(avg)
+	// Output: [11.5 10.5]
+}
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("mean=%.0f std=%.0f p2p=%.0f\n", s.Mean, s.Std, s.P2P())
+	// Output: mean=5 std=2 p2p=7
+}
+
+// ParetoFront extracts the undominated configurations of a tuning run.
+func ExampleParetoFront() {
+	points := []stats.Point{
+		{X: 0.83, Y: 80.4, Tag: 0}, // fastest
+		{X: 0.94, Y: 63.1, Tag: 1}, // most efficient
+		{X: 0.70, Y: 60.0, Tag: 2}, // dominated by both
+	}
+	for _, p := range stats.ParetoFront(points) {
+		fmt.Printf("%.2f TFLOP/J %.1f TFLOP/s\n", p.X, p.Y)
+	}
+	// Output:
+	// 0.83 TFLOP/J 80.4 TFLOP/s
+	// 0.94 TFLOP/J 63.1 TFLOP/s
+}
+
+func ExamplePearson() {
+	perf := []float64{40, 55, 63, 80}
+	eff := []float64{0.6, 0.7, 0.9, 0.8}
+	fmt.Printf("r=%.2f\n", stats.Pearson(perf, eff))
+	// Output: r=0.73
+}

@@ -1,0 +1,290 @@
+// Package stats implements the descriptive statistics and time-series helpers
+// used throughout the evaluation harness: summary statistics, block
+// averaging (the sample-rate reduction of Table II), trapezoidal energy
+// integration, percentiles, and Pareto-front extraction (Figs. 8 and 10).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the paper reports for a sample
+// block: minimum, maximum, peak-to-peak range, mean, and standard deviation.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Mean float64
+	Std  float64
+}
+
+// P2P returns the peak-to-peak range (max − min).
+func (s Summary) P2P() float64 { return s.Max - s.Min }
+
+// Summarize computes a Summary over xs. It returns a zero Summary for an
+// empty slice. The standard deviation is the population deviation, matching
+// the paper's treatment of full 128 k-sample blocks.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return Summarize(xs).Std }
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// RMS returns the root-mean-square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sq float64
+	for _, x := range xs {
+		sq += x * x
+	}
+	return math.Sqrt(sq / float64(len(xs)))
+}
+
+// BlockAverage reduces xs by averaging consecutive non-overlapping blocks of
+// size block, discarding any incomplete trailing block. This is the
+// sample-rate reduction studied in Table II: averaging k samples divides the
+// effective rate by k and shrinks uncorrelated noise by roughly √k.
+// It panics if block <= 0.
+func BlockAverage(xs []float64, block int) []float64 {
+	if block <= 0 {
+		panic("stats: BlockAverage with non-positive block size")
+	}
+	n := len(xs) / block
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, x := range xs[i*block : (i+1)*block] {
+			sum += x
+		}
+		out[i] = sum / float64(block)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It panics on empty input or p
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Trapz integrates y over x using the trapezoidal rule. The host library uses
+// this to turn a power time series into cumulative energy. It panics if the
+// slices differ in length; it returns 0 for fewer than two points.
+func Trapz(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Trapz length mismatch")
+	}
+	var area float64
+	for i := 1; i < len(x); i++ {
+		area += (x[i] - x[i-1]) * (y[i] + y[i-1]) / 2
+	}
+	return area
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// It panics if n < 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: Linspace needs at least 2 points")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Point is a 2-D sample used for Pareto-front extraction, with X the quantity
+// to maximise jointly with Y (e.g. X = energy efficiency in TFLOP/J and
+// Y = compute performance in TFLOP/s).
+type Point struct {
+	X, Y float64
+	Tag  int // caller-defined identifier (e.g. configuration index)
+}
+
+// ParetoFront returns the maximal points of pts: those not dominated by any
+// other point (another point with X ≥ and Y ≥, one strictly greater). The
+// result is sorted by ascending X. Input order is not modified.
+func ParetoFront(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	// Sort by descending X, then descending Y; sweep keeping the running
+	// maximum of Y. A point is on the front iff its Y exceeds every Y seen
+	// at strictly larger X.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X > sorted[j].X
+		}
+		return sorted[i].Y > sorted[j].Y
+	})
+	var front []Point
+	bestY := math.Inf(-1)
+	prevX := math.Inf(1)
+	for _, p := range sorted {
+		if p.Y > bestY || (p.X == prevX && p.Y == bestY) {
+			// Equal points: keep only the first occurrence.
+			if p.Y > bestY {
+				front = append(front, p)
+				bestY = p.Y
+				prevX = p.X
+			}
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].X < front[j].X })
+	return front
+}
+
+// Dominates reports whether a dominates b: a is at least as good in both
+// dimensions and strictly better in one.
+func Dominates(a, b Point) bool {
+	return a.X >= b.X && a.Y >= b.Y && (a.X > b.X || a.Y > b.Y)
+}
+
+// Histogram counts xs into n equal-width bins spanning [lo, hi]. Values
+// outside the range are clamped into the first/last bin. It panics if
+// n <= 0 or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	if n <= 0 {
+		panic("stats: Histogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: Histogram with empty range")
+	}
+	bins := make([]int, n)
+	width := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	return bins
+}
+
+// MovingAverage returns the centered moving average of xs with the given
+// window (rounded down to odd). Edges use the available partial window.
+func MovingAverage(xs []float64, window int) []float64 {
+	if window < 1 {
+		panic("stats: MovingAverage with non-positive window")
+	}
+	half := window / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out[i] = Mean(xs[lo:hi])
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y. It panics
+// if the lengths differ; it returns 0 when either series is constant.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	den := math.Sqrt((n*sxx - sx*sx) * (n*syy - sy*sy))
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,371 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 2.5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	want := math.Sqrt(1.25)
+	if !almost(s.Std, want, 1e-12) {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+	if !almost(s.P2P(), 3, 1e-12) {
+		t.Errorf("p2p = %v", s.P2P())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Std != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestMinMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); !almost(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMS = %v", got)
+	}
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) != 0")
+	}
+}
+
+func TestBlockAverage(t *testing.T) {
+	xs := []float64{1, 3, 5, 7, 9, 11, 100}
+	got := BlockAverage(xs, 2)
+	want := []float64{2, 6, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-12) {
+			t.Fatalf("block %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlockAverageIdentity(t *testing.T) {
+	xs := []float64{4, 5, 6}
+	got := BlockAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatal("block size 1 must be identity")
+		}
+	}
+}
+
+// Block averaging must preserve the overall mean of complete blocks.
+func TestBlockAveragePreservesMean(t *testing.T) {
+	r := rng.New(17)
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	for _, block := range []int{2, 4, 8, 16} {
+		avg := BlockAverage(xs, block)
+		if !almost(Mean(avg), Mean(xs), 1e-9) {
+			t.Fatalf("block %d changed mean: %v vs %v", block, Mean(avg), Mean(xs))
+		}
+	}
+}
+
+// White-noise std must shrink like 1/sqrt(block) under block averaging.
+// This is the mechanism behind Table II in the paper.
+func TestBlockAverageNoiseScaling(t *testing.T) {
+	r := rng.New(23)
+	xs := make([]float64, 1<<17)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	base := Std(xs)
+	for _, block := range []int{4, 16, 64} {
+		got := Std(BlockAverage(xs, block))
+		want := base / math.Sqrt(float64(block))
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("block %d: std = %v, want ~%v", block, got, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if Percentile([]float64{42}, 99) != 42 {
+		t.Fatal("single-element percentile")
+	}
+}
+
+func TestTrapzConstant(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{5, 5, 5, 5}
+	if got := Trapz(x, y); !almost(got, 15, 1e-12) {
+		t.Fatalf("Trapz = %v", got)
+	}
+}
+
+func TestTrapzLinear(t *testing.T) {
+	x := Linspace(0, 2, 101)
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * x[i]
+	}
+	if got := Trapz(x, y); !almost(got, 6, 1e-9) {
+		t.Fatalf("Trapz = %v, want 6", got)
+	}
+}
+
+func TestTrapzShort(t *testing.T) {
+	if Trapz([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("single-point integral must be 0")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(-1, 1, 5)
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i := range want {
+		if !almost(xs[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+}
+
+func TestParetoFrontSimple(t *testing.T) {
+	pts := []Point{
+		{X: 1, Y: 5, Tag: 0}, // front
+		{X: 2, Y: 4, Tag: 1}, // front
+		{X: 1.5, Y: 3, Tag: 2},
+		{X: 3, Y: 1, Tag: 3}, // front
+		{X: 0.5, Y: 2, Tag: 4},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %+v", front)
+	}
+	tags := map[int]bool{}
+	for _, p := range front {
+		tags[p.Tag] = true
+	}
+	for _, want := range []int{0, 1, 3} {
+		if !tags[want] {
+			t.Errorf("tag %d missing from front %+v", want, front)
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].X < front[i-1].X {
+			t.Error("front not sorted by X")
+		}
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if ParetoFront(nil) != nil {
+		t.Fatal("empty input must yield nil front")
+	}
+}
+
+func TestParetoFrontNoMemberDominated(t *testing.T) {
+	r := rng.New(31)
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64(), Y: r.Float64(), Tag: i}
+	}
+	front := ParetoFront(pts)
+	for _, f := range front {
+		for _, p := range pts {
+			if p.Tag != f.Tag && Dominates(p, f) {
+				t.Fatalf("front member %+v dominated by %+v", f, p)
+			}
+		}
+	}
+	// Every non-front point must be dominated by some front point.
+	inFront := map[int]bool{}
+	for _, f := range front {
+		inFront[f.Tag] = true
+	}
+	for _, p := range pts {
+		if inFront[p.Tag] {
+			continue
+		}
+		dominated := false
+		for _, f := range front {
+			if Dominates(f, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("non-front point %+v not dominated", p)
+		}
+	}
+}
+
+func TestQuickParetoFrontInvariant(t *testing.T) {
+	r := rng.New(37)
+	f := func(n uint8) bool {
+		m := int(n)%32 + 1
+		pts := make([]Point, m)
+		for i := range pts {
+			pts[i] = Point{X: r.Float64(), Y: r.Float64(), Tag: i}
+		}
+		front := ParetoFront(pts)
+		if len(front) == 0 {
+			return false
+		}
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0.1, 0.2, 0.9, -5, 10}, 0, 1, 2)
+	if bins[0] != 3 || bins[1] != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	xs := []float64{2, 2, 2, 2, 2}
+	out := MovingAverage(xs, 3)
+	for _, v := range out {
+		if !almost(v, 2, 1e-12) {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	r := rng.New(41)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	smoothed := MovingAverage(xs, 21)
+	if Std(smoothed) >= Std(xs) {
+		t.Fatal("moving average did not reduce variance")
+	}
+}
+
+func BenchmarkSummarize128k(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 128*1024)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(xs)
+	}
+}
+
+func BenchmarkParetoFront(b *testing.B) {
+	r := rng.New(2)
+	pts := make([]Point, 5120)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64(), Y: r.Float64(), Tag: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ParetoFront(pts)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if r := Pearson(x, y); !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(x, neg); !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %v", r)
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	r := rng.New(71)
+	x := make([]float64, 10000)
+	y := make([]float64, 10000)
+	for i := range x {
+		x[i], y[i] = r.Norm(), r.Norm()
+	}
+	if got := Pearson(x, y); math.Abs(got) > 0.05 {
+		t.Fatalf("independent series correlate: %v", got)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant series must yield 0")
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}

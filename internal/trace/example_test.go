@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Markers attribute energy to application phases: everything between the
+// first and second markers is the kernel.
+func ExampleTrace_Between() {
+	tr := &trace.Trace{Pairs: 1}
+	for i := 0; i < 8; i++ {
+		p := trace.Point{
+			Time:   time.Duration(i) * 50 * time.Microsecond,
+			TotalW: 100,
+		}
+		if i == 1 || i == 6 {
+			p.Marker = 'K'
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	kernel, err := tr.Between(0, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d samples, %.1f mJ\n", len(kernel.Points), kernel.Energy()*1000)
+	// Output: 4 samples, 15.0 mJ
+}

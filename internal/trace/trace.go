@@ -1,0 +1,211 @@
+// Package trace records and parses PowerSensor3 measurement traces.
+//
+// Continuous mode (Section III-C) streams every 20 kHz sample set to a
+// file; this package provides the structured form of those recordings —
+// capture from a live sensor, round-trippable CSV and JSON encodings, the
+// dump-format parser, and the marker-based interval extraction used to
+// attribute energy to application phases.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Point is one recorded sample set.
+type Point struct {
+	Time   time.Duration `json:"t"`
+	Watts  []float64     `json:"w"`
+	TotalW float64       `json:"total"`
+	Marker byte          `json:"marker,omitempty"`
+}
+
+// Trace is a recorded measurement.
+type Trace struct {
+	Pairs  int     `json:"pairs"`
+	Points []Point `json:"points"`
+}
+
+// Capture records dur of samples from an open sensor, attributing any
+// pending markers.
+func Capture(ps *core.PowerSensor, dur time.Duration) *Trace {
+	tr := &Trace{Pairs: ps.Pairs()}
+	ps.OnSample(func(s core.Sample) {
+		p := Point{Time: s.DeviceTime}
+		for m := 0; m < tr.Pairs; m++ {
+			p.Watts = append(p.Watts, s.Watts[m])
+			p.TotalW += s.Watts[m]
+		}
+		if s.Marker {
+			p.Marker = 'M'
+		}
+		tr.Points = append(tr.Points, p)
+	})
+	defer ps.OnSample(nil)
+	ps.Advance(dur)
+	return tr
+}
+
+// Duration returns the time span of the trace.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].Time - t.Points[0].Time
+}
+
+// Energy integrates total power over the trace (trapezoidal).
+func (t *Trace) Energy() float64 {
+	var joules float64
+	for i := 1; i < len(t.Points); i++ {
+		dt := (t.Points[i].Time - t.Points[i-1].Time).Seconds()
+		joules += dt * (t.Points[i].TotalW + t.Points[i-1].TotalW) / 2
+	}
+	return joules
+}
+
+// Between returns the sub-trace between the i-th and j-th markers
+// (0-indexed), exclusive of the marked samples themselves.
+func (t *Trace) Between(i, j int) (*Trace, error) {
+	var idx []int
+	for k, p := range t.Points {
+		if p.Marker != 0 {
+			idx = append(idx, k)
+		}
+	}
+	if i < 0 || j >= len(idx) || i >= j {
+		return nil, fmt.Errorf("trace: markers %d..%d not present (%d markers)", i, j, len(idx))
+	}
+	return &Trace{Pairs: t.Pairs, Points: t.Points[idx[i]+1 : idx[j]]}, nil
+}
+
+// WriteCSV emits the trace as CSV: time_s, w0..wN, total, marker.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "time_s")
+	for m := 0; m < t.Pairs; m++ {
+		fmt.Fprintf(bw, ",w%d", m)
+	}
+	fmt.Fprintf(bw, ",total,marker\n")
+	for _, p := range t.Points {
+		fmt.Fprintf(bw, "%.6f", p.Time.Seconds())
+		for _, w := range p.Watts {
+			fmt.Fprintf(bw, ",%.4f", w)
+		}
+		marker := ""
+		if p.Marker != 0 {
+			marker = string(p.Marker)
+		}
+		fmt.Fprintf(bw, ",%.4f,%s\n", p.TotalW, marker)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 3 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: bad CSV header %q", sc.Text())
+	}
+	pairs := len(header) - 3
+	tr := &Trace{Pairs: pairs}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", lineNo, len(fields), len(header))
+		}
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", lineNo, err)
+		}
+		p := Point{Time: time.Duration(secs * float64(time.Second))}
+		for m := 0; m < pairs; m++ {
+			w, err := strconv.ParseFloat(fields[1+m], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d pair %d: %w", lineNo, m, err)
+			}
+			p.Watts = append(p.Watts, w)
+		}
+		p.TotalW, err = strconv.ParseFloat(fields[1+pairs], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d total: %w", lineNo, err)
+		}
+		if mk := fields[2+pairs]; mk != "" {
+			p.Marker = mk[0]
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	return tr, sc.Err()
+}
+
+// WriteJSON emits the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a JSON trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// ParseDump parses the host library's continuous-mode dump format
+// ("S <t> <w0>.. <total> [Mx]").
+func ParseDump(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var tr Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || fields[0] != "S" {
+			return nil, fmt.Errorf("trace: dump line %d malformed: %q", lineNo, sc.Text())
+		}
+		secs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dump line %d: %w", lineNo, err)
+		}
+		p := Point{Time: time.Duration(secs * float64(time.Second))}
+		rest := fields[2:]
+		if mk := rest[len(rest)-1]; strings.HasPrefix(mk, "M") && len(mk) == 2 {
+			p.Marker = mk[1]
+			rest = rest[:len(rest)-1]
+		}
+		// Last numeric column is the total; the preceding are per-pair.
+		for i, f := range rest {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: dump line %d col %d: %w", lineNo, i, err)
+			}
+			if i == len(rest)-1 {
+				p.TotalW = v
+			} else {
+				p.Watts = append(p.Watts, v)
+			}
+		}
+		if tr.Pairs == 0 {
+			tr.Pairs = len(p.Watts)
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	return &tr, sc.Err()
+}

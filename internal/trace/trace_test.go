@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func openBench(t *testing.T, amps float64) (*core.PowerSensor, *device.Device) {
+	t.Helper()
+	dev := device.New(77, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(amps)},
+	})
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, dev
+}
+
+func captureSmall(t *testing.T) *Trace {
+	t.Helper()
+	ps, _ := openBench(t, 6)
+	defer ps.Close()
+	tr := Capture(ps, 20*time.Millisecond)
+	if len(tr.Points) < 350 {
+		t.Fatalf("captured %d points", len(tr.Points))
+	}
+	return tr
+}
+
+func TestCaptureBasics(t *testing.T) {
+	tr := captureSmall(t)
+	if tr.Pairs != 1 {
+		t.Fatalf("pairs = %d", tr.Pairs)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatal("no duration")
+	}
+	// 6 A × 12 V = 72 W over ~20 ms ≈ 1.44 J.
+	j := tr.Energy()
+	if math.Abs(j-1.44) > 0.15 {
+		t.Fatalf("energy %v J, want ~1.44", j)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := captureSmall(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pairs != tr.Pairs || len(back.Points) != len(tr.Points) {
+		t.Fatalf("shape: %d/%d vs %d/%d", back.Pairs, len(back.Points), tr.Pairs, len(tr.Points))
+	}
+	for i := range tr.Points {
+		a, b := tr.Points[i], back.Points[i]
+		if math.Abs(a.TotalW-b.TotalW) > 0.001 {
+			t.Fatalf("point %d: total %v vs %v", i, a.TotalW, b.TotalW)
+		}
+		if d := a.Time - b.Time; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("point %d: time %v vs %v", i, a.Time, b.Time)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := captureSmall(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(tr.Points) {
+		t.Fatal("length mismatch")
+	}
+	if math.Abs(back.Energy()-tr.Energy()) > 1e-9 {
+		t.Fatal("energy mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("bogus,header\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time_s,w0,total,marker\n1,2\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time_s,w0,total,marker\nx,1,1,\n")); err == nil {
+		t.Error("non-numeric time accepted")
+	}
+}
+
+func TestParseDumpMatchesLibraryFormat(t *testing.T) {
+	// Generate a real continuous-mode dump and parse it back.
+	ps, _ := openBench(t, 4)
+	defer ps.Close()
+	var dump bytes.Buffer
+	ps.StartDump(&dump)
+	ps.Advance(5 * time.Millisecond)
+	ps.Mark('A')
+	ps.Advance(5 * time.Millisecond)
+	if err := ps.StopDump(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ParseDump(&dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pairs != 1 {
+		t.Fatalf("pairs = %d", tr.Pairs)
+	}
+	if len(tr.Points) < 150 {
+		t.Fatalf("%d points", len(tr.Points))
+	}
+	markers := 0
+	for _, p := range tr.Points {
+		if p.Marker == 'A' {
+			markers++
+		}
+		if math.Abs(p.TotalW-48) > 6 {
+			t.Fatalf("power %v far from 48 W", p.TotalW)
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("%d markers", markers)
+	}
+}
+
+func TestBetweenMarkers(t *testing.T) {
+	tr := &Trace{Pairs: 1}
+	for i := 0; i < 10; i++ {
+		p := Point{Time: time.Duration(i) * time.Millisecond, TotalW: 10}
+		if i == 2 || i == 7 {
+			p.Marker = 'M'
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	sub, err := tr.Between(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Points) != 4 { // indices 3..6
+		t.Fatalf("%d points between markers", len(sub.Points))
+	}
+	if _, err := tr.Between(1, 1); err == nil {
+		t.Error("equal markers accepted")
+	}
+	if _, err := tr.Between(0, 5); err == nil {
+		t.Error("missing marker accepted")
+	}
+}
+
+func TestEnergyEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if tr.Energy() != 0 || tr.Duration() != 0 {
+		t.Fatal("empty trace must have zero energy and duration")
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	tr := &Trace{Pairs: 3}
+	for i := 0; i < 20000; i++ {
+		tr.Points = append(tr.Points, Point{
+			Time:  time.Duration(i) * 50 * time.Microsecond,
+			Watts: []float64{10, 20, 30}, TotalW: 60,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Search strategies for the auto-tuner.
+//
+// The paper's experiment benchmarks the full 5120-configuration space, but
+// Kernel Tuner itself is a *search-optimizing* tuner (van Werkhoven, FGCS
+// 2019): it normally explores a fraction of the space with an optimization
+// algorithm. This file implements the strategies relevant to the paper's
+// workflow — exhaustive, random sampling, greedy hill climbing in the
+// parameter neighbourhood, and a small genetic algorithm — so the cost of
+// tuning with each measurement backend can be studied at realistic search
+// budgets, not just exhaustively.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Objective selects what the search optimises.
+type Objective int
+
+// Objectives.
+const (
+	// MaximizeTFLOPS tunes for compute performance.
+	MaximizeTFLOPS Objective = iota
+	// MaximizeTFLOPJ tunes for energy efficiency.
+	MaximizeTFLOPJ
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == MaximizeTFLOPS {
+		return "TFLOP/s"
+	}
+	return "TFLOP/J"
+}
+
+// score extracts the objective value from a measurement.
+func (o Objective) score(m Measurement) float64 {
+	if o == MaximizeTFLOPS {
+		return m.TFLOPS
+	}
+	return m.TFLOPJ
+}
+
+// SearchOptions configure a guided search.
+type SearchOptions struct {
+	Options   // the measurement configuration (trials, problem, …)
+	Objective Objective
+	Budget    int    // maximum configurations to measure
+	Seed      uint64 // randomised strategies
+}
+
+// SearchResult is the outcome of a guided search.
+type SearchResult struct {
+	Best      Measurement
+	Evaluated []Measurement
+	// TuningTime is the wall-clock cost of the search on a real testbed.
+	TuningTime time.Duration
+}
+
+// point is a position in the discrete parameter space: the variant index
+// axes plus the clock axis.
+type point struct {
+	bx, by, fb, fw, db, clk int
+}
+
+// axes of the space (must match kernels.Space ordering).
+var (
+	bxVals = []int{32, 64, 128, 256}
+	byVals = []int{1, 2, 4, 8}
+	fbVals = []int{1, 2, 4, 8}
+	fwVals = []int{1, 2, 4, 8}
+)
+
+// config materialises the variant at a point.
+func (p point) config() kernels.BeamformerConfig {
+	return kernels.BeamformerConfig{
+		BlockX:        bxVals[p.bx],
+		BlockY:        byVals[p.by],
+		FragsPerBlock: fbVals[p.fb],
+		FragsPerWarp:  fwVals[p.fw],
+		DoubleBuffer:  p.db == 1,
+	}
+}
+
+// neighbours returns the points one step away along each axis.
+func (p point) neighbours(nClocks int) []point {
+	var out []point
+	step := func(v, n int, set func(point, int) point) {
+		if v > 0 {
+			out = append(out, set(p, v-1))
+		}
+		if v < n-1 {
+			out = append(out, set(p, v+1))
+		}
+	}
+	step(p.bx, len(bxVals), func(q point, v int) point { q.bx = v; return q })
+	step(p.by, len(byVals), func(q point, v int) point { q.by = v; return q })
+	step(p.fb, len(fbVals), func(q point, v int) point { q.fb = v; return q })
+	step(p.fw, len(fwVals), func(q point, v int) point { q.fw = v; return q })
+	step(p.db, 2, func(q point, v int) point { q.db = v; return q })
+	step(p.clk, nClocks, func(q point, v int) point { q.clk = v; return q })
+	return out
+}
+
+// evaluator measures points, caching repeats (the tuner never re-benchmarks
+// a configuration it has seen).
+type evaluator struct {
+	r     *rig.Rig
+	opts  Options
+	strat Strategy
+	seen  map[point]Measurement
+	order []Measurement
+	time  time.Duration
+}
+
+func newEvaluator(r *rig.Rig, opts Options, strat Strategy) *evaluator {
+	return &evaluator{r: r, opts: opts, strat: strat, seen: map[point]Measurement{}}
+}
+
+// measure benchmarks one point (cached).
+func (e *evaluator) measure(p point) (Measurement, error) {
+	if m, ok := e.seen[p]; ok {
+		return m, nil
+	}
+	single := e.opts
+	single.Configs = []kernels.BeamformerConfig{p.config()}
+	single.Clocks = []float64{e.opts.Clocks[p.clk]}
+	res, err := Tune(e.r, e.strat, single)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := res.Measurements[0]
+	e.seen[p] = m
+	e.order = append(e.order, m)
+	e.time += res.TuningTime
+	return m, nil
+}
+
+func (e *evaluator) budgetLeft(budget int) bool { return len(e.seen) < budget }
+
+// Search runs the named strategy within the measurement budget.
+func Search(r *rig.Rig, strategy Strategy, algo string, opts SearchOptions) (SearchResult, error) {
+	if opts.Budget <= 0 {
+		opts.Budget = 64
+	}
+	if len(opts.Clocks) == 0 {
+		opts.Clocks = ClocksFor(r.GPU.Spec())
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 3
+	}
+	if opts.Problem.M == 0 {
+		opts.Problem = kernels.DefaultProblem()
+	}
+	ev := newEvaluator(r, opts.Options, strategy)
+	rnd := rng.New(opts.Seed ^ 0x5ea6c4)
+
+	var err error
+	switch algo {
+	case "random":
+		err = randomSearch(ev, rnd, opts)
+	case "hillclimb":
+		err = hillClimb(ev, rnd, opts)
+	case "genetic":
+		err = geneticSearch(ev, rnd, opts)
+	default:
+		return SearchResult{}, fmt.Errorf("tuner: unknown search algorithm %q (have random, hillclimb, genetic)", algo)
+	}
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if len(ev.order) == 0 {
+		return SearchResult{}, fmt.Errorf("tuner: search evaluated nothing")
+	}
+	res := SearchResult{Evaluated: ev.order, TuningTime: ev.time}
+	res.Best = ev.order[0]
+	for _, m := range ev.order[1:] {
+		if opts.Objective.score(m) > opts.Objective.score(res.Best) {
+			res.Best = m
+		}
+	}
+	return res, nil
+}
+
+// randomPoint draws a uniform point.
+func randomPoint(rnd *rng.Source, nClocks int) point {
+	return point{
+		bx:  rnd.Intn(len(bxVals)),
+		by:  rnd.Intn(len(byVals)),
+		fb:  rnd.Intn(len(fbVals)),
+		fw:  rnd.Intn(len(fwVals)),
+		db:  rnd.Intn(2),
+		clk: rnd.Intn(nClocks),
+	}
+}
+
+// randomSearch samples the space uniformly without replacement.
+func randomSearch(ev *evaluator, rnd *rng.Source, opts SearchOptions) error {
+	for ev.budgetLeft(opts.Budget) {
+		p := randomPoint(rnd, len(opts.Clocks))
+		if _, seen := ev.seen[p]; seen {
+			continue
+		}
+		if _, err := ev.measure(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hillClimb performs greedy restarts: from a random start, move to the best
+// improving neighbour until none improves, then restart.
+func hillClimb(ev *evaluator, rnd *rng.Source, opts SearchOptions) error {
+	for ev.budgetLeft(opts.Budget) {
+		cur := randomPoint(rnd, len(opts.Clocks))
+		curM, err := ev.measure(cur)
+		if err != nil {
+			return err
+		}
+		for ev.budgetLeft(opts.Budget) {
+			bestN := cur
+			bestScore := opts.Objective.score(curM)
+			improved := false
+			for _, n := range cur.neighbours(len(opts.Clocks)) {
+				if !ev.budgetLeft(opts.Budget) {
+					break
+				}
+				m, err := ev.measure(n)
+				if err != nil {
+					return err
+				}
+				if s := opts.Objective.score(m); s > bestScore {
+					bestN, bestScore, improved = n, s, true
+					curM = m
+				}
+			}
+			if !improved {
+				break
+			}
+			cur = bestN
+		}
+	}
+	return nil
+}
+
+// geneticSearch runs a small steady-state GA: tournament selection,
+// single-axis crossover, point mutation.
+func geneticSearch(ev *evaluator, rnd *rng.Source, opts SearchOptions) error {
+	const popSize = 12
+	type indiv struct {
+		p point
+		m Measurement
+	}
+	var pop []indiv
+	for len(pop) < popSize && ev.budgetLeft(opts.Budget) {
+		p := randomPoint(rnd, len(opts.Clocks))
+		m, err := ev.measure(p)
+		if err != nil {
+			return err
+		}
+		pop = append(pop, indiv{p, m})
+	}
+	score := func(i indiv) float64 { return opts.Objective.score(i.m) }
+	tournament := func() indiv {
+		a, b := pop[rnd.Intn(len(pop))], pop[rnd.Intn(len(pop))]
+		if score(a) >= score(b) {
+			return a
+		}
+		return b
+	}
+	for ev.budgetLeft(opts.Budget) {
+		a, b := tournament(), tournament()
+		child := a.p
+		// Uniform crossover per axis.
+		if rnd.Intn(2) == 0 {
+			child.bx = b.p.bx
+		}
+		if rnd.Intn(2) == 0 {
+			child.by = b.p.by
+		}
+		if rnd.Intn(2) == 0 {
+			child.fb = b.p.fb
+		}
+		if rnd.Intn(2) == 0 {
+			child.fw = b.p.fw
+		}
+		if rnd.Intn(2) == 0 {
+			child.db = b.p.db
+		}
+		if rnd.Intn(2) == 0 {
+			child.clk = b.p.clk
+		}
+		// Mutation: one random axis re-drawn with probability 1/2.
+		if rnd.Intn(2) == 0 {
+			q := randomPoint(rnd, len(opts.Clocks))
+			switch rnd.Intn(6) {
+			case 0:
+				child.bx = q.bx
+			case 1:
+				child.by = q.by
+			case 2:
+				child.fb = q.fb
+			case 3:
+				child.fw = q.fw
+			case 4:
+				child.db = q.db
+			case 5:
+				child.clk = q.clk
+			}
+		}
+		m, err := ev.measure(child)
+		if err != nil {
+			return err
+		}
+		// Replace the worst member if the child beats it.
+		worst := 0
+		for i := range pop {
+			if score(pop[i]) < score(pop[worst]) {
+				worst = i
+			}
+		}
+		if opts.Objective.score(m) > score(pop[worst]) {
+			pop[worst] = indiv{child, m}
+		}
+	}
+	return nil
+}
+
+// ConvergenceCurve returns the best-so-far objective value after each
+// evaluation — the standard way to compare search strategies.
+func (r SearchResult) ConvergenceCurve(obj Objective) []float64 {
+	out := make([]float64, len(r.Evaluated))
+	best := 0.0
+	for i, m := range r.Evaluated {
+		if s := obj.score(m); s > best {
+			best = s
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// FrontOf computes the Pareto front over a set of measurements.
+func FrontOf(ms []Measurement) []stats.Point {
+	pts := make([]stats.Point, len(ms))
+	for i, m := range ms {
+		pts[i] = stats.Point{X: m.TFLOPJ, Y: m.TFLOPS, Tag: i}
+	}
+	front := stats.ParetoFront(pts)
+	sort.Slice(front, func(i, j int) bool { return front[i].X < front[j].X })
+	return front
+}

@@ -1,0 +1,192 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+)
+
+func searchOpts(budget int, obj Objective, seed uint64) SearchOptions {
+	opts := SearchOptions{Objective: obj, Budget: budget, Seed: seed}
+	opts.Trials = 2
+	opts.Clocks = []float64{1485, 1635, 1815}
+	opts.Problem = kernels.DefaultProblem()
+	return opts
+}
+
+func TestSearchAlgorithmsFindGoodConfigs(t *testing.T) {
+	for _, algo := range []string{"random", "hillclimb", "genetic"} {
+		g := gpu.New(gpu.RTX4000Ada(), 900)
+		r, err := rig.NewPCIe(g, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(r, PowerSensor3Strategy, algo, searchOpts(40, MaximizeTFLOPS, 1))
+		r.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Evaluated) == 0 || len(res.Evaluated) > 40 {
+			t.Fatalf("%s: evaluated %d configs with budget 40", algo, len(res.Evaluated))
+		}
+		// With 40 of 1536 points, any sane strategy should find ≥55 TFLOP/s
+		// (the space's best is ~81, the median ~45).
+		if res.Best.TFLOPS < 50 {
+			t.Errorf("%s: best %.1f TFLOP/s too poor", algo, res.Best.TFLOPS)
+		}
+		if res.TuningTime <= 0 {
+			t.Errorf("%s: no tuning time accounted", algo)
+		}
+	}
+}
+
+func TestGuidedBeatsRandomOnAverage(t *testing.T) {
+	// Hill climbing exploits the smooth performance surface; over a few
+	// seeds it should find at least as good a configuration as random
+	// sampling at the same budget.
+	var hcSum, rndSum float64
+	const seeds = 3
+	for s := uint64(0); s < seeds; s++ {
+		g1 := gpu.New(gpu.RTX4000Ada(), 901+s)
+		r1, err := rig.NewPCIe(g1, 901+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := Search(r1, PowerSensor3Strategy, "hillclimb", searchOpts(30, MaximizeTFLOPS, s))
+		r1.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := gpu.New(gpu.RTX4000Ada(), 901+s)
+		r2, err := rig.NewPCIe(g2, 901+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := Search(r2, PowerSensor3Strategy, "random", searchOpts(30, MaximizeTFLOPS, s))
+		r2.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hcSum += hc.Best.TFLOPS
+		rndSum += rd.Best.TFLOPS
+	}
+	if hcSum < rndSum*0.95 {
+		t.Errorf("hill climbing (%.1f avg) much worse than random (%.1f avg)",
+			hcSum/seeds, rndSum/seeds)
+	}
+}
+
+func TestSearchObjectiveEfficiency(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 905)
+	r, err := rig.NewPCIe(g, 905)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := Search(r, PowerSensor3Strategy, "hillclimb", searchOpts(30, MaximizeTFLOPJ, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuning for efficiency should land at a reduced clock.
+	if res.Best.ClockMHz >= 1815 {
+		t.Errorf("efficiency search chose max clock (%v MHz)", res.Best.ClockMHz)
+	}
+}
+
+func TestSearchUnknownAlgorithm(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 906)
+	r, err := rig.NewPCIe(g, 906)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := Search(r, PowerSensor3Strategy, "simulated-annealing", searchOpts(10, MaximizeTFLOPS, 1)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestConvergenceCurveMonotone(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 907)
+	r, err := rig.NewPCIe(g, 907)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := Search(r, PowerSensor3Strategy, "random", searchOpts(20, MaximizeTFLOPS, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.ConvergenceCurve(MaximizeTFLOPS)
+	if len(curve) != len(res.Evaluated) {
+		t.Fatal("curve length mismatch")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("convergence curve not monotone")
+		}
+	}
+	if curve[len(curve)-1] != res.Best.TFLOPS {
+		t.Fatal("curve end != best")
+	}
+}
+
+func TestNeighboursStayInBounds(t *testing.T) {
+	corner := point{}
+	for _, n := range corner.neighbours(10) {
+		if n.bx < 0 || n.by < 0 || n.fb < 0 || n.fw < 0 || n.db < 0 || n.clk < 0 {
+			t.Fatalf("negative coordinate in %+v", n)
+		}
+	}
+	top := point{bx: 3, by: 3, fb: 3, fw: 3, db: 1, clk: 9}
+	for _, n := range top.neighbours(10) {
+		if n.bx > 3 || n.by > 3 || n.fb > 3 || n.fw > 3 || n.db > 1 || n.clk > 9 {
+			t.Fatalf("out-of-range coordinate in %+v", n)
+		}
+	}
+	// Interior point: 2 neighbours per 4-valued axis and the clock axis,
+	// but the binary double-buffer axis only ever has 1.
+	mid := point{bx: 1, by: 1, fb: 1, fw: 1, db: 0, clk: 5}
+	if got := len(mid.neighbours(10)); got != 11 {
+		t.Fatalf("%d neighbours, want 11", got)
+	}
+}
+
+func TestFrontOf(t *testing.T) {
+	ms := []Measurement{
+		{TFLOPS: 80, TFLOPJ: 0.7},
+		{TFLOPS: 60, TFLOPJ: 0.9},
+		{TFLOPS: 50, TFLOPJ: 0.8}, // dominated
+	}
+	front := FrontOf(ms)
+	if len(front) != 2 {
+		t.Fatalf("front size %d", len(front))
+	}
+	if front[0].X > front[1].X {
+		t.Fatal("front not sorted by efficiency")
+	}
+}
+
+func TestSearchCachesRepeats(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 908)
+	r, err := rig.NewPCIe(g, 908)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Hill climbing revisits neighbours aggressively; Evaluated must hold
+	// only unique configurations (the cache prevents re-measurement).
+	res, err := Search(r, PowerSensor3Strategy, "hillclimb", searchOpts(25, MaximizeTFLOPS, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range res.Evaluated {
+		key := m.Config.String() + string(rune(int(m.ClockMHz)))
+		if seen[key] {
+			t.Fatalf("configuration %s@%v measured twice", m.Config, m.ClockMHz)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,227 @@
+// Package tuner reproduces the Kernel Tuner workflow of Sections V-A2 and
+// V-B: exhaustively benchmark every code variant of the Tensor-Core
+// Beamformer across a range of locked GPU clock frequencies, measuring both
+// compute performance (TFLOP/s) and energy efficiency (TFLOP/J), and extract
+// the Pareto front.
+//
+// Two measurement strategies are modelled, because their cost difference is
+// the paper's headline tuning result (3.25× faster with PowerSensor3):
+//
+//   - PowerSensor3: each variant is measured directly — a handful of trials
+//     suffices because the 20 kHz external sensor resolves a single kernel.
+//   - Onboard: the ~10 Hz on-board sensor cannot resolve a short kernel, so
+//     the tuner must additionally run each variant continuously for an
+//     extended dwell (1–2 s in the paper) to collect enough samples.
+package tuner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/stats"
+	"repro/internal/vendorapi"
+)
+
+// Strategy selects the energy-measurement backend.
+type Strategy int
+
+// Available strategies.
+const (
+	// PowerSensor3Strategy measures with the external 20 kHz sensor.
+	PowerSensor3Strategy Strategy = iota
+	// OnboardStrategy measures with the vendor's ~10 Hz on-board sensor.
+	OnboardStrategy
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == PowerSensor3Strategy {
+		return "powersensor3"
+	}
+	return "onboard"
+}
+
+// Options configure a tuning run.
+type Options struct {
+	// Clocks are the locked application clocks to sweep, in MHz.
+	Clocks []float64
+	// Trials is how many times each configuration is benchmarked (7 in the
+	// paper).
+	Trials int
+	// Problem is the beamformer problem size.
+	Problem kernels.BeamformerProblem
+	// Configs restricts the variant space (nil = full 512-variant space).
+	Configs []kernels.BeamformerConfig
+	// OverheadPerConfig is the compile/setup cost per configuration.
+	OverheadPerConfig time.Duration
+	// OnboardDwell is the extra continuous-execution window the onboard
+	// strategy needs per configuration.
+	OnboardDwell time.Duration
+}
+
+// DefaultOptions returns the paper's experimental configuration for the
+// given device: 512 variants × 10 clocks, 7 trials, ~1 s onboard dwell.
+func DefaultOptions(spec gpu.Spec) Options {
+	return Options{
+		Clocks:            ClocksFor(spec),
+		Trials:            7,
+		Problem:           kernels.DefaultProblem(),
+		OverheadPerConfig: 350 * time.Millisecond,
+		OnboardDwell:      time.Second,
+	}
+}
+
+// ClocksFor returns the ten tuned clock frequencies the paper sweeps on each
+// device (Fig. 8 and Fig. 10 legends).
+func ClocksFor(spec gpu.Spec) []float64 {
+	switch spec.Vendor {
+	case gpu.JetsonSoC:
+		return []float64{408, 510, 612, 714, 816, 918, 1020, 1122, 1224, 1300}
+	default:
+		return []float64{1485, 1515, 1560, 1590, 1635, 1665, 1710, 1740, 1785, 1815}
+	}
+}
+
+// Measurement is the benchmark result of one (variant, clock) configuration.
+type Measurement struct {
+	Config     kernels.BeamformerConfig
+	ClockMHz   float64
+	KernelTime time.Duration // mean over trials
+	EnergyJ    float64       // mean over trials
+	TFLOPS     float64       // compute performance
+	TFLOPJ     float64       // energy efficiency
+}
+
+// Result is a complete tuning run.
+type Result struct {
+	Strategy     Strategy
+	Measurements []Measurement
+	// TuningTime is the total wall-clock the run would have taken on a real
+	// testbed: measured kernel execution plus per-configuration overheads.
+	TuningTime time.Duration
+	// Front is the Pareto front over (TFLOPJ, TFLOPS), sorted by ascending
+	// efficiency; Tags index into Measurements.
+	Front []stats.Point
+}
+
+// Fastest returns the measurement with the highest TFLOPS.
+func (r Result) Fastest() Measurement {
+	best := r.Measurements[0]
+	for _, m := range r.Measurements[1:] {
+		if m.TFLOPS > best.TFLOPS {
+			best = m
+		}
+	}
+	return best
+}
+
+// MostEfficient returns the measurement with the highest TFLOP/J.
+func (r Result) MostEfficient() Measurement {
+	best := r.Measurements[0]
+	for _, m := range r.Measurements[1:] {
+		if m.TFLOPJ > best.TFLOPJ {
+			best = m
+		}
+	}
+	return best
+}
+
+// Tune runs the full benchmark sweep on the rig using the given strategy.
+func Tune(r *rig.Rig, strategy Strategy, opts Options) (Result, error) {
+	if opts.Trials <= 0 {
+		return Result{}, fmt.Errorf("tuner: trials must be positive")
+	}
+	if len(opts.Clocks) == 0 {
+		return Result{}, fmt.Errorf("tuner: no clocks to sweep")
+	}
+	configs := opts.Configs
+	if configs == nil {
+		configs = kernels.Space()
+	}
+	spec := r.GPU.Spec()
+
+	var nvml *vendorapi.NVML
+	if strategy == OnboardStrategy {
+		nvml = vendorapi.NewNVML(r.GPU)
+	}
+
+	res := Result{Strategy: strategy}
+	for _, cfg := range configs {
+		for _, clock := range opts.Clocks {
+			r.GPU.SetAppClock(clock)
+			m := Measurement{Config: cfg, ClockMHz: clock}
+			k := cfg.Kernel(spec, clock, opts.Problem)
+
+			var sumDur time.Duration
+			var sumJ float64
+			for trial := 0; trial < opts.Trials; trial++ {
+				dur, joules := r.MeasureKernel(k)
+				sumDur += dur
+				if strategy == PowerSensor3Strategy {
+					sumJ += joules
+				}
+			}
+			m.KernelTime = sumDur / time.Duration(opts.Trials)
+			res.TuningTime += sumDur + opts.OverheadPerConfig
+
+			if strategy == OnboardStrategy {
+				// The on-board sensor cannot resolve a single kernel: run
+				// the variant continuously for the dwell window and average
+				// the 10 Hz readings.
+				meanW := onboardDwell(r, nvml, k, opts.OnboardDwell)
+				sumJ = float64(opts.Trials) * meanW * m.KernelTime.Seconds()
+				res.TuningTime += opts.OnboardDwell
+			}
+			m.EnergyJ = sumJ / float64(opts.Trials)
+
+			work := opts.Problem.FLOPs()
+			m.TFLOPS = work / m.KernelTime.Seconds() / 1e12
+			m.TFLOPJ = work / m.EnergyJ / 1e12
+			res.Measurements = append(res.Measurements, m)
+		}
+	}
+	r.GPU.SetAppClock(0)
+
+	pts := make([]stats.Point, len(res.Measurements))
+	for i, m := range res.Measurements {
+		pts[i] = stats.Point{X: m.TFLOPJ, Y: m.TFLOPS, Tag: i}
+	}
+	res.Front = stats.ParetoFront(pts)
+	return res, nil
+}
+
+// onboardDwell executes the kernel back-to-back for the dwell window while
+// sampling the on-board sensor at its own rate, returning the mean power.
+func onboardDwell(r *rig.Rig, nvml *vendorapi.NVML, k gpu.Kernel, dwell time.Duration) float64 {
+	// One long launch with enough waves to span the dwell.
+	single := k
+	oneDur, _ := estimateDuration(r, k)
+	waves := int(dwell/oneDur) + 1
+	single.FLOPs = k.FLOPs * float64(waves)
+	single.Waves = waves
+	run := r.GPU.LaunchKernel(single, r.Now())
+
+	var sum float64
+	n := 0
+	for ts := run.Start; ts < run.Start+dwell; ts += 100 * time.Millisecond {
+		sum += nvml.PowerInstant(ts)
+		n++
+	}
+	// Fast-forward the rig past the dwell: the onboard strategy does not
+	// use the external sensor, so no 20 kHz samples are needed.
+	r.Skip(run.End - r.Now() + 10*time.Millisecond)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// estimateDuration predicts one kernel execution without measuring energy.
+func estimateDuration(r *rig.Rig, k gpu.Kernel) (time.Duration, float64) {
+	clock := r.GPU.EffectiveClock()
+	secs := k.FLOPs / (r.GPU.TFLOPS(clock) * 1e12 * k.Efficiency)
+	return time.Duration(secs * float64(time.Second)), 0
+}

@@ -1,0 +1,188 @@
+package tuner
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+)
+
+// smallOptions returns a reduced search space for fast tests: 8 variants ×
+// 3 clocks.
+func smallOptions(spec gpu.Spec) Options {
+	opts := DefaultOptions(spec)
+	space := kernels.Space()
+	var cfgs []kernels.BeamformerConfig
+	for i := 0; i < len(space); i += 64 {
+		cfgs = append(cfgs, space[i])
+	}
+	opts.Configs = cfgs
+	clocks := ClocksFor(spec)
+	opts.Clocks = []float64{clocks[0], clocks[5], clocks[9]}
+	opts.Trials = 3
+	return opts
+}
+
+func newRTXRig(t *testing.T, seed uint64) *rig.Rig {
+	t.Helper()
+	g := gpu.New(gpu.RTX4000Ada(), seed)
+	r, err := rig.NewPCIe(g, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTuneProducesAllMeasurements(t *testing.T) {
+	r := newRTXRig(t, 1)
+	defer r.Close()
+	opts := smallOptions(r.GPU.Spec())
+	res, err := Tune(r, PowerSensor3Strategy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(opts.Configs) * len(opts.Clocks)
+	if len(res.Measurements) != want {
+		t.Fatalf("%d measurements, want %d", len(res.Measurements), want)
+	}
+	for _, m := range res.Measurements {
+		if m.TFLOPS <= 0 || m.TFLOPJ <= 0 {
+			t.Fatalf("non-positive metrics: %+v", m)
+		}
+	}
+}
+
+func TestParetoFrontNonEmptyAndUndominated(t *testing.T) {
+	r := newRTXRig(t, 2)
+	defer r.Close()
+	res, err := Tune(r, PowerSensor3Strategy, smallOptions(r.GPU.Spec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The fastest and most efficient configurations must both be on the
+	// front by definition.
+	fast, eff := res.Fastest(), res.MostEfficient()
+	var onFrontFast, onFrontEff bool
+	for _, p := range res.Front {
+		m := res.Measurements[p.Tag]
+		if m == fast {
+			onFrontFast = true
+		}
+		if m == eff {
+			onFrontEff = true
+		}
+	}
+	if !onFrontFast || !onFrontEff {
+		t.Fatal("fastest/most-efficient not on the Pareto front")
+	}
+}
+
+func TestFastestPrefersHighClockEfficientPrefersLow(t *testing.T) {
+	r := newRTXRig(t, 3)
+	defer r.Close()
+	res, err := Tune(r, PowerSensor3Strategy, smallOptions(r.GPU.Spec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, eff := res.Fastest(), res.MostEfficient()
+	if fast.ClockMHz < eff.ClockMHz {
+		t.Fatalf("fastest at %v MHz below most-efficient at %v MHz",
+			fast.ClockMHz, eff.ClockMHz)
+	}
+	if eff.TFLOPJ <= fast.TFLOPJ {
+		t.Fatal("most-efficient must beat fastest on TFLOP/J")
+	}
+	if fast.TFLOPS <= eff.TFLOPS {
+		t.Fatal("fastest must beat most-efficient on TFLOP/s")
+	}
+}
+
+func TestOnboardStrategySlower(t *testing.T) {
+	r1 := newRTXRig(t, 4)
+	defer r1.Close()
+	opts := smallOptions(r1.GPU.Spec())
+	ps3, err := Tune(r1, PowerSensor3Strategy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := newRTXRig(t, 4)
+	defer r2.Close()
+	onboard, err := Tune(r2, OnboardStrategy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(onboard.TuningTime) / float64(ps3.TuningTime)
+	// The paper reports 3.25×; the exact value depends on mean kernel time,
+	// so accept a band around it.
+	if ratio < 2.2 || ratio > 4.5 {
+		t.Fatalf("onboard/PS3 tuning-time ratio = %.2f, want ~3.25", ratio)
+	}
+}
+
+func TestOnboardEnergyAgreesRoughly(t *testing.T) {
+	// The onboard estimate uses mean dwell power × kernel time; for steady
+	// kernels this should be within tens of percent of the PS3 measurement.
+	r1 := newRTXRig(t, 5)
+	defer r1.Close()
+	opts := smallOptions(r1.GPU.Spec())
+	opts.Configs = opts.Configs[:2]
+	opts.Clocks = opts.Clocks[:1]
+	ps3, err := Tune(r1, PowerSensor3Strategy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := newRTXRig(t, 5)
+	defer r2.Close()
+	onboard, err := Tune(r2, OnboardStrategy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps3.Measurements {
+		a, b := ps3.Measurements[i].EnergyJ, onboard.Measurements[i].EnergyJ
+		rel := (a - b) / a
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.35 {
+			t.Fatalf("config %d: PS3 %v J vs onboard %v J", i, a, b)
+		}
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	r := newRTXRig(t, 6)
+	defer r.Close()
+	if _, err := Tune(r, PowerSensor3Strategy, Options{Clocks: []float64{1500}}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := Tune(r, PowerSensor3Strategy, Options{Trials: 1}); err == nil {
+		t.Fatal("no clocks accepted")
+	}
+}
+
+func TestClocksForDevices(t *testing.T) {
+	if got := ClocksFor(gpu.RTX4000Ada()); len(got) != 10 || got[0] != 1485 || got[9] != 1815 {
+		t.Fatalf("RTX clocks = %v", got)
+	}
+	if got := ClocksFor(gpu.JetsonAGXOrin()); len(got) != 10 || got[0] != 408 || got[9] != 1300 {
+		t.Fatalf("Jetson clocks = %v", got)
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	opts := DefaultOptions(gpu.RTX4000Ada())
+	if opts.Trials != 7 {
+		t.Fatalf("trials = %d, paper averages over 7", opts.Trials)
+	}
+	if opts.OnboardDwell < 500*time.Millisecond {
+		t.Fatal("onboard dwell should be around a second")
+	}
+	if len(kernels.Space())*len(opts.Clocks) != 5120 {
+		t.Fatal("search space must be 5120 configurations")
+	}
+}

@@ -1,0 +1,163 @@
+// Package usb models the full-speed (USB 1.1, 12 Mbit/s) link between the
+// Black Pill microcontroller and the host.
+//
+// The link matters to the design: the paper explains that the ADC could run
+// much faster, but the Black Pill's USB controller caps the sustainable data
+// rate, so the firmware averages samples down to 20 kHz instead of adding a
+// USB 2.0 PHY (Section III-B). The model therefore accounts for bandwidth in
+// virtual time and reports overruns if the device produces data faster than
+// the link and buffers can absorb.
+//
+// Data flows through three stages, as on real hardware:
+//
+//	device endpoint buffer → link (bandwidth-limited) → host OS buffer → reader
+//
+// A write is dropped (overrun) when the device endpoint buffer is full,
+// which happens when the link is saturated or the host OS buffer has filled
+// because nobody is reading.
+package usb
+
+import (
+	"errors"
+	"time"
+)
+
+// Link characteristics of full-speed USB with CDC-ACM framing.
+const (
+	// RawBitRate is the full-speed USB signalling rate.
+	RawBitRate = 12_000_000
+
+	// EffectiveByteRate is the usable payload rate after protocol overhead
+	// (bit stuffing, token/handshake packets, CDC headers). Full-speed bulk
+	// endpoints achieve roughly 1 MB/s in practice.
+	EffectiveByteRate = 1_000_000
+
+	// DefaultBufferSize is the device-side endpoint buffer: a few ms of
+	// stream data, matching the small RAM of the STM32F411.
+	DefaultBufferSize = 16 * 1024
+
+	// HostBufferSize is the host OS serial buffer (kernel tty queue).
+	HostBufferSize = 64 * 1024
+)
+
+// ErrOverrun is reported when the device endpoint buffer is full and a write
+// is dropped; the firmware loses those samples.
+var ErrOverrun = errors.New("usb: endpoint buffer overrun, samples dropped")
+
+// Pipe is a virtual-time byte channel from device to host with a paired
+// host-to-device command channel. It is not safe for concurrent use: the
+// simulation is single-threaded in virtual time.
+type Pipe struct {
+	queue        []byte // accepted but not yet consumed bytes, in order
+	hostToDevice []byte
+
+	deviceBuf int // device endpoint buffer size
+	hostBuf   int // host OS buffer size
+
+	produced int     // total bytes accepted from the device
+	consumed int     // total bytes handed to the host reader
+	capacity float64 // total bytes the link could have carried so far
+
+	overruns int
+	dropped  int
+}
+
+// NewPipe returns a Pipe with the default buffer sizes.
+func NewPipe() *Pipe {
+	return &Pipe{deviceBuf: DefaultBufferSize, hostBuf: HostBufferSize}
+}
+
+// NewPipeBuffer returns a Pipe with a specific device endpoint buffer size.
+func NewPipeBuffer(n int) *Pipe {
+	return &Pipe{deviceBuf: n, hostBuf: HostBufferSize}
+}
+
+// Advance credits the link with dt of transfer capacity. The firmware calls
+// this once per sample interval.
+func (p *Pipe) Advance(dt time.Duration) {
+	p.capacity += EffectiveByteRate * dt.Seconds()
+}
+
+// transferred returns how many produced bytes have crossed the link into the
+// host OS buffer: limited by link bandwidth and by host buffer space.
+func (p *Pipe) transferred() int {
+	t := p.produced
+	if c := int(p.capacity); c < t {
+		t = c
+	}
+	if m := p.consumed + p.hostBuf; m < t {
+		t = m
+	}
+	return t
+}
+
+// DeviceWrite queues bytes from the device toward the host. If the device
+// endpoint buffer is full — link saturated or host not draining — the write
+// is dropped and counted, mirroring the firmware's behaviour.
+func (p *Pipe) DeviceWrite(b []byte) error {
+	occupancy := p.produced - p.transferred()
+	if occupancy+len(b) > p.deviceBuf {
+		p.overruns++
+		p.dropped += len(b)
+		return ErrOverrun
+	}
+	p.queue = append(p.queue, b...)
+	p.produced += len(b)
+	return nil
+}
+
+// HostRead drains up to len(b) transferred bytes into b, returning the count.
+func (p *Pipe) HostRead(b []byte) int {
+	avail := p.transferred() - p.consumed
+	if avail > len(b) {
+		avail = len(b)
+	}
+	n := copy(b, p.queue[:avail])
+	p.queue = p.queue[n:]
+	p.consumed += n
+	return n
+}
+
+// HostReadAll drains and returns every byte that has crossed the link.
+func (p *Pipe) HostReadAll() []byte {
+	avail := p.transferred() - p.consumed
+	out := p.queue[:avail]
+	p.queue = p.queue[avail:]
+	p.consumed += avail
+	return out
+}
+
+// HostWrite queues command bytes from the host toward the device. Commands
+// are tiny; bandwidth accounting is not needed in that direction.
+func (p *Pipe) HostWrite(b []byte) {
+	p.hostToDevice = append(p.hostToDevice, b...)
+}
+
+// DeviceRead drains and returns all pending host command bytes.
+func (p *Pipe) DeviceRead() []byte {
+	out := p.hostToDevice
+	p.hostToDevice = nil
+	return out
+}
+
+// Pending returns how many device bytes are queued anywhere in the channel.
+func (p *Pipe) Pending() int { return len(p.queue) }
+
+// Overruns returns how many device writes were dropped.
+func (p *Pipe) Overruns() int { return p.overruns }
+
+// DroppedBytes returns the total bytes lost to overruns.
+func (p *Pipe) DroppedBytes() int { return p.dropped }
+
+// StreamBytesPerSecond returns the device-to-host data rate a configuration
+// of nSensors at rateHz would generate: 2 bytes per sensor value plus one
+// 2-byte timestamp packet per sample set.
+func StreamBytesPerSecond(nSensors int, rateHz float64) float64 {
+	return rateHz * float64(2*nSensors+2)
+}
+
+// FitsLink reports whether a stream configuration fits the usable USB
+// bandwidth — the design constraint that fixed the 20 kHz sample rate.
+func FitsLink(nSensors int, rateHz float64) bool {
+	return StreamBytesPerSecond(nSensors, rateHz) <= EffectiveByteRate
+}

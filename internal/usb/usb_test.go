@@ -1,0 +1,148 @@
+package usb
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := NewPipe()
+	p.Advance(time.Second)
+	if err := p.DeviceWrite([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n := p.HostRead(buf)
+	if n != 3 || !bytes.Equal(buf[:3], []byte{1, 2, 3}) {
+		t.Fatalf("read %d bytes: %v", n, buf[:n])
+	}
+}
+
+func TestHostCommands(t *testing.T) {
+	p := NewPipe()
+	p.HostWrite([]byte{'S'})
+	p.HostWrite([]byte{'M', 'x'})
+	got := p.DeviceRead()
+	if !bytes.Equal(got, []byte{'S', 'M', 'x'}) {
+		t.Fatalf("device read %v", got)
+	}
+	if len(p.DeviceRead()) != 0 {
+		t.Fatal("second read not empty")
+	}
+}
+
+func TestOverrunWhenHostStalls(t *testing.T) {
+	p := NewPipeBuffer(64)
+	// No Advance: link has no capacity, only the 64-byte buffer.
+	if err := p.DeviceWrite(make([]byte, 64)); err != nil {
+		t.Fatalf("first write should fit the buffer: %v", err)
+	}
+	if err := p.DeviceWrite([]byte{0}); err != ErrOverrun {
+		t.Fatalf("expected overrun, got %v", err)
+	}
+	if p.Overruns() != 1 || p.DroppedBytes() != 1 {
+		t.Fatalf("overruns=%d dropped=%d", p.Overruns(), p.DroppedBytes())
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	p := NewPipeBuffer(1000)
+	if err := p.DeviceWrite(make([]byte, 1000)); err != nil {
+		t.Fatalf("first write should fit the endpoint buffer: %v", err)
+	}
+	// No link capacity yet: the buffer is stuck full.
+	if err := p.DeviceWrite([]byte{0}); err != ErrOverrun {
+		t.Fatal("expected overrun with zero link capacity")
+	}
+	// One millisecond of link time drains the buffer into the host queue.
+	p.Advance(time.Millisecond) // 1000 bytes of capacity
+	if err := p.DeviceWrite(make([]byte, 1000)); err != nil {
+		t.Fatalf("buffer should have drained over the link: %v", err)
+	}
+	// The host can now read exactly what crossed the link.
+	if got := len(p.HostReadAll()); got != 1000 {
+		t.Fatalf("host sees %d bytes, want 1000", got)
+	}
+}
+
+func TestHostBufferBackpressure(t *testing.T) {
+	p := NewPipeBuffer(1024)
+	p.Advance(time.Hour) // effectively infinite link capacity
+	// Nobody reads: the host OS buffer plus endpoint buffer eventually fill.
+	total := 0
+	for i := 0; i < 100; i++ {
+		err := p.DeviceWrite(make([]byte, 1024))
+		if err != nil {
+			break
+		}
+		total += 1024
+	}
+	if total > HostBufferSize+1024 {
+		t.Fatalf("accepted %d bytes with no reader; host buffer is %d", total, HostBufferSize)
+	}
+	if p.Overruns() == 0 {
+		t.Fatal("expected overruns once buffers filled")
+	}
+	// Reading frees space again.
+	p.HostReadAll()
+	if err := p.DeviceWrite(make([]byte, 1024)); err != nil {
+		t.Fatalf("write after drain: %v", err)
+	}
+}
+
+func TestHostReadAll(t *testing.T) {
+	p := NewPipe()
+	p.Advance(time.Second)
+	p.DeviceWrite([]byte{9, 8, 7})
+	got := p.HostReadAll()
+	if !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("got %v", got)
+	}
+	if p.Pending() != 0 {
+		t.Fatal("pending after drain")
+	}
+}
+
+// The paper's design point: 8 sensors at 20 kHz fits full-speed USB, but the
+// raw ADC rate (no averaging) would not.
+func TestDesignPointFitsLink(t *testing.T) {
+	if !FitsLink(protocol.MaxSensors, protocol.SampleRateHz) {
+		t.Fatal("8 sensors at 20 kHz must fit the link")
+	}
+	rawRate := 120000.0 * protocol.SamplesPerAverage // no averaging ≈ 720 kHz
+	if FitsLink(protocol.MaxSensors, rawRate) {
+		t.Fatal("raw ADC rate must exceed the link; this constraint motivated averaging")
+	}
+}
+
+func TestSustained20kHzStreamNoOverrun(t *testing.T) {
+	p := NewPipe()
+	packet := make([]byte, 2*protocol.MaxSensors+2)
+	interval := 50 * time.Microsecond
+	for i := 0; i < 20000; i++ { // one virtual second
+		p.Advance(interval)
+		if err := p.DeviceWrite(packet); err != nil {
+			t.Fatalf("overrun at sample %d: %v", i, err)
+		}
+		if i%100 == 0 {
+			p.HostReadAll()
+		}
+	}
+}
+
+func BenchmarkDeviceWriteHostRead(b *testing.B) {
+	p := NewPipe()
+	packet := make([]byte, 18)
+	buf := make([]byte, 4096)
+	for i := 0; i < b.N; i++ {
+		p.Advance(50 * time.Microsecond)
+		_ = p.DeviceWrite(packet)
+		if i%64 == 0 {
+			for p.HostRead(buf) > 0 {
+			}
+		}
+	}
+}
