@@ -7,10 +7,15 @@
 package repro
 
 import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/fleet"
 )
 
 // BenchmarkTable1Accuracy regenerates Table I: the closed-form worst-case
@@ -240,6 +245,58 @@ func BenchmarkAblationSamplingRate(b *testing.B) {
 		case 10:
 			b.ReportMetric(row.MeanErr*100, "err%-10Hz")
 		}
+	}
+}
+
+// BenchmarkFleetScrape measures the fleet telemetry hot path at growing
+// fleet sizes: ns/op is the latency of one full /metrics scrape, and the
+// custom metrics report how fast the fleet ingests 20 kHz samples. Scrape
+// latency should grow only linearly in stations (flat per station), since
+// a scrape touches per-station counters and one ring point — never the raw
+// sample stream.
+func BenchmarkFleetScrape(b *testing.B) {
+	kinds := []string{"rtx4000ada", "jetson", "ssd", "w7700"}
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			spec := ""
+			for i := 0; i < size; i++ {
+				if i > 0 {
+					spec += ","
+				}
+				spec += fmt.Sprintf("dev%02d=%s", i, kinds[i%len(kinds)])
+			}
+			mgr, err := fleet.FromSpec(spec, 1, fleet.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+
+			// Ingest rate: wall time to simulate a fixed slice of virtual
+			// time across the whole fleet.
+			const warmup = 100 * time.Millisecond
+			began := time.Now()
+			mgr.StepAll(warmup)
+			elapsed := time.Since(began).Seconds()
+			var ingested uint64
+			for _, st := range mgr.Snapshot() {
+				ingested += st.Samples
+			}
+			b.ReportMetric(float64(ingested)/elapsed, "samples/s")
+			b.ReportMetric(float64(ingested)/float64(size), "samples/station")
+
+			handler := export.New(mgr).Handler()
+			req := httptest.NewRequest("GET", "/metrics", nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("scrape status %d", rec.Code)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size),
+				"ns/station")
+		})
 	}
 }
 

@@ -1,0 +1,134 @@
+// Command psd is the PowerSensor3 fleet daemon: it assembles a fleet of
+// simulated measurement stations, drives each on its own goroutine, and
+// serves the fleet's telemetry over HTTP — the service counterpart of the
+// one-shot command line tools.
+//
+// Usage:
+//
+//	psd [-listen :9120] [-fleet spec] [-seed 1] [-rate 1] [-slice 5ms]
+//	    [-block 20] [-ring 4096] [-warmup 2s]
+//
+// Flags:
+//
+//	-listen  HTTP listen address (default :9120)
+//	-fleet   comma-separated name=kind stations; kinds are rtx4000ada,
+//	         w7700, jetson, ssd (default "gpu0=rtx4000ada,gpu1=w7700,
+//	         soc0=jetson,ssd0=ssd")
+//	-seed    base simulation seed; each station derives its own
+//	-rate    virtual seconds simulated per wall second (1 = real time,
+//	         0 = as fast as the host allows)
+//	-slice   virtual-time quantum each station goroutine advances per
+//	         iteration
+//	-block   downsample factor: 20 kHz sample sets averaged per ring point
+//	         (20 → 1 kHz retained resolution)
+//	-ring    per-station ring capacity, in downsampled points
+//	-warmup  virtual time advanced synchronously before serving, so the
+//	         first scrape already sees data
+//
+// Endpoints:
+//
+//	GET /metrics                      Prometheus text exposition
+//	GET /api/fleet                    JSON status of every station
+//	GET /api/device/{name}/trace      recent trace (?format=csv|json, ?points=N)
+//	GET /healthz                      liveness probe
+//
+// A scrape looks like:
+//
+//	$ curl -s localhost:9120/metrics | grep gpu0
+//	powersensor_watts{device="gpu0",pair="0"} 0.163...
+//	powersensor_watts{device="gpu0",pair="1"} 11.66...
+//	powersensor_watts{device="gpu0",pair="2"} 55.88...
+//	powersensor_board_watts{device="gpu0"} 67.7...
+//	powersensor_joules_total{device="gpu0"} 154.9...
+//	powersensor_samples_total{device="gpu0"} 40000
+//	powersensor_resyncs_total{device="gpu0"} 0
+//	...
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/fleet"
+	"repro/internal/simsetup"
+)
+
+func main() {
+	listen := flag.String("listen", ":9120", "HTTP listen address")
+	spec := flag.String("fleet", simsetup.DefaultFleetSpec, "fleet spec: comma-separated name=kind")
+	seed := flag.Uint64("seed", 1, "base simulation seed")
+	rate := flag.Float64("rate", 1, "virtual seconds per wall second (0 = unpaced)")
+	slice := flag.Duration("slice", 5*time.Millisecond, "virtual-time quantum per iteration")
+	block := flag.Int("block", 20, "sample sets averaged per ring point")
+	ring := flag.Int("ring", 4096, "per-station ring capacity in points")
+	warmup := flag.Duration("warmup", 2*time.Second, "virtual time simulated before serving")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: psd [flags]; see -h")
+		os.Exit(2)
+	}
+	if *rate < 0 {
+		fmt.Fprintln(os.Stderr, "psd: -rate must be >= 0 (0 = unpaced)")
+		os.Exit(2)
+	}
+	if err := run(*listen, *spec, *seed, *rate, *slice, *block, *ring, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "psd:", err)
+		os.Exit(1)
+	}
+}
+
+// setup assembles the fleet and its HTTP handler — the daemon's wiring,
+// split from run so tests can serve it through httptest.
+func setup(spec string, seed uint64, rate float64,
+	slice time.Duration, block, ring int, warmup time.Duration) (*fleet.Manager, http.Handler, error) {
+	mgr, err := fleet.FromSpec(spec, seed, fleet.Config{
+		Slice: slice, Block: block, RingCap: ring, Rate: rate,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if warmup > 0 {
+		log.Printf("warming up: %v of virtual time over %d stations", warmup, mgr.Size())
+		mgr.StepAll(warmup)
+	}
+	return mgr, export.New(mgr).Handler(), nil
+}
+
+func run(listen, spec string, seed uint64, rate float64,
+	slice time.Duration, block, ring int, warmup time.Duration) error {
+	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, warmup)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	mgr.Start()
+
+	srv := &http.Server{Addr: listen, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d stations (%s) on %s", mgr.Size(), spec, listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeFleet wires the daemon exactly as run does (minus the listener)
+// and exercises every endpoint against a 4-station fleet.
+func TestServeFleet(t *testing.T) {
+	mgr, handler, err := setup("gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd",
+		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.Start()
+	defer mgr.Stop()
+
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0"} {
+		if !strings.Contains(body, `powersensor_joules_total{device="`+dev+`"} `) {
+			t.Errorf("/metrics missing joules for %s", dev)
+		}
+	}
+	if code, _ := get("/api/fleet"); code != http.StatusOK {
+		t.Errorf("/api/fleet: status %d", code)
+	}
+	if code, _ := get("/api/device/gpu1/trace?points=20"); code != http.StatusOK {
+		t.Errorf("/api/device/gpu1/trace: status %d", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz: status %d", code)
+	}
+}
+
+func TestSetupBadSpec(t *testing.T) {
+	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 0); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -7,4 +7,33 @@
 // beside them, and one experiment harness per paper table/figure in
 // internal/experiments. See DESIGN.md for the full inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
+//
+// # Fleet telemetry
+//
+// Beyond the single-rig tools, the repository runs whole fleets:
+// internal/fleet drives many named stations (PCIe GPUs, SoC boards, SSDs —
+// assembled by internal/simsetup) concurrently, each on its own goroutine,
+// downsampling every 20 kHz stream into per-station ring buffers with
+// health counters; internal/export serves a fleet over HTTP.
+//
+// # The psd daemon
+//
+// Command psd is the served entry point:
+//
+//	psd [-listen :9120] [-fleet gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd]
+//	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-warmup 2s]
+//
+// It serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
+// status of every station), /api/device/{name}/trace (recent downsampled
+// trace as CSV or JSON) and /healthz. A scrape yields per-station gauges
+// and counters such as:
+//
+//	powersensor_watts{device="gpu0",pair="2"} 55.88
+//	powersensor_board_watts{device="gpu0"} 67.7
+//	powersensor_joules_total{device="gpu0"} 154.9
+//	powersensor_samples_total{device="gpu0"} 40000
+//	powersensor_resyncs_total{device="gpu0"} 0
+//
+// See the cmd/psd package documentation for the full flag and endpoint
+// reference, and examples/fleet for a minimal in-process fleet scrape.
 package repro

@@ -1,0 +1,65 @@
+// Fleet: run three measurement stations concurrently and scrape them once.
+//
+// This is the smallest end-to-end use of the fleet subsystem: a PCIe GPU,
+// a USB-C SoC and an SSD, each driven by its own goroutine with its own
+// self-repeating workload, served over HTTP by the exporter and scraped a
+// single time — what cmd/psd does continuously.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/fleet"
+)
+
+func main() {
+	// Assemble the fleet: three named stations. (With real hardware each
+	// would be one PowerSensor3 on /dev/ttyACM*, wired to a different
+	// device under test.)
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,soc0=jetson,ssd0=ssd", 42, fleet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// Let every station simulate one second of virtual time: GPU kernel
+	// launches, SoC load and SSD I/O all land in the per-station rings.
+	mgr.StepAll(time.Second)
+
+	// Fleet status, as /api/fleet reports it.
+	fmt.Println("station      kind        power      energy    samples")
+	for _, st := range mgr.Snapshot() {
+		fmt.Printf("%-12s %-11s %7.2f W %8.2f J %10d\n",
+			st.Name, st.Kind, st.Watts, st.Joules, st.Samples)
+	}
+
+	// Serve the exporter and scrape /metrics once, like Prometheus would.
+	srv := httptest.NewServer(export.New(mgr).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nscrape excerpt (per-station board power and energy):")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "powersensor_board_watts") ||
+			strings.HasPrefix(line, "powersensor_joules_total") {
+			fmt.Println(" ", line)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAttachSampleCoexists verifies the multi-observer plumbing: attached
+// hooks see every sample set, in attach order, alongside the legacy
+// OnSample observer — and replacing OnSample (as trace.Capture does) does
+// not disturb them.
+func TestAttachSampleCoexists(t *testing.T) {
+	dev := newBenchDevice(1, 4)
+	ps, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	var legacy, a, b int
+	var order []string
+	ps.OnSample(func(Sample) { legacy++; order = append(order, "legacy") })
+	ida := ps.AttachSample(func(Sample) { a++; order = append(order, "a") })
+	idb := ps.AttachSample(func(Sample) { b++; order = append(order, "b") })
+
+	ps.Advance(10 * time.Millisecond)
+	if legacy == 0 || a != legacy || b != legacy {
+		t.Fatalf("observer counts diverged: legacy=%d a=%d b=%d", legacy, a, b)
+	}
+	for i := 0; i+2 < len(order); i += 3 {
+		if order[i] != "legacy" || order[i+1] != "a" || order[i+2] != "b" {
+			t.Fatalf("bad dispatch order at %d: %v", i, order[i:i+3])
+		}
+	}
+
+	// Replacing (then clearing) the OnSample slot must not touch hooks.
+	ps.OnSample(nil)
+	order = nil
+	before := a
+	ps.Advance(5 * time.Millisecond)
+	if a == before {
+		t.Fatal("hook a stopped after OnSample(nil)")
+	}
+	if legacy != b-(a-before) {
+		t.Fatalf("legacy observer ran after removal: legacy=%d", legacy)
+	}
+
+	// Detach one hook; the other keeps running.
+	ps.DetachSample(ida)
+	aAfterDetach, bBefore := a, b
+	ps.Advance(5 * time.Millisecond)
+	if a != aAfterDetach {
+		t.Fatalf("detached hook still ran: %d -> %d", aAfterDetach, a)
+	}
+	if b == bBefore {
+		t.Fatal("remaining hook stopped after detaching the other")
+	}
+	ps.DetachSample(idb)
+	ps.DetachSample(idb) // double-detach is a no-op
+}

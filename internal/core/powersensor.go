@@ -88,8 +88,19 @@ type PowerSensor struct {
 	pendingMarks []byte
 	currentSet   [protocol.MaxSensors]bool // sensors seen in the current set
 	setHasMarker bool
-	onSample     func(Sample) // per-sample-set observer
+	onSample     func(Sample) // legacy single observer (OnSample)
+	hooks        []sampleHook // attached observers, in attach order
+	nextHookID   HookID
 	totalResyncs int
+}
+
+// HookID identifies a sample observer registered with AttachSample.
+type HookID int
+
+// sampleHook is one attached observer.
+type sampleHook struct {
+	id HookID
+	f  func(Sample)
 }
 
 // Sample is one processed 20 kHz sample set, as delivered to OnSample
@@ -240,23 +251,61 @@ func (ps *PowerSensor) finishSet() {
 	if ps.dump != nil {
 		ps.writeDumpLine(total)
 	}
-	if ps.onSample != nil {
+	if ps.onSample != nil || len(ps.hooks) > 0 {
 		var s Sample
 		s.DeviceTime = time.Duration(ps.devMicros) * time.Microsecond
 		copy(s.Watts[:], ps.watts[:])
 		copy(s.Volts[:], ps.volts[:])
 		copy(s.Amps[:], ps.amps[:])
 		s.Marker = ps.setHasMarker
-		ps.onSample(s)
+		if ps.onSample != nil {
+			ps.onSample(s)
+		}
+		for _, h := range ps.hooks {
+			h.f(s)
+		}
 	}
 	ps.setHasMarker = false
 }
 
 // OnSample registers f to be called after every processed sample set — the
 // hook the experiment harnesses use to capture full-rate traces. Pass nil to
-// remove the observer.
+// remove the observer. OnSample holds a single slot: setting it replaces the
+// previous observer but leaves AttachSample hooks untouched, so a transient
+// capture (e.g. trace.Capture) can run on a sensor whose stream is already
+// being ingested elsewhere.
 func (ps *PowerSensor) OnSample(f func(Sample)) {
 	ps.onSample = f
+}
+
+// AttachSample registers an additional per-sample-set observer and returns
+// an id for DetachSample. Unlike OnSample, any number of hooks can coexist;
+// they are invoked in attach order after the OnSample observer. Hooks run on
+// the goroutine calling Advance.
+func (ps *PowerSensor) AttachSample(f func(Sample)) HookID {
+	id := ps.nextHookID
+	ps.nextHookID++
+	// Copy-on-write so an in-flight dispatch ranging over the old slice
+	// never observes a mutation.
+	hooks := make([]sampleHook, len(ps.hooks), len(ps.hooks)+1)
+	copy(hooks, ps.hooks)
+	ps.hooks = append(hooks, sampleHook{id: id, f: f})
+	return id
+}
+
+// DetachSample removes a hook registered with AttachSample. Detaching an
+// unknown id is a no-op. A hook detached from inside another hook still
+// receives the sample set currently being dispatched; removal takes effect
+// from the next set.
+func (ps *PowerSensor) DetachSample(id HookID) {
+	for i, h := range ps.hooks {
+		if h.id == id {
+			hooks := make([]sampleHook, 0, len(ps.hooks)-1)
+			hooks = append(hooks, ps.hooks[:i]...)
+			ps.hooks = append(hooks, ps.hooks[i+1:]...)
+			return
+		}
+	}
 }
 
 // convertCurrent applies the device-stored conversion for a current channel.

@@ -1,0 +1,220 @@
+// Package export serves a fleet.Manager over HTTP: a Prometheus-style
+// text exposition endpoint for scrapers, a JSON snapshot API for
+// dashboards, and per-station trace downloads reusing the trace package's
+// CSV/JSON writers. It is the observability surface of the fleet subsystem
+// — modeled on standalone hardware exporters, but with no dependency
+// beyond the standard library.
+//
+// Endpoints (all GET):
+//
+//	/metrics                      Prometheus text exposition (version 0.0.4)
+//	/api/fleet                    JSON status of every station
+//	/api/device/{name}/trace      recent downsampled trace; ?format=csv|json
+//	                              (default csv), ?points=N caps the length
+//	/healthz                      liveness probe
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Exporter renders a fleet.Manager over HTTP.
+type Exporter struct {
+	mgr *fleet.Manager
+}
+
+// New returns an exporter over mgr.
+func New(mgr *fleet.Manager) *Exporter { return &Exporter{mgr: mgr} }
+
+// Handler returns the exporter's route table.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", e.metrics)
+	mux.HandleFunc("GET /api/fleet", e.fleetJSON)
+	mux.HandleFunc("GET /api/device/{name}/trace", e.deviceTrace)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /{$}", e.index)
+	return mux
+}
+
+// index is a minimal landing page linking the endpoints.
+func (e *Exporter) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>PowerSensor3 fleet</title></head><body>
+<h1>PowerSensor3 fleet</h1>
+<p>%d stations</p>
+<ul>
+<li><a href="/metrics">/metrics</a></li>
+<li><a href="/api/fleet">/api/fleet</a></li>
+<li>/api/device/{name}/trace?format=csv|json&amp;points=N</li>
+</ul>
+</body></html>
+`, e.mgr.Size())
+}
+
+// family is one Prometheus metric family rendered by the scrape.
+type family struct {
+	name string
+	help string
+	typ  string // gauge or counter
+	rows []row
+}
+
+type row struct {
+	labels string // rendered {..} block, may be empty
+	value  float64
+}
+
+// metrics renders the Prometheus text exposition format. Families and rows
+// are emitted in deterministic order so the output is golden-testable.
+func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
+	began := time.Now()
+	snap := e.mgr.Snapshot()
+
+	dev := func(name string) string {
+		return fmt.Sprintf(`{device="%s"}`, escapeLabel(name))
+	}
+	families := []family{
+		{name: "powersensor_fleet_devices", typ: "gauge",
+			help: "Stations owned by the fleet manager.",
+			rows: []row{{value: float64(len(snap))}}},
+		{name: "powersensor_watts", typ: "gauge",
+			help: "Block-averaged power per sensor pair, in watts."},
+		{name: "powersensor_board_watts", typ: "gauge",
+			help: "Block-averaged summed board power per station, in watts."},
+		{name: "powersensor_joules_total", typ: "counter",
+			help: "Cumulative energy per station since adoption, in joules."},
+		{name: "powersensor_samples_total", typ: "counter",
+			help: "20 kHz sample sets ingested per station."},
+		{name: "powersensor_resyncs_total", typ: "counter",
+			help: "Stream bytes skipped to regain protocol alignment."},
+		{name: "powersensor_dropped_deliveries_total", typ: "counter",
+			help: "Subscriber deliveries dropped on full fan-out channels."},
+		{name: "powersensor_ring_points", typ: "gauge",
+			help: "Downsampled points currently buffered per station."},
+		{name: "powersensor_device_virtual_seconds", typ: "gauge",
+			help: "Virtual time of each station's clock, in seconds."},
+	}
+	byName := make(map[string]*family, len(families))
+	for i := range families {
+		byName[families[i].name] = &families[i]
+	}
+	add := func(fam, labels string, v float64) {
+		f := byName[fam]
+		f.rows = append(f.rows, row{labels: labels, value: v})
+	}
+	for _, st := range snap {
+		for m, w := range st.PairWatts {
+			add("powersensor_watts",
+				fmt.Sprintf(`{device="%s",pair="%d"}`, escapeLabel(st.Name), m), w)
+		}
+		add("powersensor_board_watts", dev(st.Name), st.Watts)
+		add("powersensor_joules_total", dev(st.Name), st.Joules)
+		add("powersensor_samples_total", dev(st.Name), float64(st.Samples))
+		add("powersensor_resyncs_total", dev(st.Name), float64(st.Resyncs))
+		add("powersensor_dropped_deliveries_total", dev(st.Name), float64(st.Dropped))
+		add("powersensor_ring_points", dev(st.Name), float64(st.RingLen))
+		add("powersensor_device_virtual_seconds", dev(st.Name), st.Now.Seconds())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, r := range f.rows {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, r.labels, formatValue(r.value))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.\n")
+	fmt.Fprintf(&b, "# TYPE powersensor_scrape_duration_seconds gauge\n")
+	fmt.Fprintf(&b, "powersensor_scrape_duration_seconds %s\n",
+		formatValue(time.Since(began).Seconds()))
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable float.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelEscaper escapes label values per the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+// fleetSnapshot is the /api/fleet response body.
+type fleetSnapshot struct {
+	Devices []fleet.Status `json:"devices"`
+}
+
+func (e *Exporter) fleetJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(fleetSnapshot{Devices: e.mgr.Snapshot()})
+}
+
+// deviceTrace serves the recent downsampled trace of one station.
+func (e *Exporter) deviceTrace(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d := e.mgr.Device(name)
+	if d == nil {
+		http.Error(w, fmt.Sprintf("unknown device %q (have %s)",
+			name, strings.Join(e.mgr.Names(), ", ")), http.StatusNotFound)
+		return
+	}
+	max := 0
+	if s := r.URL.Query().Get("points"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad points=%q (want a positive count)", s),
+				http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	tr := d.Trace(max)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%s.csv", sanitizeFilename(name)))
+		if err := tr.WriteCSV(w); err != nil {
+			// Headers are gone; nothing useful to do but note it.
+			return
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	default:
+		http.Error(w, fmt.Sprintf("bad format=%q (want csv or json)", format),
+			http.StatusBadRequest)
+	}
+}
+
+// sanitizeFilename keeps the download filename header safe.
+func sanitizeFilename(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

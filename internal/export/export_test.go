@@ -1,0 +1,224 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// testServer serves a warmed-up 3-station fleet (PCIe GPU, SoC, SSD).
+func testServer(t *testing.T) (*httptest.Server, *fleet.Manager) {
+	t.Helper()
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,soc0=jetson,ssd0=ssd", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(300 * time.Millisecond)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+	return srv, mgr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsPerDevice(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, dev := range []string{"gpu0", "soc0", "ssd0"} {
+		for _, metric := range []string{
+			"powersensor_board_watts", "powersensor_joules_total",
+			"powersensor_samples_total", "powersensor_resyncs_total",
+			"powersensor_dropped_deliveries_total",
+		} {
+			if !strings.Contains(body, metric+`{device="`+dev+`"} `) {
+				t.Errorf("missing %s for %s", metric, dev)
+			}
+		}
+	}
+	// Per-pair gauges: the PCIe GPU rig carries three sensor pairs.
+	for _, pair := range []string{"0", "1", "2"} {
+		if !strings.Contains(body, `powersensor_watts{device="gpu0",pair="`+pair+`"} `) {
+			t.Errorf("missing gpu0 pair %s watts", pair)
+		}
+	}
+	if !strings.Contains(body, "powersensor_fleet_devices 3\n") {
+		t.Error("missing fleet size gauge")
+	}
+}
+
+// TestMetricsExpositionFormat is the golden check of the text exposition:
+// the exact HELP/TYPE skeleton, and every sample line well-formed.
+func TestMetricsExpositionFormat(t *testing.T) {
+	srv, _ := testServer(t)
+	_, body := get(t, srv.URL+"/metrics")
+
+	var comments []string
+	sample := regexp.MustCompile(`^[a-z_]+(\{[a-z_]+="[^"]*"(,[a-z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?(e[+-][0-9]+)?$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			comments = append(comments, line)
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+
+	golden := []string{
+		"# HELP powersensor_fleet_devices Stations owned by the fleet manager.",
+		"# TYPE powersensor_fleet_devices gauge",
+		"# HELP powersensor_watts Block-averaged power per sensor pair, in watts.",
+		"# TYPE powersensor_watts gauge",
+		"# HELP powersensor_board_watts Block-averaged summed board power per station, in watts.",
+		"# TYPE powersensor_board_watts gauge",
+		"# HELP powersensor_joules_total Cumulative energy per station since adoption, in joules.",
+		"# TYPE powersensor_joules_total counter",
+		"# HELP powersensor_samples_total 20 kHz sample sets ingested per station.",
+		"# TYPE powersensor_samples_total counter",
+		"# HELP powersensor_resyncs_total Stream bytes skipped to regain protocol alignment.",
+		"# TYPE powersensor_resyncs_total counter",
+		"# HELP powersensor_dropped_deliveries_total Subscriber deliveries dropped on full fan-out channels.",
+		"# TYPE powersensor_dropped_deliveries_total counter",
+		"# HELP powersensor_ring_points Downsampled points currently buffered per station.",
+		"# TYPE powersensor_ring_points gauge",
+		"# HELP powersensor_device_virtual_seconds Virtual time of each station's clock, in seconds.",
+		"# TYPE powersensor_device_virtual_seconds gauge",
+		"# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.",
+		"# TYPE powersensor_scrape_duration_seconds gauge",
+	}
+	if len(comments) != len(golden) {
+		t.Fatalf("comment skeleton has %d lines, want %d:\n%s",
+			len(comments), len(golden), strings.Join(comments, "\n"))
+	}
+	for i := range golden {
+		if comments[i] != golden[i] {
+			t.Errorf("comment %d:\n got %q\nwant %q", i, comments[i], golden[i])
+		}
+	}
+}
+
+func TestFleetJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/api/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var snap struct {
+		Devices []fleet.Status `json:"devices"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Devices) != 3 {
+		t.Fatalf("%d devices, want 3", len(snap.Devices))
+	}
+	for i, d := range snap.Devices {
+		if d.Watts <= 0 || d.Samples == 0 {
+			t.Errorf("device %s: watts=%v samples=%d", d.Name, d.Watts, d.Samples)
+		}
+		if i > 0 && d.Name <= snap.Devices[i-1].Name {
+			t.Errorf("devices not sorted: %s after %s", d.Name, snap.Devices[i-1].Name)
+		}
+	}
+}
+
+func TestDeviceTraceCSV(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/api/device/gpu0/trace?points=50")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	tr, err := trace.ReadCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pairs != 3 {
+		t.Errorf("pairs = %d, want 3", tr.Pairs)
+	}
+	if len(tr.Points) != 50 {
+		t.Errorf("%d points, want 50", len(tr.Points))
+	}
+	if tr.Energy() <= 0 {
+		t.Errorf("energy = %v, want > 0", tr.Energy())
+	}
+}
+
+func TestDeviceTraceJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/api/device/ssd0/trace?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	tr, err := trace.ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pairs != 2 || len(tr.Points) == 0 {
+		t.Errorf("pairs=%d points=%d", tr.Pairs, len(tr.Points))
+	}
+}
+
+func TestDeviceTraceErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	for url, want := range map[string]int{
+		"/api/device/nope/trace":              http.StatusNotFound,
+		"/api/device/gpu0/trace?format=xml":   http.StatusBadRequest,
+		"/api/device/gpu0/trace?points=-1":    http.StatusBadRequest,
+		"/api/device/gpu0/trace?points=bogus": http.StatusBadRequest,
+	} {
+		if code, _ := get(t, srv.URL+url); code != want {
+			t.Errorf("%s: status %d, want %d", url, code, want)
+		}
+	}
+}
+
+func TestHealthAndIndex(t *testing.T) {
+	srv, _ := testServer(t)
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, body := get(t, srv.URL+"/"); code != http.StatusOK ||
+		!strings.Contains(body, "3 stations") {
+		t.Errorf("index: %d %q", code, body)
+	}
+}
+
+// TestScrapeWhileRunning scrapes a live fleet — endpoints must be safe
+// against the concurrently advancing station goroutines.
+func TestScrapeWhileRunning(t *testing.T) {
+	srv, mgr := testServer(t)
+	mgr.Start()
+	defer mgr.Stop()
+	for i := 0; i < 5; i++ {
+		if code, _ := get(t, srv.URL+"/metrics"); code != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, code)
+		}
+		if code, _ := get(t, srv.URL+"/api/device/gpu0/trace?points=10"); code != http.StatusOK {
+			t.Fatalf("trace %d: status %d", i, code)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simsetup"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Status is a point-in-time health and measurement snapshot of one station.
+type Status struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Pairs is the number of active sensor pairs on the station's sensor.
+	Pairs int `json:"pairs"`
+	// Now is the station's virtual time.
+	Now time.Duration `json:"now"`
+	// Watts is the summed board power of the latest downsampled ring
+	// point — a block average rather than one raw 20 kHz sample, since a
+	// single sample is dominated by quantisation noise on lightly loaded
+	// rails (the Table II effect). PairWatts splits it per sensor pair.
+	Watts     float64   `json:"watts"`
+	PairWatts []float64 `json:"pair_watts"`
+	// Joules is the cumulative energy over all pairs since the fleet
+	// adopted the station.
+	Joules float64 `json:"joules"`
+	// Samples counts 20 kHz sample sets ingested.
+	Samples uint64 `json:"samples"`
+	// Resyncs counts stream bytes skipped to regain protocol alignment —
+	// nonzero values indicate a corrupted or lossy link.
+	Resyncs int `json:"resyncs"`
+	// Dropped counts subscriber deliveries discarded because the target
+	// channel was full — one increment per slow subscriber per point, so
+	// with several lagging subscribers it exceeds the number of distinct
+	// points lost.
+	Dropped uint64 `json:"dropped"`
+	// RingLen and RingTotal describe the station's ring buffer: points
+	// currently held and points ever produced.
+	RingLen   int    `json:"ring_len"`
+	RingTotal uint64 `json:"ring_total"`
+}
+
+// Device is one managed station: an instrument plus the fleet's ingest
+// state. All instrument access is serialised by mu; the manager's per-device
+// goroutine holds it while advancing virtual time, and snapshot/subscribe
+// calls hold it briefly from other goroutines.
+type Device struct {
+	name string
+	kind string
+	ring *Ring
+
+	mu      sync.Mutex
+	inst    simsetup.Instrument
+	hook    core.HookID
+	block   int // sample sets per ring point
+	pairs   int
+	baseJ   float64 // cumulative joules at adoption, subtracted from Status
+	samples uint64
+	dropped uint64
+	closed  bool
+
+	// in-flight downsample block, maintained by the ingest hook: the
+	// summed power is buffered (Summarize needs the block for min/max),
+	// per-pair power only needs running sums for the block mean.
+	accTotal []float64 // summed power per sample set
+	pairSums []float64 // running per-pair power sums
+	accTime  time.Duration
+
+	subs   map[int]chan Point
+	nextID int
+}
+
+func newDevice(name, kind string, inst simsetup.Instrument, block, ringCap int) *Device {
+	d := &Device{
+		name:  name,
+		kind:  kind,
+		inst:  inst,
+		block: block,
+		pairs: inst.Sensor().Pairs(),
+		ring:  NewRing(ringCap),
+		subs:  make(map[int]chan Point),
+	}
+	d.pairSums = make([]float64, d.pairs)
+	st := inst.Sensor().Read()
+	for m := 0; m < core.MaxPairs; m++ {
+		d.baseJ += st.ConsumedJoules[m]
+	}
+	// The hook runs on the goroutine calling Advance, which already holds
+	// d.mu — it must not lock.
+	d.hook = inst.Sensor().AttachSample(d.ingest)
+	return d
+}
+
+// Name returns the station's fleet name.
+func (d *Device) Name() string { return d.name }
+
+// Kind returns the station's spec kind (e.g. "rtx4000ada").
+func (d *Device) Kind() string { return d.kind }
+
+// Ring returns the station's downsampled ring buffer.
+func (d *Device) Ring() *Ring { return d.ring }
+
+// ingest folds one 20 kHz sample set into the in-flight downsample block
+// and emits a ring point every block samples. Called with d.mu held (via
+// Advance inside step).
+func (d *Device) ingest(s core.Sample) {
+	d.samples++
+	var total float64
+	for m := 0; m < d.pairs; m++ {
+		total += s.Watts[m]
+		d.pairSums[m] += s.Watts[m]
+	}
+	d.accTotal = append(d.accTotal, total)
+	d.accTime = s.DeviceTime
+	if len(d.accTotal) < d.block {
+		return
+	}
+	sum := stats.Summarize(d.accTotal)
+	p := Point{
+		Time:  d.accTime,
+		Watts: make([]float64, d.pairs),
+		Total: sum.Mean,
+		Min:   sum.Min,
+		Max:   sum.Max,
+	}
+	for m := 0; m < d.pairs; m++ {
+		p.Watts[m] = d.pairSums[m] / float64(len(d.accTotal))
+		d.pairSums[m] = 0
+	}
+	d.accTotal = d.accTotal[:0]
+	d.ring.Push(p)
+	for _, ch := range d.subs {
+		select {
+		case ch <- p:
+		default:
+			d.dropped++
+		}
+	}
+}
+
+// step advances the station by dt of virtual time, ingesting whatever the
+// sensor streamed.
+func (d *Device) step(dt time.Duration) {
+	d.mu.Lock()
+	if !d.closed {
+		d.inst.Advance(dt)
+	}
+	d.mu.Unlock()
+}
+
+// Status returns a consistent snapshot of the station.
+func (d *Device) Status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sensor := d.inst.Sensor()
+	st := sensor.Read()
+	out := Status{
+		Name:      d.name,
+		Kind:      d.kind,
+		Pairs:     d.pairs,
+		Now:       d.inst.Now(),
+		PairWatts: make([]float64, d.pairs),
+		Samples:   d.samples,
+		Resyncs:   sensor.Resyncs(),
+		Dropped:   d.dropped,
+		RingLen:   d.ring.Len(),
+		RingTotal: d.ring.Total(),
+	}
+	if last := d.ring.Snapshot(1); len(last) == 1 {
+		copy(out.PairWatts, last[0].Watts)
+		out.Watts = last[0].Total
+	} else {
+		// Ring still empty: fall back to the raw instantaneous sample.
+		for m := 0; m < d.pairs; m++ {
+			out.PairWatts[m] = st.Watts[m]
+			out.Watts += st.Watts[m]
+		}
+	}
+	for m := 0; m < core.MaxPairs; m++ {
+		out.Joules += st.ConsumedJoules[m]
+	}
+	out.Joules -= d.baseJ
+	return out
+}
+
+// Subscribe registers a fan-out channel carrying every future ring point.
+// buffer is the channel depth; when the subscriber falls behind, points are
+// dropped (counted in Status.Dropped) rather than stalling ingest. The
+// returned cancel function unregisters and closes the channel. Subscribing
+// to a closed device returns an already-closed channel. Received Points
+// share their Watts slice with the ring and other subscribers — treat it
+// as read-only.
+func (d *Device) Subscribe(buffer int) (<-chan Point, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Point, buffer)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := d.nextID
+	d.nextID++
+	d.subs[id] = ch
+	d.mu.Unlock()
+	return ch, func() {
+		d.mu.Lock()
+		if _, ok := d.subs[id]; ok {
+			delete(d.subs, id)
+			close(ch)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Trace renders up to max of the most recent ring points as a trace.Trace,
+// ready for the CSV/JSON writers. A non-positive max exports the whole
+// ring. The trace's samples are the downsampled block averages, so its
+// effective rate is 20 kHz / block.
+func (d *Device) Trace(max int) *trace.Trace {
+	pts := d.ring.Snapshot(max)
+	tr := &trace.Trace{Pairs: d.pairs}
+	for _, p := range pts {
+		tr.Points = append(tr.Points, trace.Point{
+			Time:   p.Time,
+			Watts:  append([]float64(nil), p.Watts...),
+			TotalW: p.Total,
+		})
+	}
+	return tr
+}
+
+// close detaches the ingest hook, closes subscriber channels and releases
+// the sensor.
+func (d *Device) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.inst.Sensor().DetachSample(d.hook)
+	for id, ch := range d.subs {
+		delete(d.subs, id)
+		close(ch)
+	}
+	d.inst.Close()
+}

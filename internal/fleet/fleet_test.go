@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testFleet builds the canonical 3-station fleet: a PCIe GPU, a USB-C SoC
+// and an SSD.
+func testFleet(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := FromSpec("gpu0=rtx4000ada,soc0=jetson,ssd0=ssd", 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestManagerThreeStations(t *testing.T) {
+	m := testFleet(t, Config{})
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", m.Size())
+	}
+	if got := m.Names(); len(got) != 3 || got[0] != "gpu0" || got[1] != "soc0" || got[2] != "ssd0" {
+		t.Fatalf("Names = %v", got)
+	}
+	m.StepAll(time.Second)
+
+	wantPairs := map[string]int{"gpu0": 3, "soc0": 1, "ssd0": 2}
+	for _, st := range m.Snapshot() {
+		if st.Pairs != wantPairs[st.Name] {
+			t.Errorf("%s: pairs = %d, want %d", st.Name, st.Pairs, wantPairs[st.Name])
+		}
+		if st.Watts <= 0 {
+			t.Errorf("%s: watts = %v, want > 0", st.Name, st.Watts)
+		}
+		if st.Joules <= 0 {
+			t.Errorf("%s: joules = %v, want > 0", st.Name, st.Joules)
+		}
+		// One virtual second at 20 kHz, minus stream-start alignment.
+		if st.Samples < 15000 {
+			t.Errorf("%s: samples = %d, want >= 15000", st.Name, st.Samples)
+		}
+		if st.Resyncs != 0 {
+			t.Errorf("%s: resyncs = %d on a clean link", st.Name, st.Resyncs)
+		}
+		// Block 20 → about 1000 ring points per virtual second.
+		if st.RingTotal < 700 {
+			t.Errorf("%s: ring total = %d, want >= 700", st.Name, st.RingTotal)
+		}
+	}
+}
+
+func TestManagerUnknownDevice(t *testing.T) {
+	m := testFleet(t, Config{})
+	if m.Device("nope") != nil {
+		t.Fatal("Device(nope) != nil")
+	}
+	if m.Device("gpu0") == nil {
+		t.Fatal("Device(gpu0) == nil")
+	}
+}
+
+func TestManagerAddErrors(t *testing.T) {
+	m := testFleet(t, Config{})
+	if _, err := m.Add("gpu0", "ssd", nil); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	m.Start()
+	defer m.Stop()
+	if _, err := m.Add("late", "ssd", nil); err == nil {
+		t.Fatal("Add after Start succeeded")
+	}
+}
+
+// TestManagerConcurrent drives the fleet from its goroutines while other
+// goroutines snapshot, subscribe and export traces — the -race workout for
+// the whole ingest path.
+func TestManagerConcurrent(t *testing.T) {
+	m := testFleet(t, Config{Slice: 2 * time.Millisecond})
+	ch, cancel := m.Device("gpu0").Subscribe(256)
+	defer cancel()
+
+	m.Start()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, st := range m.Snapshot() {
+					_ = st.Watts
+				}
+				_ = m.Device("ssd0").Trace(50)
+			}
+		}()
+	}
+	// Let the fleet make progress in wall time.
+	deadline := time.After(300 * time.Millisecond)
+	var received int
+	for running := true; running; {
+		select {
+		case <-ch:
+			received++
+		case <-deadline:
+			running = false
+		}
+	}
+	close(stop)
+	wg.Wait()
+	m.Stop()
+
+	if received == 0 {
+		t.Fatal("subscriber received no points while fleet ran")
+	}
+	for _, st := range m.Snapshot() {
+		if st.Samples == 0 {
+			t.Errorf("%s ingested no samples", st.Name)
+		}
+	}
+
+	// Stop is a barrier: no further progress afterwards.
+	before := m.Snapshot()
+	time.Sleep(20 * time.Millisecond)
+	after := m.Snapshot()
+	for i := range before {
+		if before[i].Samples != after[i].Samples {
+			t.Errorf("%s advanced after Stop: %d -> %d",
+				before[i].Name, before[i].Samples, after[i].Samples)
+		}
+	}
+}
+
+func TestSubscribeDropsWhenFull(t *testing.T) {
+	m := testFleet(t, Config{})
+	dev := m.Device("gpu0")
+	ch, cancel := dev.Subscribe(4)
+	// 100 ms → ~100 points against a 4-deep channel nobody drains.
+	m.StepAll(100 * time.Millisecond)
+	st := dev.Status()
+	if st.Dropped == 0 {
+		t.Fatalf("dropped = 0 with a full subscriber (ring total %d)", st.RingTotal)
+	}
+	if got := uint64(len(ch)) + st.Dropped; got != st.RingTotal {
+		t.Errorf("delivered+dropped = %d, want ring total %d", got, st.RingTotal)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		// Buffered points drain first; the channel must eventually close.
+		for range ch {
+		}
+	}
+	// A cancelled subscriber no longer accumulates drops.
+	before := dev.Status().Dropped
+	m.StepAll(50 * time.Millisecond)
+	if after := dev.Status().Dropped; after != before {
+		t.Errorf("dropped kept growing after cancel: %d -> %d", before, after)
+	}
+}
+
+func TestDeviceTrace(t *testing.T) {
+	m := testFleet(t, Config{Block: 20})
+	m.StepAll(500 * time.Millisecond)
+	dev := m.Device("gpu0")
+
+	tr := dev.Trace(0)
+	if tr.Pairs != 3 {
+		t.Fatalf("trace pairs = %d, want 3", tr.Pairs)
+	}
+	if len(tr.Points) < 400 {
+		t.Fatalf("trace has %d points, want >= 400", len(tr.Points))
+	}
+	for i, p := range tr.Points {
+		if len(p.Watts) != 3 {
+			t.Fatalf("point %d has %d pair columns", i, len(p.Watts))
+		}
+		if i > 0 && p.Time <= tr.Points[i-1].Time {
+			t.Fatalf("trace time not increasing at %d: %v <= %v", i, p.Time, tr.Points[i-1].Time)
+		}
+	}
+	// Downsampled spacing: block 20 at 20 kHz → 1 ms between points.
+	if dt := tr.Points[1].Time - tr.Points[0].Time; dt != time.Millisecond {
+		t.Errorf("point spacing = %v, want 1ms", dt)
+	}
+	if tr.Energy() <= 0 {
+		t.Errorf("trace energy = %v, want > 0", tr.Energy())
+	}
+
+	if got := len(dev.Trace(25).Points); got != 25 {
+		t.Errorf("capped trace has %d points, want 25", got)
+	}
+}
+
+// TestDownsampleAgainstSensor cross-checks the ring's block averages
+// against the sensor's own cumulative energy: integrating ring points over
+// a window must come out close to the Joules counter.
+func TestDownsampleAgainstSensor(t *testing.T) {
+	m := testFleet(t, Config{Block: 20, RingCap: 1 << 16})
+	m.StepAll(time.Second)
+	dev := m.Device("soc0")
+	st := dev.Status()
+
+	var joules float64
+	for _, p := range dev.Ring().Snapshot(0) {
+		joules += p.Total * 0.001 // 1 ms per block-20 point
+		if p.Min > p.Total || p.Total > p.Max {
+			t.Fatalf("block stats inconsistent: min=%v mean=%v max=%v", p.Min, p.Total, p.Max)
+		}
+	}
+	if diff := joules - st.Joules; diff < -0.05*st.Joules || diff > 0.05*st.Joules {
+		t.Errorf("ring-integrated energy %v J vs sensor %v J", joules, st.Joules)
+	}
+}

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simsetup"
+)
+
+// Config tunes a Manager. The zero value is usable: 5 ms slices, block-20
+// downsampling (1 kHz ring points), 4096-point rings, unpaced.
+type Config struct {
+	// Slice is the virtual-time quantum each station goroutine advances
+	// per iteration. Smaller slices reduce snapshot latency; larger ones
+	// amortise locking.
+	Slice time.Duration
+	// Block is the downsample factor: 20 kHz sample sets per ring point.
+	Block int
+	// RingCap is the per-station ring capacity in points.
+	RingCap int
+	// Rate paces virtual time against the wall clock in virtual seconds
+	// per wall second (1 = real time). Zero runs as fast as the host
+	// allows — the mode benchmarks and tests use.
+	Rate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slice <= 0 {
+		c.Slice = 5 * time.Millisecond
+	}
+	if c.Block <= 0 {
+		c.Block = 20
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 4096
+	}
+	return c
+}
+
+// Manager owns a fleet of named stations and drives each in its own
+// goroutine. Construction (Add) must finish before Start; snapshots,
+// subscriptions and traces are safe at any time from any goroutine.
+type Manager struct {
+	cfg     Config
+	devices []*Device
+	byName  map[string]*Device
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	wg      *sync.WaitGroup // per-run, so Stop only waits for its own drivers
+	started bool
+}
+
+// NewManager returns an empty manager.
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), byName: make(map[string]*Device)}
+}
+
+// FromSpec builds a manager holding the fleet described by spec (see
+// simsetup.ParseFleet for the name=kind syntax).
+func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
+	members, err := simsetup.ParseFleet(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	m := NewManager(cfg)
+	for i, mem := range members {
+		if _, err := m.Add(mem.Name, mem.Kind, mem.Inst); err != nil {
+			// Release the stations adopted so far and the ones not yet
+			// handed over (ParseFleet pre-validates names, so this path
+			// is defensive).
+			m.Close()
+			for _, rest := range members[i:] {
+				rest.Inst.Close()
+			}
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Add adopts an instrument as a named station. It must not be called after
+// Start.
+func (m *Manager) Add(name, kind string, inst simsetup.Instrument) (*Device, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return nil, fmt.Errorf("fleet: Add(%q) after Start", name)
+	}
+	if _, dup := m.byName[name]; dup {
+		return nil, fmt.Errorf("fleet: duplicate station %q", name)
+	}
+	d := newDevice(name, kind, inst, m.cfg.Block, m.cfg.RingCap)
+	m.devices = append(m.devices, d)
+	m.byName[name] = d
+	return d, nil
+}
+
+// Device returns the named station, or nil.
+func (m *Manager) Device(name string) *Device {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byName[name]
+}
+
+// Names returns the station names in sorted order.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.devices))
+	for _, d := range m.devices {
+		names = append(names, d.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of stations.
+func (m *Manager) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.devices)
+}
+
+// Start launches one goroutine per station, each repeatedly advancing its
+// station by Config.Slice of virtual time (paced against the wall clock
+// when Config.Rate is set). Start is idempotent until Stop.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.stop = make(chan struct{})
+	m.wg = &sync.WaitGroup{}
+	for _, d := range m.devices {
+		m.wg.Add(1)
+		go m.drive(d, m.stop, m.wg)
+	}
+}
+
+// drive is one station's advance loop. stop and wg are captured per run so
+// a Stop racing a later Start waits only for (and signals only) its own
+// generation of goroutines.
+func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	wallPerSlice := time.Duration(0)
+	if m.cfg.Rate > 0 {
+		wallPerSlice = time.Duration(float64(m.cfg.Slice) / m.cfg.Rate)
+	}
+	// Pace against an absolute schedule, not per-iteration sleeps: timer
+	// overshoot and slow steps borrow from later slices, so virtual time
+	// tracks wall × rate without accumulating drift. If the host falls
+	// more than a second behind, resync instead of bursting to catch up.
+	next := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		d.step(m.cfg.Slice)
+		if wallPerSlice > 0 {
+			next = next.Add(wallPerSlice)
+			if rest := time.Until(next); rest > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(rest):
+				}
+			} else if rest < -time.Second {
+				next = time.Now()
+			}
+		}
+	}
+}
+
+// Stop halts the station goroutines and waits for them. The fleet can be
+// Started again afterwards.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	close(m.stop)
+	m.started = false
+	wg := m.wg
+	m.mu.Unlock()
+	wg.Wait()
+}
+
+// StepAll synchronously advances every station by d of virtual time —
+// deterministic single-goroutine operation for tests, benchmarks and
+// one-shot tools. Safe to call while Started (steps interleave with the
+// drive goroutines), though deterministic only when stopped.
+func (m *Manager) StepAll(d time.Duration) {
+	m.mu.Lock()
+	devices := append([]*Device(nil), m.devices...)
+	m.mu.Unlock()
+	for _, dev := range devices {
+		dev.step(d)
+	}
+}
+
+// Snapshot returns the status of every station, sorted by name.
+func (m *Manager) Snapshot() []Status {
+	m.mu.Lock()
+	devices := append([]*Device(nil), m.devices...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(devices))
+	for _, d := range devices {
+		out = append(out, d.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close stops the fleet and releases every station's sensor.
+func (m *Manager) Close() {
+	m.Stop()
+	m.mu.Lock()
+	devices := append([]*Device(nil), m.devices...)
+	m.mu.Unlock()
+	for _, d := range devices {
+		d.close()
+	}
+}

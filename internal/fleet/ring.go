@@ -1,0 +1,113 @@
+// Package fleet runs many measurement stations concurrently — the
+// multi-rig counterpart of internal/core's single-sensor host library.
+//
+// A Manager owns N named stations (discrete GPUs, SoC boards, SSDs —
+// assembled by internal/simsetup), advances each in its own goroutine on
+// its virtual-time clock, and ingests every station's 20 kHz sample stream
+// through core.AttachSample. Samples are downsampled on the fly into
+// fixed-capacity ring buffers (one per station) and fanned out to
+// subscribers; per-station health counters (stream resyncs, dropped
+// fan-out points) make a running fleet observable. internal/export serves
+// the manager over HTTP.
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Point is one downsampled ring entry: the block statistics of Block
+// consecutive 20 kHz sample sets.
+type Point struct {
+	// Time is the device time of the last sample in the block.
+	Time time.Duration `json:"t"`
+	// Watts is the per-pair block-average power.
+	Watts []float64 `json:"w"`
+	// Total is the block-average of the summed (board) power.
+	Total float64 `json:"total"`
+	// Min and Max bound the summed power within the block, preserving the
+	// peaks that averaging alone would erase.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Ring is a fixed-capacity overwrite-oldest buffer of Points with one
+// writer and any number of readers. The lock is held only to copy a single
+// Point in or a bounded batch out, so ingest stays cheap: the 20 kHz path
+// touches the ring once per downsample block, not once per sample.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Point
+	next  int    // buf index the next push writes
+	total uint64 // points ever pushed
+}
+
+// NewRing returns a ring holding the last capacity points. It panics if
+// capacity is not positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("fleet: NewRing with non-positive capacity")
+	}
+	return &Ring{buf: make([]Point, 0, capacity)}
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return cap(r.buf) }
+
+// Push appends p, evicting the oldest point once the ring is full.
+func (r *Ring) Push(p Point) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, p)
+	} else {
+		r.buf[r.next] = p
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of points currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of points ever pushed; Total − Len is how many
+// were evicted by wraparound.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns up to max of the most recent points, oldest first. A
+// non-positive max returns everything held. The returned slice is the
+// caller's to keep across further pushes, but each Point's Watts slice is
+// shared with every other reader of the same point — ring snapshots and
+// subscriber fan-out — and must be treated as read-only (Device.Trace
+// deep-copies it before handing points outside the package).
+func (r *Ring) Snapshot(max int) []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	// Oldest-first order starts at r.next when full, at 0 while filling.
+	start := 0
+	if len(r.buf) == cap(r.buf) {
+		start = r.next
+	}
+	// Skip (len-n) oldest entries when a cap was requested.
+	start = (start + len(r.buf) - n) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}

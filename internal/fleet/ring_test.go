@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func pt(i int) Point {
+	return Point{Time: time.Duration(i) * time.Millisecond, Total: float64(i)}
+}
+
+func TestRingFillAndWraparound(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Snapshot(0); got != nil {
+		t.Fatalf("empty ring snapshot = %v, want nil", got)
+	}
+
+	// Partially filled: order is insertion order.
+	r.Push(pt(0))
+	r.Push(pt(1))
+	if r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("Len=%d Total=%d, want 2, 2", r.Len(), r.Total())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 2 || snap[0].Total != 0 || snap[1].Total != 1 {
+		t.Fatalf("partial snapshot = %v", snap)
+	}
+
+	// Overfill: the oldest entries are evicted, order stays oldest-first.
+	for i := 2; i < 10; i++ {
+		r.Push(pt(i))
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Fatalf("after wrap Len=%d Total=%d, want 4, 10", r.Len(), r.Total())
+	}
+	snap = r.Snapshot(0)
+	for i, p := range snap {
+		if want := float64(6 + i); p.Total != want {
+			t.Fatalf("snapshot[%d].Total = %v, want %v (full: %v)", i, p.Total, want, snap)
+		}
+	}
+
+	// A capped snapshot returns the newest points, still oldest-first.
+	snap = r.Snapshot(2)
+	if len(snap) != 2 || snap[0].Total != 8 || snap[1].Total != 9 {
+		t.Fatalf("capped snapshot = %v, want totals [8 9]", snap)
+	}
+	// A cap larger than the content returns everything.
+	if got := len(r.Snapshot(100)); got != 4 {
+		t.Fatalf("oversized cap returned %d points, want 4", got)
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// TestRingConcurrentIngestRead hammers one writer against several readers;
+// run under -race this is the memory-safety check, and the assertions
+// verify readers always observe a consistent oldest-first window.
+func TestRingConcurrentIngestRead(t *testing.T) {
+	r := NewRing(64)
+	const points = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for reader := 0; reader < 4; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot(0)
+				for i := 1; i < len(snap); i++ {
+					if snap[i].Total != snap[i-1].Total+1 {
+						t.Errorf("gap in snapshot: %v after %v", snap[i].Total, snap[i-1].Total)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < points; i++ {
+		r.Push(pt(i))
+	}
+	close(stop)
+	wg.Wait()
+	if r.Total() != points {
+		t.Fatalf("Total = %d, want %d", r.Total(), points)
+	}
+}

@@ -52,6 +52,10 @@ func NewUSBC(g *gpu.GPU, seed uint64) (*Rig, error) {
 // Now returns the shared virtual time of the rig.
 func (r *Rig) Now() time.Duration { return r.Dev.Now() }
 
+// Sensor returns the attached PowerSensor3 — the accessor fleet adapters use
+// to reach the sample stream without knowing the rig's concrete wiring.
+func (r *Rig) Sensor() *core.PowerSensor { return r.PS }
+
 // MeasureKernel launches k now, advances through its execution, and returns
 // its duration plus the total board energy PowerSensor3 measured over the
 // window — the paper's "instant capturing of the energy consumption of GPU

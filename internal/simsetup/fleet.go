@@ -1,0 +1,194 @@
+// This file is the fleet-construction half of the package: the named,
+// self-driving measurement stations the fleet manager (internal/fleet)
+// owns. Each station bundles a simulated device-under-test, its attached
+// PowerSensor3, and a repeating workload so the power trace stays
+// interesting without external stimulus — periodic FMA kernel launches on
+// GPUs and SoCs, random-read bursts on the SSD.
+
+package simsetup
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/rng"
+	"repro/internal/ssd"
+)
+
+// Instrument is the uniform handle the fleet manager drives: a
+// device-under-test with an open PowerSensor3, advanced in virtual time.
+// Advance moves DUT and sensor together, generating (and processing) the
+// 20 kHz sample stream; implementations may overshoot d slightly to finish
+// an in-flight operation. Instruments are not safe for concurrent use; the
+// fleet manager confines each to one goroutine.
+type Instrument interface {
+	// Sensor returns the open PowerSensor3 attached to the DUT.
+	Sensor() *core.PowerSensor
+	// Now returns the station's virtual time.
+	Now() time.Duration
+	// Advance runs DUT, workload and sensor forward by (at least) d.
+	Advance(d time.Duration)
+	// Close releases the sensor.
+	Close()
+}
+
+// FleetMember is one named station of a fleet.
+type FleetMember struct {
+	Name string
+	Kind string // the spec kind: rtx4000ada, w7700, jetson, ssd
+	Inst Instrument
+}
+
+// DefaultFleetSpec is the fleet cmd/psd and the examples serve when no
+// -fleet flag is given: two discrete GPUs, one SoC and one SSD.
+const DefaultFleetSpec = "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd"
+
+// FleetKinds lists the accepted station kinds.
+func FleetKinds() []string { return []string{"rtx4000ada", "w7700", "jetson", "ssd"} }
+
+// ParseFleet builds the stations described by spec, a comma-separated list
+// of name=kind pairs (e.g. "gpu0=rtx4000ada,ssd0=ssd"). Station names must
+// be unique and non-empty. Each station gets a seed derived from the base
+// seed and its position, so fleets are reproducible but rigs decorrelated.
+func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
+	var members []FleetMember
+	// A later entry failing must not leak the stations already built.
+	fail := func(err error) ([]FleetMember, error) {
+		for _, m := range members {
+			m.Inst.Close()
+		}
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for i, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, kind, ok := strings.Cut(field, "=")
+		if !ok || name == "" {
+			return fail(fmt.Errorf("fleet spec entry %q: want name=kind", field))
+		}
+		if seen[name] {
+			return fail(fmt.Errorf("fleet spec: duplicate station %q", name))
+		}
+		seen[name] = true
+		inst, err := NewStation(kind, seed+uint64(i)*1000003)
+		if err != nil {
+			return fail(fmt.Errorf("station %q: %w", name, err))
+		}
+		members = append(members, FleetMember{Name: name, Kind: kind, Inst: inst})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet spec %q describes no stations", spec)
+	}
+	return members, nil
+}
+
+// NewStation builds one self-driving station of the given kind.
+func NewStation(kind string, seed uint64) (Instrument, error) {
+	switch kind {
+	case "rtx4000ada", "w7700", "jetson":
+		r, err := GPURig(kind, seed)
+		if err != nil {
+			return nil, err
+		}
+		return newGPUStation(r, seed), nil
+	case "ssd":
+		r, err := NewDiskRig(seed, false)
+		if err != nil {
+			return nil, err
+		}
+		return newSSDStation(r, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown station kind %q (have %s)",
+			kind, strings.Join(FleetKinds(), ", "))
+	}
+}
+
+// gpuStation keeps a GPU rig busy with a periodic synthetic-FMA kernel:
+// launch, let the governor settle back to idle, relaunch — the paper's
+// Fig. 7 duty cycle, repeated forever.
+type gpuStation struct {
+	rig    *rig.Rig
+	kernel func() // launches the next kernel at the rig's current time
+	next   time.Duration
+}
+
+func newGPUStation(r *rig.Rig, seed uint64) *gpuStation {
+	st := &gpuStation{rig: r}
+	noise := rng.New(seed ^ 0x5eed)
+	st.kernel = func() {
+		k := kernels.SyntheticFMA(r.GPU.Spec(), 300*time.Millisecond)
+		run := r.GPU.LaunchKernel(k, r.Now())
+		// Idle gap before the next launch, jittered so fleet stations
+		// do not fire in lockstep.
+		gap := 200*time.Millisecond + time.Duration(noise.Intn(200))*time.Millisecond
+		st.next = run.End + gap
+	}
+	return st
+}
+
+func (st *gpuStation) Sensor() *core.PowerSensor { return st.rig.Sensor() }
+func (st *gpuStation) Now() time.Duration        { return st.rig.Now() }
+func (st *gpuStation) Close()                    { st.rig.Close() }
+
+func (st *gpuStation) Advance(d time.Duration) {
+	target := st.rig.Now() + d
+	for {
+		now := st.rig.Now()
+		if now >= target {
+			return
+		}
+		if now >= st.next {
+			st.kernel()
+		}
+		step := target - now
+		if until := st.next - now; until > 0 && until < step {
+			step = until
+		}
+		st.rig.Idle(step)
+	}
+}
+
+// ssdStation drives the disk rig with short random-read bursts separated by
+// idle gaps — enough I/O that die activity shows in the power trace without
+// saturating the drive.
+type ssdStation struct {
+	rig   *DiskRig
+	noise *rng.Source
+}
+
+func newSSDStation(r *DiskRig, seed uint64) *ssdStation {
+	return &ssdStation{rig: r, noise: rng.New(seed ^ 0xd15c)}
+}
+
+func (st *ssdStation) Sensor() *core.PowerSensor { return st.rig.PS }
+func (st *ssdStation) Now() time.Duration        { return st.rig.Disk.Now() }
+func (st *ssdStation) Close()                    { st.rig.PS.Close() }
+
+func (st *ssdStation) Advance(d time.Duration) {
+	disk := st.rig.Disk
+	target := disk.Now() + d
+	const pages = 32 // 128 KiB request
+	for disk.Now() < target {
+		maxPage := disk.Config().LogicalPages - pages
+		c := disk.Submit(ssd.Request{
+			Page:   st.noise.Intn(maxPage),
+			Pages:  pages,
+			Submit: disk.Now(),
+		})
+		st.rig.Sync(c.Done)
+		// Idle gap between bursts, jittered per station.
+		idleTo := c.Done + time.Duration(1+st.noise.Intn(3))*time.Millisecond
+		if idleTo > target {
+			idleTo = target
+		}
+		disk.Advance(idleTo)
+		st.rig.Sync(idleTo)
+	}
+}

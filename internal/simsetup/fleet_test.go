@@ -1,0 +1,71 @@
+package simsetup
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFleetDefaultSpec(t *testing.T) {
+	members, err := ParseFleet(DefaultFleetSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 4 {
+		t.Fatalf("%d members, want 4", len(members))
+	}
+	want := map[string]string{"gpu0": "rtx4000ada", "gpu1": "w7700", "soc0": "jetson", "ssd0": "ssd"}
+	for _, m := range members {
+		defer m.Inst.Close()
+		if want[m.Name] != m.Kind {
+			t.Errorf("member %s has kind %s, want %s", m.Name, m.Kind, want[m.Name])
+		}
+		if m.Inst.Sensor().Pairs() == 0 {
+			t.Errorf("member %s has no sensor pairs", m.Name)
+		}
+	}
+}
+
+func TestParseFleetErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                    // no stations
+		" , ,",                // only blanks
+		"gpu0",                // missing =kind
+		"=ssd",                // empty name
+		"a=ssd,a=ssd",         // duplicate name
+		"gpu0=warp9",          // unknown kind
+		"ok=ssd,bad=notakind", // one good, one bad
+	} {
+		if _, err := ParseFleet(spec, 1); err == nil {
+			t.Errorf("ParseFleet(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestStationsProducePower advances each station kind in isolation and
+// checks its workload actually moves energy — GPU kernels, SoC load and
+// SSD I/O all show up on the attached sensor.
+func TestStationsProducePower(t *testing.T) {
+	for _, kind := range FleetKinds() {
+		inst, err := NewStation(kind, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		before := inst.Now()
+		inst.Advance(800 * time.Millisecond)
+		if inst.Now() < before+800*time.Millisecond {
+			t.Errorf("%s: Advance moved clock %v -> %v", kind, before, inst.Now())
+		}
+		st := inst.Sensor().Read()
+		var joules float64
+		for _, j := range st.ConsumedJoules {
+			joules += j
+		}
+		if joules <= 0 {
+			t.Errorf("%s: no energy measured after 800ms", kind)
+		}
+		if st.Samples == 0 {
+			t.Errorf("%s: no samples streamed", kind)
+		}
+		inst.Close()
+	}
+}
