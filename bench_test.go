@@ -250,12 +250,14 @@ func BenchmarkAblationSamplingRate(b *testing.B) {
 
 // BenchmarkFleetScrape measures the fleet telemetry hot path at growing
 // fleet sizes: ns/op is the latency of one full /metrics scrape, and the
-// custom metrics report how fast the fleet ingests 20 kHz samples. Scrape
-// latency should grow only linearly in stations (flat per station), since
-// a scrape touches per-station counters and one ring point — never the raw
-// sample stream.
+// custom metrics report how fast the fleet ingests native-rate samples.
+// The fleet is heterogeneous — PowerSensor3 rigs interleaved with polled
+// software meters — and scrape latency should grow only linearly in
+// stations (flat per station), since a scrape touches per-station
+// counters and one ring point — never the raw sample stream.
 func BenchmarkFleetScrape(b *testing.B) {
-	kinds := []string{"rtx4000ada", "jetson", "ssd", "w7700"}
+	kinds := []string{"rtx4000ada", "jetson", "ssd", "w7700",
+		"nvml", "rapl", "amdsmi", "jetson-ina"}
 	for _, size := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
 			spec := ""

@@ -3,6 +3,10 @@
 // serves the fleet's telemetry over HTTP — the service counterpart of the
 // one-shot command line tools.
 //
+// Stations are heterogeneous: every backend is a streaming source
+// (internal/source), so 20 kHz PowerSensor3 rigs serve next to the
+// paper's software-meter baselines polled at their native rates.
+//
 // Usage:
 //
 //	psd [-listen :9120] [-fleet spec] [-seed 1] [-rate 1] [-slice 5ms]
@@ -11,16 +15,20 @@
 // Flags:
 //
 //	-listen  HTTP listen address (default :9120)
-//	-fleet   comma-separated name=kind stations; kinds are rtx4000ada,
-//	         w7700, jetson, ssd (default "gpu0=rtx4000ada,gpu1=w7700,
-//	         soc0=jetson,ssd0=ssd")
+//	-fleet   comma-separated name=kind stations. PowerSensor3-rig kinds:
+//	         rtx4000ada, w7700, jetson, ssd (20 kHz). Software-meter
+//	         kinds: nvml (~10 Hz), amdsmi (~1 kHz), jetson-ina (~10 Hz,
+//	         the board's INA3221), rapl (~1 kHz energy counter). Default:
+//	         "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd,
+//	         gpu0sw=nvml,cpu0=rapl" — a mixed fleet.
 //	-seed    base simulation seed; each station derives its own
 //	-rate    virtual seconds simulated per wall second (1 = real time,
 //	         0 = as fast as the host allows)
 //	-slice   virtual-time quantum each station goroutine advances per
 //	         iteration
-//	-block   downsample factor: 20 kHz sample sets averaged per ring point
-//	         (20 → 1 kHz retained resolution)
+//	-block   downsample window per ring point, in 20 kHz sample periods
+//	         (20 → 1 ms points); each station derives its own block size
+//	         from that window and its source's native rate
 //	-ring    per-station ring capacity, in downsampled points
 //	-warmup  virtual time advanced synchronously before serving, so the
 //	         first scrape already sees data
@@ -34,14 +42,16 @@
 //
 // A scrape looks like:
 //
-//	$ curl -s localhost:9120/metrics | grep gpu0
-//	powersensor_watts{device="gpu0",pair="0"} 0.163...
-//	powersensor_watts{device="gpu0",pair="1"} 11.66...
-//	powersensor_watts{device="gpu0",pair="2"} 55.88...
+//	$ curl -s localhost:9120/metrics | grep -e gpu0 -e cpu0
+//	powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1
+//	powersensor_source_info{device="cpu0",backend="rapl",kind="rapl"} 1
+//	powersensor_source_rate_hz{device="gpu0"} 20000
+//	powersensor_source_rate_hz{device="cpu0"} 1000
+//	powersensor_watts{device="gpu0",pair="2",channel="pcie8pin"} 55.88...
+//	powersensor_watts{device="cpu0",pair="0",channel="package"} 47.3...
 //	powersensor_board_watts{device="gpu0"} 67.7...
 //	powersensor_joules_total{device="gpu0"} 154.9...
 //	powersensor_samples_total{device="gpu0"} 40000
-//	powersensor_resyncs_total{device="gpu0"} 0
 //	...
 package main
 

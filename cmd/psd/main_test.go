@@ -7,12 +7,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/simsetup"
 )
 
-// TestServeFleet wires the daemon exactly as run does (minus the listener)
-// and exercises every endpoint against a 4-station fleet.
+// TestServeFleet wires the daemon exactly as run does (minus the
+// listener) and exercises every endpoint against the default mixed fleet:
+// four PowerSensor3 rigs plus two software meters (NVML and RAPL).
 func TestServeFleet(t *testing.T) {
-	mgr, handler, err := setup("gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd",
+	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
 		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
@@ -38,16 +41,40 @@ func TestServeFleet(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics: status %d", code)
 	}
-	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0"} {
+	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0", "gpu0sw", "cpu0"} {
 		if !strings.Contains(body, `powersensor_joules_total{device="`+dev+`"} `) {
 			t.Errorf("/metrics missing joules for %s", dev)
 		}
 	}
-	if code, _ := get("/api/fleet"); code != http.StatusOK {
+	// Per-backend kind and native rate are scrape labels.
+	for _, want := range []string{
+		`powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1`,
+		`powersensor_source_info{device="gpu0sw",backend="nvml",kind="nvml"} 1`,
+		`powersensor_source_info{device="cpu0",backend="rapl",kind="rapl"} 1`,
+		`powersensor_source_rate_hz{device="gpu0"} 20000`,
+		`powersensor_source_rate_hz{device="gpu0sw"} 10`,
+		`powersensor_source_rate_hz{device="cpu0"} 1000`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	code, body = get("/api/fleet")
+	if code != http.StatusOK {
 		t.Errorf("/api/fleet: status %d", code)
 	}
+	for _, want := range []string{`"backend": "powersensor3"`, `"backend": "nvml"`,
+		`"backend": "rapl"`, `"rate_hz": 20000`, `"rate_hz": 1000`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/api/fleet missing %q", want)
+		}
+	}
+	// Traces serve from hardware and software stations alike.
 	if code, _ := get("/api/device/gpu1/trace?points=20"); code != http.StatusOK {
 		t.Errorf("/api/device/gpu1/trace: status %d", code)
+	}
+	if code, _ := get("/api/device/cpu0/trace?points=20"); code != http.StatusOK {
+		t.Errorf("/api/device/cpu0/trace: status %d", code)
 	}
 	if code, _ := get("/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz: status %d", code)

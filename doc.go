@@ -8,32 +8,62 @@
 // internal/experiments. See DESIGN.md for the full inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
 //
+// # The streaming source layer
+//
+// Every measurement backend — the 20 kHz PowerSensor3 host library and
+// the paper's software-meter baselines (NVML, AMD SMI, the Jetson
+// INA3221, RAPL) — is unified behind internal/source: a streaming source
+// with metadata (backend name, native sample rate, channel labels) and
+// batch-oriented delivery, so the layers above never assume a fixed rate:
+//
+//	device.Device ── core.PowerSensor      gpu.GPU / vendorapi.CPU
+//	(USB protocol)   (20 kHz sample hooks)  (vendor counters)
+//	        │                                   │
+//	source.Sensor ◄── batches ──► source.Polled (native cadence)
+//	        └────────────┬──────────────────────┘
+//	             source.Source          ← internal/simsetup builds
+//	           (Meta + Read batches)      named stations per kind
+//	                     │
+//	               fleet.Manager        ← block size & ring pacing
+//	          (per-station goroutines,    derived from Meta.RateHz
+//	           downsampling rings)
+//	                     │
+//	              export.Exporter       ← backend kind + rate as
+//	          (/metrics, /api/fleet)      labels and JSON fields
+//
 // # Fleet telemetry
 //
 // Beyond the single-rig tools, the repository runs whole fleets:
-// internal/fleet drives many named stations (PCIe GPUs, SoC boards, SSDs —
-// assembled by internal/simsetup) concurrently, each on its own goroutine,
-// downsampling every 20 kHz stream into per-station ring buffers with
-// health counters; internal/export serves a fleet over HTTP.
+// internal/fleet drives many named stations (PCIe GPUs, SoC boards, SSDs,
+// software meters — assembled by internal/simsetup) concurrently, each on
+// its own goroutine, downsampling every source's stream into per-station
+// ring buffers with health counters; internal/export serves a fleet over
+// HTTP.
 //
 // # The psd daemon
 //
 // Command psd is the served entry point:
 //
-//	psd [-listen :9120] [-fleet gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd]
+//	psd [-listen :9120]
+//	    [-fleet gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd,gpu0sw=nvml,cpu0=rapl]
 //	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-warmup 2s]
 //
-// It serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
+// Fleet specs mix PowerSensor3 rig kinds (rtx4000ada, w7700, jetson, ssd)
+// with software-meter kinds (nvml, amdsmi, jetson-ina, rapl) freely. It
+// serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
 // status of every station), /api/device/{name}/trace (recent downsampled
 // trace as CSV or JSON) and /healthz. A scrape yields per-station gauges
 // and counters such as:
 //
-//	powersensor_watts{device="gpu0",pair="2"} 55.88
+//	powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1
+//	powersensor_source_rate_hz{device="gpu0"} 20000
+//	powersensor_watts{device="gpu0",pair="2",channel="pcie8pin"} 55.88
 //	powersensor_board_watts{device="gpu0"} 67.7
 //	powersensor_joules_total{device="gpu0"} 154.9
 //	powersensor_samples_total{device="gpu0"} 40000
 //	powersensor_resyncs_total{device="gpu0"} 0
 //
 // See the cmd/psd package documentation for the full flag and endpoint
-// reference, and examples/fleet for a minimal in-process fleet scrape.
+// reference, and examples/fleet for a minimal in-process mixed-backend
+// fleet scrape.
 package repro

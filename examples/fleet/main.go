@@ -1,7 +1,10 @@
-// Fleet: run three measurement stations concurrently and scrape them once.
+// Fleet: run a heterogeneous fleet of measurement stations and scrape it
+// once.
 //
-// This is the smallest end-to-end use of the fleet subsystem: a PCIe GPU,
-// a USB-C SoC and an SSD, each driven by its own goroutine with its own
+// This is the smallest end-to-end use of the fleet subsystem: a PCIe GPU
+// and an SSD measured by PowerSensor3 at 20 kHz, next to two software
+// meters — an NVML counter at ~10 Hz and a RAPL energy counter at ~1 kHz
+// — all behind the same streaming source layer, each driven with its own
 // self-repeating workload, served over HTTP by the exporter and scraped a
 // single time — what cmd/psd does continuously.
 //
@@ -22,24 +25,26 @@ import (
 )
 
 func main() {
-	// Assemble the fleet: three named stations. (With real hardware each
-	// would be one PowerSensor3 on /dev/ttyACM*, wired to a different
-	// device under test.)
-	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,soc0=jetson,ssd0=ssd", 42, fleet.Config{})
+	// Assemble the fleet: four named stations over two backend families.
+	// (With real hardware the PowerSensor3 stations would each be one
+	// sensor on /dev/ttyACM*; the software meters would poll NVML/RAPL.)
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,ssd0=ssd,gpu0sw=nvml,cpu0=rapl",
+		42, fleet.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer mgr.Close()
 
 	// Let every station simulate one second of virtual time: GPU kernel
-	// launches, SoC load and SSD I/O all land in the per-station rings.
+	// launches, SSD I/O and CPU duty cycles all land in the per-station
+	// rings — each ingested at its backend's native rate.
 	mgr.StepAll(time.Second)
 
 	// Fleet status, as /api/fleet reports it.
-	fmt.Println("station      kind        power      energy    samples")
+	fmt.Println("station      kind        backend       rate        power      energy    samples")
 	for _, st := range mgr.Snapshot() {
-		fmt.Printf("%-12s %-11s %7.2f W %8.2f J %10d\n",
-			st.Name, st.Kind, st.Watts, st.Joules, st.Samples)
+		fmt.Printf("%-12s %-11s %-13s %7g Hz %7.2f W %8.2f J %10d\n",
+			st.Name, st.Kind, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples)
 	}
 
 	// Serve the exporter and scrape /metrics once, like Prometheus would.

@@ -34,9 +34,9 @@ func main() {
 
 	// Capture 25 ms (2.5 modulation periods) at full rate.
 	var watts []float64
-	ps.OnSample(func(s core.Sample) { watts = append(watts, s.Watts[0]) })
+	hook := ps.AttachSample(func(s core.Sample) { watts = append(watts, s.Watts[0]) })
 	ps.Advance(25 * time.Millisecond)
-	ps.OnSample(nil)
+	ps.DetachSample(hook)
 
 	fmt.Printf("captured %d samples at 20 kHz (50 µs resolution)\n\n", len(watts))
 

@@ -51,7 +51,7 @@ func Calibrate(ps *core.PowerSensor, tr core.Transport, refs []Reference, sample
 	amps := make([][]float64, ps.Pairs())
 	volts := make([][]float64, ps.Pairs())
 	collected := 0
-	ps.OnSample(func(s core.Sample) {
+	hook := ps.AttachSample(func(s core.Sample) {
 		if collected >= samples {
 			return
 		}
@@ -61,7 +61,7 @@ func Calibrate(ps *core.PowerSensor, tr core.Transport, refs []Reference, sample
 		}
 		collected++
 	})
-	defer ps.OnSample(nil)
+	defer ps.DetachSample(hook)
 
 	span := time.Duration(samples+16) * protocol.SampleIntervalMicros * time.Microsecond
 	ps.Advance(span)

@@ -58,13 +58,13 @@ func TestCalibrationImprovesAccuracy(t *testing.T) {
 		dev.SetSource(0, device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(8)})
 		var sumA, sumV float64
 		n := 0
-		ps.OnSample(func(s core.Sample) {
+		hook := ps.AttachSample(func(s core.Sample) {
 			sumA += s.Amps[0]
 			sumV += s.Volts[0]
 			n++
 		})
 		ps.Advance(200 * time.Millisecond)
-		ps.OnSample(nil)
+		ps.DetachSample(hook)
 		dev.SetSource(0, device.BenchSource{Supply: &bench.Supply{Nominal: 12}, Load: bench.ConstantLoad(0)})
 		ps.Advance(10 * time.Millisecond) // settle back to unloaded
 		return sumA/float64(n) - 8, sumV/float64(n) - 12

@@ -5,10 +5,10 @@ import (
 	"time"
 )
 
-// TestAttachSampleCoexists verifies the multi-observer plumbing: attached
-// hooks see every sample set, in attach order, alongside the legacy
-// OnSample observer — and replacing OnSample (as trace.Capture does) does
-// not disturb them.
+// TestAttachSampleCoexists verifies the multi-observer plumbing: any
+// number of attached hooks see every sample set, in attach order, and
+// attaching or detaching one (as trace.Capture does around a transient
+// capture) does not disturb the others.
 func TestAttachSampleCoexists(t *testing.T) {
 	dev := newBenchDevice(1, 4)
 	ps, err := Open(dev)
@@ -17,35 +17,37 @@ func TestAttachSampleCoexists(t *testing.T) {
 	}
 	defer ps.Close()
 
-	var legacy, a, b int
+	var a, b int
 	var order []string
-	ps.OnSample(func(Sample) { legacy++; order = append(order, "legacy") })
 	ida := ps.AttachSample(func(Sample) { a++; order = append(order, "a") })
 	idb := ps.AttachSample(func(Sample) { b++; order = append(order, "b") })
 
 	ps.Advance(10 * time.Millisecond)
-	if legacy == 0 || a != legacy || b != legacy {
-		t.Fatalf("observer counts diverged: legacy=%d a=%d b=%d", legacy, a, b)
+	if a == 0 || b != a {
+		t.Fatalf("observer counts diverged: a=%d b=%d", a, b)
 	}
-	for i := 0; i+2 < len(order); i += 3 {
-		if order[i] != "legacy" || order[i+1] != "a" || order[i+2] != "b" {
-			t.Fatalf("bad dispatch order at %d: %v", i, order[i:i+3])
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "b" {
+			t.Fatalf("bad dispatch order at %d: %v", i, order[i:i+2])
 		}
 	}
 
-	// Replacing (then clearing) the OnSample slot must not touch hooks.
-	ps.OnSample(nil)
-	order = nil
+	// A transient third hook comes and goes without disturbing the rest.
+	var c int
+	idc := ps.AttachSample(func(Sample) { c++ })
 	before := a
 	ps.Advance(5 * time.Millisecond)
-	if a == before {
-		t.Fatal("hook a stopped after OnSample(nil)")
+	if c == 0 || c != a-before {
+		t.Fatalf("transient hook saw %d of %d sets", c, a-before)
 	}
-	if legacy != b-(a-before) {
-		t.Fatalf("legacy observer ran after removal: legacy=%d", legacy)
+	ps.DetachSample(idc)
+	cAfter := c
+	ps.Advance(5 * time.Millisecond)
+	if c != cAfter {
+		t.Fatalf("detached transient hook still ran: %d -> %d", cAfter, c)
 	}
 
-	// Detach one hook; the other keeps running.
+	// Detach one of the originals; the other keeps running.
 	ps.DetachSample(ida)
 	aAfterDetach, bBefore := a, b
 	ps.Advance(5 * time.Millisecond)

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/protocol"
@@ -85,10 +86,10 @@ type PowerSensor struct {
 
 	dump         io.Writer
 	dumpErr      error
+	dumpBuf      []byte // reused line buffer for writeDumpLine
 	pendingMarks []byte
 	currentSet   [protocol.MaxSensors]bool // sensors seen in the current set
 	setHasMarker bool
-	onSample     func(Sample) // legacy single observer (OnSample)
 	hooks        []sampleHook // attached observers, in attach order
 	nextHookID   HookID
 	totalResyncs int
@@ -103,7 +104,7 @@ type sampleHook struct {
 	f  func(Sample)
 }
 
-// Sample is one processed 20 kHz sample set, as delivered to OnSample
+// Sample is one processed 20 kHz sample set, as delivered to AttachSample
 // observers. DeviceTime is reconstructed from the unwrapped 10-bit device
 // timestamps.
 type Sample struct {
@@ -251,16 +252,13 @@ func (ps *PowerSensor) finishSet() {
 	if ps.dump != nil {
 		ps.writeDumpLine(total)
 	}
-	if ps.onSample != nil || len(ps.hooks) > 0 {
+	if len(ps.hooks) > 0 {
 		var s Sample
 		s.DeviceTime = time.Duration(ps.devMicros) * time.Microsecond
 		copy(s.Watts[:], ps.watts[:])
 		copy(s.Volts[:], ps.volts[:])
 		copy(s.Amps[:], ps.amps[:])
 		s.Marker = ps.setHasMarker
-		if ps.onSample != nil {
-			ps.onSample(s)
-		}
 		for _, h := range ps.hooks {
 			h.f(s)
 		}
@@ -268,19 +266,10 @@ func (ps *PowerSensor) finishSet() {
 	ps.setHasMarker = false
 }
 
-// OnSample registers f to be called after every processed sample set — the
-// hook the experiment harnesses use to capture full-rate traces. Pass nil to
-// remove the observer. OnSample holds a single slot: setting it replaces the
-// previous observer but leaves AttachSample hooks untouched, so a transient
-// capture (e.g. trace.Capture) can run on a sensor whose stream is already
-// being ingested elsewhere.
-func (ps *PowerSensor) OnSample(f func(Sample)) {
-	ps.onSample = f
-}
-
-// AttachSample registers an additional per-sample-set observer and returns
-// an id for DetachSample. Unlike OnSample, any number of hooks can coexist;
-// they are invoked in attach order after the OnSample observer. Hooks run on
+// AttachSample registers a per-sample-set observer and returns an id for
+// DetachSample. Any number of hooks can coexist — a transient capture
+// (e.g. trace.Capture) can run on a sensor whose stream is already being
+// ingested elsewhere — and they are invoked in attach order. Hooks run on
 // the goroutine calling Advance.
 func (ps *PowerSensor) AttachSample(f func(Sample)) HookID {
 	id := ps.nextHookID
@@ -324,22 +313,29 @@ func (ps *PowerSensor) convertVoltage(ch int) float64 {
 }
 
 // writeDumpLine emits one continuous-mode record: device time in seconds,
-// per-pair power, total power, and any marker character.
+// per-pair power, total power, and any marker character. It runs once per
+// 20 kHz sample set while a dump is active, so the line is assembled with
+// strconv appends into a buffer reused across sets — no fmt machinery and
+// no per-line allocations.
 func (ps *PowerSensor) writeDumpLine(total float64) {
 	if ps.dumpErr != nil {
 		return
 	}
-	t := float64(ps.devMicros) / 1e6
-	line := fmt.Sprintf("S %.6f", t)
+	buf := append(ps.dumpBuf[:0], 'S', ' ')
+	buf = strconv.AppendFloat(buf, float64(ps.devMicros)/1e6, 'f', 6, 64)
 	for m := 0; m < ps.pairs; m++ {
-		line += fmt.Sprintf(" %.4f", ps.watts[m])
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, ps.watts[m], 'f', 4, 64)
 	}
-	line += fmt.Sprintf(" %.4f", total)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, total, 'f', 4, 64)
 	if ps.setHasMarker && len(ps.pendingMarks) > 0 {
-		line += " M" + string(ps.pendingMarks[0])
+		buf = append(buf, ' ', 'M', ps.pendingMarks[0])
 		ps.pendingMarks = ps.pendingMarks[1:]
 	}
-	if _, err := io.WriteString(ps.dump, line+"\n"); err != nil {
+	buf = append(buf, '\n')
+	ps.dumpBuf = buf
+	if _, err := ps.dump.Write(buf); err != nil {
 		ps.dumpErr = err
 	}
 }

@@ -66,7 +66,7 @@ func RunAblationSamplingRate(opts AblationRateOptions) (AblationRateResult, erro
 		r.Idle(time.Duration(20+3*k%17) * time.Millisecond)
 
 		var watts []float64
-		r.PS.OnSample(func(s core.Sample) {
+		hook := r.PS.AttachSample(func(s core.Sample) {
 			var total float64
 			for _, w := range s.Watts {
 				total += w
@@ -77,7 +77,7 @@ func RunAblationSamplingRate(opts AblationRateOptions) (AblationRateResult, erro
 		e0 := g.TrueEnergy()
 		run := g.LaunchKernel(kern, r.Now())
 		r.PS.Advance(run.End - r.Now())
-		r.PS.OnSample(nil)
+		r.PS.DetachSample(hook)
 		trueJ := g.TrueEnergy() - e0
 
 		for i, rate := range rates {

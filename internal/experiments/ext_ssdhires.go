@@ -56,7 +56,7 @@ func RunSSDHiRes(opts SSDHiResOptions) (SSDHiResResult, error) {
 
 	var watts []float64
 	start := rig.dev.Now()
-	rig.ps.OnSample(func(s core.Sample) {
+	hook := rig.ps.AttachSample(func(s core.Sample) {
 		var total float64
 		for _, w := range s.Watts {
 			total += w
@@ -67,7 +67,7 @@ func RunSSDHiRes(opts SSDHiResOptions) (SSDHiResResult, error) {
 		Pattern: fio.RandWrite, BlockKiB: 4, IODepth: 8,
 		Runtime: opts.Window, Seed: 13001,
 	}, rig.sync)
-	rig.ps.OnSample(nil)
+	rig.ps.DetachSample(hook)
 	_ = start
 
 	if len(watts) < 1000 {

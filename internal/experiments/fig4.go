@@ -112,12 +112,12 @@ func (l *settableLoad) Current(time.Duration) float64 { return l.amps }
 // collectPowerErrors gathers n per-sample power readings minus refP.
 func collectPowerErrors(ps *core.PowerSensor, n int, refP float64) []float64 {
 	errs := make([]float64, 0, n)
-	ps.OnSample(func(s core.Sample) {
+	hook := ps.AttachSample(func(s core.Sample) {
 		if len(errs) < n {
 			errs = append(errs, s.Watts[0]-refP)
 		}
 	})
-	defer ps.OnSample(nil)
+	defer ps.DetachSample(hook)
 	span := time.Duration(n+32) * 50 * time.Microsecond
 	ps.Advance(span)
 	return errs

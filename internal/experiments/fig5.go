@@ -43,11 +43,11 @@ func RunFig5() (Fig5Result, error) {
 		w float64
 	}
 	var trace []sample
-	ps.OnSample(func(s core.Sample) {
+	hook := ps.AttachSample(func(s core.Sample) {
 		trace = append(trace, sample{s.DeviceTime, s.Watts[0]})
 	})
 	ps.Advance(50 * time.Millisecond)
-	ps.OnSample(nil)
+	ps.DetachSample(hook)
 
 	var res Fig5Result
 	res.MsView.Name = "PowerSensor3 20 kHz"

@@ -101,7 +101,7 @@ func runFig7(r *rig.Rig, opts Fig7Options, name string,
 	// do).
 	var ps3T []time.Duration
 	var ps3W []float64
-	r.PS.OnSample(func(s core.Sample) {
+	hook := r.PS.AttachSample(func(s core.Sample) {
 		var total float64
 		for _, w := range s.Watts {
 			total += w
@@ -109,7 +109,7 @@ func runFig7(r *rig.Rig, opts Fig7Options, name string,
 		ps3T = append(ps3T, s.DeviceTime)
 		ps3W = append(ps3W, total)
 	})
-	defer r.PS.OnSample(nil)
+	defer r.PS.DetachSample(hook)
 
 	pollVendor := func(upto time.Duration) {
 		for t := r.Now(); t < upto; t += 10 * time.Millisecond {

@@ -66,13 +66,13 @@ func RunStability(opts StabilityOptions) (StabilityResult, error) {
 	var means []float64
 	for at := time.Duration(0); at <= opts.Duration; at += opts.Interval {
 		powers := make([]float64, 0, opts.Samples)
-		ps.OnSample(func(s core.Sample) {
+		hook := ps.AttachSample(func(s core.Sample) {
 			if len(powers) < opts.Samples {
 				powers = append(powers, s.Watts[0])
 			}
 		})
 		ps.Advance(time.Duration(opts.Samples+32) * protocol.SampleIntervalMicros * time.Microsecond)
-		ps.OnSample(nil)
+		ps.DetachSample(hook)
 		s := stats.Summarize(powers)
 		res.Points = append(res.Points, StabilityPoint{At: at, Mean: s.Mean, Min: s.Min, Max: s.Max})
 		means = append(means, s.Mean)

@@ -55,13 +55,13 @@ func RunTable2(opts Table2Options) (Table2Result, error) {
 			return Table2Result{}, err
 		}
 		powers := make([]float64, 0, opts.Samples)
-		ps.OnSample(func(s core.Sample) {
+		hook := ps.AttachSample(func(s core.Sample) {
 			if len(powers) < opts.Samples {
 				powers = append(powers, s.Watts[0])
 			}
 		})
 		ps.Advance(time.Duration(opts.Samples+32) * protocol.SampleIntervalMicros * time.Microsecond)
-		ps.OnSample(nil)
+		ps.DetachSample(hook)
 		ps.Close()
 
 		for _, rate := range []struct {

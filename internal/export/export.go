@@ -17,9 +17,11 @@ package export
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/fleet"
@@ -28,10 +30,52 @@ import (
 // Exporter renders a fleet.Manager over HTTP.
 type Exporter struct {
 	mgr *fleet.Manager
+
+	// labelMu guards labels, a per-device cache of rendered exposition
+	// label blocks. Device names, backends, kinds and channel labels are
+	// immutable for the life of a manager, so each block is escaped and
+	// formatted once instead of on every scrape — the scrape hot path
+	// then only appends numbers.
+	labelMu sync.Mutex
+	labels  map[string]*devLabels
+}
+
+// devLabels is the pre-rendered label set of one station.
+type devLabels struct {
+	dev   string   // {device="X"}
+	info  string   // {device="X",backend="B",kind="K"}
+	pairs []string // {device="X",pair="0",channel="C"} per channel
 }
 
 // New returns an exporter over mgr.
-func New(mgr *fleet.Manager) *Exporter { return &Exporter{mgr: mgr} }
+func New(mgr *fleet.Manager) *Exporter {
+	return &Exporter{mgr: mgr, labels: make(map[string]*devLabels)}
+}
+
+// labelsFor returns the cached rendered labels for st, building them on
+// first sight of the device.
+func (e *Exporter) labelsFor(st fleet.Status) *devLabels {
+	e.labelMu.Lock()
+	defer e.labelMu.Unlock()
+	if l, ok := e.labels[st.Name]; ok {
+		return l
+	}
+	l := &devLabels{
+		dev: fmt.Sprintf(`{device="%s"}`, escapeLabel(st.Name)),
+		info: fmt.Sprintf(`{device="%s",backend="%s",kind="%s"}`,
+			escapeLabel(st.Name), escapeLabel(st.Backend), escapeLabel(st.Kind)),
+	}
+	for m := 0; m < st.Pairs; m++ {
+		channel := fmt.Sprintf("pair%d", m)
+		if m < len(st.Channels) {
+			channel = st.Channels[m]
+		}
+		l.pairs = append(l.pairs, fmt.Sprintf(`{device="%s",pair="%d",channel="%s"}`,
+			escapeLabel(st.Name), m, escapeLabel(channel)))
+	}
+	e.labels[st.Name] = l
+	return l
+}
 
 // Handler returns the exporter's route table.
 func (e *Exporter) Handler() http.Handler {
@@ -81,21 +125,22 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
 	snap := e.mgr.Snapshot()
 
-	dev := func(name string) string {
-		return fmt.Sprintf(`{device="%s"}`, escapeLabel(name))
-	}
 	families := []family{
 		{name: "powersensor_fleet_devices", typ: "gauge",
 			help: "Stations owned by the fleet manager.",
 			rows: []row{{value: float64(len(snap))}}},
+		{name: "powersensor_source_info", typ: "gauge",
+			help: "Measurement backend serving each station; always 1."},
+		{name: "powersensor_source_rate_hz", typ: "gauge",
+			help: "Native sample rate of each station's backend, in hertz."},
 		{name: "powersensor_watts", typ: "gauge",
-			help: "Block-averaged power per sensor pair, in watts."},
+			help: "Block-averaged power per measurement channel, in watts."},
 		{name: "powersensor_board_watts", typ: "gauge",
 			help: "Block-averaged summed board power per station, in watts."},
 		{name: "powersensor_joules_total", typ: "counter",
 			help: "Cumulative energy per station since adoption, in joules."},
 		{name: "powersensor_samples_total", typ: "counter",
-			help: "20 kHz sample sets ingested per station."},
+			help: "Sample sets ingested per station, at the source's native rate."},
 		{name: "powersensor_resyncs_total", typ: "counter",
 			help: "Stream bytes skipped to regain protocol alignment."},
 		{name: "powersensor_dropped_deliveries_total", typ: "counter",
@@ -114,38 +159,53 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 		f.rows = append(f.rows, row{labels: labels, value: v})
 	}
 	for _, st := range snap {
-		for m, w := range st.PairWatts {
-			add("powersensor_watts",
-				fmt.Sprintf(`{device="%s",pair="%d"}`, escapeLabel(st.Name), m), w)
+		l := e.labelsFor(st)
+		add("powersensor_source_info", l.info, 1)
+		add("powersensor_source_rate_hz", l.dev, st.RateHz)
+		for m, watts := range st.PairWatts {
+			add("powersensor_watts", l.pairs[m], watts)
 		}
-		add("powersensor_board_watts", dev(st.Name), st.Watts)
-		add("powersensor_joules_total", dev(st.Name), st.Joules)
-		add("powersensor_samples_total", dev(st.Name), float64(st.Samples))
-		add("powersensor_resyncs_total", dev(st.Name), float64(st.Resyncs))
-		add("powersensor_dropped_deliveries_total", dev(st.Name), float64(st.Dropped))
-		add("powersensor_ring_points", dev(st.Name), float64(st.RingLen))
-		add("powersensor_device_virtual_seconds", dev(st.Name), st.Now.Seconds())
+		add("powersensor_board_watts", l.dev, st.Watts)
+		add("powersensor_joules_total", l.dev, st.Joules)
+		add("powersensor_samples_total", l.dev, float64(st.Samples))
+		add("powersensor_resyncs_total", l.dev, float64(st.Resyncs))
+		add("powersensor_dropped_deliveries_total", l.dev, float64(st.Dropped))
+		add("powersensor_ring_points", l.dev, float64(st.RingLen))
+		add("powersensor_device_virtual_seconds", l.dev, st.Now.Seconds())
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
+	var num []byte // reused strconv scratch
+	value := func(v float64) {
+		num = strconv.AppendFloat(num[:0], v, 'g', -1, 64)
+		b.Write(num)
+		b.WriteByte('\n')
+	}
 	for _, f := range families {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
 		for _, r := range f.rows {
-			fmt.Fprintf(&b, "%s%s %s\n", f.name, r.labels, formatValue(r.value))
+			b.WriteString(f.name)
+			b.WriteString(r.labels)
+			b.WriteByte(' ')
+			value(r.value)
 		}
 	}
-	fmt.Fprintf(&b, "# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.\n")
-	fmt.Fprintf(&b, "# TYPE powersensor_scrape_duration_seconds gauge\n")
-	fmt.Fprintf(&b, "powersensor_scrape_duration_seconds %s\n",
-		formatValue(time.Since(began).Seconds()))
-	_, _ = w.Write([]byte(b.String()))
-}
-
-// formatValue renders a sample value the way Prometheus clients do:
-// shortest round-trippable float.
-func formatValue(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	b.WriteString("# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.\n")
+	b.WriteString("# TYPE powersensor_scrape_duration_seconds gauge\n")
+	b.WriteString("powersensor_scrape_duration_seconds ")
+	value(time.Since(began).Seconds())
+	// io.WriteString reaches http.ResponseWriter's WriteString, avoiding
+	// a full copy of the rendered body.
+	_, _ = io.WriteString(w, b.String())
 }
 
 // labelEscaper escapes label values per the exposition format.

@@ -2,6 +2,7 @@ package export
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -59,14 +60,77 @@ func TestMetricsPerDevice(t *testing.T) {
 			}
 		}
 	}
-	// Per-pair gauges: the PCIe GPU rig carries three sensor pairs.
-	for _, pair := range []string{"0", "1", "2"} {
-		if !strings.Contains(body, `powersensor_watts{device="gpu0",pair="`+pair+`"} `) {
-			t.Errorf("missing gpu0 pair %s watts", pair)
+	// Per-channel gauges: the PCIe GPU rig carries three labelled rails.
+	for pair, channel := range []string{"slot3v3", "slot12", "pcie8pin"} {
+		if !strings.Contains(body, fmt.Sprintf(
+			`powersensor_watts{device="gpu0",pair="%d",channel="%s"} `, pair, channel)) {
+			t.Errorf("missing gpu0 channel %s watts", channel)
 		}
 	}
 	if !strings.Contains(body, "powersensor_fleet_devices 3\n") {
 		t.Error("missing fleet size gauge")
+	}
+	// Backend kind and native rate are visible as labels on every station.
+	for _, want := range []string{
+		`powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1`,
+		`powersensor_source_info{device="soc0",backend="powersensor3",kind="jetson"} 1`,
+		`powersensor_source_rate_hz{device="gpu0"} 20000`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("missing exposition line %q", want)
+		}
+	}
+}
+
+// TestMetricsMixedBackends scrapes a heterogeneous fleet: software meters
+// must expose their own backend kind and native rate.
+func TestMetricsMixedBackends(t *testing.T) {
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,gpu0sw=nvml,cpu0=rapl", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(time.Second)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`powersensor_source_info{device="gpu0sw",backend="nvml",kind="nvml"} 1`,
+		`powersensor_source_info{device="cpu0",backend="rapl",kind="rapl"} 1`,
+		`powersensor_source_rate_hz{device="gpu0sw"} 10`,
+		`powersensor_source_rate_hz{device="cpu0"} 1000`,
+		`powersensor_watts{device="cpu0",pair="0",channel="package"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing exposition line %q", want)
+		}
+	}
+
+	// The JSON fleet API carries the same backend metadata.
+	code, body := get(t, srv.URL+"/api/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var snap struct {
+		Devices []fleet.Status `json:"devices"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]fleet.Status)
+	for _, d := range snap.Devices {
+		byName[d.Name] = d
+	}
+	if d := byName["gpu0sw"]; d.Backend != "nvml" || d.RateHz != 10 {
+		t.Errorf("gpu0sw JSON: backend=%q rate=%v", d.Backend, d.RateHz)
+	}
+	if d := byName["cpu0"]; d.Backend != "rapl" || d.RateHz != 1000 ||
+		len(d.Channels) != 1 || d.Channels[0] != "package" {
+		t.Errorf("cpu0 JSON: backend=%q rate=%v channels=%v", d.Backend, d.RateHz, d.Channels)
+	}
+	if d := byName["gpu0"]; d.Backend != "powersensor3" || d.RateHz != 20000 {
+		t.Errorf("gpu0 JSON: backend=%q rate=%v", d.Backend, d.RateHz)
 	}
 }
 
@@ -91,13 +155,17 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	golden := []string{
 		"# HELP powersensor_fleet_devices Stations owned by the fleet manager.",
 		"# TYPE powersensor_fleet_devices gauge",
-		"# HELP powersensor_watts Block-averaged power per sensor pair, in watts.",
+		"# HELP powersensor_source_info Measurement backend serving each station; always 1.",
+		"# TYPE powersensor_source_info gauge",
+		"# HELP powersensor_source_rate_hz Native sample rate of each station's backend, in hertz.",
+		"# TYPE powersensor_source_rate_hz gauge",
+		"# HELP powersensor_watts Block-averaged power per measurement channel, in watts.",
 		"# TYPE powersensor_watts gauge",
 		"# HELP powersensor_board_watts Block-averaged summed board power per station, in watts.",
 		"# TYPE powersensor_board_watts gauge",
 		"# HELP powersensor_joules_total Cumulative energy per station since adoption, in joules.",
 		"# TYPE powersensor_joules_total counter",
-		"# HELP powersensor_samples_total 20 kHz sample sets ingested per station.",
+		"# HELP powersensor_samples_total Sample sets ingested per station, at the source's native rate.",
 		"# TYPE powersensor_samples_total counter",
 		"# HELP powersensor_resyncs_total Stream bytes skipped to regain protocol alignment.",
 		"# TYPE powersensor_resyncs_total counter",

@@ -1,11 +1,11 @@
 package fleet
 
 import (
+	"math"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/simsetup"
+	"repro/internal/source"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -14,23 +14,33 @@ import (
 type Status struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
-	// Pairs is the number of active sensor pairs on the station's sensor.
+	// Backend names the measurement backend serving the station —
+	// "powersensor3" for instrumented rigs, "nvml"/"amdsmi"/"ina3221"/
+	// "rapl" for the software meters.
+	Backend string `json:"backend"`
+	// RateHz is the backend's native sample rate.
+	RateHz float64 `json:"rate_hz"`
+	// Channels labels the station's measurement channels (sensor pairs
+	// on a PowerSensor3 rig, the single counter of a software meter).
+	Channels []string `json:"channels"`
+	// Pairs is the number of measurement channels.
 	Pairs int `json:"pairs"`
 	// Now is the station's virtual time.
 	Now time.Duration `json:"now"`
 	// Watts is the summed board power of the latest downsampled ring
-	// point — a block average rather than one raw 20 kHz sample, since a
+	// point — a block average rather than one raw sample, since a
 	// single sample is dominated by quantisation noise on lightly loaded
-	// rails (the Table II effect). PairWatts splits it per sensor pair.
+	// rails (the Table II effect). PairWatts splits it per channel.
 	Watts     float64   `json:"watts"`
 	PairWatts []float64 `json:"pair_watts"`
-	// Joules is the cumulative energy over all pairs since the fleet
-	// adopted the station.
+	// Joules is the cumulative energy over all channels since the fleet
+	// adopted the station, as integrated by the backend itself.
 	Joules float64 `json:"joules"`
-	// Samples counts 20 kHz sample sets ingested.
+	// Samples counts native-rate sample sets ingested.
 	Samples uint64 `json:"samples"`
 	// Resyncs counts stream bytes skipped to regain protocol alignment —
-	// nonzero values indicate a corrupted or lossy link.
+	// nonzero values indicate a corrupted or lossy link. Always zero for
+	// software meters.
 	Resyncs int `json:"resyncs"`
 	// Dropped counts subscriber deliveries discarded because the target
 	// channel was full — one increment per slow subscriber per point, so
@@ -43,90 +53,95 @@ type Status struct {
 	RingTotal uint64 `json:"ring_total"`
 }
 
-// Device is one managed station: an instrument plus the fleet's ingest
-// state. All instrument access is serialised by mu; the manager's per-device
-// goroutine holds it while advancing virtual time, and snapshot/subscribe
-// calls hold it briefly from other goroutines.
+// Device is one managed station: a streaming measurement source plus the
+// fleet's ingest state. All source access is serialised by mu; the
+// manager's per-device goroutine holds it while advancing virtual time,
+// and snapshot/subscribe calls hold it briefly from other goroutines.
 type Device struct {
 	name string
 	kind string
+	meta source.Meta
 	ring *Ring
 
 	mu      sync.Mutex
-	inst    simsetup.Instrument
-	hook    core.HookID
-	block   int // sample sets per ring point
-	pairs   int
+	src     source.Source
+	block   int // samples per ring point, derived from the native rate
+	chans   int
 	baseJ   float64 // cumulative joules at adoption, subtracted from Status
 	samples uint64
 	dropped uint64
 	closed  bool
 
-	// in-flight downsample block, maintained by the ingest hook: the
-	// summed power is buffered (Summarize needs the block for min/max),
-	// per-pair power only needs running sums for the block mean.
-	accTotal []float64 // summed power per sample set
-	pairSums []float64 // running per-pair power sums
+	// in-flight downsample block, maintained by ingest: the summed power
+	// is buffered (Summarize needs the block for min/max), per-channel
+	// power only needs running sums for the block mean.
+	accTotal []float64 // summed power per sample
+	pairSums []float64 // running per-channel power sums
 	accTime  time.Duration
 
 	subs   map[int]chan Point
 	nextID int
 }
 
-func newDevice(name, kind string, inst simsetup.Instrument, block, ringCap int) *Device {
+// newDevice adopts src. pointPeriod is the target time width of one ring
+// point; the per-source block size is derived from it and the source's
+// native rate, so a 20 kHz sensor averages hundreds of samples per point
+// while a 10 Hz software meter contributes every sample it has.
+func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, ringCap int) *Device {
+	meta := src.Meta()
+	block := int(math.Round(meta.RateHz * pointPeriod.Seconds()))
+	if block < 1 {
+		block = 1
+	}
 	d := &Device{
 		name:  name,
 		kind:  kind,
-		inst:  inst,
+		meta:  meta,
+		src:   src,
 		block: block,
-		pairs: inst.Sensor().Pairs(),
+		chans: len(meta.Channels),
+		baseJ: src.Joules(),
 		ring:  NewRing(ringCap),
 		subs:  make(map[int]chan Point),
 	}
-	d.pairSums = make([]float64, d.pairs)
-	st := inst.Sensor().Read()
-	for m := 0; m < core.MaxPairs; m++ {
-		d.baseJ += st.ConsumedJoules[m]
-	}
-	// The hook runs on the goroutine calling Advance, which already holds
-	// d.mu — it must not lock.
-	d.hook = inst.Sensor().AttachSample(d.ingest)
+	d.pairSums = make([]float64, d.chans)
 	return d
 }
 
 // Name returns the station's fleet name.
 func (d *Device) Name() string { return d.name }
 
-// Kind returns the station's spec kind (e.g. "rtx4000ada").
+// Kind returns the station's spec kind (e.g. "rtx4000ada", "nvml").
 func (d *Device) Kind() string { return d.kind }
+
+// Meta returns the station's measurement source metadata.
+func (d *Device) Meta() source.Meta { return d.meta }
 
 // Ring returns the station's downsampled ring buffer.
 func (d *Device) Ring() *Ring { return d.ring }
 
-// ingest folds one 20 kHz sample set into the in-flight downsample block
+// ingest folds one native-rate sample into the in-flight downsample block
 // and emits a ring point every block samples. Called with d.mu held (via
-// Advance inside step).
-func (d *Device) ingest(s core.Sample) {
+// step).
+func (d *Device) ingest(s source.Sample) {
 	d.samples++
-	var total float64
-	for m := 0; m < d.pairs; m++ {
-		total += s.Watts[m]
-		d.pairSums[m] += s.Watts[m]
+	for m := 0; m < d.chans; m++ {
+		d.pairSums[m] += s.Chans[m]
 	}
-	d.accTotal = append(d.accTotal, total)
-	d.accTime = s.DeviceTime
+	d.accTotal = append(d.accTotal, s.Total)
+	d.accTime = s.Time
 	if len(d.accTotal) < d.block {
 		return
 	}
 	sum := stats.Summarize(d.accTotal)
 	p := Point{
 		Time:  d.accTime,
-		Watts: make([]float64, d.pairs),
+		Watts: make([]float64, d.chans),
 		Total: sum.Mean,
 		Min:   sum.Min,
 		Max:   sum.Max,
 	}
-	for m := 0; m < d.pairs; m++ {
+	for m := 0; m < d.chans; m++ {
 		p.Watts[m] = d.pairSums[m] / float64(len(d.accTotal))
 		d.pairSums[m] = 0
 	}
@@ -141,12 +156,14 @@ func (d *Device) ingest(s core.Sample) {
 	}
 }
 
-// step advances the station by dt of virtual time, ingesting whatever the
-// sensor streamed.
+// step advances the station by dt of virtual time, ingesting the batch
+// the source produced over it.
 func (d *Device) step(dt time.Duration) {
 	d.mu.Lock()
 	if !d.closed {
-		d.inst.Advance(dt)
+		for _, s := range d.src.Read(dt) {
+			d.ingest(s)
+		}
 	}
 	d.mu.Unlock()
 }
@@ -155,34 +172,28 @@ func (d *Device) step(dt time.Duration) {
 func (d *Device) Status() Status {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	sensor := d.inst.Sensor()
-	st := sensor.Read()
 	out := Status{
 		Name:      d.name,
 		Kind:      d.kind,
-		Pairs:     d.pairs,
-		Now:       d.inst.Now(),
-		PairWatts: make([]float64, d.pairs),
+		Backend:   d.meta.Backend,
+		RateHz:    d.meta.RateHz,
+		Channels:  d.meta.Channels,
+		Pairs:     d.chans,
+		PairWatts: make([]float64, d.chans),
 		Samples:   d.samples,
-		Resyncs:   sensor.Resyncs(),
 		Dropped:   d.dropped,
 		RingLen:   d.ring.Len(),
 		RingTotal: d.ring.Total(),
 	}
+	if !d.closed {
+		out.Now = d.src.Now()
+		out.Joules = d.src.Joules() - d.baseJ
+		out.Resyncs = d.src.Resyncs()
+	}
 	if last := d.ring.Snapshot(1); len(last) == 1 {
 		copy(out.PairWatts, last[0].Watts)
 		out.Watts = last[0].Total
-	} else {
-		// Ring still empty: fall back to the raw instantaneous sample.
-		for m := 0; m < d.pairs; m++ {
-			out.PairWatts[m] = st.Watts[m]
-			out.Watts += st.Watts[m]
-		}
 	}
-	for m := 0; m < core.MaxPairs; m++ {
-		out.Joules += st.ConsumedJoules[m]
-	}
-	out.Joules -= d.baseJ
 	return out
 }
 
@@ -221,10 +232,10 @@ func (d *Device) Subscribe(buffer int) (<-chan Point, func()) {
 // Trace renders up to max of the most recent ring points as a trace.Trace,
 // ready for the CSV/JSON writers. A non-positive max exports the whole
 // ring. The trace's samples are the downsampled block averages, so its
-// effective rate is 20 kHz / block.
+// effective rate is the source's native rate divided by the block size.
 func (d *Device) Trace(max int) *trace.Trace {
 	pts := d.ring.Snapshot(max)
-	tr := &trace.Trace{Pairs: d.pairs}
+	tr := &trace.Trace{Pairs: d.chans}
 	for _, p := range pts {
 		tr.Points = append(tr.Points, trace.Point{
 			Time:   p.Time,
@@ -235,8 +246,7 @@ func (d *Device) Trace(max int) *trace.Trace {
 	return tr
 }
 
-// close detaches the ingest hook, closes subscriber channels and releases
-// the sensor.
+// close closes subscriber channels and releases the source.
 func (d *Device) close() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -244,10 +254,9 @@ func (d *Device) close() {
 		return
 	}
 	d.closed = true
-	d.inst.Sensor().DetachSample(d.hook)
 	for id, ch := range d.subs {
 		delete(d.subs, id)
 		close(ch)
 	}
-	d.inst.Close()
+	d.src.Close()
 }

@@ -53,6 +53,121 @@ func TestManagerThreeStations(t *testing.T) {
 	}
 }
 
+// TestManagerMixedBackends runs a heterogeneous fleet — PowerSensor3 rigs
+// next to polled software meters — and checks each station ingests at its
+// own native rate with rate-derived ring pacing.
+func TestManagerMixedBackends(t *testing.T) {
+	m, err := FromSpec("gpu0=rtx4000ada,gpu0sw=nvml,cpu0=rapl,gpu1sw=amdsmi", 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.StepAll(2 * time.Second)
+
+	want := map[string]struct {
+		backend    string
+		rateHz     float64
+		minSamples uint64
+	}{
+		"gpu0":   {"powersensor3", 20000, 30000},
+		"gpu0sw": {"nvml", 10, 15},
+		"cpu0":   {"rapl", 1000, 1500},
+		"gpu1sw": {"amdsmi", 1000, 1500},
+	}
+	for _, st := range m.Snapshot() {
+		w := want[st.Name]
+		if st.Backend != w.backend {
+			t.Errorf("%s: backend = %q, want %q", st.Name, st.Backend, w.backend)
+		}
+		if st.RateHz != w.rateHz {
+			t.Errorf("%s: rate = %v Hz, want %v", st.Name, st.RateHz, w.rateHz)
+		}
+		if st.Samples < w.minSamples {
+			t.Errorf("%s: %d samples over 2s at %v Hz, want >= %d",
+				st.Name, st.Samples, w.rateHz, w.minSamples)
+		}
+		if st.Joules <= 0 {
+			t.Errorf("%s: joules = %v, want > 0", st.Name, st.Joules)
+		}
+		if st.Watts <= 0 {
+			t.Errorf("%s: watts = %v, want > 0", st.Name, st.Watts)
+		}
+		if st.Resyncs != 0 {
+			t.Errorf("%s: resyncs = %d", st.Name, st.Resyncs)
+		}
+		if len(st.Channels) != st.Pairs {
+			t.Errorf("%s: %d channel labels for %d channels", st.Name, len(st.Channels), st.Pairs)
+		}
+		// Ring pacing derives from the native rate: every source lands
+		// near one point per PointPeriod (1 ms default) — except sources
+		// slower than the period, which emit one point per sample.
+		perSecond := st.RateHz
+		if st.RateHz >= 1000 {
+			perSecond = 1000
+		}
+		if lo := uint64(2 * perSecond * 0.7); st.RingTotal < lo {
+			t.Errorf("%s: ring total = %d over 2s, want >= %d", st.Name, st.RingTotal, lo)
+		}
+	}
+}
+
+// TestManagerMixedConcurrent is the -race workout for a heterogeneous
+// fleet: PowerSensor and polled-meter stations advance on their own
+// goroutines while snapshots, subscriptions and traces run against them.
+func TestManagerMixedConcurrent(t *testing.T) {
+	m, err := FromSpec("gpu0=rtx4000ada,gpu0sw=nvml,cpu0=rapl", 1,
+		Config{Slice: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	ch, cancel := m.Device("cpu0").Subscribe(256)
+	defer cancel()
+
+	m.Start()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, st := range m.Snapshot() {
+					_ = st.Watts
+				}
+				_ = m.Device("gpu0sw").Trace(50)
+			}
+		}()
+	}
+	deadline := time.After(300 * time.Millisecond)
+	var received int
+	for running := true; running; {
+		select {
+		case <-ch:
+			received++
+		case <-deadline:
+			running = false
+		}
+	}
+	close(stop)
+	wg.Wait()
+	m.Stop()
+
+	if received == 0 {
+		t.Fatal("software-meter subscriber received no points while fleet ran")
+	}
+	for _, st := range m.Snapshot() {
+		if st.Samples == 0 {
+			t.Errorf("%s ingested no samples", st.Name)
+		}
+	}
+}
+
 func TestManagerUnknownDevice(t *testing.T) {
 	m := testFleet(t, Config{})
 	if m.Device("nope") != nil {

@@ -6,17 +6,27 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/protocol"
 	"repro/internal/simsetup"
+	"repro/internal/source"
 )
 
-// Config tunes a Manager. The zero value is usable: 5 ms slices, block-20
-// downsampling (1 kHz ring points), 4096-point rings, unpaced.
+// Config tunes a Manager. The zero value is usable: 5 ms slices, 1 ms
+// ring points (block-20 at 20 kHz), 4096-point rings, unpaced.
 type Config struct {
 	// Slice is the virtual-time quantum each station goroutine advances
 	// per iteration. Smaller slices reduce snapshot latency; larger ones
 	// amortise locking.
 	Slice time.Duration
-	// Block is the downsample factor: 20 kHz sample sets per ring point.
+	// PointPeriod is the target time width of one downsampled ring
+	// point. Each station derives its own block size from it and its
+	// source's native rate, clamped to at least one sample — so slow
+	// software meters keep every sample while a 20 kHz sensor averages.
+	// Zero derives the period from Block.
+	PointPeriod time.Duration
+	// Block is the legacy downsample knob: sample sets per ring point,
+	// interpreted at the PowerSensor3 base rate (20 → 1 ms points). It
+	// is only consulted when PointPeriod is zero.
 	Block int
 	// RingCap is the per-station ring capacity in points.
 	RingCap int
@@ -32,6 +42,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Block <= 0 {
 		c.Block = 20
+	}
+	if c.PointPeriod <= 0 {
+		c.PointPeriod = time.Duration(float64(c.Block) *
+			float64(time.Second) / protocol.SampleRateHz)
 	}
 	if c.RingCap <= 0 {
 		c.RingCap = 4096
@@ -67,13 +81,13 @@ func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
 	}
 	m := NewManager(cfg)
 	for i, mem := range members {
-		if _, err := m.Add(mem.Name, mem.Kind, mem.Inst); err != nil {
+		if _, err := m.Add(mem.Name, mem.Kind, mem.Src); err != nil {
 			// Release the stations adopted so far and the ones not yet
 			// handed over (ParseFleet pre-validates names, so this path
 			// is defensive).
 			m.Close()
 			for _, rest := range members[i:] {
-				rest.Inst.Close()
+				rest.Src.Close()
 			}
 			return nil, err
 		}
@@ -81,9 +95,9 @@ func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Add adopts an instrument as a named station. It must not be called after
-// Start.
-func (m *Manager) Add(name, kind string, inst simsetup.Instrument) (*Device, error) {
+// Add adopts a measurement source as a named station. It must not be
+// called after Start.
+func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.started {
@@ -92,7 +106,7 @@ func (m *Manager) Add(name, kind string, inst simsetup.Instrument) (*Device, err
 	if _, dup := m.byName[name]; dup {
 		return nil, fmt.Errorf("fleet: duplicate station %q", name)
 	}
-	d := newDevice(name, kind, inst, m.cfg.Block, m.cfg.RingCap)
+	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.RingCap)
 	m.devices = append(m.devices, d)
 	m.byName[name] = d
 	return d, nil

@@ -1,14 +1,17 @@
 // Package fleet runs many measurement stations concurrently — the
 // multi-rig counterpart of internal/core's single-sensor host library.
 //
-// A Manager owns N named stations (discrete GPUs, SoC boards, SSDs —
-// assembled by internal/simsetup), advances each in its own goroutine on
-// its virtual-time clock, and ingests every station's 20 kHz sample stream
-// through core.AttachSample. Samples are downsampled on the fly into
-// fixed-capacity ring buffers (one per station) and fanned out to
-// subscribers; per-station health counters (stream resyncs, dropped
-// fan-out points) make a running fleet observable. internal/export serves
-// the manager over HTTP.
+// A Manager owns N named stations (assembled by internal/simsetup),
+// advances each in its own goroutine on its virtual-time clock, and
+// ingests every station's sample stream in batches through the
+// internal/source layer — so heterogeneous backends coexist in one fleet:
+// 20 kHz PowerSensor3 rigs next to 10 Hz NVML counters and 1 kHz RAPL
+// meters. Samples are downsampled on the fly into fixed-capacity ring
+// buffers (one per station), with block sizes derived from each source's
+// native rate so ring points cover comparable time windows, and fanned
+// out to subscribers; per-station health counters (stream resyncs,
+// dropped fan-out points) make a running fleet observable.
+// internal/export serves the manager over HTTP.
 package fleet
 
 import (
@@ -16,8 +19,8 @@ import (
 	"time"
 )
 
-// Point is one downsampled ring entry: the block statistics of Block
-// consecutive 20 kHz sample sets.
+// Point is one downsampled ring entry: the block statistics of one
+// block's worth of consecutive native-rate samples.
 type Point struct {
 	// Time is the device time of the last sample in the block.
 	Time time.Duration `json:"t"`

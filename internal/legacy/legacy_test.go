@@ -60,7 +60,7 @@ func TestStepResolutionWorseThanPS3(t *testing.T) {
 	}
 	defer ps3.Close()
 	count := 0
-	ps3.OnSample(func(core.Sample) { count++ })
+	ps3.AttachSample(func(core.Sample) { count++ })
 	ps3.Advance(50 * time.Millisecond)
 	if float64(count)/5 < 6*perPeriod {
 		t.Fatalf("PS3 %v samples/period vs PS2 %v; expected ~7x", float64(count)/5, perPeriod)

@@ -1,0 +1,76 @@
+package pmt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/rig"
+	"repro/internal/vendorapi"
+)
+
+// runAgreement drives one synthetic workload — repeated FMA kernels with
+// idle gaps, the paper's Fig. 7 duty cycle — on a GPU measured
+// simultaneously by a PowerSensor3 rig and a vendor meter, both read
+// through the PMT interface, and checks the vendor meter's energy tracks
+// the PowerSensor3 measurement within tol (relative).
+func runAgreement(t *testing.T, r *rig.Rig, vendor Meter, tol float64) {
+	t.Helper()
+	defer r.Close()
+	ps3 := PowerSensorMeter{PS: r.PS, Pair: -1}
+
+	// Idle lead-in so both meters have settled readings.
+	r.Idle(200 * time.Millisecond)
+	v0 := vendor.Read(r.Now())
+	p0 := ps3.Read(r.Now())
+
+	for i := 0; i < 3; i++ {
+		k := kernels.SyntheticFMA(r.GPU.Spec(), 400*time.Millisecond)
+		run := r.GPU.LaunchKernel(k, r.Now())
+		// Advance through kernel plus an idle tail, polling the vendor
+		// meter at 100 Hz as the paper's measurement scripts do.
+		for r.Now() < run.End+200*time.Millisecond {
+			r.PS.Advance(10 * time.Millisecond)
+			vendor.Read(r.Now())
+		}
+	}
+
+	v1 := vendor.Read(r.Now())
+	p1 := ps3.Read(r.Now())
+	vendorJ := Joules(v0, v1)
+	ps3J := Joules(p0, p1)
+	if ps3J <= 0 {
+		t.Fatalf("PowerSensor3 measured no energy")
+	}
+	if rel := math.Abs(vendorJ-ps3J) / ps3J; rel > tol {
+		t.Fatalf("%s energy %.1f J vs PowerSensor3 %.1f J: off by %.1f%% (tolerance %.0f%%)",
+			vendor.Name(), vendorJ, ps3J, rel*100, tol*100)
+	}
+}
+
+// TestAgreementAMDSMI: the W7700's on-board sensor is fast and accurate
+// (Fig. 7b), so its energy must track the external measurement closely.
+func TestAgreementAMDSMI(t *testing.T) {
+	g := gpu.New(gpu.W7700(), 21)
+	r, err := rig.NewPCIe(g, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAgreement(t, r, AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)}, 0.05)
+}
+
+// TestAgreementNVML: the NVIDIA counter refreshes at only ~10 Hz, so its
+// integrated energy drifts further from the 20 kHz external measurement
+// over a bursty workload — but total energy over multi-second windows
+// still lands within a loose tolerance (the Section V-A1 case-study
+// setting, where PMT meters and PowerSensor3 run side by side).
+func TestAgreementNVML(t *testing.T) {
+	g := gpu.New(gpu.RTX4000Ada(), 22)
+	r, err := rig.NewPCIe(g, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAgreement(t, r, NVMLMeter{NVML: vendorapi.NewNVML(g)}, 0.15)
+}

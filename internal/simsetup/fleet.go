@@ -1,9 +1,11 @@
 // This file is the fleet-construction half of the package: the named,
 // self-driving measurement stations the fleet manager (internal/fleet)
-// owns. Each station bundles a simulated device-under-test, its attached
-// PowerSensor3, and a repeating workload so the power trace stays
-// interesting without external stimulus — periodic FMA kernel launches on
-// GPUs and SoCs, random-read bursts on the SSD.
+// owns. Each station bundles a simulated device-under-test, a measurement
+// backend exposed as a streaming source (a PowerSensor3 rig or a polled
+// software meter — see internal/source), and a repeating workload so the
+// power trace stays interesting without external stimulus — periodic FMA
+// kernel launches on GPUs and SoCs, random-read bursts on the SSD, duty
+// cycles on the RAPL-metered CPU.
 
 package simsetup
 
@@ -16,39 +18,40 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/rig"
 	"repro/internal/rng"
+	"repro/internal/source"
 	"repro/internal/ssd"
 )
 
-// Instrument is the uniform handle the fleet manager drives: a
-// device-under-test with an open PowerSensor3, advanced in virtual time.
-// Advance moves DUT and sensor together, generating (and processing) the
-// 20 kHz sample stream; implementations may overshoot d slightly to finish
-// an in-flight operation. Instruments are not safe for concurrent use; the
-// fleet manager confines each to one goroutine.
-type Instrument interface {
-	// Sensor returns the open PowerSensor3 attached to the DUT.
-	Sensor() *core.PowerSensor
-	// Now returns the station's virtual time.
-	Now() time.Duration
-	// Advance runs DUT, workload and sensor forward by (at least) d.
-	Advance(d time.Duration)
-	// Close releases the sensor.
-	Close()
-}
+// The PowerSensor3-instrumented stations below (gpuStation, ssdStation)
+// implement source.Driver: a device-under-test with an open sensor,
+// advanced in virtual time. Advance moves DUT and sensor together,
+// generating (and processing) the 20 kHz sample stream; implementations
+// may overshoot d slightly to finish an in-flight operation.
 
 // FleetMember is one named station of a fleet.
 type FleetMember struct {
 	Name string
-	Kind string // the spec kind: rtx4000ada, w7700, jetson, ssd
-	Inst Instrument
+	Kind string // the spec kind: rtx4000ada, nvml, rapl, ...
+	Src  source.Source
 }
 
 // DefaultFleetSpec is the fleet cmd/psd and the examples serve when no
-// -fleet flag is given: two discrete GPUs, one SoC and one SSD.
-const DefaultFleetSpec = "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd"
+// -fleet flag is given: two discrete GPUs, one SoC and one SSD measured by
+// PowerSensor3, plus two software meters — the NVML counter shadowing the
+// first GPU's model and a RAPL-metered host CPU.
+const DefaultFleetSpec = "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd," +
+	"gpu0sw=nvml,cpu0=rapl"
 
-// FleetKinds lists the accepted station kinds.
-func FleetKinds() []string { return []string{"rtx4000ada", "w7700", "jetson", "ssd"} }
+// FleetKinds lists the accepted station kinds: the PowerSensor3-
+// instrumented rigs first, then the software-meter emulations ("jetson"
+// is the PowerSensor3-on-USB-C SoC rig; "jetson-ina" the board's own
+// INA3221 rail monitor).
+func FleetKinds() []string {
+	return []string{
+		"rtx4000ada", "w7700", "jetson", "ssd",
+		"nvml", "amdsmi", "jetson-ina", "rapl",
+	}
+}
 
 // ParseFleet builds the stations described by spec, a comma-separated list
 // of name=kind pairs (e.g. "gpu0=rtx4000ada,ssd0=ssd"). Station names must
@@ -59,7 +62,7 @@ func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 	// A later entry failing must not leak the stations already built.
 	fail := func(err error) ([]FleetMember, error) {
 		for _, m := range members {
-			m.Inst.Close()
+			m.Src.Close()
 		}
 		return nil, err
 	}
@@ -77,11 +80,11 @@ func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 			return fail(fmt.Errorf("fleet spec: duplicate station %q", name))
 		}
 		seen[name] = true
-		inst, err := NewStation(kind, seed+uint64(i)*1000003)
+		src, err := NewStation(kind, seed+uint64(i)*1000003)
 		if err != nil {
 			return fail(fmt.Errorf("station %q: %w", name, err))
 		}
-		members = append(members, FleetMember{Name: name, Kind: kind, Inst: inst})
+		members = append(members, FleetMember{Name: name, Kind: kind, Src: src})
 	}
 	if len(members) == 0 {
 		return nil, fmt.Errorf("fleet spec %q describes no stations", spec)
@@ -89,21 +92,34 @@ func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 	return members, nil
 }
 
-// NewStation builds one self-driving station of the given kind.
-func NewStation(kind string, seed uint64) (Instrument, error) {
+// NewStation builds one self-driving station of the given kind as a
+// streaming source. PowerSensor3-instrumented rigs stream at the native
+// 20 kHz with per-rail channel labels; software-meter kinds poll the
+// vendor emulation at its own refresh rate.
+func NewStation(kind string, seed uint64) (source.Source, error) {
 	switch kind {
-	case "rtx4000ada", "w7700", "jetson":
+	case "rtx4000ada", "w7700":
 		r, err := GPURig(kind, seed)
 		if err != nil {
 			return nil, err
 		}
-		return newGPUStation(r, seed), nil
+		return source.NewSensor(newGPUStation(r, seed),
+			[]string{"slot3v3", "slot12", "pcie8pin"}), nil
+	case "jetson":
+		r, err := GPURig(kind, seed)
+		if err != nil {
+			return nil, err
+		}
+		return source.NewSensor(newGPUStation(r, seed), []string{"usbc"}), nil
 	case "ssd":
 		r, err := NewDiskRig(seed, false)
 		if err != nil {
 			return nil, err
 		}
-		return newSSDStation(r, seed), nil
+		return source.NewSensor(newSSDStation(r, seed),
+			[]string{"slot3v3", "slot12"}), nil
+	case "nvml", "amdsmi", "jetson-ina", "rapl":
+		return newSoftwareMeterStation(kind, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown station kind %q (have %s)",
 			kind, strings.Join(FleetKinds(), ", "))

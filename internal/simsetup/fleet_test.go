@@ -10,17 +10,31 @@ func TestParseFleetDefaultSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(members) != 4 {
-		t.Fatalf("%d members, want 4", len(members))
+	if len(members) != 6 {
+		t.Fatalf("%d members, want 6", len(members))
 	}
-	want := map[string]string{"gpu0": "rtx4000ada", "gpu1": "w7700", "soc0": "jetson", "ssd0": "ssd"}
+	want := map[string]string{
+		"gpu0": "rtx4000ada", "gpu1": "w7700", "soc0": "jetson",
+		"ssd0": "ssd", "gpu0sw": "nvml", "cpu0": "rapl",
+	}
+	wantBackend := map[string]string{
+		"gpu0": "powersensor3", "gpu1": "powersensor3", "soc0": "powersensor3",
+		"ssd0": "powersensor3", "gpu0sw": "nvml", "cpu0": "rapl",
+	}
 	for _, m := range members {
-		defer m.Inst.Close()
+		defer m.Src.Close()
 		if want[m.Name] != m.Kind {
 			t.Errorf("member %s has kind %s, want %s", m.Name, m.Kind, want[m.Name])
 		}
-		if m.Inst.Sensor().Pairs() == 0 {
-			t.Errorf("member %s has no sensor pairs", m.Name)
+		meta := m.Src.Meta()
+		if meta.Backend != wantBackend[m.Name] {
+			t.Errorf("member %s has backend %s, want %s", m.Name, meta.Backend, wantBackend[m.Name])
+		}
+		if len(meta.Channels) == 0 {
+			t.Errorf("member %s has no channels", m.Name)
+		}
+		if meta.RateHz <= 0 {
+			t.Errorf("member %s has rate %v", m.Name, meta.RateHz)
 		}
 	}
 }
@@ -42,30 +56,41 @@ func TestParseFleetErrors(t *testing.T) {
 }
 
 // TestStationsProducePower advances each station kind in isolation and
-// checks its workload actually moves energy — GPU kernels, SoC load and
-// SSD I/O all show up on the attached sensor.
+// checks its workload actually moves energy — GPU kernels, SoC load, SSD
+// I/O and CPU duty cycles all show up on the station's source, whether it
+// is a PowerSensor3 or a polled software meter.
 func TestStationsProducePower(t *testing.T) {
+	// Native rates: 20 kHz for PowerSensor3 rigs, the vendor refresh
+	// rates for the software meters.
+	wantRate := map[string]float64{
+		"rtx4000ada": 20000, "w7700": 20000, "jetson": 20000, "ssd": 20000,
+		"nvml": 10, "amdsmi": 1000, "jetson-ina": 10, "rapl": 1000,
+	}
 	for _, kind := range FleetKinds() {
-		inst, err := NewStation(kind, 7)
+		src, err := NewStation(kind, 7)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
-		before := inst.Now()
-		inst.Advance(800 * time.Millisecond)
-		if inst.Now() < before+800*time.Millisecond {
-			t.Errorf("%s: Advance moved clock %v -> %v", kind, before, inst.Now())
+		if got := src.Meta().RateHz; got != wantRate[kind] {
+			t.Errorf("%s: rate = %v Hz, want %v", kind, got, wantRate[kind])
 		}
-		st := inst.Sensor().Read()
-		var joules float64
-		for _, j := range st.ConsumedJoules {
-			joules += j
+		before := src.Now()
+		samples := 0
+		for _, window := range []time.Duration{500 * time.Millisecond, 300 * time.Millisecond} {
+			samples += len(src.Read(window))
 		}
-		if joules <= 0 {
+		if src.Now() < before+800*time.Millisecond {
+			t.Errorf("%s: Read moved clock %v -> %v", kind, before, src.Now())
+		}
+		if samples == 0 {
+			t.Errorf("%s: no samples streamed over 800ms", kind)
+		}
+		if minimum := int(wantRate[kind] * 0.7); samples < minimum {
+			t.Errorf("%s: %d samples over 800ms, want >= %d", kind, samples, minimum)
+		}
+		if src.Joules() <= 0 {
 			t.Errorf("%s: no energy measured after 800ms", kind)
 		}
-		if st.Samples == 0 {
-			t.Errorf("%s: no samples streamed", kind)
-		}
-		inst.Close()
+		src.Close()
 	}
 }

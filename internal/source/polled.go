@@ -1,0 +1,112 @@
+package source
+
+import (
+	"fmt"
+	"time"
+)
+
+// PolledConfig wires a software meter into a Polled source.
+type PolledConfig struct {
+	// Meta describes the meter. RateHz must be positive: it sets the
+	// polling cadence. Channels must name at least one channel.
+	Meta Meta
+	// Tick, if set, drives the device-under-test's workload up to
+	// virtual time t. It is called once per poll instant, before Watts
+	// and Joules, so kernel launches and load changes land before the
+	// meter integrates across them.
+	Tick func(t time.Duration)
+	// Watts returns the meter's power reading at virtual time t. Nil
+	// derives power from Joules deltas — the way tools sample
+	// energy-counter-only interfaces such as RAPL.
+	Watts func(t time.Duration) float64
+	// Joules returns the meter's cumulative energy counter at t.
+	Joules func(t time.Duration) float64
+	// Close, if set, releases the meter.
+	Close func()
+}
+
+// Polled adapts a software meter — NVML, AMD SMI, the Jetson INA3221,
+// RAPL — to the Source interface by polling it at its native refresh
+// cadence on virtual time. Each Read yields one batch: every poll instant
+// that elapsed in the slice.
+type Polled struct {
+	cfg      PolledConfig
+	interval time.Duration
+
+	now      time.Duration
+	lastPoll time.Duration
+	lastJ    float64
+	buf      []Sample
+}
+
+// NewPolled returns a polled source over cfg. It panics on a
+// non-positive rate, missing Joules, or channel counts outside
+// 1..MaxChannels — construction-time wiring errors.
+func NewPolled(cfg PolledConfig) *Polled {
+	if cfg.Meta.RateHz <= 0 {
+		panic(fmt.Sprintf("source: polled %q needs a positive rate", cfg.Meta.Backend))
+	}
+	if cfg.Joules == nil {
+		panic(fmt.Sprintf("source: polled %q needs a Joules counter", cfg.Meta.Backend))
+	}
+	if n := len(cfg.Meta.Channels); n < 1 || n > MaxChannels {
+		panic(fmt.Sprintf("source: polled %q has %d channels", cfg.Meta.Backend, n))
+	}
+	p := &Polled{
+		cfg:      cfg,
+		interval: time.Duration(float64(time.Second) / cfg.Meta.RateHz),
+	}
+	if p.cfg.Tick != nil {
+		p.cfg.Tick(0)
+	}
+	// Prime the energy counter so Joules() deltas start from adoption.
+	p.lastJ = p.cfg.Joules(0)
+	return p
+}
+
+// Meta implements Source.
+func (p *Polled) Meta() Meta { return p.cfg.Meta }
+
+// Now implements Source.
+func (p *Polled) Now() time.Duration { return p.now }
+
+// Read implements Source: it walks every poll instant inside the slice,
+// advancing the workload and sampling the meter at each.
+func (p *Polled) Read(d time.Duration) []Sample {
+	p.buf = p.buf[:0]
+	target := p.now + d
+	for next := p.lastPoll + p.interval; next <= target; next += p.interval {
+		if p.cfg.Tick != nil {
+			p.cfg.Tick(next)
+		}
+		j := p.cfg.Joules(next)
+		var w float64
+		if p.cfg.Watts != nil {
+			w = p.cfg.Watts(next)
+		} else {
+			w = (j - p.lastJ) / p.interval.Seconds()
+		}
+		p.lastJ = j
+		smp := Sample{Time: next, Total: w}
+		smp.Chans[0] = w
+		p.buf = append(p.buf, smp)
+		p.lastPoll = next
+	}
+	p.now = target
+	return p.buf
+}
+
+// Joules implements Source, reporting the meter's own energy counter —
+// integrated at the meter's native rate, which is exactly the
+// under/over-estimation artifact the paper's comparisons expose.
+func (p *Polled) Joules() float64 { return p.cfg.Joules(p.now) }
+
+// Resyncs implements Source; software meters have no wire protocol.
+func (p *Polled) Resyncs() int { return 0 }
+
+// Close implements Source.
+func (p *Polled) Close() {
+	if p.cfg.Close != nil {
+		p.cfg.Close()
+	}
+}

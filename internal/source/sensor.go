@@ -1,0 +1,104 @@
+package source
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// Driver is the device-under-test side a PowerSensor source advances: an
+// open sensor plus whatever workload keeps its trace interesting.
+// simsetup's rig-backed stations satisfy it.
+type Driver interface {
+	// Sensor returns the open PowerSensor3 attached to the DUT.
+	Sensor() *core.PowerSensor
+	// Now returns the driver's virtual time.
+	Now() time.Duration
+	// Advance runs DUT, workload and sensor forward by (at least) d.
+	Advance(d time.Duration)
+	// Close releases the sensor.
+	Close()
+}
+
+// Sensor adapts a PowerSensor3 rig to the Source interface: the sensor's
+// per-sample-set hook dispatch becomes batch emission at the native
+// 20 kHz rate.
+type Sensor struct {
+	drv  Driver
+	meta Meta
+	hook core.HookID
+	buf  []Sample
+}
+
+// NewSensor wraps drv as a streaming source. channels labels the sensor
+// pairs; nil derives "pair0".."pairN" from the open sensor. NewSensor
+// attaches a sample hook on the sensor; other observers (trace capture,
+// experiment harnesses) can coexist via their own AttachSample hooks.
+func NewSensor(drv Driver, channels []string) *Sensor {
+	ps := drv.Sensor()
+	if channels == nil {
+		for m := 0; m < ps.Pairs(); m++ {
+			channels = append(channels, fmt.Sprintf("pair%d", m))
+		}
+	}
+	if len(channels) > MaxChannels {
+		channels = channels[:MaxChannels]
+	}
+	s := &Sensor{
+		drv: drv,
+		meta: Meta{
+			Backend:  "powersensor3",
+			RateHz:   protocol.SampleRateHz,
+			Channels: channels,
+		},
+	}
+	n := len(channels)
+	s.hook = ps.AttachSample(func(cs core.Sample) {
+		var smp Sample
+		smp.Time = cs.DeviceTime
+		for m := 0; m < n; m++ {
+			smp.Chans[m] = cs.Watts[m]
+			smp.Total += cs.Watts[m]
+		}
+		smp.Marker = cs.Marker
+		s.buf = append(s.buf, smp)
+	})
+	return s
+}
+
+// Meta implements Source.
+func (s *Sensor) Meta() Meta { return s.meta }
+
+// Now implements Source.
+func (s *Sensor) Now() time.Duration { return s.drv.Now() }
+
+// Read implements Source: it advances the driver (which streams and
+// processes the 20 kHz samples) and returns the batch the hook collected.
+func (s *Sensor) Read(d time.Duration) []Sample {
+	s.buf = s.buf[:0]
+	s.drv.Advance(d)
+	return s.buf
+}
+
+// Joules implements Source, summing the host library's per-pair energy
+// accumulators.
+func (s *Sensor) Joules() float64 {
+	st := s.drv.Sensor().Read()
+	var sum float64
+	for m := 0; m < core.MaxPairs; m++ {
+		sum += st.ConsumedJoules[m]
+	}
+	return sum
+}
+
+// Resyncs implements Source.
+func (s *Sensor) Resyncs() int { return s.drv.Sensor().Resyncs() }
+
+// Close implements Source: it detaches the batching hook and releases the
+// driver.
+func (s *Sensor) Close() {
+	s.drv.Sensor().DetachSample(s.hook)
+	s.drv.Close()
+}

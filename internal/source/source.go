@@ -1,0 +1,85 @@
+// Package source defines the streaming measurement source every fleet
+// backend implements — the layer that lets one fleet manager serve
+// heterogeneous meters.
+//
+// The paper's case studies (Section V-A1) run PowerSensor3 side by side
+// with vendor counters (NVML, AMD SMI, the Jetson INA3221, RAPL) behind
+// PMT's single Meter interface. This package is the streaming counterpart
+// of that idea: a Source is anything that, driven forward in virtual time,
+// yields timestamped power samples at its own native rate — 20 kHz for a
+// PowerSensor3, ~10 Hz for NVML, ~1 kHz for RAPL.
+//
+// Delivery is batch-oriented: Read advances the source by a time slice and
+// returns the block of samples produced in it, so a 20 kHz sensor hands
+// the fleet hundreds of samples per call instead of issuing one callback
+// per 50 µs sample. Consumers derive their pacing (downsample block sizes,
+// ring cadence) from Meta.RateHz rather than assuming any fixed rate.
+//
+// Two adapters cover every backend in the repository:
+//
+//   - Sensor wraps a core.PowerSensor and the device-under-test driving it
+//     (any Driver, e.g. simsetup's rig-backed stations), re-batching the
+//     sample hooks.
+//   - Polled wraps a software meter — a read function polled at the
+//     meter's native cadence on virtual time, with an optional workload
+//     tick driving the device-under-test between polls.
+package source
+
+import "time"
+
+// MaxChannels is the most measurement channels a source can carry — equal
+// to the PowerSensor3 module count, the widest backend.
+const MaxChannels = 4
+
+// Sample is one measurement instant from any backend. It is a plain value
+// (fixed-size channel array) so batches move without per-sample
+// allocation.
+type Sample struct {
+	// Time is the source's native timestamp of the sample.
+	Time time.Duration
+	// Chans holds per-channel power in watts; only the first
+	// len(Meta.Channels) entries are meaningful.
+	Chans [MaxChannels]float64
+	// Total is the summed power over all channels.
+	Total float64
+	// Marker flags a time-synced user marker (PowerSensor3 only).
+	Marker bool
+}
+
+// Meta describes a source: what kind of meter it is and how it samples.
+type Meta struct {
+	// Backend names the measurement backend: "powersensor3", "nvml",
+	// "amdsmi", "ina3221", "rapl".
+	Backend string
+	// RateHz is the native sample rate — the cadence Read batches arrive
+	// at, and the number consumers derive block sizes from.
+	RateHz float64
+	// Channels labels each measurement channel (e.g. "slot12",
+	// "pcie8pin" for a PowerSensor3 rig; "package" for RAPL). Its length
+	// is the channel count, at most MaxChannels.
+	Channels []string
+}
+
+// Source is a streaming measurement source on virtual time. Sources are
+// not safe for concurrent use; the fleet manager confines each to one
+// goroutine.
+type Source interface {
+	// Meta describes the backend. It is constant over the source's life.
+	Meta() Meta
+	// Now returns the source's virtual time.
+	Now() time.Duration
+	// Read advances the source by (at least) d of virtual time and
+	// returns the samples produced, oldest first. The returned slice is
+	// reused by the next Read; callers must consume it before calling
+	// again.
+	Read(d time.Duration) []Sample
+	// Joules returns the backend's cumulative energy counter, summed
+	// over channels — the PowerSensor3 host-library accumulator, or the
+	// vendor API's own energy counter integrated at its native rate.
+	Joules() float64
+	// Resyncs reports stream bytes skipped to regain protocol alignment;
+	// zero for software meters, which have no wire protocol.
+	Resyncs() int
+	// Close releases the backend.
+	Close()
+}

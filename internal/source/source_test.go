@@ -1,0 +1,152 @@
+package source
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/protocol"
+)
+
+// benchDriver is a minimal Driver: a bench-supply device with a constant
+// load and no workload beyond the supply itself.
+type benchDriver struct {
+	dev *device.Device
+	ps  *core.PowerSensor
+}
+
+func newBenchDriver(t *testing.T, amps float64) *benchDriver {
+	t.Helper()
+	dev := device.New(5, device.Slot{
+		Module: analog.NewModule(analog.Slot10A, 12),
+		Source: device.BenchSource{
+			Supply: &bench.Supply{Nominal: 12},
+			Load:   bench.ConstantLoad(amps),
+		},
+	})
+	ps, err := core.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &benchDriver{dev: dev, ps: ps}
+}
+
+func (d *benchDriver) Sensor() *core.PowerSensor { return d.ps }
+func (d *benchDriver) Now() time.Duration        { return d.dev.Now() }
+func (d *benchDriver) Advance(dt time.Duration)  { d.ps.Advance(dt) }
+func (d *benchDriver) Close()                    { d.ps.Close() }
+
+func TestSensorSourceBatches(t *testing.T) {
+	src := NewSensor(newBenchDriver(t, 2), []string{"slot12"})
+	defer src.Close()
+
+	meta := src.Meta()
+	if meta.Backend != "powersensor3" {
+		t.Errorf("backend = %q", meta.Backend)
+	}
+	if meta.RateHz != protocol.SampleRateHz {
+		t.Errorf("rate = %v, want %v", meta.RateHz, float64(protocol.SampleRateHz))
+	}
+	if len(meta.Channels) != 1 || meta.Channels[0] != "slot12" {
+		t.Errorf("channels = %v", meta.Channels)
+	}
+
+	// 10 ms at 20 kHz → ~200 samples in one batch.
+	batch := src.Read(10 * time.Millisecond)
+	if len(batch) < 150 || len(batch) > 210 {
+		t.Fatalf("batch of %d samples for 10ms at 20kHz", len(batch))
+	}
+	for i, s := range batch {
+		if s.Total <= 0 || s.Chans[0] != s.Total {
+			t.Fatalf("sample %d: total=%v chans=%v", i, s.Total, s.Chans)
+		}
+		if i > 0 && s.Time <= batch[i-1].Time {
+			t.Fatalf("sample %d: time not increasing", i)
+		}
+	}
+	if src.Joules() <= 0 {
+		t.Error("no energy accumulated")
+	}
+	if src.Resyncs() != 0 {
+		t.Errorf("resyncs = %d on a clean link", src.Resyncs())
+	}
+	if src.Now() < 10*time.Millisecond {
+		t.Errorf("Now = %v after 10ms Read", src.Now())
+	}
+}
+
+func TestSensorSourceDerivesChannelNames(t *testing.T) {
+	src := NewSensor(newBenchDriver(t, 1), nil)
+	defer src.Close()
+	if ch := src.Meta().Channels; len(ch) != 1 || ch[0] != "pair0" {
+		t.Fatalf("derived channels = %v", ch)
+	}
+}
+
+func TestPolledSourcePacing(t *testing.T) {
+	// A 10 Hz meter over a constant 100 W device with an exact energy
+	// counter.
+	var ticks []time.Duration
+	src := NewPolled(PolledConfig{
+		Meta:   Meta{Backend: "fake", RateHz: 10, Channels: []string{"board"}},
+		Tick:   func(t time.Duration) { ticks = append(ticks, t) },
+		Watts:  func(time.Duration) float64 { return 100 },
+		Joules: func(t time.Duration) float64 { return 100 * t.Seconds() },
+	})
+	defer src.Close()
+
+	// 1 s at 10 Hz → exactly 10 polls.
+	batch := src.Read(time.Second)
+	if len(batch) != 10 {
+		t.Fatalf("%d samples in 1s at 10Hz, want 10", len(batch))
+	}
+	for i, s := range batch {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if s.Time != want {
+			t.Errorf("sample %d at %v, want %v", i, s.Time, want)
+		}
+		if s.Total != 100 {
+			t.Errorf("sample %d: %v W", i, s.Total)
+		}
+	}
+	// Tick ran once at construction (t=0) and once per poll.
+	if len(ticks) != 11 {
+		t.Errorf("%d ticks, want 11", len(ticks))
+	}
+	if j := src.Joules(); j < 99 || j > 101 {
+		t.Errorf("joules = %v, want ~100", j)
+	}
+
+	// A sub-interval Read yields nothing but still advances time.
+	if got := src.Read(40 * time.Millisecond); len(got) != 0 {
+		t.Errorf("%d samples in 40ms at 10Hz", len(got))
+	}
+	if src.Now() != 1040*time.Millisecond {
+		t.Errorf("Now = %v", src.Now())
+	}
+	// The next pollable instant is not lost across short Reads.
+	if got := src.Read(60 * time.Millisecond); len(got) != 1 {
+		t.Errorf("%d samples after crossing the poll instant", len(got))
+	}
+}
+
+func TestPolledSourceWattsFromEnergy(t *testing.T) {
+	// No Watts function: power must come out of counter deltas.
+	src := NewPolled(PolledConfig{
+		Meta:   Meta{Backend: "rapl-like", RateHz: 1000, Channels: []string{"package"}},
+		Joules: func(t time.Duration) float64 { return 42 * t.Seconds() },
+	})
+	defer src.Close()
+	batch := src.Read(10 * time.Millisecond)
+	if len(batch) != 10 {
+		t.Fatalf("%d samples in 10ms at 1kHz", len(batch))
+	}
+	for i, s := range batch {
+		if s.Total < 41.9 || s.Total > 42.1 {
+			t.Errorf("sample %d: %v W, want ~42", i, s.Total)
+		}
+	}
+}

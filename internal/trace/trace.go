@@ -37,7 +37,7 @@ type Trace struct {
 // pending markers.
 func Capture(ps *core.PowerSensor, dur time.Duration) *Trace {
 	tr := &Trace{Pairs: ps.Pairs()}
-	ps.OnSample(func(s core.Sample) {
+	hook := ps.AttachSample(func(s core.Sample) {
 		p := Point{Time: s.DeviceTime}
 		for m := 0; m < tr.Pairs; m++ {
 			p.Watts = append(p.Watts, s.Watts[m])
@@ -48,7 +48,7 @@ func Capture(ps *core.PowerSensor, dur time.Duration) *Trace {
 		}
 		tr.Points = append(tr.Points, p)
 	})
-	defer ps.OnSample(nil)
+	defer ps.DetachSample(hook)
 	ps.Advance(dur)
 	return tr
 }
