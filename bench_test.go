@@ -248,26 +248,72 @@ func BenchmarkAblationSamplingRate(b *testing.B) {
 	}
 }
 
+// fleetSpec builds a dev00=kind,... spec of size stations cycling over
+// kinds.
+func fleetSpec(size int, kinds []string) string {
+	spec := ""
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			spec += ","
+		}
+		spec += fmt.Sprintf("dev%03d=%s", i, kinds[i%len(kinds)])
+	}
+	return spec
+}
+
+// BenchmarkFleetIngest measures steady-state fleet ingest end to end at
+// growing fleet sizes: every station is a synthetic 20 kHz source (no
+// simulated hardware behind it), so ns/op is the cost of the fleet layer
+// itself — batch fill, columnar fold, ring arena push, telemetry publish.
+// allocs/op must stay 0: the steady-state ingest path is allocation-free
+// by contract (see internal/fleet's AllocsPerRun regression tests).
+func BenchmarkFleetIngest(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			mgr, err := fleet.FromSpec(fleetSpec(size, []string{"synth"}), 1, fleet.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			mgr.StepAll(100 * time.Millisecond) // reach steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One default manager slice per op — the cadence the
+				// drive goroutines advance at in production.
+				mgr.StepAll(5 * time.Millisecond)
+			}
+			b.StopTimer()
+			// 100 samples per station per 5 ms slice at 20 kHz.
+			ingested := float64(size * 100)
+			perSample := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / ingested
+			b.ReportMetric(perSample, "ns/sample-station")
+			b.ReportMetric(ingested*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
 // BenchmarkFleetScrape measures the fleet telemetry hot path at growing
 // fleet sizes: ns/op is the latency of one full /metrics scrape, and the
 // custom metrics report how fast the fleet ingests native-rate samples.
-// The fleet is heterogeneous — PowerSensor3 rigs interleaved with polled
-// software meters — and scrape latency should grow only linearly in
-// stations (flat per station), since a scrape touches per-station
-// counters and one ring point — never the raw sample stream.
+// The small sizes run the heterogeneous fleet — PowerSensor3 rigs
+// interleaved with polled software meters; the large sizes use synthetic
+// stations so hundreds of them build instantly. Scrape latency should
+// grow only linearly in stations (flat per station), since a scrape
+// touches per-station counters — never a device ingest mutex, and never
+// the raw sample stream.
 func BenchmarkFleetScrape(b *testing.B) {
-	kinds := []string{"rtx4000ada", "jetson", "ssd", "w7700",
+	mixed := []string{"rtx4000ada", "jetson", "ssd", "w7700",
 		"nvml", "rapl", "amdsmi", "jetson-ina"}
-	for _, size := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
-			spec := ""
-			for i := 0; i < size; i++ {
-				if i > 0 {
-					spec += ","
-				}
-				spec += fmt.Sprintf("dev%02d=%s", i, kinds[i%len(kinds)])
-			}
-			mgr, err := fleet.FromSpec(spec, 1, fleet.Config{})
+	for _, bc := range []struct {
+		size  int
+		kinds []string
+	}{
+		{1, mixed}, {4, mixed}, {16, mixed},
+		{64, []string{"synth"}}, {256, []string{"synth"}},
+	} {
+		b.Run(fmt.Sprintf("size-%d", bc.size), func(b *testing.B) {
+			mgr, err := fleet.FromSpec(fleetSpec(bc.size, bc.kinds), 1, fleet.Config{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -284,10 +330,11 @@ func BenchmarkFleetScrape(b *testing.B) {
 				ingested += st.Samples
 			}
 			b.ReportMetric(float64(ingested)/elapsed, "samples/s")
-			b.ReportMetric(float64(ingested)/float64(size), "samples/station")
+			b.ReportMetric(float64(ingested)/float64(bc.size), "samples/station")
 
 			handler := export.New(mgr).Handler()
 			req := httptest.NewRequest("GET", "/metrics", nil)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rec := httptest.NewRecorder()
@@ -296,7 +343,7 @@ func BenchmarkFleetScrape(b *testing.B) {
 					b.Fatalf("scrape status %d", rec.Code)
 				}
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size),
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(bc.size),
 				"ns/station")
 		})
 	}

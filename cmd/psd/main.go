@@ -18,7 +18,9 @@
 //	-fleet   comma-separated name=kind stations. PowerSensor3-rig kinds:
 //	         rtx4000ada, w7700, jetson, ssd (20 kHz). Software-meter
 //	         kinds: nvml (~10 Hz), amdsmi (~1 kHz), jetson-ina (~10 Hz,
-//	         the board's INA3221), rapl (~1 kHz energy counter). Default:
+//	         the board's INA3221), rapl (~1 kHz energy counter). synth is
+//	         a pure-software 20 kHz waveform station — hundreds build
+//	         instantly, for fleet-scale load tests. Default:
 //	         "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd,
 //	         gpu0sw=nvml,cpu0=rapl" — a mixed fleet.
 //	-seed    base simulation seed; each station derives its own

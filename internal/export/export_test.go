@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -289,4 +291,85 @@ func TestScrapeWhileRunning(t *testing.T) {
 			t.Fatalf("trace %d: status %d", i, code)
 		}
 	}
+}
+
+// TestScrapeUnderIngestLoad hammers /metrics from several goroutines
+// while StepAll drives the whole fleet as fast as the host allows, and
+// asserts every response stays well-formed — sample lines parse, the
+// comment skeleton is complete, and per-station counters only move
+// forward. This is the lock-decoupling regression test: a scrape
+// assembled from the atomically published telemetry can interleave with
+// ingest at any point and must never observe a torn exposition.
+func TestScrapeUnderIngestLoad(t *testing.T) {
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,cpu0=rapl,s0=synth,s1=synth", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(100 * time.Millisecond)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var steps sync.WaitGroup
+	steps.Add(1)
+	go func() {
+		defer steps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				mgr.StepAll(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	sample := regexp.MustCompile(`^[a-z_]+(\{[a-z_]+="[^"]*"(,[a-z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?(e[+-][0-9]+)?$`)
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var lastSamples uint64
+			for i := 0; i < 25; i++ {
+				code, body := get(t, srv.URL+"/metrics")
+				if code != http.StatusOK {
+					t.Errorf("scrape under load: status %d", code)
+					return
+				}
+				comments := 0
+				for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+					if strings.HasPrefix(line, "# ") {
+						comments++
+						continue
+					}
+					if !sample.MatchString(line) {
+						t.Errorf("malformed sample line under load: %q", line)
+						return
+					}
+				}
+				// 12 families × (HELP + TYPE).
+				if comments != 24 {
+					t.Errorf("scrape under load has %d comment lines, want 24", comments)
+					return
+				}
+				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
+					FindStringSubmatch(body)
+				if m == nil {
+					t.Error("scrape under load lost s0's samples counter")
+					return
+				}
+				n, err := strconv.ParseUint(m[1], 10, 64)
+				if err != nil || n < lastSamples {
+					t.Errorf("samples counter went backwards under load: %s after %d", m[1], lastSamples)
+					return
+				}
+				lastSamples = n
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	steps.Wait()
 }

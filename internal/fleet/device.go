@@ -3,10 +3,10 @@ package fleet
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/source"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -22,6 +22,8 @@ type Status struct {
 	RateHz float64 `json:"rate_hz"`
 	// Channels labels the station's measurement channels (sensor pairs
 	// on a PowerSensor3 rig, the single counter of a software meter).
+	// The slice is the caller's own copy — mutating it cannot affect the
+	// device or other snapshots.
 	Channels []string `json:"channels"`
 	// Pairs is the number of measurement channels.
 	Pairs int `json:"pairs"`
@@ -53,34 +55,78 @@ type Status struct {
 	RingTotal uint64 `json:"ring_total"`
 }
 
+// pub is the device's published telemetry: one atomic cell per Status
+// field that changes while the fleet runs. The ingest goroutine refreshes
+// the cells at block boundaries and at the end of every step, and readers
+// assemble a Status from plain atomic loads — so Status()/Snapshot()
+// never touch the ingest mutex, and a stalled scraper can never stall a
+// 20 kHz station.
+//
+// Per-field atomics (rather than an atomically swapped snapshot struct)
+// keep the refresh allocation-free: republishing a fresh snapshot object
+// per block would put one heap allocation on the steady-state ingest
+// path. The price is that a reader may observe fields from two adjacent
+// blocks; each field is itself always a complete, valid value, which is
+// all a telemetry scrape needs.
+type pub struct {
+	samples   atomic.Uint64
+	dropped   atomic.Uint64
+	nowNanos  atomic.Int64
+	joules    atomic.Uint64 // math.Float64bits
+	resyncs   atomic.Int64
+	watts     atomic.Uint64 // math.Float64bits
+	pair      [source.MaxChannels]atomic.Uint64
+	ringLen   atomic.Int64
+	ringTotal atomic.Uint64
+}
+
 // Device is one managed station: a streaming measurement source plus the
 // fleet's ingest state. All source access is serialised by mu; the
-// manager's per-device goroutine holds it while advancing virtual time,
-// and snapshot/subscribe calls hold it briefly from other goroutines.
+// manager's per-device goroutine holds it while advancing virtual time.
+// Snapshots never take mu — they read the atomically published telemetry
+// cells instead — so scraping a fleet of hundreds of stations cannot
+// block any station's ingest.
 type Device struct {
 	name string
 	kind string
-	meta source.Meta
+	meta source.Meta // Channels is the device's own immutable copy
 	ring *Ring
 
 	mu      sync.Mutex
 	src     source.Source
-	block   int // samples per ring point, derived from the native rate
+	batch   source.Batch // reused columnar buffer ReadInto fills each step
+	block   int          // samples per ring point, derived from the native rate
 	chans   int
 	baseJ   float64 // cumulative joules at adoption, subtracted from Status
 	samples uint64
 	dropped uint64
 	closed  bool
 
-	// in-flight downsample block, maintained by ingest: the summed power
-	// is buffered (Summarize needs the block for min/max), per-channel
-	// power only needs running sums for the block mean.
-	accTotal []float64 // summed power per sample
-	pairSums []float64 // running per-channel power sums
-	accTime  time.Duration
+	// In-flight downsample block: running sum/min/max of the summed power
+	// plus per-channel running sums — fixed-size accumulators, so folding
+	// a block performs no appends and no allocations.
+	accN                   int
+	accSum, accMin, accMax float64
+	pairSums               [source.MaxChannels]float64
+	scratch                [source.MaxChannels]float64 // latest block's per-channel means
+	accMean                float64                     // latest block's summed-power mean
+	emitted                bool                        // block completed since last publish
+	ringTotal              uint64
+
+	// Completed-point staging: blocks finished within one step collect
+	// here and reach the ring in a single PushN, one lock round-trip per
+	// step instead of one per block.
+	pendN     int
+	pendTime  [pendCap]time.Duration
+	pendTotal [pendCap]float64
+	pendMin   [pendCap]float64
+	pendMax   [pendCap]float64
+	pendWatts [pendCap * source.MaxChannels]float64
 
 	subs   map[int]chan Point
 	nextID int
+
+	pub pub
 }
 
 // newDevice adopts src. pointPeriod is the target time width of one ring
@@ -89,6 +135,9 @@ type Device struct {
 // while a 10 Hz software meter contributes every sample it has.
 func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, ringCap int) *Device {
 	meta := src.Meta()
+	// The device keeps its own copy of the channel labels: neither the
+	// source nor any Status consumer can mutate it from under the fleet.
+	meta.Channels = append([]string(nil), meta.Channels...)
 	block := int(math.Round(meta.RateHz * pointPeriod.Seconds()))
 	if block < 1 {
 		block = 1
@@ -101,10 +150,11 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		block: block,
 		chans: len(meta.Channels),
 		baseJ: src.Joules(),
-		ring:  NewRing(ringCap),
 		subs:  make(map[int]chan Point),
 	}
-	d.pairSums = make([]float64, d.chans)
+	d.ring = NewRing(ringCap, d.chans)
+	d.pub.nowNanos.Store(int64(src.Now()))
+	d.pub.resyncs.Store(int64(src.Resyncs()))
 	return d
 }
 
@@ -120,81 +170,267 @@ func (d *Device) Meta() source.Meta { return d.meta }
 // Ring returns the station's downsampled ring buffer.
 func (d *Device) Ring() *Ring { return d.ring }
 
-// ingest folds one native-rate sample into the in-flight downsample block
-// and emits a ring point every block samples. Called with d.mu held (via
-// step).
-func (d *Device) ingest(s source.Sample) {
-	d.samples++
-	for m := 0; m < d.chans; m++ {
-		d.pairSums[m] += s.Chans[m]
-	}
-	d.accTotal = append(d.accTotal, s.Total)
-	d.accTime = s.Time
-	if len(d.accTotal) < d.block {
+// ingestBatch folds a columnar batch into the in-flight downsample block,
+// emitting a ring point at every block boundary. It walks each column in
+// boundary-bounded runs — no per-sample dispatch, no appends, no
+// allocations — with the reduction loops two-way unrolled into
+// independent accumulators so they are not serialised on a single
+// floating-point add chain. Called with d.mu held (via step).
+func (d *Device) ingestBatch(b *source.Batch) {
+	n := b.Len()
+	if n == 0 {
 		return
 	}
-	sum := stats.Summarize(d.accTotal)
-	p := Point{
-		Time:  d.accTime,
-		Watts: make([]float64, d.chans),
-		Total: sum.Mean,
-		Min:   sum.Min,
-		Max:   sum.Max,
-	}
-	for m := 0; m < d.chans; m++ {
-		p.Watts[m] = d.pairSums[m] / float64(len(d.accTotal))
-		d.pairSums[m] = 0
-	}
-	d.accTotal = d.accTotal[:0]
-	d.ring.Push(p)
-	for _, ch := range d.subs {
-		select {
-		case ch <- p:
+	d.samples += uint64(n)
+	totals := b.Total
+	times := b.Time
+	chans := b.Chans
+	stride := d.chans
+	for i := 0; i < n; {
+		run := d.block - d.accN
+		if rem := n - i; rem < run {
+			run = rem
+		}
+		// Summed-power column: running sum and block min/max.
+		seg := totals[i : i+run]
+		lo, hi := d.accMin, d.accMax
+		if d.accN == 0 {
+			lo, hi = seg[0], seg[0]
+		}
+		var sumA, sumB float64
+		j := 0
+		for ; j+1 < len(seg); j += 2 {
+			a, b2 := seg[j], seg[j+1]
+			sumA += a
+			sumB += b2
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+			if b2 < lo {
+				lo = b2
+			}
+			if b2 > hi {
+				hi = b2
+			}
+		}
+		if j < len(seg) {
+			a := seg[j]
+			sumA += a
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		d.accSum += sumA + sumB
+		d.accMin, d.accMax = lo, hi
+		// Per-channel columns: running sums, with the common strides
+		// specialised so the inner loop carries no bounds rechecks.
+		switch stride {
+		case 1:
+			row := chans[i : i+run]
+			var s0, s1 float64
+			j := 0
+			for ; j+1 < len(row); j += 2 {
+				s0 += row[j]
+				s1 += row[j+1]
+			}
+			if j < len(row) {
+				s0 += row[j]
+			}
+			d.pairSums[0] += s0 + s1
+		case 3:
+			row := chans[i*3 : (i+run)*3]
+			var s0, s1, s2, t0, t1, t2 float64
+			j := 0
+			for ; j+5 < len(row); j += 6 {
+				s0 += row[j]
+				s1 += row[j+1]
+				s2 += row[j+2]
+				t0 += row[j+3]
+				t1 += row[j+4]
+				t2 += row[j+5]
+			}
+			if j < len(row) {
+				s0 += row[j]
+				s1 += row[j+1]
+				s2 += row[j+2]
+			}
+			d.pairSums[0] += s0 + t0
+			d.pairSums[1] += s1 + t1
+			d.pairSums[2] += s2 + t2
 		default:
-			d.dropped++
+			for j := i; j < i+run; j++ {
+				row := chans[j*stride : j*stride+stride]
+				for m, w := range row {
+					d.pairSums[m] += w
+				}
+			}
+		}
+		d.accN += run
+		i += run
+		if d.accN == d.block {
+			d.emit(times[i-1])
 		}
 	}
 }
 
+// pendCap bounds the completed points staged between ring flushes: the
+// default config completes five blocks per step, so one flush per step
+// is the steady state and long catch-up steps flush every pendCap blocks.
+const pendCap = 8
+
+// emit closes the in-flight block: its means go to the staging area (and
+// to scratch, for publication at the end of the step), reaching the ring
+// in batched PushN flushes. Nothing here allocates or locks; fan-out to
+// subscribers happens at flush. Publication of the block averages is
+// likewise deferred to the end of the step — atomic stores are
+// sequentially-consistent exchanges on most architectures, too expensive
+// to pay per block when one refresh per step gives readers the same
+// freshness.
+func (d *Device) emit(t time.Duration) {
+	inv := 1 / float64(d.accN)
+	mean := d.accSum * inv
+	w := d.pendWatts[d.pendN*d.chans : (d.pendN+1)*d.chans]
+	for m := 0; m < d.chans; m++ {
+		mw := d.pairSums[m] * inv
+		w[m] = mw
+		d.scratch[m] = mw
+		d.pairSums[m] = 0
+	}
+	d.pendTime[d.pendN] = t
+	d.pendTotal[d.pendN] = mean
+	d.pendMin[d.pendN] = d.accMin
+	d.pendMax[d.pendN] = d.accMax
+	d.pendN++
+	d.accMean = mean
+	d.emitted = true
+	if d.pendN == pendCap {
+		d.flush()
+	}
+	d.accN = 0
+	d.accSum = 0
+}
+
+// flush moves the staged points into the ring under one lock acquisition
+// and fans them out to subscribers. Fan-out is the only allocating path
+// left in ingest, and only when subscribers are attached: each delivered
+// point needs its own Watts copy, since ring slots and the staging area
+// are both recycled. Called with d.mu held, at staging capacity and at
+// the end of every step.
+func (d *Device) flush() {
+	if d.pendN == 0 {
+		return
+	}
+	n := d.pendN
+	d.ring.PushN(d.pendTime[:n], d.pendWatts[:n*d.chans],
+		d.pendTotal[:n], d.pendMin[:n], d.pendMax[:n])
+	d.ringTotal += uint64(n)
+	if len(d.subs) > 0 {
+		for i := 0; i < n; i++ {
+			watts := make([]float64, d.chans)
+			copy(watts, d.pendWatts[i*d.chans:(i+1)*d.chans])
+			p := Point{Time: d.pendTime[i], Watts: watts,
+				Total: d.pendTotal[i], Min: d.pendMin[i], Max: d.pendMax[i]}
+			for _, ch := range d.subs {
+				select {
+				case ch <- p:
+				default:
+					d.dropped++
+				}
+			}
+		}
+	}
+	d.pendN = 0
+}
+
+// publish refreshes the atomically published telemetry from the ingest
+// state: once per step, plus per-block values only when a block completed
+// since the last refresh. Rarely-changing cells are compared before being
+// stored, trading a cheap atomic load for the full exchange. Called with
+// d.mu held.
+func (d *Device) publish() {
+	d.pub.samples.Store(d.samples)
+	d.pub.nowNanos.Store(int64(d.src.Now()))
+	d.pub.joules.Store(math.Float64bits(d.src.Joules() - d.baseJ))
+	if r := int64(d.src.Resyncs()); d.pub.resyncs.Load() != r {
+		d.pub.resyncs.Store(r)
+	}
+	if d.pub.dropped.Load() != d.dropped {
+		d.pub.dropped.Store(d.dropped)
+	}
+	if !d.emitted {
+		return
+	}
+	d.emitted = false
+	d.pub.watts.Store(math.Float64bits(d.accMean))
+	for m := 0; m < d.chans; m++ {
+		d.pub.pair[m].Store(math.Float64bits(d.scratch[m]))
+	}
+	d.pub.ringTotal.Store(d.ringTotal)
+	held := d.ringTotal
+	if c := uint64(d.ring.Cap()); held > c {
+		held = c
+	}
+	d.pub.ringLen.Store(int64(held))
+}
+
 // step advances the station by dt of virtual time, ingesting the batch
-// the source produced over it.
+// the source produced over it and refreshing the published telemetry.
 func (d *Device) step(dt time.Duration) {
 	d.mu.Lock()
 	if !d.closed {
-		for _, s := range d.src.Read(dt) {
-			d.ingest(s)
-		}
+		d.src.ReadInto(dt, &d.batch)
+		d.ingestBatch(&d.batch)
+		d.flush()
+		d.publish()
 	}
 	d.mu.Unlock()
 }
 
-// Status returns a consistent snapshot of the station.
+// Status returns a snapshot of the station assembled from the published
+// telemetry cells. It never takes the ingest mutex, so it cannot stall —
+// or be stalled by — a station advancing at 20 kHz; values are at most
+// one manager slice (and one downsample block) behind the ingest
+// goroutine. After the fleet closes a station, the last published values
+// remain readable.
 func (d *Device) Status() Status {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := Status{
+	var out Status
+	d.StatusInto(&out)
+	return out
+}
+
+// StatusInto fills st like Status, reusing the capacity of st's
+// PairWatts and Channels slices — the allocation-free form for scrapers
+// that snapshot whole fleets at a fixed cadence. The filled slices remain
+// the caller's own copies.
+func (d *Device) StatusInto(st *Status) {
+	pairWatts := st.PairWatts[:0]
+	channels := st.Channels[:0]
+	*st = Status{
 		Name:      d.name,
 		Kind:      d.kind,
 		Backend:   d.meta.Backend,
 		RateHz:    d.meta.RateHz,
-		Channels:  d.meta.Channels,
 		Pairs:     d.chans,
-		PairWatts: make([]float64, d.chans),
-		Samples:   d.samples,
-		Dropped:   d.dropped,
-		RingLen:   d.ring.Len(),
-		RingTotal: d.ring.Total(),
+		Now:       time.Duration(d.pub.nowNanos.Load()),
+		Watts:     math.Float64frombits(d.pub.watts.Load()),
+		Joules:    math.Float64frombits(d.pub.joules.Load()),
+		Samples:   d.pub.samples.Load(),
+		Resyncs:   int(d.pub.resyncs.Load()),
+		Dropped:   d.pub.dropped.Load(),
+		RingLen:   int(d.pub.ringLen.Load()),
+		RingTotal: d.pub.ringTotal.Load(),
 	}
-	if !d.closed {
-		out.Now = d.src.Now()
-		out.Joules = d.src.Joules() - d.baseJ
-		out.Resyncs = d.src.Resyncs()
+	for m := 0; m < d.chans; m++ {
+		pairWatts = append(pairWatts, math.Float64frombits(d.pub.pair[m].Load()))
 	}
-	if last := d.ring.Snapshot(1); len(last) == 1 {
-		copy(out.PairWatts, last[0].Watts)
-		out.Watts = last[0].Total
-	}
-	return out
+	st.PairWatts = pairWatts
+	st.Channels = append(channels, d.meta.Channels...)
 }
 
 // Subscribe registers a fan-out channel carrying every future ring point.
@@ -202,8 +438,9 @@ func (d *Device) Status() Status {
 // dropped (counted in Status.Dropped) rather than stalling ingest. The
 // returned cancel function unregisters and closes the channel. Subscribing
 // to a closed device returns an already-closed channel. Received Points
-// share their Watts slice with the ring and other subscribers — treat it
-// as read-only.
+// are the subscribers' own: every fan-out point carries a fresh Watts
+// copy (ring slots are recycled in place and cannot be shared out), shared
+// only among the subscribers of that same point — treat it as read-only.
 func (d *Device) Subscribe(buffer int) (<-chan Point, func()) {
 	if buffer < 1 {
 		buffer = 1
@@ -236,10 +473,13 @@ func (d *Device) Subscribe(buffer int) (<-chan Point, func()) {
 func (d *Device) Trace(max int) *trace.Trace {
 	pts := d.ring.Snapshot(max)
 	tr := &trace.Trace{Pairs: d.chans}
+	tr.Points = make([]trace.Point, 0, len(pts))
 	for _, p := range pts {
+		// Snapshot points are deep copies, so the trace may keep their
+		// Watts rows without re-copying.
 		tr.Points = append(tr.Points, trace.Point{
 			Time:   p.Time,
-			Watts:  append([]float64(nil), p.Watts...),
+			Watts:  p.Watts,
 			TotalW: p.Total,
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -56,12 +57,18 @@ func (c Config) withDefaults() Config {
 // Manager owns a fleet of named stations and drives each in its own
 // goroutine. Construction (Add) must finish before Start; snapshots,
 // subscriptions and traces are safe at any time from any goroutine.
+//
+// The device list is published copy-on-write through an atomic pointer,
+// kept sorted by name: Add (rare, before Start) builds a fresh sorted
+// slice, while the hot readers — StepAll, Snapshot, the drive goroutines
+// — load the current list with no lock and no per-call copy, and
+// Snapshot inherits the sorted order instead of re-sorting per scrape.
 type Manager struct {
 	cfg     Config
-	devices []*Device
-	byName  map[string]*Device
+	devices atomic.Pointer[[]*Device] // sorted by name, copy-on-write
 
 	mu      sync.Mutex
+	byName  map[string]*Device
 	stop    chan struct{}
 	wg      *sync.WaitGroup // per-run, so Stop only waits for its own drivers
 	started bool
@@ -69,7 +76,9 @@ type Manager struct {
 
 // NewManager returns an empty manager.
 func NewManager(cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), byName: make(map[string]*Device)}
+	m := &Manager{cfg: cfg.withDefaults(), byName: make(map[string]*Device)}
+	m.devices.Store(new([]*Device))
+	return m
 }
 
 // FromSpec builds a manager holding the fleet described by spec (see
@@ -95,6 +104,12 @@ func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
 	return m, nil
 }
 
+// list returns the current published device slice: sorted by name and
+// immutable — Add replaces the whole slice instead of appending in place.
+func (m *Manager) list() []*Device {
+	return *m.devices.Load()
+}
+
 // Add adopts a measurement source as a named station. It must not be
 // called after Start.
 func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
@@ -107,7 +122,13 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 		return nil, fmt.Errorf("fleet: duplicate station %q", name)
 	}
 	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.RingCap)
-	m.devices = append(m.devices, d)
+	old := m.list()
+	at := sort.Search(len(old), func(i int) bool { return old[i].name > name })
+	next := make([]*Device, 0, len(old)+1)
+	next = append(next, old[:at]...)
+	next = append(next, d)
+	next = append(next, old[at:]...)
+	m.devices.Store(&next)
 	m.byName[name] = d
 	return d, nil
 }
@@ -121,21 +142,17 @@ func (m *Manager) Device(name string) *Device {
 
 // Names returns the station names in sorted order.
 func (m *Manager) Names() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	names := make([]string, 0, len(m.devices))
-	for _, d := range m.devices {
+	devices := m.list()
+	names := make([]string, 0, len(devices))
+	for _, d := range devices {
 		names = append(names, d.name)
 	}
-	sort.Strings(names)
 	return names
 }
 
 // Size returns the number of stations.
 func (m *Manager) Size() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.devices)
+	return len(m.list())
 }
 
 // Start launches one goroutine per station, each repeatedly advancing its
@@ -150,7 +167,7 @@ func (m *Manager) Start() {
 	m.started = true
 	m.stop = make(chan struct{})
 	m.wg = &sync.WaitGroup{}
-	for _, d := range m.devices {
+	for _, d := range m.list() {
 		m.wg.Add(1)
 		go m.drive(d, m.stop, m.wg)
 	}
@@ -212,34 +229,40 @@ func (m *Manager) Stop() {
 // one-shot tools. Safe to call while Started (steps interleave with the
 // drive goroutines), though deterministic only when stopped.
 func (m *Manager) StepAll(d time.Duration) {
-	m.mu.Lock()
-	devices := append([]*Device(nil), m.devices...)
-	m.mu.Unlock()
-	for _, dev := range devices {
+	for _, dev := range m.list() {
 		dev.step(d)
 	}
 }
 
-// Snapshot returns the status of every station, sorted by name.
+// Snapshot returns the status of every station, sorted by name. It takes
+// no manager lock and no device ingest mutex — each status is assembled
+// from the device's atomically published telemetry — so snapshotting a
+// 256-station fleet cannot stall (or be stalled by) any station's ingest.
 func (m *Manager) Snapshot() []Status {
-	m.mu.Lock()
-	devices := append([]*Device(nil), m.devices...)
-	m.mu.Unlock()
-	out := make([]Status, 0, len(devices))
-	for _, d := range devices {
-		out = append(out, d.Status())
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot appending into dst — reusing dst's capacity
+// and, for recycled entries, the capacity of their PairWatts and Channels
+// slices. Scrapers that snapshot a large fleet at a fixed cadence pass
+// the previous scrape's slice (re-sliced to length zero) to make the
+// whole snapshot allocation-free in steady state.
+func (m *Manager) SnapshotInto(dst []Status) []Status {
+	for _, d := range m.list() {
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, Status{})
+		}
+		d.StatusInto(&dst[len(dst)-1])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return dst
 }
 
 // Close stops the fleet and releases every station's sensor.
 func (m *Manager) Close() {
 	m.Stop()
-	m.mu.Lock()
-	devices := append([]*Device(nil), m.devices...)
-	m.mu.Unlock()
-	for _, d := range devices {
+	for _, d := range m.list() {
 		d.close()
 	}
 }

@@ -3,15 +3,18 @@
 //
 // A Manager owns N named stations (assembled by internal/simsetup),
 // advances each in its own goroutine on its virtual-time clock, and
-// ingests every station's sample stream in batches through the
+// ingests every station's sample stream in columnar batches through the
 // internal/source layer — so heterogeneous backends coexist in one fleet:
 // 20 kHz PowerSensor3 rigs next to 10 Hz NVML counters and 1 kHz RAPL
 // meters. Samples are downsampled on the fly into fixed-capacity ring
 // buffers (one per station), with block sizes derived from each source's
 // native rate so ring points cover comparable time windows, and fanned
 // out to subscribers; per-station health counters (stream resyncs,
-// dropped fan-out points) make a running fleet observable.
-// internal/export serves the manager over HTTP.
+// dropped fan-out points) make a running fleet observable. The ingest
+// path is allocation-free in steady state: batches reuse caller-owned
+// columns, block accumulators are fixed-size, and ring points write into
+// a preallocated flat arena. internal/export serves the manager over
+// HTTP.
 package fleet
 
 import (
@@ -35,38 +38,93 @@ type Point struct {
 }
 
 // Ring is a fixed-capacity overwrite-oldest buffer of Points with one
-// writer and any number of readers. The lock is held only to copy a single
-// Point in or a bounded batch out, so ingest stays cheap: the 20 kHz path
-// touches the ring once per downsample block, not once per sample.
+// writer and any number of readers. Every point's Watts row lives in one
+// flat float64 arena preallocated at construction, so pushing a point
+// copies a few floats into a recycled slot and never allocates — the
+// 20 kHz ingest path touches the ring once per downsample block, holding
+// the lock only to copy a single point in or a bounded batch out.
+//
+// Because slots are recycled on wraparound, readers never receive views
+// into the arena: Snapshot deep-copies the points it returns.
 type Ring struct {
 	mu    sync.Mutex
-	buf   []Point
+	buf   []Point   // len == capacity; Watts pre-bound to arena slots
+	arena []float64 // capacity × chans flat backing for every Watts row
+	chans int
+	n     int    // points currently held
 	next  int    // buf index the next push writes
 	total uint64 // points ever pushed
 }
 
-// NewRing returns a ring holding the last capacity points. It panics if
-// capacity is not positive.
-func NewRing(capacity int) *Ring {
+// NewRing returns a ring holding the last capacity points of chans
+// channels each. It panics if capacity is not positive or chans is
+// negative.
+func NewRing(capacity, chans int) *Ring {
 	if capacity <= 0 {
 		panic("fleet: NewRing with non-positive capacity")
 	}
-	return &Ring{buf: make([]Point, 0, capacity)}
+	if chans < 0 {
+		panic("fleet: NewRing with negative channel count")
+	}
+	r := &Ring{
+		buf:   make([]Point, capacity),
+		arena: make([]float64, capacity*chans),
+		chans: chans,
+	}
+	for i := range r.buf {
+		r.buf[i].Watts = r.arena[i*chans : (i+1)*chans : (i+1)*chans]
+	}
+	return r
 }
 
 // Cap returns the ring's fixed capacity.
-func (r *Ring) Cap() int { return cap(r.buf) }
+func (r *Ring) Cap() int { return len(r.buf) }
 
-// Push appends p, evicting the oldest point once the ring is full.
-func (r *Ring) Push(p Point) {
+// Chans returns the per-point channel count.
+func (r *Ring) Chans() int { return r.chans }
+
+// Push records one downsampled point, evicting the oldest once the ring
+// is full. watts must hold the per-channel block averages (exactly the
+// ring's channel count); it is copied into the point's arena slot, so the
+// caller may reuse its buffer. Push never allocates.
+func (r *Ring) Push(t time.Duration, watts []float64, total, min, max float64) {
 	r.mu.Lock()
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, p)
-	} else {
-		r.buf[r.next] = p
+	p := &r.buf[r.next]
+	p.Time, p.Total, p.Min, p.Max = t, total, min, max
+	copy(p.Watts, watts)
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
 	}
-	r.next = (r.next + 1) % cap(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
 	r.total++
+	r.mu.Unlock()
+}
+
+// PushN records k consecutive downsampled points under one lock
+// acquisition — the ingest path collects the blocks completed within one
+// step and pushes them together, instead of paying a lock round-trip per
+// block. watts is sample-major with the ring's channel stride (point i's
+// row is watts[i*chans:(i+1)*chans]); times, totals, mins and maxs hold
+// one entry per point. Like Push, PushN copies everything and never
+// allocates.
+func (r *Ring) PushN(times []time.Duration, watts []float64, totals, mins, maxs []float64) {
+	r.mu.Lock()
+	for i, t := range times {
+		p := &r.buf[r.next]
+		p.Time, p.Total, p.Min, p.Max = t, totals[i], mins[i], maxs[i]
+		copy(p.Watts, watts[i*r.chans:(i+1)*r.chans])
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+		if r.n < len(r.buf) {
+			r.n++
+		}
+	}
+	r.total += uint64(len(times))
 	r.mu.Unlock()
 }
 
@@ -74,7 +132,7 @@ func (r *Ring) Push(p Point) {
 func (r *Ring) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.buf)
+	return r.n
 }
 
 // Total returns the number of points ever pushed; Total − Len is how many
@@ -86,15 +144,14 @@ func (r *Ring) Total() uint64 {
 }
 
 // Snapshot returns up to max of the most recent points, oldest first. A
-// non-positive max returns everything held. The returned slice is the
-// caller's to keep across further pushes, but each Point's Watts slice is
-// shared with every other reader of the same point — ring snapshots and
-// subscriber fan-out — and must be treated as read-only (Device.Trace
-// deep-copies it before handing points outside the package).
+// non-positive max returns everything held. The returned points are deep
+// copies — their Watts rows are freshly backed, never views into the
+// ring's recycled arena — so the caller owns them outright across any
+// number of further pushes.
 func (r *Ring) Snapshot(max int) []Point {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := len(r.buf)
+	n := r.n
 	if max > 0 && max < n {
 		n = max
 	}
@@ -102,15 +159,19 @@ func (r *Ring) Snapshot(max int) []Point {
 		return nil
 	}
 	out := make([]Point, n)
+	watts := make([]float64, n*r.chans)
 	// Oldest-first order starts at r.next when full, at 0 while filling.
 	start := 0
-	if len(r.buf) == cap(r.buf) {
+	if r.n == len(r.buf) {
 		start = r.next
 	}
-	// Skip (len-n) oldest entries when a cap was requested.
-	start = (start + len(r.buf) - n) % len(r.buf)
+	// Skip (held-n) oldest entries when a cap was requested.
+	start = (start + r.n - n) % len(r.buf)
 	for i := 0; i < n; i++ {
-		out[i] = r.buf[(start+i)%len(r.buf)]
+		src := &r.buf[(start+i)%len(r.buf)]
+		out[i] = *src
+		out[i].Watts = watts[i*r.chans : (i+1)*r.chans : (i+1)*r.chans]
+		copy(out[i].Watts, src.Watts)
 	}
 	return out
 }

@@ -6,19 +6,20 @@ import (
 	"time"
 )
 
-func pt(i int) Point {
-	return Point{Time: time.Duration(i) * time.Millisecond, Total: float64(i)}
+func push(r *Ring, i int) {
+	w := float64(i)
+	r.Push(time.Duration(i)*time.Millisecond, []float64{w, w + 0.5}, w, w-1, w+1)
 }
 
 func TestRingFillAndWraparound(t *testing.T) {
-	r := NewRing(4)
+	r := NewRing(4, 2)
 	if got := r.Snapshot(0); got != nil {
 		t.Fatalf("empty ring snapshot = %v, want nil", got)
 	}
 
 	// Partially filled: order is insertion order.
-	r.Push(pt(0))
-	r.Push(pt(1))
+	push(r, 0)
+	push(r, 1)
 	if r.Len() != 2 || r.Total() != 2 {
 		t.Fatalf("Len=%d Total=%d, want 2, 2", r.Len(), r.Total())
 	}
@@ -27,17 +28,22 @@ func TestRingFillAndWraparound(t *testing.T) {
 		t.Fatalf("partial snapshot = %v", snap)
 	}
 
-	// Overfill: the oldest entries are evicted, order stays oldest-first.
+	// Overfill: the oldest entries are evicted, order stays oldest-first,
+	// and the per-channel rows travel with their points.
 	for i := 2; i < 10; i++ {
-		r.Push(pt(i))
+		push(r, i)
 	}
 	if r.Len() != 4 || r.Total() != 10 {
 		t.Fatalf("after wrap Len=%d Total=%d, want 4, 10", r.Len(), r.Total())
 	}
 	snap = r.Snapshot(0)
 	for i, p := range snap {
-		if want := float64(6 + i); p.Total != want {
-			t.Fatalf("snapshot[%d].Total = %v, want %v (full: %v)", i, p.Total, want, snap)
+		want := float64(6 + i)
+		if p.Total != want || p.Min != want-1 || p.Max != want+1 {
+			t.Fatalf("snapshot[%d] = %+v, want total %v (full: %v)", i, p, want, snap)
+		}
+		if len(p.Watts) != 2 || p.Watts[0] != want || p.Watts[1] != want+0.5 {
+			t.Fatalf("snapshot[%d].Watts = %v, want [%v %v]", i, p.Watts, want, want+0.5)
 		}
 	}
 
@@ -52,24 +58,66 @@ func TestRingFillAndWraparound(t *testing.T) {
 	}
 }
 
+// TestRingSnapshotOwnsWatts pins the arena contract: snapshots are deep
+// copies, so later pushes recycling the same arena slots must not show
+// through points a reader already holds.
+func TestRingSnapshotOwnsWatts(t *testing.T) {
+	r := NewRing(3, 1)
+	for i := 0; i < 3; i++ {
+		push(r, i)
+	}
+	snap := r.Snapshot(0)
+	// Wrap every slot several times over.
+	for i := 3; i < 30; i++ {
+		push(r, i)
+	}
+	for i, p := range snap {
+		if p.Watts[0] != float64(i) || p.Total != float64(i) {
+			t.Fatalf("held snapshot mutated by wraparound: point %d = %+v", i, p)
+		}
+	}
+	// And writing into a snapshot must not reach the ring.
+	snap2 := r.Snapshot(1)
+	snap2[0].Watts[0] = -1
+	if got := r.Snapshot(1)[0].Watts[0]; got == -1 {
+		t.Fatal("snapshot write reached the ring arena")
+	}
+}
+
+// TestRingPushZeroAlloc pins the arena contract on the write side: a push
+// copies into preallocated slots and never allocates.
+func TestRingPushZeroAlloc(t *testing.T) {
+	r := NewRing(8, 3)
+	watts := []float64{1, 2, 3}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(time.Millisecond, watts, 6, 1, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("Push allocates %v per call, want 0", allocs)
+	}
+}
+
 func TestRingCapacityValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewRing(0) did not panic")
+			t.Fatal("NewRing(0, 1) did not panic")
 		}
 	}()
-	NewRing(0)
+	NewRing(0, 1)
 }
 
-// TestRingConcurrentIngestRead hammers one writer against several readers;
-// run under -race this is the memory-safety check, and the assertions
-// verify readers always observe a consistent oldest-first window.
+// TestRingConcurrentIngestRead hammers one writer against several readers
+// over the flat-arena backing; run under -race this is the memory-safety
+// check, and the assertions verify readers always observe a consistent
+// oldest-first window — both for full snapshots and for capped ones that
+// start mid-arena — whose Watts rows match their points.
 func TestRingConcurrentIngestRead(t *testing.T) {
-	r := NewRing(64)
+	r := NewRing(64, 2)
 	const points = 20000
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for reader := 0; reader < 4; reader++ {
+		max := reader * 7 // mix full and capped snapshots
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -79,10 +127,16 @@ func TestRingConcurrentIngestRead(t *testing.T) {
 					return
 				default:
 				}
-				snap := r.Snapshot(0)
-				for i := 1; i < len(snap); i++ {
-					if snap[i].Total != snap[i-1].Total+1 {
-						t.Errorf("gap in snapshot: %v after %v", snap[i].Total, snap[i-1].Total)
+				snap := r.Snapshot(max)
+				for i, p := range snap {
+					if i > 0 && p.Total != snap[i-1].Total+1 {
+						t.Errorf("gap in snapshot: %v after %v", p.Total, snap[i-1].Total)
+						return
+					}
+					// Watts rows are copied under the same lock as the
+					// scalar fields: they must always agree.
+					if p.Watts[0] != p.Total || p.Watts[1] != p.Total+0.5 {
+						t.Errorf("point %v carries foreign watts %v", p.Total, p.Watts)
 						return
 					}
 				}
@@ -90,7 +144,7 @@ func TestRingConcurrentIngestRead(t *testing.T) {
 		}()
 	}
 	for i := 0; i < points; i++ {
-		r.Push(pt(i))
+		push(r, i)
 	}
 	close(stop)
 	wg.Wait()

@@ -45,11 +45,13 @@ const DefaultFleetSpec = "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd," +
 // FleetKinds lists the accepted station kinds: the PowerSensor3-
 // instrumented rigs first, then the software-meter emulations ("jetson"
 // is the PowerSensor3-on-USB-C SoC rig; "jetson-ina" the board's own
-// INA3221 rail monitor).
+// INA3221 rail monitor), then the synthetic waveform station used for
+// fleet-scale benchmarking.
 func FleetKinds() []string {
 	return []string{
 		"rtx4000ada", "w7700", "jetson", "ssd",
 		"nvml", "amdsmi", "jetson-ina", "rapl",
+		"synth",
 	}
 }
 
@@ -120,6 +122,8 @@ func NewStation(kind string, seed uint64) (source.Source, error) {
 			[]string{"slot3v3", "slot12"}), nil
 	case "nvml", "amdsmi", "jetson-ina", "rapl":
 		return newSoftwareMeterStation(kind, seed), nil
+	case "synth":
+		return newSynthStation(seed), nil
 	default:
 		return nil, fmt.Errorf("unknown station kind %q (have %s)",
 			kind, strings.Join(FleetKinds(), ", "))

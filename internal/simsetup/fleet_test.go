@@ -3,6 +3,8 @@ package simsetup
 import (
 	"testing"
 	"time"
+
+	"repro/internal/source"
 )
 
 func TestParseFleetDefaultSpec(t *testing.T) {
@@ -65,7 +67,9 @@ func TestStationsProducePower(t *testing.T) {
 	wantRate := map[string]float64{
 		"rtx4000ada": 20000, "w7700": 20000, "jetson": 20000, "ssd": 20000,
 		"nvml": 10, "amdsmi": 1000, "jetson-ina": 10, "rapl": 1000,
+		"synth": 20000,
 	}
+	var b source.Batch
 	for _, kind := range FleetKinds() {
 		src, err := NewStation(kind, 7)
 		if err != nil {
@@ -77,7 +81,12 @@ func TestStationsProducePower(t *testing.T) {
 		before := src.Now()
 		samples := 0
 		for _, window := range []time.Duration{500 * time.Millisecond, 300 * time.Millisecond} {
-			samples += len(src.Read(window))
+			src.ReadInto(window, &b)
+			if b.Stride() != len(src.Meta().Channels) {
+				t.Errorf("%s: batch stride %d for %d channels",
+					kind, b.Stride(), len(src.Meta().Channels))
+			}
+			samples += b.Len()
 		}
 		if src.Now() < before+800*time.Millisecond {
 			t.Errorf("%s: Read moved clock %v -> %v", kind, before, src.Now())

@@ -1,0 +1,90 @@
+// Synthetic stations: pure-software waveform sources with no simulated
+// hardware behind them. A fleet of hundreds costs microseconds to build
+// and almost nothing per sample to run, which is what the fleet-scale
+// ingest and scrape benchmarks (and soak tests) need — the measured cost
+// is the fleet layer itself, not the device models.
+
+package simsetup
+
+import (
+	"time"
+
+	"repro/internal/source"
+)
+
+const (
+	synthRateHz = 20000
+	synthPeriod = time.Second / synthRateHz
+)
+
+// synthStation emits a deterministic 20 kHz three-rail ramp waveform. It
+// implements source.Source natively — ReadInto fills the caller's batch
+// columns directly, allocation-free — rather than going through the
+// Sensor or Polled adapters.
+type synthStation struct {
+	meta  source.Meta
+	now   time.Duration
+	last  time.Duration // timestamp of the last emitted sample
+	phase uint64
+	joule float64
+}
+
+func newSynthStation(seed uint64) *synthStation {
+	return &synthStation{
+		meta: source.Meta{
+			Backend:  "synthetic",
+			RateHz:   synthRateHz,
+			Channels: []string{"slot3v3", "slot12", "pcie8pin"},
+		},
+		// Seed offsets the ramp phase so fleet stations decorrelate.
+		phase: seed,
+	}
+}
+
+// Meta implements source.Source.
+func (s *synthStation) Meta() source.Meta { return s.meta }
+
+// Now implements source.Source.
+func (s *synthStation) Now() time.Duration { return s.now }
+
+// ReadInto implements source.Source: a 40–80 W board-power ramp split
+// 20/50/30 across the three rails, like a PCIe GPU's 3.3 V, 12 V and
+// 8-pin feeds. The sample count of a slice is known up front, so the
+// columns are filled with direct indexed writes (Batch.Extend) rather
+// than per-sample appends.
+func (s *synthStation) ReadInto(d time.Duration, b *source.Batch) {
+	b.Reset(3)
+	target := s.now + d
+	s.now = target
+	if target <= s.last {
+		return
+	}
+	k := int((target - s.last) / synthPeriod)
+	b.Extend(k)
+	t := s.last
+	chans := b.Chans
+	var joule float64
+	for i := 0; i < k; i++ {
+		t += synthPeriod
+		s.phase++
+		w := 40 + float64(s.phase&1023)*(40.0/1024)
+		b.Time[i] = t
+		b.Total[i] = w
+		c := chans[i*3 : i*3+3]
+		c[0] = w * 0.2
+		c[1] = w * 0.5
+		c[2] = w * 0.3
+		joule += w
+	}
+	s.joule += joule * (1.0 / synthRateHz)
+	s.last = t
+}
+
+// Joules implements source.Source with an exact integral of the ramp.
+func (s *synthStation) Joules() float64 { return s.joule }
+
+// Resyncs implements source.Source; there is no wire protocol.
+func (s *synthStation) Resyncs() int { return 0 }
+
+// Close implements source.Source.
+func (s *synthStation) Close() {}

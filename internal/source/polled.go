@@ -27,8 +27,9 @@ type PolledConfig struct {
 
 // Polled adapts a software meter — NVML, AMD SMI, the Jetson INA3221,
 // RAPL — to the Source interface by polling it at its native refresh
-// cadence on virtual time. Each Read yields one batch: every poll instant
-// that elapsed in the slice.
+// cadence on virtual time. Each ReadInto yields one batch: every poll
+// instant that elapsed in the slice, appended straight into the caller's
+// columns.
 type Polled struct {
 	cfg      PolledConfig
 	interval time.Duration
@@ -36,7 +37,7 @@ type Polled struct {
 	now      time.Duration
 	lastPoll time.Duration
 	lastJ    float64
-	buf      []Sample
+	scratch  [MaxChannels]float64 // per-poll row handed to Batch.Append
 }
 
 // NewPolled returns a polled source over cfg. It panics on a
@@ -70,10 +71,13 @@ func (p *Polled) Meta() Meta { return p.cfg.Meta }
 // Now implements Source.
 func (p *Polled) Now() time.Duration { return p.now }
 
-// Read implements Source: it walks every poll instant inside the slice,
-// advancing the workload and sampling the meter at each.
-func (p *Polled) Read(d time.Duration) []Sample {
-	p.buf = p.buf[:0]
+// ReadInto implements Source: it walks every poll instant inside the
+// slice, advancing the workload and sampling the meter at each. Polled
+// meters report one board/package-level reading per poll, so the whole
+// reading lands on channel 0 and any further configured channels stay
+// zero — the batch stride always matches the declared channel count.
+func (p *Polled) ReadInto(d time.Duration, b *Batch) {
+	b.Reset(len(p.cfg.Meta.Channels))
 	target := p.now + d
 	for next := p.lastPoll + p.interval; next <= target; next += p.interval {
 		if p.cfg.Tick != nil {
@@ -87,13 +91,11 @@ func (p *Polled) Read(d time.Duration) []Sample {
 			w = (j - p.lastJ) / p.interval.Seconds()
 		}
 		p.lastJ = j
-		smp := Sample{Time: next, Total: w}
-		smp.Chans[0] = w
-		p.buf = append(p.buf, smp)
+		p.scratch[0] = w
+		b.Append(next, p.scratch[:], w)
 		p.lastPoll = next
 	}
 	p.now = target
-	return p.buf
 }
 
 // Joules implements Source, reporting the meter's own energy counter —

@@ -23,13 +23,14 @@ type Driver interface {
 }
 
 // Sensor adapts a PowerSensor3 rig to the Source interface: the sensor's
-// per-sample-set hook dispatch becomes batch emission at the native
-// 20 kHz rate.
+// per-sample-set hook dispatch becomes columnar batch emission at the
+// native 20 kHz rate — the hook appends each sample set straight into the
+// caller's Batch columns, so no intermediate per-sample structs exist.
 type Sensor struct {
 	drv  Driver
 	meta Meta
 	hook core.HookID
-	buf  []Sample
+	cur  *Batch // batch being filled during ReadInto, nil otherwise
 }
 
 // NewSensor wraps drv as a streaming source. channels labels the sensor
@@ -56,14 +57,20 @@ func NewSensor(drv Driver, channels []string) *Sensor {
 	}
 	n := len(channels)
 	s.hook = ps.AttachSample(func(cs core.Sample) {
-		var smp Sample
-		smp.Time = cs.DeviceTime
-		for m := 0; m < n; m++ {
-			smp.Chans[m] = cs.Watts[m]
-			smp.Total += cs.Watts[m]
+		b := s.cur
+		if b == nil {
+			// The driver advanced outside ReadInto (e.g. warm-up by a
+			// harness sharing the sensor); nothing to collect into.
+			return
 		}
-		smp.Marker = cs.Marker
-		s.buf = append(s.buf, smp)
+		var total float64
+		for m := 0; m < n; m++ {
+			total += cs.Watts[m]
+		}
+		b.Append(cs.DeviceTime, cs.Watts[:n], total)
+		if cs.Marker {
+			b.Mark()
+		}
 	})
 	return s
 }
@@ -74,12 +81,14 @@ func (s *Sensor) Meta() Meta { return s.meta }
 // Now implements Source.
 func (s *Sensor) Now() time.Duration { return s.drv.Now() }
 
-// Read implements Source: it advances the driver (which streams and
-// processes the 20 kHz samples) and returns the batch the hook collected.
-func (s *Sensor) Read(d time.Duration) []Sample {
-	s.buf = s.buf[:0]
+// ReadInto implements Source: it advances the driver (which streams and
+// processes the 20 kHz samples) while the hook appends every sample set
+// into b's columns.
+func (s *Sensor) ReadInto(d time.Duration, b *Batch) {
+	b.Reset(len(s.meta.Channels))
+	s.cur = b
 	s.drv.Advance(d)
-	return s.buf
+	s.cur = nil
 }
 
 // Joules implements Source, summing the host library's per-pair energy

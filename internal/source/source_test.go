@@ -39,6 +39,41 @@ func (d *benchDriver) Now() time.Duration        { return d.dev.Now() }
 func (d *benchDriver) Advance(dt time.Duration)  { d.ps.Advance(dt) }
 func (d *benchDriver) Close()                    { d.ps.Close() }
 
+func TestBatchColumns(t *testing.T) {
+	var b Batch
+	b.Reset(2)
+	if b.Len() != 0 || b.Stride() != 2 {
+		t.Fatalf("fresh batch: len=%d stride=%d", b.Len(), b.Stride())
+	}
+	b.Append(time.Millisecond, []float64{1, 2}, 3)
+	b.Append(2*time.Millisecond, []float64{4, 5}, 9)
+	b.Mark()
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	if got := b.Row(0); got[0] != 1 || got[1] != 2 {
+		t.Errorf("row 0 = %v", got)
+	}
+	if got := b.Row(1); got[0] != 4 || got[1] != 5 {
+		t.Errorf("row 1 = %v", got)
+	}
+	if b.Total[0] != 3 || b.Total[1] != 9 {
+		t.Errorf("totals = %v", b.Total)
+	}
+	if len(b.Marks) != 1 || b.Marks[0] != 1 {
+		t.Errorf("marks = %v, want [1]", b.Marks)
+	}
+	// Reset empties every column but keeps capacity for reuse.
+	wasCap := cap(b.Chans)
+	b.Reset(2)
+	if b.Len() != 0 || len(b.Chans) != 0 || len(b.Marks) != 0 {
+		t.Errorf("reset batch not empty: %+v", b)
+	}
+	if cap(b.Chans) != wasCap {
+		t.Errorf("reset dropped capacity: %d -> %d", wasCap, cap(b.Chans))
+	}
+}
+
 func TestSensorSourceBatches(t *testing.T) {
 	src := NewSensor(newBenchDriver(t, 2), []string{"slot12"})
 	defer src.Close()
@@ -55,15 +90,19 @@ func TestSensorSourceBatches(t *testing.T) {
 	}
 
 	// 10 ms at 20 kHz → ~200 samples in one batch.
-	batch := src.Read(10 * time.Millisecond)
-	if len(batch) < 150 || len(batch) > 210 {
-		t.Fatalf("batch of %d samples for 10ms at 20kHz", len(batch))
+	var b Batch
+	src.ReadInto(10*time.Millisecond, &b)
+	if b.Stride() != 1 {
+		t.Fatalf("stride = %d, want 1", b.Stride())
 	}
-	for i, s := range batch {
-		if s.Total <= 0 || s.Chans[0] != s.Total {
-			t.Fatalf("sample %d: total=%v chans=%v", i, s.Total, s.Chans)
+	if n := b.Len(); n < 150 || n > 210 {
+		t.Fatalf("batch of %d samples for 10ms at 20kHz", n)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Total[i] <= 0 || b.Row(i)[0] != b.Total[i] {
+			t.Fatalf("sample %d: total=%v chans=%v", i, b.Total[i], b.Row(i))
 		}
-		if i > 0 && s.Time <= batch[i-1].Time {
+		if i > 0 && b.Time[i] <= b.Time[i-1] {
 			t.Fatalf("sample %d: time not increasing", i)
 		}
 	}
@@ -74,7 +113,17 @@ func TestSensorSourceBatches(t *testing.T) {
 		t.Errorf("resyncs = %d on a clean link", src.Resyncs())
 	}
 	if src.Now() < 10*time.Millisecond {
-		t.Errorf("Now = %v after 10ms Read", src.Now())
+		t.Errorf("Now = %v after 10ms ReadInto", src.Now())
+	}
+
+	// A second ReadInto replaces the batch contents in the same arrays.
+	first := b.Len()
+	src.ReadInto(10*time.Millisecond, &b)
+	if n := b.Len(); n < 150 || n > 210 {
+		t.Fatalf("second batch of %d samples", n)
+	}
+	if b.Time[0] <= 10*time.Millisecond {
+		t.Errorf("second batch starts at %v, want after the first %d samples", b.Time[0], first)
 	}
 }
 
@@ -99,17 +148,18 @@ func TestPolledSourcePacing(t *testing.T) {
 	defer src.Close()
 
 	// 1 s at 10 Hz → exactly 10 polls.
-	batch := src.Read(time.Second)
-	if len(batch) != 10 {
-		t.Fatalf("%d samples in 1s at 10Hz, want 10", len(batch))
+	var b Batch
+	src.ReadInto(time.Second, &b)
+	if b.Len() != 10 {
+		t.Fatalf("%d samples in 1s at 10Hz, want 10", b.Len())
 	}
-	for i, s := range batch {
+	for i := 0; i < b.Len(); i++ {
 		want := time.Duration(i+1) * 100 * time.Millisecond
-		if s.Time != want {
-			t.Errorf("sample %d at %v, want %v", i, s.Time, want)
+		if b.Time[i] != want {
+			t.Errorf("sample %d at %v, want %v", i, b.Time[i], want)
 		}
-		if s.Total != 100 {
-			t.Errorf("sample %d: %v W", i, s.Total)
+		if b.Total[i] != 100 || b.Row(i)[0] != 100 {
+			t.Errorf("sample %d: %v W (row %v)", i, b.Total[i], b.Row(i))
 		}
 	}
 	// Tick ran once at construction (t=0) and once per poll.
@@ -120,16 +170,18 @@ func TestPolledSourcePacing(t *testing.T) {
 		t.Errorf("joules = %v, want ~100", j)
 	}
 
-	// A sub-interval Read yields nothing but still advances time.
-	if got := src.Read(40 * time.Millisecond); len(got) != 0 {
-		t.Errorf("%d samples in 40ms at 10Hz", len(got))
+	// A sub-interval ReadInto yields nothing but still advances time.
+	src.ReadInto(40*time.Millisecond, &b)
+	if b.Len() != 0 {
+		t.Errorf("%d samples in 40ms at 10Hz", b.Len())
 	}
 	if src.Now() != 1040*time.Millisecond {
 		t.Errorf("Now = %v", src.Now())
 	}
-	// The next pollable instant is not lost across short Reads.
-	if got := src.Read(60 * time.Millisecond); len(got) != 1 {
-		t.Errorf("%d samples after crossing the poll instant", len(got))
+	// The next pollable instant is not lost across short reads.
+	src.ReadInto(60*time.Millisecond, &b)
+	if b.Len() != 1 {
+		t.Errorf("%d samples after crossing the poll instant", b.Len())
 	}
 }
 
@@ -140,13 +192,64 @@ func TestPolledSourceWattsFromEnergy(t *testing.T) {
 		Joules: func(t time.Duration) float64 { return 42 * t.Seconds() },
 	})
 	defer src.Close()
-	batch := src.Read(10 * time.Millisecond)
-	if len(batch) != 10 {
-		t.Fatalf("%d samples in 10ms at 1kHz", len(batch))
+	var b Batch
+	src.ReadInto(10*time.Millisecond, &b)
+	if b.Len() != 10 {
+		t.Fatalf("%d samples in 10ms at 1kHz", b.Len())
 	}
-	for i, s := range batch {
-		if s.Total < 41.9 || s.Total > 42.1 {
-			t.Errorf("sample %d: %v W, want ~42", i, s.Total)
+	for i := 0; i < b.Len(); i++ {
+		if w := b.Total[i]; w < 41.9 || w > 42.1 {
+			t.Errorf("sample %d: %v W, want ~42", i, w)
 		}
+	}
+}
+
+// TestPolledSourceMultiChannelStride pins the batch stride to the
+// declared channel count: a polled meter configured with several
+// channels must fill stride-wide rows (reading on channel 0, the rest
+// zero), not stride-1 rows a consumer would mis-walk.
+func TestPolledSourceMultiChannelStride(t *testing.T) {
+	src := NewPolled(PolledConfig{
+		Meta:   Meta{Backend: "fake", RateHz: 100, Channels: []string{"rail0", "rail1"}},
+		Watts:  func(time.Duration) float64 { return 50 },
+		Joules: func(t time.Duration) float64 { return 50 * t.Seconds() },
+	})
+	defer src.Close()
+	var b Batch
+	src.ReadInto(100*time.Millisecond, &b)
+	if b.Stride() != 2 {
+		t.Fatalf("stride = %d, want 2", b.Stride())
+	}
+	if b.Len() != 10 {
+		t.Fatalf("%d samples in 100ms at 100Hz", b.Len())
+	}
+	if len(b.Chans) != 20 {
+		t.Fatalf("chans column holds %d values, want 20", len(b.Chans))
+	}
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		if row[0] != 50 || row[1] != 0 || b.Total[i] != 50 {
+			t.Fatalf("sample %d: row=%v total=%v", i, row, b.Total[i])
+		}
+	}
+}
+
+// TestReadIntoSteadyStateZeroAlloc is the zero-allocation contract of the
+// batch path: once the caller-owned batch reaches capacity, repeated
+// reads allocate nothing.
+func TestReadIntoSteadyStateZeroAlloc(t *testing.T) {
+	src := NewPolled(PolledConfig{
+		Meta:   Meta{Backend: "fake", RateHz: 1000, Channels: []string{"board"}},
+		Watts:  func(time.Duration) float64 { return 75 },
+		Joules: func(t time.Duration) float64 { return 75 * t.Seconds() },
+	})
+	defer src.Close()
+	var b Batch
+	src.ReadInto(100*time.Millisecond, &b) // warm the arrays
+	allocs := testing.AllocsPerRun(100, func() {
+		src.ReadInto(100*time.Millisecond, &b)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ReadInto allocates %v per call, want 0", allocs)
 	}
 }
