@@ -37,10 +37,27 @@
 //
 // Endpoints:
 //
-//	GET /metrics                      Prometheus text exposition
-//	GET /api/fleet                    JSON status of every station
-//	GET /api/device/{name}/trace      recent trace (?format=csv|json, ?points=N)
-//	GET /healthz                      liveness probe
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /api/fleet                   JSON status of every station
+//	GET  /api/device/{name}/trace     recent trace (?format=csv|json, ?points=N)
+//	GET  /healthz                     liveness probe
+//	POST /api/fleet/add               hot-add a station to the running fleet:
+//	                                  name= and kind= (any -fleet spec kind)
+//	                                  as form or query parameters
+//	POST /api/fleet/remove/{name}     retire a station: its driver stops, the
+//	                                  final downsample block drains, and its
+//	                                  series leave /metrics
+//
+// The admin endpoints make the serving fleet dynamic — stations come and
+// go without restarting the daemon, mirroring rigs being recabled or
+// vendor meters restarting. Churn is observable: /metrics carries
+// powersensor_fleet_adopted_total and powersensor_fleet_retired_total,
+// and scrapes during churn stay well-formed. For example:
+//
+//	$ curl -X POST 'localhost:9120/api/fleet/add?name=gpu2&kind=synth'
+//	{"name":"gpu2","kind":"synth"}
+//	$ curl -X POST localhost:9120/api/fleet/remove/gpu2
+//	{"name":"gpu2","retired":true}
 //
 // A scrape looks like:
 //
@@ -59,6 +76,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,6 +84,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -98,8 +117,53 @@ func main() {
 	}
 }
 
+// admin serves the fleet lifecycle: hot-adding and retiring stations on
+// the running manager. It builds station sources the same way the -fleet
+// flag does (simsetup.NewStation), deriving each new station's seed from
+// the daemon's base seed and a monotonic adoption index so hot-added
+// rigs decorrelate like spec-listed ones.
+type admin struct {
+	mgr  *fleet.Manager
+	seed uint64
+	next atomic.Uint64 // station index for seed derivation
+}
+
+func (a *admin) add(w http.ResponseWriter, r *http.Request) {
+	name, kind := r.FormValue("name"), r.FormValue("kind")
+	if name == "" || kind == "" {
+		http.Error(w, "want name= and kind= parameters", http.StatusBadRequest)
+		return
+	}
+	src, err := simsetup.NewStation(kind, a.seed+a.next.Add(1)*1000003)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := a.mgr.Add(name, kind, src); err != nil {
+		src.Close()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	log.Printf("adopted station %s (kind %s)", name, kind)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"name": name, "kind": kind})
+}
+
+func (a *admin) remove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := a.mgr.Remove(name); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	log.Printf("retired station %s", name)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"name": name, "retired": true})
+}
+
 // setup assembles the fleet and its HTTP handler — the daemon's wiring,
-// split from run so tests can serve it through httptest.
+// split from run so tests can serve it through httptest. The handler is
+// the exporter's read-only surface plus the daemon's lifecycle admin
+// endpoints.
 func setup(spec string, seed uint64, rate float64,
 	slice time.Duration, block, ring int, warmup time.Duration) (*fleet.Manager, http.Handler, error) {
 	mgr, err := fleet.FromSpec(spec, seed, fleet.Config{
@@ -112,7 +176,13 @@ func setup(spec string, seed uint64, rate float64,
 		log.Printf("warming up: %v of virtual time over %d stations", warmup, mgr.Size())
 		mgr.StepAll(warmup)
 	}
-	return mgr, export.New(mgr).Handler(), nil
+	a := &admin{mgr: mgr, seed: seed}
+	a.next.Store(uint64(mgr.Size()))
+	mux := http.NewServeMux()
+	mux.Handle("/", export.New(mgr).Handler())
+	mux.HandleFunc("POST /api/fleet/add", a.add)
+	mux.HandleFunc("POST /api/fleet/remove/{name}", a.remove)
+	return mgr, mux, nil
 }
 
 func run(listen, spec string, seed uint64, rate float64,

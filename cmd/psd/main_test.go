@@ -86,3 +86,95 @@ func TestSetupBadSpec(t *testing.T) {
 		t.Fatal("bad spec accepted")
 	}
 }
+
+// TestAdminAddRemove drives the lifecycle endpoints against a serving
+// daemon: a station hot-added over HTTP starts serving scrape series, a
+// retired one disappears, and the churn counters follow along.
+func TestAdminAddRemove(t *testing.T) {
+	// Paced at real time so driver goroutines sleep between slices and
+	// the HTTP round-trips get CPU on small hosts.
+	mgr, handler, err := setup("gpu0=synth", 1, 1, 5*time.Millisecond,
+		20, 4096, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.Start()
+	defer mgr.Stop()
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	post := func(path string) (int, string) {
+		resp, err := http.Post(srv.URL+path, "application/x-www-form-urlencoded", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := post("/api/fleet/add?name=hot0&kind=synth"); code != http.StatusOK {
+		t.Fatalf("add hot0: status %d: %s", code, body)
+	}
+	if mgr.Size() != 2 || mgr.Device("hot0") == nil {
+		t.Fatalf("hot0 not adopted: size=%d", mgr.Size())
+	}
+	_, body := get("/metrics")
+	for _, want := range []string{
+		`powersensor_source_info{device="hot0",backend="synthetic",kind="synth"} 1`,
+		"powersensor_fleet_adopted_total 2",
+		"powersensor_fleet_retired_total 0",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics after add missing %q", want)
+		}
+	}
+
+	// Error paths: duplicate name, unknown kind, missing params, unknown
+	// removal target, wrong method.
+	if code, _ := post("/api/fleet/add?name=hot0&kind=synth"); code != http.StatusConflict {
+		t.Errorf("duplicate add: status %d, want %d", code, http.StatusConflict)
+	}
+	if code, _ := post("/api/fleet/add?name=x&kind=warp9"); code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want %d", code, http.StatusBadRequest)
+	}
+	if code, _ := post("/api/fleet/add"); code != http.StatusBadRequest {
+		t.Errorf("missing params: status %d, want %d", code, http.StatusBadRequest)
+	}
+	if code, _ := post("/api/fleet/remove/nope"); code != http.StatusNotFound {
+		t.Errorf("remove unknown: status %d, want %d", code, http.StatusNotFound)
+	}
+	// A GET on the add endpoint falls through to the read-only exporter
+	// (the catch-all route), which has no such path: the write surface is
+	// unreachable without POST.
+	if code, _ := get("/api/fleet/add?name=y&kind=synth"); code != http.StatusNotFound {
+		t.Errorf("GET on add: status %d, want %d", code, http.StatusNotFound)
+	}
+	if mgr.Device("y") != nil {
+		t.Error("GET on add adopted a station")
+	}
+
+	if code, body := post("/api/fleet/remove/hot0"); code != http.StatusOK {
+		t.Fatalf("remove hot0: status %d: %s", code, body)
+	}
+	if mgr.Size() != 1 || mgr.Device("hot0") != nil {
+		t.Fatalf("hot0 not retired: size=%d", mgr.Size())
+	}
+	_, body = get("/metrics")
+	if strings.Contains(body, `device="hot0"`) {
+		t.Error("/metrics still carries retired hot0 series")
+	}
+	if !strings.Contains(body, "powersensor_fleet_retired_total 1\n") {
+		t.Error("/metrics retired counter did not advance")
+	}
+}

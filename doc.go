@@ -46,6 +46,32 @@
 // ring buffers with health counters; internal/export serves a fleet over
 // HTTP.
 //
+// Fleets are dynamic while serving. A station can be adopted against a
+// running manager (its driver goroutine spawns immediately) and retired
+// at any time: the copy-on-write device-list swap is the commit point for
+// concurrent snapshots and scrapes, after which the driver stops, the
+// in-flight downsample block drains into the ring as one final point,
+// subscriptions receive that point and close, and the source is released.
+// Each station moves through an explicit lifecycle:
+//
+//	          Manager.Start / hot Add
+//	adopted ───────────────────────────► started
+//	   ▲                                    │
+//	   │            Manager.Stop            │
+//	   └────────────────────────────────────┤
+//	                                        │ Manager.Remove
+//	                                        ▼
+//	                                    stopping ──drain──► closed
+//	                                (driver exits,     (subscriptions
+//	                                 final block        closed, source
+//	                                 drains to ring)    released)
+//
+// Churn is observable end to end: the manager counts adoptions and
+// retirements (exported as powersensor_fleet_{adopted,retired}_total),
+// every Status carries its station's lifecycle state, and scrapes racing
+// a retirement stay well-formed — the exposition simply stops listing the
+// retired station's series.
+//
 // The steady-state sample path allocates nothing, by contract: batches
 // reuse their caller-owned columns, downsample blocks accumulate into
 // fixed-size running sums, and ring points copy into a flat per-ring
@@ -71,7 +97,10 @@
 // with software-meter kinds (nvml, amdsmi, jetson-ina, rapl) freely. It
 // serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
 // status of every station), /api/device/{name}/trace (recent downsampled
-// trace as CSV or JSON) and /healthz. A scrape yields per-station gauges
+// trace as CSV or JSON) and /healthz, plus the lifecycle admin endpoints
+// POST /api/fleet/add (name= and kind= parameters) and
+// POST /api/fleet/remove/{name} for hot-adding and retiring stations
+// without restarting the daemon. A scrape yields per-station gauges
 // and counters such as:
 //
 //	powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1

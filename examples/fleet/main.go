@@ -1,12 +1,14 @@
-// Fleet: run a heterogeneous fleet of measurement stations and scrape it
-// once.
+// Fleet: run a heterogeneous fleet of measurement stations, scrape it,
+// then hot-add and retire a station while the fleet keeps serving.
 //
-// This is the smallest end-to-end use of the fleet subsystem: a PCIe GPU
-// and an SSD measured by PowerSensor3 at 20 kHz, next to two software
-// meters — an NVML counter at ~10 Hz and a RAPL energy counter at ~1 kHz
-// — all behind the same streaming source layer, each driven with its own
-// self-repeating workload, served over HTTP by the exporter and scraped a
-// single time — what cmd/psd does continuously.
+// This is the smallest end-to-end use of the dynamic fleet subsystem: a
+// PCIe GPU and an SSD measured by PowerSensor3 at 20 kHz, next to two
+// software meters — an NVML counter at ~10 Hz and a RAPL energy counter
+// at ~1 kHz — all behind the same streaming source layer, each driven
+// with its own self-repeating workload, served over HTTP by the exporter.
+// Mid-serve, a fifth station is adopted and later retired — what the psd
+// daemon's POST /api/fleet/add and /api/fleet/remove/{name} endpoints do
+// on an operator's request — while scrapes keep flowing.
 //
 //	go run ./examples/fleet
 package main
@@ -22,34 +24,10 @@ import (
 
 	"repro/internal/export"
 	"repro/internal/fleet"
+	"repro/internal/simsetup"
 )
 
-func main() {
-	// Assemble the fleet: four named stations over two backend families.
-	// (With real hardware the PowerSensor3 stations would each be one
-	// sensor on /dev/ttyACM*; the software meters would poll NVML/RAPL.)
-	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,ssd0=ssd,gpu0sw=nvml,cpu0=rapl",
-		42, fleet.Config{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer mgr.Close()
-
-	// Let every station simulate one second of virtual time: GPU kernel
-	// launches, SSD I/O and CPU duty cycles all land in the per-station
-	// rings — each ingested at its backend's native rate.
-	mgr.StepAll(time.Second)
-
-	// Fleet status, as /api/fleet reports it.
-	fmt.Println("station      kind        backend       rate        power      energy    samples")
-	for _, st := range mgr.Snapshot() {
-		fmt.Printf("%-12s %-11s %-13s %7g Hz %7.2f W %8.2f J %10d\n",
-			st.Name, st.Kind, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples)
-	}
-
-	// Serve the exporter and scrape /metrics once, like Prometheus would.
-	srv := httptest.NewServer(export.New(mgr).Handler())
-	defer srv.Close()
+func scrape(srv *httptest.Server, prefixes ...string) []string {
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -59,12 +37,70 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Println("\nscrape excerpt (per-station board power and energy):")
+	var out []string
 	for _, line := range strings.Split(string(body), "\n") {
-		if strings.HasPrefix(line, "powersensor_board_watts") ||
-			strings.HasPrefix(line, "powersensor_joules_total") {
-			fmt.Println(" ", line)
+		for _, p := range prefixes {
+			if strings.HasPrefix(line, p) {
+				out = append(out, line)
+			}
 		}
 	}
+	return out
+}
+
+func main() {
+	// Assemble the fleet: four named stations over two backend families.
+	// (With real hardware the PowerSensor3 stations would each be one
+	// sensor on /dev/ttyACM*; the software meters would poll NVML/RAPL.)
+	// Rate 20 paces virtual time at 20× wall, so the demo's short sleeps
+	// cover whole workload cycles.
+	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,ssd0=ssd,gpu0sw=nvml,cpu0=rapl",
+		42, fleet.Config{Rate: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// Warm up one virtual second synchronously, then hand the stations to
+	// their driver goroutines — from here on the fleet serves live.
+	mgr.StepAll(time.Second)
+	mgr.Start()
+	defer mgr.Stop()
+	srv := httptest.NewServer(export.New(mgr).Handler())
+	defer srv.Close()
+
+	fmt.Println("station      kind        backend       rate        power      energy    samples  state")
+	for _, st := range mgr.Snapshot() {
+		fmt.Printf("%-12s %-11s %-13s %7g Hz %7.2f W %8.2f J %10d  %s\n",
+			st.Name, st.Kind, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples, st.State)
+	}
+
+	// Hot-add a station against the running manager: its driver goroutine
+	// spawns immediately, and the next scrape carries its series. This is
+	// what POST /api/fleet/add?name=gpu1&kind=synth does on a psd daemon.
+	hot, err := simsetup.NewStation("synth", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mgr.Add("gpu1", "synth", hot); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the new driver ingest
+	fmt.Println("\nafter hot add (fleet keeps serving):")
+	for _, line := range scrape(srv, "powersensor_fleet_", "powersensor_board_watts") {
+		fmt.Println(" ", line)
+	}
+
+	// Retire it again: the driver stops, the in-flight downsample block
+	// drains into the ring as a final point, subscriptions close, and the
+	// station's series leave the exposition — the survivors never pause.
+	if err := mgr.Remove("gpu1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter retirement:")
+	for _, line := range scrape(srv, "powersensor_fleet_", "powersensor_board_watts") {
+		fmt.Println(" ", line)
+	}
+	fmt.Printf("\nchurn: %d stations adopted, %d retired over the fleet's life\n",
+		mgr.Adopted(), mgr.Retired())
 }

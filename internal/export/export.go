@@ -11,6 +11,12 @@
 // and each scrape renders every family in a single pass into a pooled
 // reusable buffer — steady-state scrape cost is appending numbers.
 //
+// Fleets churn while serving: stations hot-added or retired mid-scrape
+// simply appear in (or vanish from) the next snapshot, the
+// powersensor_fleet_adopted_total / powersensor_fleet_retired_total
+// counters account for the churn, and retirement drops the per-device
+// label cache so retired names neither linger nor poison a reused name.
+//
 // Endpoints (all GET):
 //
 //	/metrics                      Prometheus text exposition (version 0.0.4)
@@ -38,11 +44,17 @@ type Exporter struct {
 
 	// labelMu guards labels, a per-device cache of rendered exposition
 	// label blocks. Device names, backends, kinds and channel labels are
-	// immutable for the life of a manager, so each block is escaped and
+	// immutable for the life of a station, so each block is escaped and
 	// formatted once instead of on every scrape — the scrape hot path
-	// then only appends numbers.
-	labelMu sync.Mutex
-	labels  map[string]*devLabels
+	// then only appends numbers. Retirement invalidates the cache: a
+	// retired name must not linger (the fleet may churn through thousands
+	// of stations), and the same name may return with a different kind or
+	// channel set, so any advance of the manager's retired counter drops
+	// the whole cache and lets the surviving fleet rebuild on next sight.
+	// lastRetired is the counter value the cache was built against.
+	labelMu     sync.Mutex
+	labels      map[string]*devLabels
+	lastRetired uint64
 
 	// scratch pools per-scrape working state (the render buffer and the
 	// resolved label list), so concurrent scrapes reuse buffers instead
@@ -75,14 +87,31 @@ func New(mgr *fleet.Manager) *Exporter {
 
 // labelsForAll resolves the cached rendered labels of every station in
 // snap into st.labels, building missing entries on first sight. One lock
-// acquisition covers the whole snapshot.
-func (e *Exporter) labelsForAll(snap []fleet.Status, st *scrapeState) {
+// acquisition covers the whole snapshot. retired is the manager's retired
+// counter as read BEFORE the snapshot was taken: if any station retired
+// since the cache was built, the cache is dropped wholesale. Reading the
+// counter before the snapshot makes the invalidation conservative — a
+// retirement landing between the two reads leaves a stale entry for at
+// most one scrape. In that window the retired name can even be re-adopted
+// and appear in the snapshot against the stale entry; the per-entry shape
+// check below rebuilds it when the channel count changed (rendering with
+// a too-short pairs slice would panic), and a same-shape stale entry
+// serves old backend/kind labels for that one scrape until the next one
+// observes the counter advance and clears the cache.
+func (e *Exporter) labelsForAll(snap []fleet.Status, st *scrapeState, retired uint64) {
 	st.labels = st.labels[:0]
 	e.labelMu.Lock()
 	defer e.labelMu.Unlock()
+	if retired != e.lastRetired {
+		e.lastRetired = retired
+		clear(e.labels)
+	}
 	for i := range snap {
 		s := &snap[i]
 		l, ok := e.labels[s.Name]
+		if ok && len(l.pairs) != s.Pairs {
+			ok = false // name reused with a different channel set: rebuild
+		}
 		if !ok {
 			l = &devLabels{
 				dev: fmt.Sprintf(`{device="%s"}`, escapeLabel(s.Name)),
@@ -142,6 +171,10 @@ func header(name, help, typ string) string {
 var (
 	hdrFleetDevices = header("powersensor_fleet_devices",
 		"Stations owned by the fleet manager.", "gauge")
+	hdrFleetAdopted = header("powersensor_fleet_adopted_total",
+		"Stations ever adopted by the fleet manager.", "counter")
+	hdrFleetRetired = header("powersensor_fleet_retired_total",
+		"Stations ever retired from the fleet manager.", "counter")
 	hdrSourceInfo = header("powersensor_source_info",
 		"Measurement backend serving each station; always 1.", "gauge")
 	hdrSourceRate = header("powersensor_source_rate_hz",
@@ -154,6 +187,8 @@ var (
 		"Cumulative energy per station since adoption, in joules.", "counter")
 	hdrSamples = header("powersensor_samples_total",
 		"Sample sets ingested per station, at the source's native rate.", "counter")
+	hdrMarks = header("powersensor_marks_total",
+		"Time-synced user markers ingested per station.", "counter")
 	hdrResyncs = header("powersensor_resyncs_total",
 		"Stream bytes skipped to regain protocol alignment.", "counter")
 	hdrDropped = header("powersensor_dropped_deliveries_total",
@@ -190,13 +225,25 @@ func appendSample(buf []byte, name, labels string, v float64) []byte {
 func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
 	st := e.scratch.Get().(*scrapeState)
+	// Churn counters load before the snapshot: labelsForAll's cache
+	// invalidation depends on this ordering (see its comment), and a
+	// scraper diffing adopted-retired against the device count then sees
+	// the counters lag — never lead — the list. Retired loads first:
+	// adopted only grows and bounds retired at every instant, so reading
+	// it second keeps retired <= adopted within one exposition even when
+	// churn cycles complete between the two loads.
+	retired, adopted := e.mgr.Retired(), e.mgr.Adopted()
 	snap := e.mgr.SnapshotInto(st.snap[:0])
 	st.snap = snap
-	e.labelsForAll(snap, st)
+	e.labelsForAll(snap, st, retired)
 	buf := st.buf[:0]
 
 	buf = append(buf, hdrFleetDevices...)
 	buf = appendSample(buf, "powersensor_fleet_devices", "", float64(len(snap)))
+	buf = append(buf, hdrFleetAdopted...)
+	buf = appendSample(buf, "powersensor_fleet_adopted_total", "", float64(adopted))
+	buf = append(buf, hdrFleetRetired...)
+	buf = appendSample(buf, "powersensor_fleet_retired_total", "", float64(retired))
 	buf = append(buf, hdrSourceInfo...)
 	for i := range snap {
 		buf = appendSample(buf, "powersensor_source_info", st.labels[i].info, 1)
@@ -222,6 +269,10 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	buf = append(buf, hdrSamples...)
 	for i := range snap {
 		buf = appendSample(buf, "powersensor_samples_total", st.labels[i].dev, float64(snap[i].Samples))
+	}
+	buf = append(buf, hdrMarks...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_marks_total", st.labels[i].dev, float64(snap[i].Marks))
 	}
 	buf = append(buf, hdrResyncs...)
 	for i := range snap {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/simsetup"
 	"repro/internal/trace"
 )
 
@@ -157,6 +158,10 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	golden := []string{
 		"# HELP powersensor_fleet_devices Stations owned by the fleet manager.",
 		"# TYPE powersensor_fleet_devices gauge",
+		"# HELP powersensor_fleet_adopted_total Stations ever adopted by the fleet manager.",
+		"# TYPE powersensor_fleet_adopted_total counter",
+		"# HELP powersensor_fleet_retired_total Stations ever retired from the fleet manager.",
+		"# TYPE powersensor_fleet_retired_total counter",
 		"# HELP powersensor_source_info Measurement backend serving each station; always 1.",
 		"# TYPE powersensor_source_info gauge",
 		"# HELP powersensor_source_rate_hz Native sample rate of each station's backend, in hertz.",
@@ -169,6 +174,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_joules_total counter",
 		"# HELP powersensor_samples_total Sample sets ingested per station, at the source's native rate.",
 		"# TYPE powersensor_samples_total counter",
+		"# HELP powersensor_marks_total Time-synced user markers ingested per station.",
+		"# TYPE powersensor_marks_total counter",
 		"# HELP powersensor_resyncs_total Stream bytes skipped to regain protocol alignment.",
 		"# TYPE powersensor_resyncs_total counter",
 		"# HELP powersensor_dropped_deliveries_total Subscriber deliveries dropped on full fan-out channels.",
@@ -349,9 +356,9 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 						return
 					}
 				}
-				// 12 families × (HELP + TYPE).
-				if comments != 24 {
-					t.Errorf("scrape under load has %d comment lines, want 24", comments)
+				// 15 families × (HELP + TYPE).
+				if comments != 30 {
+					t.Errorf("scrape under load has %d comment lines, want 30", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -372,4 +379,225 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 	scrapers.Wait()
 	close(stop)
 	steps.Wait()
+}
+
+// addSynth hot-adds one synthetic station to a manager, building the
+// source the way cmd/psd's admin endpoint does.
+func addSynth(t testing.TB, mgr *fleet.Manager, name string, seed uint64) {
+	t.Helper()
+	src, err := simsetup.NewStation("synth", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Add(name, "synth", src); err != nil {
+		src.Close()
+		t.Fatalf("Add(%s): %v", name, err)
+	}
+}
+
+// TestMetricsRetiredAbsent: after a station retires, its series vanish
+// from the exposition, the churn counters account for it, and re-adding
+// the same name with a different kind re-renders fresh labels instead of
+// serving the retired station's cached block.
+func TestMetricsRetiredAbsent(t *testing.T) {
+	mgr, err := fleet.FromSpec("s0=synth,s1=synth", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(50 * time.Millisecond)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	_, body := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `device="s0"`) {
+		t.Fatal("s0 missing before retirement")
+	}
+	if !strings.Contains(body, "powersensor_fleet_adopted_total 2\n") ||
+		!strings.Contains(body, "powersensor_fleet_retired_total 0\n") {
+		t.Error("churn counters wrong before retirement")
+	}
+
+	if err := mgr.Remove("s0"); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv.URL+"/metrics")
+	if strings.Contains(body, `device="s0"`) {
+		t.Error("retired s0 still has series in the exposition")
+	}
+	if !strings.Contains(body, "powersensor_fleet_devices 1\n") ||
+		!strings.Contains(body, "powersensor_fleet_adopted_total 2\n") ||
+		!strings.Contains(body, "powersensor_fleet_retired_total 1\n") {
+		t.Error("churn counters do not reflect the retirement")
+	}
+
+	// Reuse the retired name for a different kind: the label cache must
+	// not serve the stale synthetic-backend block.
+	mgr2, err := fleet.FromSpec("keep=synth", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr2.Close)
+	srv2 := httptest.NewServer(New(mgr2).Handler())
+	t.Cleanup(srv2.Close)
+	addSynth(t, mgr2, "x0", 3)
+	if _, body := get(t, srv2.URL+"/metrics"); !strings.Contains(body,
+		`powersensor_source_info{device="x0",backend="synthetic",kind="synth"} 1`) {
+		t.Fatal("x0 missing before rename churn")
+	}
+	if err := mgr2.Remove("x0"); err != nil {
+		t.Fatal(err)
+	}
+	src, err := simsetup.NewStation("rapl", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr2.Add("x0", "rapl", src); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv2.URL+"/metrics")
+	if !strings.Contains(body, `powersensor_source_info{device="x0",backend="rapl",kind="rapl"} 1`) {
+		t.Error("re-added x0 serves stale cached labels")
+	}
+	if strings.Contains(body, `device="x0",backend="synthetic"`) {
+		t.Error("retired x0's synthetic labels survived the name reuse")
+	}
+}
+
+// TestLabelCacheShapeMismatch pins the narrow churn window where a name
+// retires and is re-adopted with a different channel set between a
+// scrape's retired-counter load and its snapshot: the cached label block
+// (sized for the old station) must be rebuilt, not rendered — a stale
+// one-pair entry against a three-pair snapshot would index out of range.
+func TestLabelCacheShapeMismatch(t *testing.T) {
+	e := New(nil) // labelsForAll never touches the manager
+	st := &scrapeState{}
+	e.labelsForAll([]fleet.Status{{Name: "x0", Backend: "rapl", Kind: "rapl",
+		Pairs: 1, Channels: []string{"package"}}}, st, 0)
+	if len(st.labels) != 1 || len(st.labels[0].pairs) != 1 {
+		t.Fatalf("seed entry: %+v", st.labels)
+	}
+	// Same retired counter (the churn landed after the load), new shape.
+	e.labelsForAll([]fleet.Status{{Name: "x0", Backend: "synthetic", Kind: "synth",
+		Pairs: 3, Channels: []string{"a", "b", "c"}}}, st, 0)
+	l := st.labels[0]
+	if len(l.pairs) != 3 {
+		t.Fatalf("stale cached entry survived shape change: %d pairs, want 3", len(l.pairs))
+	}
+	if !strings.Contains(l.info, `backend="synthetic"`) {
+		t.Errorf("rebuilt entry kept stale info labels: %s", l.info)
+	}
+}
+
+// TestScrapeDuringChurn hammers /metrics while stations hot-add and
+// retire underneath: every scrape must stay well-formed (each line
+// parses, the comment skeleton is complete) and the fleet churn counters
+// must be monotonic — the exposition-level contract of the dynamic
+// lifecycle.
+func TestScrapeDuringChurn(t *testing.T) {
+	// Paced at real time: drivers sleep between slices, so churners and
+	// scrapers get CPU even on a single-core host. (Unpaced drivers spin
+	// flat out and starve the HTTP round-trips this test depends on.)
+	mgr, err := fleet.FromSpec("keep0=synth,keep1=synth", 1,
+		fleet.Config{Slice: time.Millisecond, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(20 * time.Millisecond)
+	mgr.Start()
+	defer mgr.Stop()
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			name := fmt.Sprintf("hot%d", g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addSynth(t, mgr, name, uint64(i))
+				if err := mgr.Remove(name); err != nil {
+					t.Errorf("Remove(%s): %v", name, err)
+					return
+				}
+				// Yield between cycles so scrapers progress on small hosts.
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(g)
+	}
+
+	sample := regexp.MustCompile(`^[a-z_]+(\{[a-z_]+="[^"]*"(,[a-z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?(e[+-][0-9]+)?$`)
+	counter := func(body, name string) uint64 {
+		m := regexp.MustCompile(name + ` ([0-9]+)`).FindStringSubmatch(body)
+		if m == nil {
+			t.Errorf("scrape during churn lost %s", name)
+			return 0
+		}
+		n, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Errorf("unparsable %s: %v", name, err)
+		}
+		return n
+	}
+	var scrapers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var lastAdopted, lastRetired uint64
+			for i := 0; i < 40; i++ {
+				code, body := get(t, srv.URL+"/metrics")
+				if code != http.StatusOK {
+					t.Errorf("scrape during churn: status %d", code)
+					return
+				}
+				comments := 0
+				for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+					if strings.HasPrefix(line, "# ") {
+						comments++
+						continue
+					}
+					if !sample.MatchString(line) {
+						t.Errorf("malformed sample line during churn: %q", line)
+						return
+					}
+				}
+				if comments != 30 {
+					t.Errorf("scrape during churn has %d comment lines, want 30", comments)
+					return
+				}
+				adopted := counter(body, "powersensor_fleet_adopted_total")
+				retired := counter(body, "powersensor_fleet_retired_total")
+				if adopted < lastAdopted || retired < lastRetired {
+					t.Errorf("churn counters went backwards: adopted %d->%d retired %d->%d",
+						lastAdopted, adopted, lastRetired, retired)
+					return
+				}
+				if retired > adopted {
+					t.Errorf("retired %d exceeds adopted %d", retired, adopted)
+					return
+				}
+				lastAdopted, lastRetired = adopted, retired
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	churn.Wait()
+
+	// The permanent stations survived the churn with data flowing.
+	_, body := get(t, srv.URL+"/metrics")
+	for _, dev := range []string{"keep0", "keep1"} {
+		if !strings.Contains(body, `powersensor_board_watts{device="`+dev+`"} `) {
+			t.Errorf("%s lost its series through the churn", dev)
+		}
+	}
 }

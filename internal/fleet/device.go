@@ -10,6 +10,37 @@ import (
 	"repro/internal/trace"
 )
 
+// devState is a station's lifecycle state. A device moves strictly
+// forward through retirement (stopping, closed are terminal); adopted and
+// started alternate with the manager's Start/Stop cycles.
+type devState int32
+
+const (
+	// devAdopted: owned by a manager, no driver goroutine attached.
+	devAdopted devState = iota
+	// devStarted: a manager driver goroutine is advancing it.
+	devStarted
+	// devStopping: retirement begun — the driver is gone (or going) and
+	// the in-flight downsample block is draining into the ring.
+	devStopping
+	// devClosed: drained; subscriptions closed, source released.
+	devClosed
+)
+
+func (s devState) String() string {
+	switch s {
+	case devAdopted:
+		return "adopted"
+	case devStarted:
+		return "started"
+	case devStopping:
+		return "stopping"
+	case devClosed:
+		return "closed"
+	}
+	return "unknown"
+}
+
 // Status is a point-in-time health and measurement snapshot of one station.
 type Status struct {
 	Name string `json:"name"`
@@ -38,8 +69,16 @@ type Status struct {
 	// Joules is the cumulative energy over all channels since the fleet
 	// adopted the station, as integrated by the backend itself.
 	Joules float64 `json:"joules"`
+	// State is the station's lifecycle state: "adopted" (owned, not
+	// driven), "started" (a driver goroutine is advancing it), "stopping"
+	// (retirement drain in progress) or "closed" (retired, source
+	// released).
+	State string `json:"state"`
 	// Samples counts native-rate sample sets ingested.
 	Samples uint64 `json:"samples"`
+	// Marks counts the time-synced user markers ingested — samples the
+	// PowerSensor3 firmware flagged in response to a host marker command.
+	Marks uint64 `json:"marks"`
 	// Resyncs counts stream bytes skipped to regain protocol alignment —
 	// nonzero values indicate a corrupted or lossy link. Always zero for
 	// software meters.
@@ -69,7 +108,9 @@ type Status struct {
 // blocks; each field is itself always a complete, valid value, which is
 // all a telemetry scrape needs.
 type pub struct {
+	state     atomic.Int32 // devState
 	samples   atomic.Uint64
+	marks     atomic.Uint64
 	dropped   atomic.Uint64
 	nowNanos  atomic.Int64
 	joules    atomic.Uint64 // math.Float64bits
@@ -92,6 +133,15 @@ type Device struct {
 	meta source.Meta // Channels is the device's own immutable copy
 	ring *Ring
 
+	// retire is closed — exactly once, by Manager.Remove, which first
+	// claims the device by deleting it from the name index — to stop this
+	// device's driver goroutine independently of the run-wide stop channel.
+	retire chan struct{}
+	// driveDone is the current run's driver-exit signal: assigned when a
+	// driver goroutine launches, closed when it returns. Read and written
+	// only under the manager's mu; nil until the device is first driven.
+	driveDone chan struct{}
+
 	mu      sync.Mutex
 	src     source.Source
 	batch   source.Batch // reused columnar buffer ReadInto fills each step
@@ -99,6 +149,7 @@ type Device struct {
 	chans   int
 	baseJ   float64 // cumulative joules at adoption, subtracted from Status
 	samples uint64
+	marks   uint64
 	dropped uint64
 	closed  bool
 
@@ -106,6 +157,7 @@ type Device struct {
 	// plus per-channel running sums — fixed-size accumulators, so folding
 	// a block performs no appends and no allocations.
 	accN                   int
+	accMarks               int
 	accSum, accMin, accMax float64
 	pairSums               [source.MaxChannels]float64
 	scratch                [source.MaxChannels]float64 // latest block's per-channel means
@@ -121,6 +173,7 @@ type Device struct {
 	pendTotal [pendCap]float64
 	pendMin   [pendCap]float64
 	pendMax   [pendCap]float64
+	pendMarks [pendCap]int
 	pendWatts [pendCap * source.MaxChannels]float64
 
 	subs   map[int]chan Point
@@ -143,14 +196,15 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		block = 1
 	}
 	d := &Device{
-		name:  name,
-		kind:  kind,
-		meta:  meta,
-		src:   src,
-		block: block,
-		chans: len(meta.Channels),
-		baseJ: src.Joules(),
-		subs:  make(map[int]chan Point),
+		name:   name,
+		kind:   kind,
+		meta:   meta,
+		retire: make(chan struct{}),
+		src:    src,
+		block:  block,
+		chans:  len(meta.Channels),
+		baseJ:  src.Joules(),
+		subs:   make(map[int]chan Point),
 	}
 	d.ring = NewRing(ringCap, d.chans)
 	d.pub.nowNanos.Store(int64(src.Now()))
@@ -186,6 +240,8 @@ func (d *Device) ingestBatch(b *source.Batch) {
 	times := b.Time
 	chans := b.Chans
 	stride := d.chans
+	marks := b.Marks
+	mk := 0 // cursor into marks (ascending sample indices)
 	for i := 0; i < n; {
 		run := d.block - d.accN
 		if rem := n - i; rem < run {
@@ -271,6 +327,15 @@ func (d *Device) ingestBatch(b *source.Batch) {
 				}
 			}
 		}
+		// Marker column: count the time-synced markers landing in this
+		// run, so they survive downsampling into the block's ring point
+		// instead of being averaged away. Marks is empty in steady state,
+		// so this is a no-op comparison per run.
+		for mk < len(marks) && marks[mk] < i+run {
+			d.accMarks++
+			d.marks++
+			mk++
+		}
 		d.accN += run
 		i += run
 		if d.accN == d.block {
@@ -306,6 +371,7 @@ func (d *Device) emit(t time.Duration) {
 	d.pendTotal[d.pendN] = mean
 	d.pendMin[d.pendN] = d.accMin
 	d.pendMax[d.pendN] = d.accMax
+	d.pendMarks[d.pendN] = d.accMarks
 	d.pendN++
 	d.accMean = mean
 	d.emitted = true
@@ -313,6 +379,7 @@ func (d *Device) emit(t time.Duration) {
 		d.flush()
 	}
 	d.accN = 0
+	d.accMarks = 0
 	d.accSum = 0
 }
 
@@ -328,14 +395,15 @@ func (d *Device) flush() {
 	}
 	n := d.pendN
 	d.ring.PushN(d.pendTime[:n], d.pendWatts[:n*d.chans],
-		d.pendTotal[:n], d.pendMin[:n], d.pendMax[:n])
+		d.pendTotal[:n], d.pendMin[:n], d.pendMax[:n], d.pendMarks[:n])
 	d.ringTotal += uint64(n)
 	if len(d.subs) > 0 {
 		for i := 0; i < n; i++ {
 			watts := make([]float64, d.chans)
 			copy(watts, d.pendWatts[i*d.chans:(i+1)*d.chans])
 			p := Point{Time: d.pendTime[i], Watts: watts,
-				Total: d.pendTotal[i], Min: d.pendMin[i], Max: d.pendMax[i]}
+				Total: d.pendTotal[i], Min: d.pendMin[i], Max: d.pendMax[i],
+				Marks: d.pendMarks[i]}
 			for _, ch := range d.subs {
 				select {
 				case ch <- p:
@@ -362,6 +430,9 @@ func (d *Device) publish() {
 	}
 	if d.pub.dropped.Load() != d.dropped {
 		d.pub.dropped.Store(d.dropped)
+	}
+	if d.pub.marks.Load() != d.marks {
+		d.pub.marks.Store(d.marks)
 	}
 	if !d.emitted {
 		return
@@ -417,10 +488,12 @@ func (d *Device) StatusInto(st *Status) {
 		Backend:   d.meta.Backend,
 		RateHz:    d.meta.RateHz,
 		Pairs:     d.chans,
+		State:     devState(d.pub.state.Load()).String(),
 		Now:       time.Duration(d.pub.nowNanos.Load()),
 		Watts:     math.Float64frombits(d.pub.watts.Load()),
 		Joules:    math.Float64frombits(d.pub.joules.Load()),
 		Samples:   d.pub.samples.Load(),
+		Marks:     d.pub.marks.Load(),
 		Resyncs:   int(d.pub.resyncs.Load()),
 		Dropped:   d.pub.dropped.Load(),
 		RingLen:   int(d.pub.ringLen.Load()),
@@ -436,8 +509,13 @@ func (d *Device) StatusInto(st *Status) {
 // Subscribe registers a fan-out channel carrying every future ring point.
 // buffer is the channel depth; when the subscriber falls behind, points are
 // dropped (counted in Status.Dropped) rather than stalling ingest. The
-// returned cancel function unregisters and closes the channel. Subscribing
-// to a closed device returns an already-closed channel. Received Points
+// returned cancel function unregisters and closes the channel; it is
+// idempotent and safe to call at any time, including after the device was
+// retired — retirement (Manager.Remove, Manager.Close) fans out the final
+// drain point and then closes every subscriber channel itself, and the
+// subs map is the single ownership record deciding which side closes, so
+// a cancel racing retirement never panics and never leaks a registration.
+// Subscribing to a closed device returns an already-closed channel. Points
 // are the subscribers' own: every fan-out point carries a fresh Watts
 // copy (ring slots are recycled in place and cannot be shared out), shared
 // only among the subscribers of that same point — treat it as read-only.
@@ -477,26 +555,45 @@ func (d *Device) Trace(max int) *trace.Trace {
 	for _, p := range pts {
 		// Snapshot points are deep copies, so the trace may keep their
 		// Watts rows without re-copying.
-		tr.Points = append(tr.Points, trace.Point{
+		tp := trace.Point{
 			Time:   p.Time,
 			Watts:  p.Watts,
 			TotalW: p.Total,
-		})
+		}
+		if p.Marks > 0 {
+			tp.Marker = 'M'
+		}
+		tr.Points = append(tr.Points, tp)
 	}
 	return tr
 }
 
-// close closes subscriber channels and releases the source.
+// close retires the device: the in-flight partial downsample block is
+// drained into the ring as one final short point (its mean covers however
+// many samples had accumulated), that point is flushed and fanned out to
+// subscribers, the final telemetry is published — then, and only then,
+// subscriber channels close and the source is released. The ordering is
+// the drain contract: a subscriber always receives every point the device
+// produced, including the drain point, before its channel closes; a
+// cancel racing close never double-closes a channel because the subs map
+// is the single ownership record for both.
 func (d *Device) close() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
 	}
+	d.pub.state.Store(int32(devStopping))
+	if d.accN > 0 {
+		d.emit(d.src.Now())
+	}
+	d.flush()
+	d.publish()
 	d.closed = true
 	for id, ch := range d.subs {
 		delete(d.subs, id)
 		close(ch)
 	}
 	d.src.Close()
+	d.pub.state.Store(int32(devClosed))
 }

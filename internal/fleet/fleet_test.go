@@ -185,8 +185,13 @@ func TestManagerAddErrors(t *testing.T) {
 	}
 	m.Start()
 	defer m.Stop()
-	if _, err := m.Add("late", "ssd", nil); err == nil {
-		t.Fatal("Add after Start succeeded")
+	// Duplicate names are rejected on a running manager too — before the
+	// source is touched, so nil is safe here.
+	if _, err := m.Add("gpu0", "ssd", nil); err == nil {
+		t.Fatal("duplicate Add after Start succeeded")
+	}
+	if err := m.Remove("nope"); err == nil {
+		t.Fatal("Remove of unknown station succeeded")
 	}
 }
 

@@ -15,10 +15,14 @@ import (
 
 // stubSource emits a fixed three-channel waveform at 20 kHz, filling
 // batches with direct indexed writes like the cheapest real source would.
+// When markAt is set, the markAt-th sample of the stream (1-based) is
+// flagged as a time-synced user marker.
 type stubSource struct {
-	now   time.Duration
-	last  time.Duration
-	joule float64
+	now    time.Duration
+	last   time.Duration
+	joule  float64
+	count  int // samples emitted so far
+	markAt int // 1-based ordinal of the sample to mark; 0 = never
 }
 
 const stubPeriod = time.Second / 20000
@@ -46,6 +50,10 @@ func (s *stubSource) ReadInto(d time.Duration, b *source.Batch) {
 		c := b.Chans[i*3 : i*3+3]
 		c[0], c[1], c[2] = 10, 20, 30
 	}
+	if s.markAt > s.count && s.markAt <= s.count+k {
+		b.Marks = append(b.Marks, s.markAt-s.count-1)
+	}
+	s.count += k
 	s.joule += 60 * float64(k) * stubPeriod.Seconds()
 	s.last = t
 }

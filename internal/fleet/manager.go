@@ -55,17 +55,30 @@ func (c Config) withDefaults() Config {
 }
 
 // Manager owns a fleet of named stations and drives each in its own
-// goroutine. Construction (Add) must finish before Start; snapshots,
-// subscriptions and traces are safe at any time from any goroutine.
+// goroutine. The fleet is fully dynamic: Add adopts a station at any time
+// — before Start, or against a running manager, in which case its driver
+// goroutine spawns immediately — and Remove retires one at any time,
+// stopping its driver, draining its final downsample block into the ring
+// and closing its subscriptions. Snapshots, subscriptions and traces are
+// safe at any time from any goroutine, concurrently with churn.
 //
 // The device list is published copy-on-write through an atomic pointer,
-// kept sorted by name: Add (rare, before Start) builds a fresh sorted
-// slice, while the hot readers — StepAll, Snapshot, the drive goroutines
-// — load the current list with no lock and no per-call copy, and
-// Snapshot inherits the sorted order instead of re-sorting per scrape.
+// kept sorted by name: Add and Remove (rare) build a fresh sorted slice
+// whose atomic swap is the lifecycle commit point, while the hot readers
+// — StepAll, Snapshot, the drive goroutines — load the current list with
+// no lock and no per-call copy, and Snapshot inherits the sorted order
+// instead of re-sorting per scrape. A reader holding the old slice may
+// briefly step or snapshot a retiring device; both are harmless, because
+// a retired device's step is a no-op and its last published telemetry
+// stays readable.
 type Manager struct {
 	cfg     Config
 	devices atomic.Pointer[[]*Device] // sorted by name, copy-on-write
+
+	// Lifetime churn counters, exported as
+	// powersensor_fleet_{adopted,retired}_total.
+	adopted atomic.Uint64
+	retired atomic.Uint64
 
 	mu      sync.Mutex
 	byName  map[string]*Device
@@ -110,14 +123,15 @@ func (m *Manager) list() []*Device {
 	return *m.devices.Load()
 }
 
-// Add adopts a measurement source as a named station. It must not be
-// called after Start.
+// Add adopts a measurement source as a named station, at any time: on a
+// stopped manager the station waits for Start, on a running one its
+// driver goroutine spawns before Add returns — the hot-add path a serving
+// daemon uses when a rig is cabled up. The atomic list swap is the commit
+// point at which concurrent Snapshot/scrape/StepAll callers begin to see
+// the station.
 func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.started {
-		return nil, fmt.Errorf("fleet: Add(%q) after Start", name)
-	}
 	if _, dup := m.byName[name]; dup {
 		return nil, fmt.Errorf("fleet: duplicate station %q", name)
 	}
@@ -130,8 +144,58 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	next = append(next, old[at:]...)
 	m.devices.Store(&next)
 	m.byName[name] = d
+	m.adopted.Add(1)
+	if m.started {
+		m.startDriver(d)
+	}
 	return d, nil
 }
+
+// Remove retires the named station. The copy-on-write list swap is the
+// commit point — concurrent Snapshot, scrape and StepAll callers stop
+// seeing the station the moment it lands — after which Remove stops the
+// station's driver goroutine (waiting for its in-flight step to finish),
+// drains the in-flight downsample block into the ring as a final short
+// point, fans that point out, closes every subscription and releases the
+// source. Safe to call from any goroutine, concurrently with Add, Stop,
+// snapshots and subscriptions; removing an unknown (or already removed)
+// station returns an error.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	d := m.byName[name]
+	if d == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: Remove(%q): unknown station", name)
+	}
+	delete(m.byName, name) // claims the device: no second Remove can reach it
+	old := m.list()
+	next := make([]*Device, 0, len(old)-1)
+	for _, o := range old {
+		if o != d {
+			next = append(next, o)
+		}
+	}
+	m.devices.Store(&next) // commit: new readers no longer see the station
+	done := d.driveDone    // this run's driver exit signal, nil if never driven
+	m.retired.Add(1)
+	m.mu.Unlock()
+
+	// Stop the driver without holding the manager lock: the goroutine may
+	// be mid-step, and a slice of virtual time can take real time.
+	d.pub.state.Store(int32(devStopping))
+	close(d.retire) // single close guaranteed by the byName claim above
+	if done != nil {
+		<-done
+	}
+	d.close()
+	return nil
+}
+
+// Adopted returns the number of stations ever adopted by Add.
+func (m *Manager) Adopted() uint64 { return m.adopted.Load() }
+
+// Retired returns the number of stations ever retired by Remove.
+func (m *Manager) Retired() uint64 { return m.retired.Load() }
 
 // Device returns the named station, or nil.
 func (m *Manager) Device(name string) *Device {
@@ -157,7 +221,8 @@ func (m *Manager) Size() int {
 
 // Start launches one goroutine per station, each repeatedly advancing its
 // station by Config.Slice of virtual time (paced against the wall clock
-// when Config.Rate is set). Start is idempotent until Stop.
+// when Config.Rate is set). Stations Added while running get their own
+// driver on the same run. Start is idempotent until Stop.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -168,16 +233,42 @@ func (m *Manager) Start() {
 	m.stop = make(chan struct{})
 	m.wg = &sync.WaitGroup{}
 	for _, d := range m.list() {
-		m.wg.Add(1)
-		go m.drive(d, m.stop, m.wg)
+		m.startDriver(d)
 	}
 }
 
-// drive is one station's advance loop. stop and wg are captured per run so
-// a Stop racing a later Start waits only for (and signals only) its own
-// generation of goroutines.
-func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup) {
-	defer wg.Done()
+// startDriver launches d's drive goroutine on the current run. Called
+// with m.mu held and m.started true — from Start, and from Add when the
+// manager is already running.
+func (m *Manager) startDriver(d *Device) {
+	done := make(chan struct{})
+	d.driveDone = done
+	d.pub.state.Store(int32(devStarted))
+	m.wg.Add(1)
+	go m.drive(d, m.stop, m.wg, done)
+}
+
+// drive is one station's advance loop. stop, wg and done are captured per
+// run so a Stop racing a later Start waits only for (and signals only) its
+// own generation of goroutines. The loop exits on the run-wide stop
+// channel (Stop) or the device's own retire channel (Remove), whichever
+// closes first; done signals the exit to a Remove waiting to drain.
+func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup, done chan struct{}) {
+	defer func() {
+		// A stopped (not retired) station returns to adopted, ready for
+		// the next Start; a retiring one is already marked stopping and
+		// the swap leaves that state in place for close to finish. The
+		// generation check under m.mu keeps a stale driver — one exiting
+		// after a quick Stop/Start already launched its successor — from
+		// clobbering the started state the new run just published.
+		m.mu.Lock()
+		if d.driveDone == done {
+			d.pub.state.CompareAndSwap(int32(devStarted), int32(devAdopted))
+		}
+		m.mu.Unlock()
+		close(done)
+		wg.Done()
+	}()
 	wallPerSlice := time.Duration(0)
 	if m.cfg.Rate > 0 {
 		wallPerSlice = time.Duration(float64(m.cfg.Slice) / m.cfg.Rate)
@@ -191,6 +282,8 @@ func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup) {
 		select {
 		case <-stop:
 			return
+		case <-d.retire:
+			return
 		default:
 		}
 		d.step(m.cfg.Slice)
@@ -199,6 +292,8 @@ func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup) {
 			if rest := time.Until(next); rest > 0 {
 				select {
 				case <-stop:
+					return
+				case <-d.retire:
 					return
 				case <-time.After(rest):
 				}

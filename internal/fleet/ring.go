@@ -10,7 +10,12 @@
 // buffers (one per station), with block sizes derived from each source's
 // native rate so ring points cover comparable time windows, and fanned
 // out to subscribers; per-station health counters (stream resyncs,
-// dropped fan-out points) make a running fleet observable. The ingest
+// dropped fan-out points) make a running fleet observable. Fleets are
+// dynamic: stations hot-add against a running manager and retire from it
+// (Manager.Remove) without perturbing concurrent snapshots, scrapes or
+// surviving stations — each station walks an explicit lifecycle
+// (adopted → started → stopping → closed) whose retirement path drains
+// the in-flight downsample block before subscriptions close. The ingest
 // path is allocation-free in steady state: batches reuse caller-owned
 // columns, block accumulators are fixed-size, and ring points write into
 // a preallocated flat arena. internal/export serves the manager over
@@ -35,6 +40,10 @@ type Point struct {
 	// peaks that averaging alone would erase.
 	Min float64 `json:"min"`
 	Max float64 `json:"max"`
+	// Marks counts the time-synced user markers (source.Batch.Marks)
+	// carried by the block's samples, so a 20 kHz marker survives
+	// downsampling into its block's point instead of being averaged away.
+	Marks int `json:"marks,omitempty"`
 }
 
 // Ring is a fixed-capacity overwrite-oldest buffer of Points with one
@@ -86,11 +95,12 @@ func (r *Ring) Chans() int { return r.chans }
 // Push records one downsampled point, evicting the oldest once the ring
 // is full. watts must hold the per-channel block averages (exactly the
 // ring's channel count); it is copied into the point's arena slot, so the
-// caller may reuse its buffer. Push never allocates.
-func (r *Ring) Push(t time.Duration, watts []float64, total, min, max float64) {
+// caller may reuse its buffer. marks is the block's user-marker count.
+// Push never allocates.
+func (r *Ring) Push(t time.Duration, watts []float64, total, min, max float64, marks int) {
 	r.mu.Lock()
 	p := &r.buf[r.next]
-	p.Time, p.Total, p.Min, p.Max = t, total, min, max
+	p.Time, p.Total, p.Min, p.Max, p.Marks = t, total, min, max, marks
 	copy(p.Watts, watts)
 	r.next++
 	if r.next == len(r.buf) {
@@ -107,14 +117,14 @@ func (r *Ring) Push(t time.Duration, watts []float64, total, min, max float64) {
 // acquisition — the ingest path collects the blocks completed within one
 // step and pushes them together, instead of paying a lock round-trip per
 // block. watts is sample-major with the ring's channel stride (point i's
-// row is watts[i*chans:(i+1)*chans]); times, totals, mins and maxs hold
-// one entry per point. Like Push, PushN copies everything and never
+// row is watts[i*chans:(i+1)*chans]); times, totals, mins, maxs and marks
+// hold one entry per point. Like Push, PushN copies everything and never
 // allocates.
-func (r *Ring) PushN(times []time.Duration, watts []float64, totals, mins, maxs []float64) {
+func (r *Ring) PushN(times []time.Duration, watts []float64, totals, mins, maxs []float64, marks []int) {
 	r.mu.Lock()
 	for i, t := range times {
 		p := &r.buf[r.next]
-		p.Time, p.Total, p.Min, p.Max = t, totals[i], mins[i], maxs[i]
+		p.Time, p.Total, p.Min, p.Max, p.Marks = t, totals[i], mins[i], maxs[i], marks[i]
 		copy(p.Watts, watts[i*r.chans:(i+1)*r.chans])
 		r.next++
 		if r.next == len(r.buf) {

@@ -8,7 +8,7 @@ import (
 
 func push(r *Ring, i int) {
 	w := float64(i)
-	r.Push(time.Duration(i)*time.Millisecond, []float64{w, w + 0.5}, w, w-1, w+1)
+	r.Push(time.Duration(i)*time.Millisecond, []float64{w, w + 0.5}, w, w-1, w+1, 0)
 }
 
 func TestRingFillAndWraparound(t *testing.T) {
@@ -90,10 +90,43 @@ func TestRingPushZeroAlloc(t *testing.T) {
 	r := NewRing(8, 3)
 	watts := []float64{1, 2, 3}
 	allocs := testing.AllocsPerRun(1000, func() {
-		r.Push(time.Millisecond, watts, 6, 1, 3)
+		r.Push(time.Millisecond, watts, 6, 1, 3, 0)
 	})
 	if allocs != 0 {
 		t.Errorf("Push allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestRingMarksTravel: a point's marker count rides through pushes,
+// wraparound recycling and snapshots like any other block statistic.
+func TestRingMarksTravel(t *testing.T) {
+	r := NewRing(4, 1)
+	for i := 0; i < 6; i++ {
+		marks := 0
+		if i == 4 {
+			marks = 2
+		}
+		r.Push(time.Duration(i)*time.Millisecond, []float64{1}, 1, 1, 1, marks)
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d points, want 4", len(snap))
+	}
+	for i, p := range snap {
+		want := 0
+		if p.Time == 4*time.Millisecond {
+			want = 2
+		}
+		if p.Marks != want {
+			t.Errorf("point %d (t=%v): marks = %d, want %d", i, p.Time, p.Marks, want)
+		}
+	}
+	// A recycled slot must not inherit the previous occupant's marks.
+	times := []time.Duration{10 * time.Millisecond}
+	r.PushN(times, []float64{1}, []float64{1}, []float64{1}, []float64{1}, []int{3})
+	snap = r.Snapshot(1)
+	if snap[0].Marks != 3 {
+		t.Errorf("PushN marks = %d, want 3", snap[0].Marks)
 	}
 }
 
