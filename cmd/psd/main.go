@@ -15,14 +15,14 @@
 // Flags:
 //
 //	-listen  HTTP listen address (default :9120)
-//	-fleet   comma-separated name=kind stations. PowerSensor3-rig kinds:
-//	         rtx4000ada, w7700, jetson, ssd (20 kHz). Software-meter
-//	         kinds: nvml (~10 Hz), amdsmi (~1 kHz), jetson-ina (~10 Hz,
-//	         the board's INA3221), rapl (~1 kHz energy counter). synth is
-//	         a pure-software 20 kHz waveform station — hundreds build
-//	         instantly, for fleet-scale load tests. Default:
-//	         "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd,
-//	         gpu0sw=nvml,cpu0=rapl" — a mixed fleet.
+//	-fleet   comma-separated name=kindspec stations. The kindspec grammar —
+//	         station kinds, "@index" seed pinning, and the "|"-separated
+//	         derived-source pipe stages (resample, calib, ratelimit,
+//	         smooth) — is documented in one place: simsetup.ParseFleet.
+//	         The default is simsetup.DefaultFleetSpec, a mixed fleet of
+//	         four PowerSensor3 rigs, two software meters and two derived
+//	         views — including gpu0lo, a 1 kHz resampled + recalibrated
+//	         view of the same rig gpu0 serves raw at 20 kHz.
 //	-seed    base simulation seed; each station derives its own
 //	-rate    virtual seconds simulated per wall second (1 = real time,
 //	         0 = as fast as the host allows)
@@ -42,8 +42,9 @@
 //	GET  /api/device/{name}/trace     recent trace (?format=csv|json, ?points=N)
 //	GET  /healthz                     liveness probe
 //	POST /api/fleet/add               hot-add a station to the running fleet:
-//	                                  name= and kind= (any -fleet spec kind)
-//	                                  as form or query parameters
+//	                                  name= and kind= (any -fleet kindspec,
+//	                                  pipe stages included) as form or query
+//	                                  parameters
 //	POST /api/fleet/remove/{name}     retire a station: its driver stops, the
 //	                                  final downsample block drains, and its
 //	                                  series leave /metrics
@@ -63,15 +64,23 @@
 //
 //	$ curl -s localhost:9120/metrics | grep -e gpu0 -e cpu0
 //	powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1
+//	powersensor_source_info{device="gpu0lo",backend="powersensor3+resample+calib",kind="rtx4000ada@0|resample:1000|calib:0.98:0.25"} 1
 //	powersensor_source_info{device="cpu0",backend="rapl",kind="rapl"} 1
 //	powersensor_source_rate_hz{device="gpu0"} 20000
+//	powersensor_source_rate_hz{device="gpu0lo"} 1000
 //	powersensor_source_rate_hz{device="cpu0"} 1000
+//	powersensor_source_overhead_seconds{device="cpu0lim"} 0.00041...
 //	powersensor_watts{device="gpu0",pair="2",channel="pcie8pin"} 55.88...
 //	powersensor_watts{device="cpu0",pair="0",channel="package"} 47.3...
 //	powersensor_board_watts{device="gpu0"} 67.7...
 //	powersensor_joules_total{device="gpu0"} 154.9...
 //	powersensor_samples_total{device="gpu0"} 40000
 //	...
+//
+// The raw 20 kHz station and its 1 kHz derived view serve concurrently,
+// each paced by its own (stage-rewritten) rate; the rate-limited meter's
+// cumulative sampling overhead — the monitoring footprint the throttle
+// bounds — is a first-class scrape series.
 package main
 
 import (
@@ -95,7 +104,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":9120", "HTTP listen address")
-	spec := flag.String("fleet", simsetup.DefaultFleetSpec, "fleet spec: comma-separated name=kind")
+	spec := flag.String("fleet", simsetup.DefaultFleetSpec,
+		"fleet spec: comma-separated name=kindspec (grammar: simsetup.ParseFleet)")
 	seed := flag.Uint64("seed", 1, "base simulation seed")
 	rate := flag.Float64("rate", 1, "virtual seconds per wall second (0 = unpaced)")
 	slice := flag.Duration("slice", 5*time.Millisecond, "virtual-time quantum per iteration")
@@ -119,9 +129,10 @@ func main() {
 
 // admin serves the fleet lifecycle: hot-adding and retiring stations on
 // the running manager. It builds station sources the same way the -fleet
-// flag does (simsetup.NewStation), deriving each new station's seed from
-// the daemon's base seed and a monotonic adoption index so hot-added
-// rigs decorrelate like spec-listed ones.
+// flag does (simsetup.BuildStation, so pipe-stage kindspecs work over
+// HTTP too), deriving each new station's seed from the daemon's base
+// seed and a monotonic adoption index so hot-added rigs decorrelate like
+// spec-listed ones.
 type admin struct {
 	mgr  *fleet.Manager
 	seed uint64
@@ -134,7 +145,7 @@ func (a *admin) add(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "want name= and kind= parameters", http.StatusBadRequest)
 		return
 	}
-	src, err := simsetup.NewStation(kind, a.seed+a.next.Add(1)*1000003)
+	src, err := simsetup.BuildStation(kind, a.seed, int(a.next.Add(1)))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -13,7 +13,9 @@ import (
 
 // TestServeFleet wires the daemon exactly as run does (minus the
 // listener) and exercises every endpoint against the default mixed fleet:
-// four PowerSensor3 rigs plus two software meters (NVML and RAPL).
+// four PowerSensor3 rigs, two software meters (NVML and RAPL) and two
+// derived pipeline views (a 1 kHz resampled+recalibrated twin of gpu0's
+// rig, and the RAPL meter rate-limited to 100 Hz).
 func TestServeFleet(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
 		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond)
@@ -41,37 +43,51 @@ func TestServeFleet(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics: status %d", code)
 	}
-	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0", "gpu0sw", "cpu0"} {
+	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0", "gpu0sw", "cpu0",
+		"gpu0lo", "cpu0lim"} {
 		if !strings.Contains(body, `powersensor_joules_total{device="`+dev+`"} `) {
 			t.Errorf("/metrics missing joules for %s", dev)
 		}
 	}
-	// Per-backend kind and native rate are scrape labels.
+	// Per-backend kind and native rate are scrape labels; derived views
+	// carry their stage-suffixed backend and rewritten rate.
 	for _, want := range []string{
 		`powersensor_source_info{device="gpu0",backend="powersensor3",kind="rtx4000ada"} 1`,
 		`powersensor_source_info{device="gpu0sw",backend="nvml",kind="nvml"} 1`,
 		`powersensor_source_info{device="cpu0",backend="rapl",kind="rapl"} 1`,
+		`powersensor_source_info{device="gpu0lo",backend="powersensor3+resample+calib",kind="rtx4000ada@0|resample:1000|calib:0.98:0.25"} 1`,
+		`powersensor_source_info{device="cpu0lim",backend="rapl+ratelimit",kind="rapl@5|ratelimit:100"} 1`,
 		`powersensor_source_rate_hz{device="gpu0"} 20000`,
 		`powersensor_source_rate_hz{device="gpu0sw"} 10`,
 		`powersensor_source_rate_hz{device="cpu0"} 1000`,
+		`powersensor_source_rate_hz{device="gpu0lo"} 1000`,
+		`powersensor_source_rate_hz{device="cpu0lim"} 100`,
 	} {
 		if !strings.Contains(body, want+"\n") {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+	// The rate-limited meter accounts its sampling overhead as a series.
+	if !strings.Contains(body, `powersensor_source_overhead_seconds{device="cpu0lim"} `) {
+		t.Error("/metrics missing cpu0lim sampling overhead")
 	}
 	code, body = get("/api/fleet")
 	if code != http.StatusOK {
 		t.Errorf("/api/fleet: status %d", code)
 	}
 	for _, want := range []string{`"backend": "powersensor3"`, `"backend": "nvml"`,
-		`"backend": "rapl"`, `"rate_hz": 20000`, `"rate_hz": 1000`} {
+		`"backend": "rapl"`, `"backend": "powersensor3+resample+calib"`,
+		`"backend": "rapl+ratelimit"`, `"rate_hz": 20000`, `"rate_hz": 1000`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/api/fleet missing %q", want)
 		}
 	}
-	// Traces serve from hardware and software stations alike.
+	// Traces serve from hardware, software and derived stations alike.
 	if code, _ := get("/api/device/gpu1/trace?points=20"); code != http.StatusOK {
 		t.Errorf("/api/device/gpu1/trace: status %d", code)
+	}
+	if code, _ := get("/api/device/gpu0lo/trace?points=20"); code != http.StatusOK {
+		t.Errorf("/api/device/gpu0lo/trace: status %d", code)
 	}
 	if code, _ := get("/api/device/cpu0/trace?points=20"); code != http.StatusOK {
 		t.Errorf("/api/device/cpu0/trace: status %d", code)
@@ -148,6 +164,9 @@ func TestAdminAddRemove(t *testing.T) {
 	if code, _ := post("/api/fleet/add?name=x&kind=warp9"); code != http.StatusBadRequest {
 		t.Errorf("unknown kind: status %d, want %d", code, http.StatusBadRequest)
 	}
+	if code, _ := post("/api/fleet/add?name=x&kind=synth%7Cresample:0"); code != http.StatusBadRequest {
+		t.Errorf("bad stage arg: status %d, want %d", code, http.StatusBadRequest)
+	}
 	if code, _ := post("/api/fleet/add"); code != http.StatusBadRequest {
 		t.Errorf("missing params: status %d, want %d", code, http.StatusBadRequest)
 	}
@@ -164,6 +183,20 @@ func TestAdminAddRemove(t *testing.T) {
 		t.Error("GET on add adopted a station")
 	}
 
+	// Hot-add accepts full kindspecs: a piped derived view over HTTP
+	// (the pipe URL-encoded as %7C).
+	if code, body := post("/api/fleet/add?name=hot1&kind=synth%7Cresample:1000%7Ccalib:0.5"); code != http.StatusOK {
+		t.Fatalf("add piped hot1: status %d: %s", code, body)
+	}
+	_, body = get("/metrics")
+	if !strings.Contains(body,
+		`powersensor_source_info{device="hot1",backend="synthetic+resample+calib",kind="synth|resample:1000|calib:0.5"} 1`+"\n") {
+		t.Error("/metrics missing piped hot1 derived backend")
+	}
+	if code, _ := post("/api/fleet/remove/hot1"); code != http.StatusOK {
+		t.Error("remove piped hot1 failed")
+	}
+
 	if code, body := post("/api/fleet/remove/hot0"); code != http.StatusOK {
 		t.Fatalf("remove hot0: status %d: %s", code, body)
 	}
@@ -174,7 +207,7 @@ func TestAdminAddRemove(t *testing.T) {
 	if strings.Contains(body, `device="hot0"`) {
 		t.Error("/metrics still carries retired hot0 series")
 	}
-	if !strings.Contains(body, "powersensor_fleet_retired_total 1\n") {
-		t.Error("/metrics retired counter did not advance")
+	if !strings.Contains(body, "powersensor_fleet_retired_total 2\n") {
+		t.Error("/metrics retired counter did not account both removals")
 	}
 }

@@ -37,6 +37,39 @@
 // hundreds of samples per call and the fleet folds whole columns with
 // tight reduction loops instead of dispatching per sample.
 //
+// # The derived-source pipeline layer
+//
+// On top of the source layer, internal/pipeline derives *views*:
+// composable Source wrappers that stack on any backend and stay on the
+// zero-allocation columnar path —
+//
+//	any source.Source        powersensor3 @ 20 kHz, rapl @ 1 kHz, ...
+//	      │
+//	  Resample               rate conversion by energy-conserving bin
+//	      │                  averaging; marker indices remapped so no
+//	      │                  time-synced mark is lost
+//	  Calibrate              per-channel gain/offset overlay applied in
+//	      │                  the batch fold (energy re-integrated)
+//	  RateLimit              max delivered rate for polled meters, plus
+//	      │                  cumulative sampling-overhead accounting
+//	   Smooth                EWMA over Total and every channel
+//	      │
+//	 fleet.Device            block size and ring pacing derived from the
+//	      │                  stage-rewritten Meta.RateHz — no fleet changes
+//	export.Exporter          derived backend ("powersensor3+resample"),
+//	                         rewritten rate and overhead as scrape series
+//
+// Stages compose via pipeline.Chain and each rewrites the Meta it
+// presents upward, so a raw 20 kHz station and its 1 kHz resampled,
+// recalibrated view serve side by side from one rig; simsetup's fleet
+// spec exposes the stack as a pipe syntax
+// (gpu0lo=rtx4000ada@0|resample:1000|calib:0.98 — grammar on
+// simsetup.ParseFleet). A RateLimit stage also accounts the measurement's
+// own footprint — cumulative wall time spent sampling inside ReadInto —
+// published per station as Status.OverheadSeconds and the
+// powersensor_source_overhead_seconds series, the overhead concern
+// RAPL-based comparisons quantify.
+//
 // # Fleet telemetry and the zero-allocation contract
 //
 // Beyond the single-rig tools, the repository runs whole fleets:
@@ -89,12 +122,13 @@
 //
 // Command psd is the served entry point:
 //
-//	psd [-listen :9120]
-//	    [-fleet gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd,gpu0sw=nvml,cpu0=rapl]
+//	psd [-listen :9120] [-fleet name=kindspec,...]
 //	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-warmup 2s]
 //
 // Fleet specs mix PowerSensor3 rig kinds (rtx4000ada, w7700, jetson, ssd)
-// with software-meter kinds (nvml, amdsmi, jetson-ina, rapl) freely. It
+// with software-meter kinds (nvml, amdsmi, jetson-ina, rapl) freely, and
+// stack derived pipeline views with the pipe syntax; the full kindspec
+// grammar is documented on simsetup.ParseFleet. It
 // serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
 // status of every station), /api/device/{name}/trace (recent downsampled
 // trace as CSV or JSON) and /healthz, plus the lifecycle admin endpoints

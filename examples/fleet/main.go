@@ -1,14 +1,20 @@
-// Fleet: run a heterogeneous fleet of measurement stations, scrape it,
-// then hot-add and retire a station while the fleet keeps serving.
+// Fleet: run a heterogeneous fleet of measurement stations — including
+// derived pipeline views — scrape it, then hot-add and retire a station
+// while the fleet keeps serving.
 //
 // This is the smallest end-to-end use of the dynamic fleet subsystem: a
 // PCIe GPU and an SSD measured by PowerSensor3 at 20 kHz, next to two
 // software meters — an NVML counter at ~10 Hz and a RAPL energy counter
-// at ~1 kHz — all behind the same streaming source layer, each driven
-// with its own self-repeating workload, served over HTTP by the exporter.
-// Mid-serve, a fifth station is adopted and later retired — what the psd
-// daemon's POST /api/fleet/add and /api/fleet/remove/{name} endpoints do
-// on an operator's request — while scrapes keep flowing.
+// at ~1 kHz throttled to 100 Hz with sampling-overhead accounting — all
+// behind the same streaming source layer, each driven with its own
+// self-repeating workload, served over HTTP by the exporter. The fleet
+// also serves gpu0lo, a derived view of gpu0's rig: the same 20 kHz
+// stream resampled to 1 kHz with a 0.98 gain trim, stacked from pipeline
+// stages via the spec's pipe syntax (the full grammar is documented on
+// simsetup.ParseFleet). Mid-serve, a station is adopted and later
+// retired — what the psd daemon's POST /api/fleet/add and
+// /api/fleet/remove/{name} endpoints do on an operator's request — while
+// scrapes keep flowing.
 //
 //	go run ./examples/fleet
 package main
@@ -49,12 +55,17 @@ func scrape(srv *httptest.Server, prefixes ...string) []string {
 }
 
 func main() {
-	// Assemble the fleet: four named stations over two backend families.
-	// (With real hardware the PowerSensor3 stations would each be one
-	// sensor on /dev/ttyACM*; the software meters would poll NVML/RAPL.)
-	// Rate 20 paces virtual time at 20× wall, so the demo's short sleeps
-	// cover whole workload cycles.
-	mgr, err := fleet.FromSpec("gpu0=rtx4000ada,ssd0=ssd,gpu0sw=nvml,cpu0=rapl",
+	// Assemble the fleet: five named stations over two backend families
+	// plus a derived view. gpu0lo pins gpu0's seed index with "@0", so it
+	// is the same simulated rig served through a resample+calibrate
+	// pipeline; cpu0 is rate-limited so the fleet ingests 100 Hz of its
+	// 1 kHz counter. (With real hardware the PowerSensor3 stations would
+	// each be one sensor on /dev/ttyACM*; the software meters would poll
+	// NVML/RAPL.) Rate 20 paces virtual time at 20× wall, so the demo's
+	// short sleeps cover whole workload cycles.
+	mgr, err := fleet.FromSpec(
+		"gpu0=rtx4000ada,gpu0lo=rtx4000ada@0|resample:1000|calib:0.98,"+
+			"ssd0=ssd,gpu0sw=nvml,cpu0=rapl|ratelimit:100",
 		42, fleet.Config{Rate: 20})
 	if err != nil {
 		log.Fatal(err)
@@ -69,10 +80,19 @@ func main() {
 	srv := httptest.NewServer(export.New(mgr).Handler())
 	defer srv.Close()
 
-	fmt.Println("station      kind        backend       rate        power      energy    samples  state")
-	for _, st := range mgr.Snapshot() {
-		fmt.Printf("%-12s %-11s %-13s %7g Hz %7.2f W %8.2f J %10d  %s\n",
-			st.Name, st.Kind, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples, st.State)
+	// The raw 20 kHz station and its 1 kHz derived view serve side by
+	// side; the throttled meter accounts the wall time its sampling cost.
+	fmt.Println("station      backend                      rate        power      energy    samples  state")
+	snap := mgr.Snapshot()
+	for _, st := range snap {
+		fmt.Printf("%-12s %-28s %7g Hz %7.2f W %8.2f J %10d  %s\n",
+			st.Name, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples, st.State)
+	}
+	for _, st := range snap {
+		if st.OverheadSeconds > 0 {
+			fmt.Printf("\n%s sampling overhead so far: %.3g s (powersensor_source_overhead_seconds)\n",
+				st.Name, st.OverheadSeconds)
+		}
 	}
 
 	// Hot-add a station against the running manager: its driver goroutine

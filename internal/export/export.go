@@ -9,7 +9,12 @@
 // manager's lock-free snapshots (a scrape never touches a station's ingest
 // mutex), label blocks and HELP/TYPE headers are rendered once and cached,
 // and each scrape renders every family in a single pass into a pooled
-// reusable buffer — steady-state scrape cost is appending numbers.
+// reusable buffer — steady-state scrape cost is appending numbers. On top
+// of that, the whole rendered body is cached per block-boundary
+// generation (fleet.Manager.Gen): a repeat scrape arriving before any
+// station completes a new downsample block — an idle fleet, or several
+// scrapers sharing one exporter — serves the previous body for the cost
+// of a memcpy.
 //
 // Fleets churn while serving: stations hot-added or retired mid-scrape
 // simply appear in (or vanish from) the next snapshot, the
@@ -33,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
@@ -60,6 +66,22 @@ type Exporter struct {
 	// resolved label list), so concurrent scrapes reuse buffers instead
 	// of reallocating them.
 	scratch sync.Pool
+
+	// The rendered-body cache: when the fleet's block-boundary generation
+	// (fleet.Manager.Gen) has not advanced since the last render, the
+	// previous body is served as-is — repeat scrapes of an idle fleet (or
+	// several scrapers hitting one exporter between block boundaries) pay
+	// a memcpy instead of a full render. A cached body is at most one
+	// downsample block stale, and its scrape-duration gauge reports the
+	// cached render's cost. cacheGen is the generation the body was
+	// rendered against, loaded BEFORE that render's snapshot so a block
+	// landing mid-render invalidates conservatively. cacheHits counts
+	// served-from-cache scrapes (read by tests and benchmarks).
+	cacheOn   bool
+	cacheMu   sync.Mutex
+	cacheGen  uint64
+	cacheBody []byte
+	cacheHits atomic.Uint64
 }
 
 // devLabels is the pre-rendered label set of one station.
@@ -76,12 +98,21 @@ type scrapeState struct {
 	snap   []fleet.Status
 }
 
-// New returns an exporter over mgr.
+// New returns an exporter over mgr, with the rendered-body cache on.
 func New(mgr *fleet.Manager) *Exporter {
-	e := &Exporter{mgr: mgr, labels: make(map[string]*devLabels)}
+	e := &Exporter{mgr: mgr, labels: make(map[string]*devLabels), cacheOn: true}
 	e.scratch.New = func() any {
 		return &scrapeState{buf: make([]byte, 0, 16<<10)}
 	}
+	return e
+}
+
+// DisableBodyCache turns off the block-generation body cache, forcing
+// every scrape down the full render path — for benchmarks and tests that
+// measure or exercise rendering itself. Call before serving; it returns
+// the exporter for chaining.
+func (e *Exporter) DisableBodyCache() *Exporter {
+	e.cacheOn = false
 	return e
 }
 
@@ -179,6 +210,8 @@ var (
 		"Measurement backend serving each station; always 1.", "gauge")
 	hdrSourceRate = header("powersensor_source_rate_hz",
 		"Native sample rate of each station's backend, in hertz.", "gauge")
+	hdrSourceOverhead = header("powersensor_source_overhead_seconds",
+		"Cumulative wall time each station's source spent sampling inside ReadInto, in seconds.", "gauge")
 	hdrWatts = header("powersensor_watts",
 		"Block-averaged power per measurement channel, in watts.", "gauge")
 	hdrBoardWatts = header("powersensor_board_watts",
@@ -225,6 +258,41 @@ func appendSample(buf []byte, name, labels string, v float64) []byte {
 func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
 	st := e.scratch.Get().(*scrapeState)
+	// Body cache: if no station produced a downsample block and no churn
+	// happened since the last render, the previous body is still current
+	// (to within one open block) — copy it out under the cache lock and
+	// serve, skipping snapshot and render entirely. The copy (into the
+	// pooled buffer) keeps the cached bytes immutable under concurrent
+	// scrapes, and the response is written only after the lock is
+	// released so a slow client cannot stall other scrapers.
+	//
+	// Cache misses render single-flight: cacheMu stays held across
+	// snapshot, render and store. Were two same-generation renders
+	// allowed to interleave, the one holding the OLDER snapshot could
+	// store last (per-step published cells such as samples and overhead
+	// advance without changing Gen), and later cache hits would serve
+	// counters below values the fresher render already returned — a
+	// counter regression scrapers would read as a reset. Serialising
+	// renders makes every stored body at least as fresh as any body
+	// served before it; the concurrent scrape that would have rendered a
+	// duplicate waits briefly and then usually hits the fresh cache.
+	var gen uint64
+	if e.cacheOn {
+		gen = e.mgr.Gen()
+		e.cacheMu.Lock()
+		if e.cacheBody != nil && e.cacheGen == gen {
+			buf := append(st.buf[:0], e.cacheBody...)
+			e.cacheMu.Unlock()
+			e.cacheHits.Add(1)
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write(buf)
+			st.buf = buf
+			e.scratch.Put(st)
+			return
+		}
+		// Miss: keep holding cacheMu through snapshot, render and store
+		// (released just before the response is written).
+	}
 	// Churn counters load before the snapshot: labelsForAll's cache
 	// invalidation depends on this ordering (see its comment), and a
 	// scraper diffing adopted-retired against the device count then sees
@@ -251,6 +319,10 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	buf = append(buf, hdrSourceRate...)
 	for i := range snap {
 		buf = appendSample(buf, "powersensor_source_rate_hz", st.labels[i].dev, snap[i].RateHz)
+	}
+	buf = append(buf, hdrSourceOverhead...)
+	for i := range snap {
+		buf = appendSample(buf, "powersensor_source_overhead_seconds", st.labels[i].dev, snap[i].OverheadSeconds)
 	}
 	buf = append(buf, hdrWatts...)
 	for i := range snap {
@@ -292,6 +364,16 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	buf = append(buf, hdrScrapeDuration...)
 	buf = appendSample(buf, "powersensor_scrape_duration_seconds", "", time.Since(began).Seconds())
+
+	if e.cacheOn {
+		// Store against the generation loaded before the snapshot (still
+		// under the render lock): if a block landed mid-render the stored
+		// generation is already stale and the next scrape re-renders —
+		// the conservative direction.
+		e.cacheBody = append(e.cacheBody[:0], buf...)
+		e.cacheGen = gen
+		e.cacheMu.Unlock()
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(buf)

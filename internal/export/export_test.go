@@ -137,6 +137,53 @@ func TestMetricsMixedBackends(t *testing.T) {
 	}
 }
 
+// TestMetricsDerivedView scrapes a fleet serving raw stations next to
+// piped derived views: the exposition must carry the derived backend and
+// rewritten rate, and nonzero sampling overhead for the rate-limited
+// meter — the acceptance surface of the pipeline layer.
+func TestMetricsDerivedView(t *testing.T) {
+	mgr, err := fleet.FromSpec(
+		"gpu0=synth,gpu0lo=synth@0|resample:1000|calib:0.98,cpu0=rapl,cpu0lim=rapl@2|ratelimit:100",
+		1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(time.Second)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`powersensor_source_info{device="gpu0",backend="synthetic",kind="synth"} 1`,
+		`powersensor_source_info{device="gpu0lo",backend="synthetic+resample+calib",kind="synth@0|resample:1000|calib:0.98"} 1`,
+		`powersensor_source_info{device="cpu0lim",backend="rapl+ratelimit",kind="rapl@2|ratelimit:100"} 1`,
+		`powersensor_source_rate_hz{device="gpu0"} 20000`,
+		`powersensor_source_rate_hz{device="gpu0lo"} 1000`,
+		`powersensor_source_rate_hz{device="cpu0lim"} 100`,
+		`powersensor_source_overhead_seconds{device="gpu0"} 0`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("missing exposition line %q", want)
+		}
+	}
+	// The rate-limited meter accounted real sampling overhead.
+	m := regexp.MustCompile(`powersensor_source_overhead_seconds\{device="cpu0lim"\} ([0-9.e+-]+)`).
+		FindStringSubmatch(body)
+	if m == nil {
+		t.Fatal("missing cpu0lim overhead series")
+	}
+	if v, err := strconv.ParseFloat(m[1], 64); err != nil || v <= 0 {
+		t.Errorf("cpu0lim overhead = %q, want > 0", m[1])
+	}
+	// Derived stations downsample like any other: both views carry power.
+	for _, dev := range []string{"gpu0lo", "cpu0lim"} {
+		if !strings.Contains(body, `powersensor_board_watts{device="`+dev+`"} `) {
+			t.Errorf("derived station %s has no board watts series", dev)
+		}
+	}
+}
+
 // TestMetricsExpositionFormat is the golden check of the text exposition:
 // the exact HELP/TYPE skeleton, and every sample line well-formed.
 func TestMetricsExpositionFormat(t *testing.T) {
@@ -166,6 +213,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_source_info gauge",
 		"# HELP powersensor_source_rate_hz Native sample rate of each station's backend, in hertz.",
 		"# TYPE powersensor_source_rate_hz gauge",
+		"# HELP powersensor_source_overhead_seconds Cumulative wall time each station's source spent sampling inside ReadInto, in seconds.",
+		"# TYPE powersensor_source_overhead_seconds gauge",
 		"# HELP powersensor_watts Block-averaged power per measurement channel, in watts.",
 		"# TYPE powersensor_watts gauge",
 		"# HELP powersensor_board_watts Block-averaged summed board power per station, in watts.",
@@ -356,9 +405,9 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 						return
 					}
 				}
-				// 15 families × (HELP + TYPE).
-				if comments != 30 {
-					t.Errorf("scrape under load has %d comment lines, want 30", comments)
+				// 16 families × (HELP + TYPE).
+				if comments != 32 {
+					t.Errorf("scrape under load has %d comment lines, want 32", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -379,6 +428,62 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 	scrapers.Wait()
 	close(stop)
 	steps.Wait()
+}
+
+// TestMetricsBodyCache pins the block-generation body cache: a repeat
+// scrape with no new downsample block serves the previous body verbatim,
+// while new blocks and churn invalidate it.
+func TestMetricsBodyCache(t *testing.T) {
+	mgr, err := fleet.FromSpec("s0=synth,s1=synth", 1, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(50 * time.Millisecond)
+	e := New(mgr)
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+
+	_, b1 := get(t, srv.URL+"/metrics")
+	_, b2 := get(t, srv.URL+"/metrics")
+	if hits := e.cacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits after repeat scrape = %d, want 1", hits)
+	}
+	if b1 != b2 {
+		t.Error("repeat scrape with no new blocks is not byte-identical")
+	}
+
+	// New blocks invalidate: the next scrape re-renders fresher counters.
+	mgr.StepAll(5 * time.Millisecond)
+	_, b3 := get(t, srv.URL+"/metrics")
+	if hits := e.cacheHits.Load(); hits != 1 {
+		t.Errorf("scrape after new blocks hit the cache (hits=%d)", hits)
+	}
+	if b3 == b1 {
+		t.Error("scrape after new blocks served the stale body")
+	}
+
+	// Churn invalidates: a retired station's series leave immediately.
+	if err := mgr.Remove("s1"); err != nil {
+		t.Fatal(err)
+	}
+	_, b4 := get(t, srv.URL+"/metrics")
+	if hits := e.cacheHits.Load(); hits != 1 {
+		t.Errorf("scrape after churn hit the cache (hits=%d)", hits)
+	}
+	if strings.Contains(b4, `device="s1"`) {
+		t.Error("cached body leaked a retired station's series")
+	}
+
+	// DisableBodyCache forces the render path every time.
+	e2 := New(mgr).DisableBodyCache()
+	srv2 := httptest.NewServer(e2.Handler())
+	t.Cleanup(srv2.Close)
+	get(t, srv2.URL+"/metrics")
+	get(t, srv2.URL+"/metrics")
+	if hits := e2.cacheHits.Load(); hits != 0 {
+		t.Errorf("disabled cache served %d hits", hits)
+	}
 }
 
 // addSynth hot-adds one synthetic station to a manager, building the
@@ -570,8 +675,8 @@ func TestScrapeDuringChurn(t *testing.T) {
 						return
 					}
 				}
-				if comments != 30 {
-					t.Errorf("scrape during churn has %d comment lines, want 30", comments)
+				if comments != 32 {
+					t.Errorf("scrape during churn has %d comment lines, want 32", comments)
 					return
 				}
 				adopted := counter(body, "powersensor_fleet_adopted_total")

@@ -83,6 +83,11 @@ type Status struct {
 	// nonzero values indicate a corrupted or lossy link. Always zero for
 	// software meters.
 	Resyncs int `json:"resyncs"`
+	// OverheadSeconds is the cumulative wall time the station's source
+	// spent sampling inside ReadInto — the measurement's own footprint on
+	// the measured system. Zero for sources without overhead accounting
+	// (see source.Overheader); pipeline.RateLimit stages account it.
+	OverheadSeconds float64 `json:"overhead_seconds"`
 	// Dropped counts subscriber deliveries discarded because the target
 	// channel was full — one increment per slow subscriber per point, so
 	// with several lagging subscribers it exceeds the number of distinct
@@ -114,6 +119,7 @@ type pub struct {
 	dropped   atomic.Uint64
 	nowNanos  atomic.Int64
 	joules    atomic.Uint64 // math.Float64bits
+	overhead  atomic.Int64  // cumulative sampling overhead, nanoseconds
 	resyncs   atomic.Int64
 	watts     atomic.Uint64 // math.Float64bits
 	pair      [source.MaxChannels]atomic.Uint64
@@ -144,8 +150,9 @@ type Device struct {
 
 	mu      sync.Mutex
 	src     source.Source
-	batch   source.Batch // reused columnar buffer ReadInto fills each step
-	block   int          // samples per ring point, derived from the native rate
+	ov      source.Overheader // src's overhead accounting, nil without one
+	batch   source.Batch      // reused columnar buffer ReadInto fills each step
+	block   int               // samples per ring point, derived from the native rate
 	chans   int
 	baseJ   float64 // cumulative joules at adoption, subtracted from Status
 	samples uint64
@@ -206,6 +213,7 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		baseJ:  src.Joules(),
 		subs:   make(map[int]chan Point),
 	}
+	d.ov, _ = src.(source.Overheader)
 	d.ring = NewRing(ringCap, d.chans)
 	d.pub.nowNanos.Store(int64(src.Now()))
 	d.pub.resyncs.Store(int64(src.Resyncs()))
@@ -428,6 +436,9 @@ func (d *Device) publish() {
 	if r := int64(d.src.Resyncs()); d.pub.resyncs.Load() != r {
 		d.pub.resyncs.Store(r)
 	}
+	if d.ov != nil {
+		d.pub.overhead.Store(int64(d.ov.Overhead()))
+	}
 	if d.pub.dropped.Load() != d.dropped {
 		d.pub.dropped.Store(d.dropped)
 	}
@@ -483,21 +494,22 @@ func (d *Device) StatusInto(st *Status) {
 	pairWatts := st.PairWatts[:0]
 	channels := st.Channels[:0]
 	*st = Status{
-		Name:      d.name,
-		Kind:      d.kind,
-		Backend:   d.meta.Backend,
-		RateHz:    d.meta.RateHz,
-		Pairs:     d.chans,
-		State:     devState(d.pub.state.Load()).String(),
-		Now:       time.Duration(d.pub.nowNanos.Load()),
-		Watts:     math.Float64frombits(d.pub.watts.Load()),
-		Joules:    math.Float64frombits(d.pub.joules.Load()),
-		Samples:   d.pub.samples.Load(),
-		Marks:     d.pub.marks.Load(),
-		Resyncs:   int(d.pub.resyncs.Load()),
-		Dropped:   d.pub.dropped.Load(),
-		RingLen:   int(d.pub.ringLen.Load()),
-		RingTotal: d.pub.ringTotal.Load(),
+		Name:            d.name,
+		Kind:            d.kind,
+		Backend:         d.meta.Backend,
+		RateHz:          d.meta.RateHz,
+		Pairs:           d.chans,
+		State:           devState(d.pub.state.Load()).String(),
+		Now:             time.Duration(d.pub.nowNanos.Load()),
+		Watts:           math.Float64frombits(d.pub.watts.Load()),
+		Joules:          math.Float64frombits(d.pub.joules.Load()),
+		Samples:         d.pub.samples.Load(),
+		Marks:           d.pub.marks.Load(),
+		Resyncs:         int(d.pub.resyncs.Load()),
+		OverheadSeconds: time.Duration(d.pub.overhead.Load()).Seconds(),
+		Dropped:         d.pub.dropped.Load(),
+		RingLen:         int(d.pub.ringLen.Load()),
+		RingTotal:       d.pub.ringTotal.Load(),
 	}
 	for m := 0; m < d.chans; m++ {
 		pairWatts = append(pairWatts, math.Float64frombits(d.pub.pair[m].Load()))

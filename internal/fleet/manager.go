@@ -95,7 +95,8 @@ func NewManager(cfg Config) *Manager {
 }
 
 // FromSpec builds a manager holding the fleet described by spec (see
-// simsetup.ParseFleet for the name=kind syntax).
+// simsetup.ParseFleet for the name=kindspec grammar, including the
+// derived-source pipe stages).
 func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
 	members, err := simsetup.ParseFleet(spec, seed)
 	if err != nil {
@@ -189,6 +190,37 @@ func (m *Manager) Remove(name string) error {
 	}
 	d.close()
 	return nil
+}
+
+// Gen returns a generation fingerprint of the fleet's block-boundary
+// state: a hash folding the churn counters and every station's
+// ever-produced ring-point count, computed from the same atomically
+// published cells snapshots read — no manager lock, no device ingest
+// mutex, O(stations) atomic loads. The fingerprint changes whenever any
+// station completes a downsample block or the fleet churns, which is
+// when a rendered telemetry body goes stale; between block boundaries
+// only sub-block state (virtual time inside an open block, a partial
+// sample count) can differ, so consumers such as the exporter's body
+// cache use Gen equality to skip re-rendering on repeat scrapes.
+// Distinct fleet states could in principle collide in the 64-bit hash;
+// with FNV-style mixing that is vanishingly unlikely and the cost of a
+// collision is one stale scrape, not corruption.
+func (m *Manager) Gen() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(m.adopted.Load())
+	mix(m.retired.Load())
+	for _, d := range m.list() {
+		mix(d.pub.ringTotal.Load())
+	}
+	return h
 }
 
 // Adopted returns the number of stations ever adopted by Add.

@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/source"
+)
+
+// BenchmarkPipeline is the stage-stack hot path at the PowerSensor3 rate:
+// one default 5 ms manager slice (100 raw samples at 20 kHz) per op,
+// through each stage alone and through the acceptance three-stage chain.
+// allocs/op must read 0 on every row — the zero-allocation ingest
+// contract holds through arbitrary stage stacks (enforced hard by
+// TestChainSteadyStateZeroAlloc).
+func BenchmarkPipeline(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		stages []Stage
+	}{
+		{"resample", []Stage{Resample(1000)}},
+		{"calibrate", []Stage{Calibrate(0.98, 0.25)}},
+		{"smooth", []Stage{Smooth(5 * time.Millisecond)}},
+		{"ratelimit", []Stage{RateLimit(1000)}},
+		{"chain3", []Stage{Resample(1000), Calibrate(0.98, 0.25), Smooth(5 * time.Millisecond)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			src := Chain(newFake(20000, nil), bc.stages...)
+			var batch source.Batch
+			src.ReadInto(100*time.Millisecond, &batch) // warm arrays
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.ReadInto(5*time.Millisecond, &batch)
+			}
+			b.StopTimer()
+			// 100 raw 20 kHz samples enter the stack per op, whatever the
+			// delivered count is.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/100, "ns/raw-sample")
+		})
+	}
+}

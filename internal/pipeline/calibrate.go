@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/source"
+)
+
+// Calibrate overlays a uniform gain/offset on every channel:
+// w' = gain*w + offset per channel, with the summed-power column
+// recomputed from the calibrated rows. It is the software counterpart of
+// re-trimming a sensor's current/voltage gains (the paper's Section III-C
+// calibration) without reflashing: the raw station keeps serving the
+// factory trim while a derived view serves the corrected stream.
+//
+// Because a gain/offset overlay rescales energy too, Calibrate does not
+// delegate Joules: it integrates the calibrated summed power over the
+// inter-sample gaps itself, so Status.Joules of a calibrated station
+// reports calibrated energy.
+func Calibrate(gain, offset float64) Stage {
+	gains := [source.MaxChannels]float64{}
+	offs := [source.MaxChannels]float64{}
+	for m := range gains {
+		gains[m], offs[m] = gain, offset
+	}
+	return newCalibrate(gains, offs)
+}
+
+// CalibratePerChannel is Calibrate with one gain/offset pair per channel
+// (by channel index; channels beyond the slices keep identity). It panics
+// when more than source.MaxChannels pairs are given or the slice lengths
+// differ — construction-time wiring errors.
+func CalibratePerChannel(gain, offset []float64) Stage {
+	if len(gain) != len(offset) {
+		panic(fmt.Sprintf("pipeline: CalibratePerChannel has %d gains but %d offsets",
+			len(gain), len(offset)))
+	}
+	if len(gain) > source.MaxChannels {
+		panic(fmt.Sprintf("pipeline: CalibratePerChannel has %d pairs, max %d",
+			len(gain), source.MaxChannels))
+	}
+	gains := [source.MaxChannels]float64{}
+	offs := [source.MaxChannels]float64{}
+	for m := range gains {
+		gains[m] = 1
+	}
+	copy(gains[:], gain)
+	copy(offs[:], offset)
+	return newCalibrate(gains, offs)
+}
+
+func newCalibrate(gains, offs [source.MaxChannels]float64) Stage {
+	return func(inner source.Source) source.Source {
+		return &calibrator{
+			wrap:  wrap{inner: inner, meta: derive(inner, "calib", 0)},
+			gains: gains,
+			offs:  offs,
+			lastT: inner.Now(),
+		}
+	}
+}
+
+type calibrator struct {
+	wrap
+	gains, offs [source.MaxChannels]float64
+	lastT       time.Duration // timestamp of the last calibrated sample
+	joule       float64       // calibrated energy integral
+}
+
+// ReadInto implements source.Source: the inner source fills the caller's
+// batch directly and the overlay is applied in place in the batch fold —
+// no scratch batch, no copies, no allocations.
+func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) {
+	c.inner.ReadInto(d, b)
+	stride := b.Stride()
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		row := b.Chans[i*stride : (i+1)*stride]
+		var total float64
+		for m, w := range row {
+			w = c.gains[m]*w + c.offs[m]
+			row[m] = w
+			total += w
+		}
+		b.Total[i] = total
+		t := b.Time[i]
+		c.joule += total * (t - c.lastT).Seconds()
+		c.lastT = t
+	}
+}
+
+// Joules implements source.Source with the calibrated energy integral,
+// accumulated at the delivered rate (the same native-rate integration a
+// vendor counter performs).
+func (c *calibrator) Joules() float64 { return c.joule }

@@ -1,0 +1,118 @@
+// Package pipeline is the derived-source layer: composable source.Source
+// wrappers that stack on any measurement backend and stay on the
+// zero-allocation columnar Batch path.
+//
+// The paper serves every backend at its native rate; real deployments
+// need *views* on top of that — a 1 kHz resampled feed of a 20 kHz
+// PowerSensor3 rig next to the raw one, a calibration overlay applied
+// without reflashing the sensor, a polled vendor meter throttled so the
+// monitoring itself does not distort the measurement (the sampling-
+// overhead concern RAPL-based tools quantify). Each view is a stage
+// wrapping an inner source:
+//
+//	any source.Source          e.g. powersensor3 @ 20 kHz
+//	      │
+//	  Resample                 rate conversion, energy-conserving bin
+//	      │                    averaging, marker indices remapped
+//	  Calibrate                per-channel gain/offset overlay applied
+//	      │                    in the batch fold
+//	  RateLimit                max delivered sample rate, cumulative
+//	      │                    sampling-overhead accounting (Overheader)
+//	   Smooth                  EWMA over Total and every channel
+//	      │
+//	 fleet.Device              block size and ring pacing derived from
+//	                           the stage-rewritten Meta.RateHz
+//
+// Stages compose with Chain and in any order; each rewrites the source
+// Meta it presents upward — the backend name grows a "+stage" suffix
+// (e.g. "powersensor3+resample+calib") and RateHz reflects the delivered
+// rate — so the fleet manager sizes downsample blocks for the derived
+// stream with no special cases, and /metrics exposes the derived backend
+// and rate like any other station's.
+//
+// Every stage preserves the steady-state zero-allocation contract of
+// ReadInto: in-place stages (Calibrate, Smooth) transform the caller's
+// batch columns directly, and re-batching stages (Resample, RateLimit)
+// fill the caller's batch from one reused internal scratch batch — no
+// per-sample, per-block or per-call allocations once array capacities
+// are warm.
+//
+// Stage constructors panic on invalid parameters (a non-positive rate, a
+// zero time constant): like source.NewPolled, these are construction-time
+// wiring errors, not runtime conditions. simsetup's fleet-spec parser
+// validates before constructing, so bad specs surface as errors there.
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/source"
+)
+
+// Stage derives a new source from an inner one. Stages returned by this
+// package wrap the inner source in place — they do not copy its stream —
+// and are single-goroutine confined exactly like the Source they
+// implement.
+type Stage func(source.Source) source.Source
+
+// Chain applies stages to src in order: Chain(s, A, B) yields B(A(s)),
+// so the first stage is innermost (closest to the backend) and the last
+// one's Meta is what consumers see. With no stages it returns src
+// unchanged.
+func Chain(src source.Source, stages ...Stage) source.Source {
+	for _, stage := range stages {
+		src = stage(src)
+	}
+	return src
+}
+
+// wrap is the shared base of every stage: it holds the inner source and
+// the stage's rewritten Meta, and delegates the Source methods a stage
+// does not transform. Stages embed it and override what they change.
+type wrap struct {
+	inner source.Source
+	meta  source.Meta
+}
+
+// derive builds a stage's Meta from the inner source's: the backend name
+// gains a "+suffix" tag, rateHz (when positive) replaces the delivered
+// rate, and the channel labels become the stage's own copy so no slice is
+// shared across the layer boundary.
+func derive(inner source.Source, suffix string, rateHz float64) source.Meta {
+	m := inner.Meta()
+	m.Backend += "+" + suffix
+	if rateHz > 0 {
+		m.RateHz = rateHz
+	}
+	m.Channels = append([]string(nil), m.Channels...)
+	return m
+}
+
+// Meta implements source.Source with the stage's rewritten metadata.
+func (w *wrap) Meta() source.Meta { return w.meta }
+
+// Now implements source.Source.
+func (w *wrap) Now() time.Duration { return w.inner.Now() }
+
+// Joules implements source.Source: rate conversion, throttling and
+// smoothing all conserve energy, so the backend's own counter stays the
+// truth. Calibrate overrides this — a gain/offset overlay rescales
+// energy too.
+func (w *wrap) Joules() float64 { return w.inner.Joules() }
+
+// Resyncs implements source.Source.
+func (w *wrap) Resyncs() int { return w.inner.Resyncs() }
+
+// Close implements source.Source.
+func (w *wrap) Close() { w.inner.Close() }
+
+// Overhead implements source.Overheader by forwarding the accounting of
+// whatever stage below carries it, so a RateLimit buried under further
+// stages still surfaces through the top of the chain. Stages that do not
+// account overhead contribute zero.
+func (w *wrap) Overhead() time.Duration {
+	if o, ok := w.inner.(source.Overheader); ok {
+		return o.Overhead()
+	}
+	return 0
+}

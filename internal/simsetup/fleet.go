@@ -11,11 +11,13 @@ package simsetup
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/pipeline"
 	"repro/internal/rig"
 	"repro/internal/rng"
 	"repro/internal/source"
@@ -31,16 +33,20 @@ import (
 // FleetMember is one named station of a fleet.
 type FleetMember struct {
 	Name string
-	Kind string // the spec kind: rtx4000ada, nvml, rapl, ...
+	Kind string // the spec kindspec: rtx4000ada, nvml, "rapl|ratelimit:100", ...
 	Src  source.Source
 }
 
 // DefaultFleetSpec is the fleet cmd/psd and the examples serve when no
 // -fleet flag is given: two discrete GPUs, one SoC and one SSD measured by
-// PowerSensor3, plus two software meters — the NVML counter shadowing the
-// first GPU's model and a RAPL-metered host CPU.
+// PowerSensor3, two software meters — the NVML counter shadowing the
+// first GPU's model and a RAPL-metered host CPU — plus two derived views:
+// a 1 kHz resampled, recalibrated view of the first GPU's rig (@0 pins it
+// to gpu0's seed, so it is the same rig) and the RAPL meter rate-limited
+// to 100 Hz with sampling-overhead accounting.
 const DefaultFleetSpec = "gpu0=rtx4000ada,gpu1=w7700,soc0=jetson,ssd0=ssd," +
-	"gpu0sw=nvml,cpu0=rapl"
+	"gpu0sw=nvml,cpu0=rapl," +
+	"gpu0lo=rtx4000ada@0|resample:1000|calib:0.98:0.25,cpu0lim=rapl@5|ratelimit:100"
 
 // FleetKinds lists the accepted station kinds: the PowerSensor3-
 // instrumented rigs first, then the software-meter emulations ("jetson"
@@ -55,10 +61,44 @@ func FleetKinds() []string {
 	}
 }
 
-// ParseFleet builds the stations described by spec, a comma-separated list
-// of name=kind pairs (e.g. "gpu0=rtx4000ada,ssd0=ssd"). Station names must
-// be unique and non-empty. Each station gets a seed derived from the base
-// seed and its position, so fleets are reproducible but rigs decorrelated.
+// ParseFleet builds the stations described by spec. It is THE reference
+// for the fleet-spec grammar — cmd/psd's -fleet flag, its
+// POST /api/fleet/add endpoint and examples/fleet all speak exactly this
+// syntax:
+//
+//	spec     := entry ("," entry)*
+//	entry    := name "=" kindspec
+//	kindspec := kind ["@" index] ("|" stage)*
+//	stage    := "resample:" HZ          derived view at HZ (energy-
+//	                                    conserving bin averaging,
+//	                                    markers remapped)
+//	          | "calib:" GAIN [":" OFFSET]  per-channel w' = GAIN*w + OFFSET
+//	          | "ratelimit:" HZ         cap the delivered rate at HZ and
+//	                                    account sampling overhead
+//	          | "smooth:" DUR           EWMA with time constant DUR
+//	                                    (a Go duration, e.g. 10ms)
+//
+// kind is one of FleetKinds: the PowerSensor3-instrumented rigs
+// rtx4000ada, w7700, jetson, ssd (20 kHz); the software meters nvml
+// (~10 Hz), amdsmi (~1 kHz), jetson-ina (~10 Hz), rapl (~1 kHz); and
+// synth, the pure-software 20 kHz waveform station for fleet-scale load
+// tests.
+//
+// Station names must be unique and non-empty. Each station's simulation
+// seed derives from the base seed and its position in the spec, so fleets
+// are reproducible but rigs decorrelated. "@index" overrides the position
+// with an explicit seed index: two same-kind stations sharing an index
+// are the same simulated rig, which is how a raw station and its derived
+// view serve side by side —
+//
+//	gpu0=rtx4000ada,gpu0lo=rtx4000ada@0|resample:1000|calib:0.98
+//
+// serves gpu0's native 20 kHz stream and, concurrently, the same rig
+// resampled to 1 kHz with a 0.98 gain trim. (With real hardware the
+// derived view would tee the one sensor stream; in the simulator,
+// seed-pinning reproduces the rig exactly.) Stages apply left to right,
+// innermost first: "rapl|ratelimit:100|smooth:50ms" throttles the RAPL
+// meter to 100 Hz, then smooths the kept samples.
 func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 	var members []FleetMember
 	// A later entry failing must not leak the stations already built.
@@ -76,13 +116,13 @@ func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 		}
 		name, kind, ok := strings.Cut(field, "=")
 		if !ok || name == "" {
-			return fail(fmt.Errorf("fleet spec entry %q: want name=kind", field))
+			return fail(fmt.Errorf("fleet spec entry %q: want name=kindspec", field))
 		}
 		if seen[name] {
 			return fail(fmt.Errorf("fleet spec: duplicate station %q", name))
 		}
 		seen[name] = true
-		src, err := NewStation(kind, seed+uint64(i)*1000003)
+		src, err := BuildStation(kind, seed, i)
 		if err != nil {
 			return fail(fmt.Errorf("station %q: %w", name, err))
 		}
@@ -94,10 +134,91 @@ func ParseFleet(spec string, seed uint64) ([]FleetMember, error) {
 	return members, nil
 }
 
-// NewStation builds one self-driving station of the given kind as a
-// streaming source. PowerSensor3-instrumented rigs stream at the native
-// 20 kHz with per-rail channel labels; software-meter kinds poll the
-// vendor emulation at its own refresh rate.
+// StationSeed derives station index's simulation seed from the fleet
+// base seed — the derivation ParseFleet applies per spec position and
+// cmd/psd's hot-add endpoint applies per adoption, so rigs decorrelate
+// the same way however they join the fleet.
+func StationSeed(base uint64, index int) uint64 {
+	return base + uint64(index)*1000003
+}
+
+// BuildStation builds one station from a kindspec — the full
+// kind["@"index]("|"stage)* form of a ParseFleet entry's right-hand side
+// (see ParseFleet for the grammar). base and index feed StationSeed
+// unless the kindspec pins "@index" explicitly. Stage arguments are
+// validated here, so malformed specs return errors instead of reaching
+// the pipeline constructors' panics.
+func BuildStation(kindspec string, base uint64, index int) (source.Source, error) {
+	parts := strings.Split(kindspec, "|")
+	kind := parts[0]
+	if at := strings.IndexByte(kind, '@'); at >= 0 {
+		idx, err := strconv.Atoi(kind[at+1:])
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("kindspec %q: want a non-negative seed index after @", kindspec)
+		}
+		kind, index = kind[:at], idx
+	}
+	stages, err := parseStages(parts[1:])
+	if err != nil {
+		return nil, fmt.Errorf("kindspec %q: %w", kindspec, err)
+	}
+	src, err := NewStation(kind, StationSeed(base, index))
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.Chain(src, stages...), nil
+}
+
+// parseStages translates the "|"-separated stage specs of a kindspec into
+// pipeline stages, validating every argument.
+func parseStages(specs []string) ([]pipeline.Stage, error) {
+	var stages []pipeline.Stage
+	for _, s := range specs {
+		name, arg, _ := strings.Cut(s, ":")
+		switch name {
+		case "resample":
+			hz, err := strconv.ParseFloat(arg, 64)
+			if err != nil || hz <= 0 {
+				return nil, fmt.Errorf("stage %q: want resample:HZ with HZ > 0", s)
+			}
+			stages = append(stages, pipeline.Resample(hz))
+		case "calib":
+			gainStr, offStr, hasOff := strings.Cut(arg, ":")
+			gain, err := strconv.ParseFloat(gainStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stage %q: want calib:GAIN[:OFFSET]", s)
+			}
+			offset := 0.0
+			if hasOff {
+				if offset, err = strconv.ParseFloat(offStr, 64); err != nil {
+					return nil, fmt.Errorf("stage %q: want calib:GAIN[:OFFSET]", s)
+				}
+			}
+			stages = append(stages, pipeline.Calibrate(gain, offset))
+		case "ratelimit":
+			hz, err := strconv.ParseFloat(arg, 64)
+			if err != nil || hz <= 0 {
+				return nil, fmt.Errorf("stage %q: want ratelimit:HZ with HZ > 0", s)
+			}
+			stages = append(stages, pipeline.RateLimit(hz))
+		case "smooth":
+			tau, err := time.ParseDuration(arg)
+			if err != nil || tau <= 0 {
+				return nil, fmt.Errorf("stage %q: want smooth:DUR with a positive Go duration", s)
+			}
+			stages = append(stages, pipeline.Smooth(tau))
+		default:
+			return nil, fmt.Errorf("unknown stage %q (have resample, calib, ratelimit, smooth)", s)
+		}
+	}
+	return stages, nil
+}
+
+// NewStation builds one self-driving station of the given plain kind as a
+// streaming source (no pipe stages — BuildStation layers those).
+// PowerSensor3-instrumented rigs stream at the native 20 kHz with
+// per-rail channel labels; software-meter kinds poll the vendor emulation
+// at its own refresh rate.
 func NewStation(kind string, seed uint64) (source.Source, error) {
 	switch kind {
 	case "rtx4000ada", "w7700":

@@ -12,17 +12,21 @@ func TestParseFleetDefaultSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(members) != 6 {
-		t.Fatalf("%d members, want 6", len(members))
+	if len(members) != 8 {
+		t.Fatalf("%d members, want 8", len(members))
 	}
 	want := map[string]string{
 		"gpu0": "rtx4000ada", "gpu1": "w7700", "soc0": "jetson",
 		"ssd0": "ssd", "gpu0sw": "nvml", "cpu0": "rapl",
+		"gpu0lo":  "rtx4000ada@0|resample:1000|calib:0.98:0.25",
+		"cpu0lim": "rapl@5|ratelimit:100",
 	}
 	wantBackend := map[string]string{
 		"gpu0": "powersensor3", "gpu1": "powersensor3", "soc0": "powersensor3",
 		"ssd0": "powersensor3", "gpu0sw": "nvml", "cpu0": "rapl",
+		"gpu0lo": "powersensor3+resample+calib", "cpu0lim": "rapl+ratelimit",
 	}
+	wantRate := map[string]float64{"gpu0lo": 1000, "cpu0lim": 100}
 	for _, m := range members {
 		defer m.Src.Close()
 		if want[m.Name] != m.Kind {
@@ -38,6 +42,9 @@ func TestParseFleetDefaultSpec(t *testing.T) {
 		if meta.RateHz <= 0 {
 			t.Errorf("member %s has rate %v", m.Name, meta.RateHz)
 		}
+		if hz, ok := wantRate[m.Name]; ok && meta.RateHz != hz {
+			t.Errorf("member %s has derived rate %v, want %v", m.Name, meta.RateHz, hz)
+		}
 	}
 }
 
@@ -50,6 +57,17 @@ func TestParseFleetErrors(t *testing.T) {
 		"a=ssd,a=ssd",         // duplicate name
 		"gpu0=warp9",          // unknown kind
 		"ok=ssd,bad=notakind", // one good, one bad
+		"a=synth@",            // empty seed index
+		"a=synth@-1",          // negative seed index
+		"a=synth@x",           // non-numeric seed index
+		"a=synth|warp:9",      // unknown stage
+		"a=synth|resample:0",  // non-positive resample rate
+		"a=synth|resample:x",  // non-numeric resample rate
+		"a=synth|calib:x",     // non-numeric gain
+		"a=synth|calib:1:x",   // non-numeric offset
+		"a=synth|ratelimit:0", // non-positive limit
+		"a=synth|smooth:0s",   // non-positive time constant
+		"a=synth|smooth:5",    // not a duration
 	} {
 		if _, err := ParseFleet(spec, 1); err == nil {
 			t.Errorf("ParseFleet(%q) succeeded, want error", spec)

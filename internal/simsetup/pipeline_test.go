@@ -1,0 +1,125 @@
+package simsetup
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/source"
+)
+
+// integrate advances src over total in slices, returning the energy
+// integral of the delivered stream (sample power × sample period at the
+// delivered rate) and the delivered sample count.
+func integrate(src source.Source, total, slice time.Duration) (joules float64, samples int) {
+	period := 1 / src.Meta().RateHz
+	var b source.Batch
+	for done := time.Duration(0); done < total; done += slice {
+		src.ReadInto(slice, &b)
+		for i := 0; i < b.Len(); i++ {
+			joules += b.Total[i] * period
+		}
+		samples += b.Len()
+	}
+	return joules, samples
+}
+
+// TestResampleConservesEnergyAcrossBackends is the cross-backend
+// energy-conservation check: for a PowerSensor3-instrumented rig, a
+// polled vendor meter and the synthetic waveform station alike, the
+// energy integral of a Resample'd view must match the raw source's
+// within tolerance, and the backend's own Joules counter must pass
+// through the stage untouched. The raw and derived stations are twin
+// simulations (same kind, same seed), the same construction the fleet
+// spec's "@index" pinning uses.
+func TestResampleConservesEnergyAcrossBackends(t *testing.T) {
+	for _, tc := range []struct {
+		kind  string
+		outHz float64
+	}{
+		{"synth", 1000},      // 20 kHz synthetic waveform -> 1 kHz
+		{"rtx4000ada", 1000}, // 20 kHz PowerSensor3 rig -> 1 kHz
+		{"rapl", 250},        // 1 kHz energy-counter meter -> 250 Hz
+	} {
+		raw, err := NewStation(tc.kind, StationSeed(11, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		defer raw.Close()
+		res, err := BuildStation(fmt.Sprintf("%s|resample:%g", tc.kind, tc.outHz), 11, 0)
+		if err != nil {
+			t.Fatalf("%s derived: %v", tc.kind, err)
+		}
+		defer res.Close()
+
+		const window = 2 * time.Second
+		rawJ, rawN := integrate(raw, window, 50*time.Millisecond)
+		resJ, resN := integrate(res, window, 50*time.Millisecond)
+		if rawN == 0 || resN == 0 {
+			t.Fatalf("%s: no samples (raw %d, resampled %d)", tc.kind, rawN, resN)
+		}
+		if resN >= rawN {
+			t.Errorf("%s: resampling did not reduce the stream: %d -> %d samples",
+				tc.kind, rawN, resN)
+		}
+		// The derived view's own integral matches the raw one: bin means
+		// spread each bin's energy over the bin width. Tolerance covers
+		// the at-most-one-bin edge still in flight plus rig overshoot.
+		if diff := math.Abs(resJ-rawJ) / rawJ; diff > 0.02 {
+			t.Errorf("%s: resampled energy %v J vs raw %v J: %.2f%% apart",
+				tc.kind, resJ, rawJ, 100*diff)
+		}
+		// Joules delegates the backend counter: twin simulations advanced
+		// over the same window read the same accumulator.
+		if rawB, resB := raw.Joules(), res.Joules(); math.Abs(resB-rawB) > 1e-6*math.Max(1, rawB) {
+			t.Errorf("%s: backend Joules diverged through Resample: %v vs %v",
+				tc.kind, resB, rawB)
+		}
+	}
+}
+
+// TestBuildStationTwinRig pins the "@index" seed-pinning contract the
+// derived-view spec syntax rests on: two same-kind stations sharing a
+// seed index are the same simulated rig — identical streams — while
+// different indices decorrelate.
+func TestBuildStationTwinRig(t *testing.T) {
+	a, err := BuildStation("synth@3", 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := BuildStation("synth", 9, 3) // position 3 = explicit @3
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := BuildStation("synth", 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var ba, bb, bc source.Batch
+	a.ReadInto(10*time.Millisecond, &ba)
+	b.ReadInto(10*time.Millisecond, &bb)
+	c.ReadInto(10*time.Millisecond, &bc)
+	if ba.Len() == 0 || ba.Len() != bb.Len() {
+		t.Fatalf("twin batches: %d vs %d samples", ba.Len(), bb.Len())
+	}
+	for i := 0; i < ba.Len(); i++ {
+		if ba.Total[i] != bb.Total[i] {
+			t.Fatalf("twin rigs diverged at sample %d: %v vs %v", i, ba.Total[i], bb.Total[i])
+		}
+	}
+	same := true
+	for i := 0; i < min(ba.Len(), bc.Len()); i++ {
+		if ba.Total[i] != bc.Total[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("stations with different seed indices produced identical streams")
+	}
+}

@@ -132,6 +132,19 @@ func (b *Batch) Row(i int) []float64 {
 	return b.Chans[i*b.stride : (i+1)*b.stride]
 }
 
+// Overheader is implemented by sources that account their own sampling
+// overhead: the cumulative wall-clock time spent inside ReadInto —
+// driving the device under test and polling the backend — which is the
+// measurement's footprint on the measured system. The fleet publishes it
+// per station (Status.OverheadSeconds, powersensor_source_overhead_seconds)
+// so operators can see when monitoring itself starts to distort the
+// measurement, the overhead concern RAPL-based tools quantify.
+// Overhead is read under the same single-goroutine confinement as
+// ReadInto; implementations need no internal synchronisation.
+type Overheader interface {
+	Overhead() time.Duration
+}
+
 // Source is a streaming measurement source on virtual time. Sources are
 // not safe for concurrent use; the fleet manager confines each to one
 // goroutine.
