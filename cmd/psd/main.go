@@ -10,35 +10,48 @@
 // Usage:
 //
 //	psd [-listen :9120] [-fleet spec] [-seed 1] [-rate 1] [-slice 5ms]
-//	    [-block 20] [-ring 4096] [-warmup 2s]
+//	    [-block 20] [-ring 4096] [-warmup 2s] [-log-format text]
+//	    [-debug-addr addr] [-version]
 //
 // Flags:
 //
-//	-listen  HTTP listen address (default :9120)
-//	-fleet   comma-separated name=kindspec stations. The kindspec grammar —
-//	         station kinds, "@index" seed pinning, and the "|"-separated
-//	         derived-source pipe stages (resample, calib, ratelimit,
-//	         smooth) — is documented in one place: simsetup.ParseFleet.
-//	         The default is simsetup.DefaultFleetSpec, a mixed fleet of
-//	         four PowerSensor3 rigs, two software meters and two derived
-//	         views — including gpu0lo, a 1 kHz resampled + recalibrated
-//	         view of the same rig gpu0 serves raw at 20 kHz.
-//	-seed    base simulation seed; each station derives its own
-//	-rate    virtual seconds simulated per wall second (1 = real time,
-//	         0 = as fast as the host allows)
-//	-slice   virtual-time quantum each station goroutine advances per
-//	         iteration
-//	-block   downsample window per ring point, in 20 kHz sample periods
-//	         (20 → 1 ms points); each station derives its own block size
-//	         from that window and its source's native rate
-//	-ring    per-station ring capacity, in downsampled points
-//	-warmup  virtual time advanced synchronously before serving, so the
-//	         first scrape already sees data
+//	-listen      HTTP listen address (default :9120)
+//	-fleet       comma-separated name=kindspec stations. The kindspec grammar —
+//	             station kinds, "@index" seed pinning, and the "|"-separated
+//	             derived-source pipe stages (resample, calib, ratelimit,
+//	             smooth) — is documented in one place: simsetup.ParseFleet.
+//	             The default is simsetup.DefaultFleetSpec, a mixed fleet of
+//	             four PowerSensor3 rigs, two software meters and two derived
+//	             views — including gpu0lo, a 1 kHz resampled + recalibrated
+//	             view of the same rig gpu0 serves raw at 20 kHz.
+//	-seed        base simulation seed; each station derives its own
+//	-rate        virtual seconds simulated per wall second (1 = real time,
+//	             0 = as fast as the host allows)
+//	-slice       virtual-time quantum each station goroutine advances per
+//	             iteration
+//	-block       downsample window per ring point, in 20 kHz sample periods
+//	             (20 → 1 ms points); each station derives its own block size
+//	             from that window and its source's native rate
+//	-ring        per-station ring capacity, in downsampled points
+//	-warmup      virtual time advanced synchronously before serving, so the
+//	             first scrape already sees data
+//	-log-format  "text" (default) or "json": structured log/slog output on
+//	             stderr; station lifecycle lines carry station/kind fields
+//	-debug-addr  when set (e.g. "localhost:6060"), serve net/http/pprof on a
+//	             second listener at that address — profiling stays off the
+//	             scrape port and off by default
+//	-version     print the build version (stamped via
+//	             -ldflags "-X repro/internal/version.Version=...") and exit
 //
 // Endpoints:
 //
-//	GET  /metrics                     Prometheus text exposition
+//	GET  /metrics                     Prometheus text exposition, including
+//	                                  the powersensor_self_* self-telemetry
+//	                                  families and powersensor_build_info
 //	GET  /api/fleet                   JSON status of every station
+//	GET  /api/events                  JSON tail of the fleet lifecycle event
+//	                                  ring (adopt/start/retire/close, ?n=N
+//	                                  caps the tail, default 100)
 //	GET  /api/device/{name}/trace     recent trace (?format=csv|json, ?points=N)
 //	GET  /healthz                     liveness probe
 //	POST /api/fleet/add               hot-add a station to the running fleet:
@@ -49,11 +62,16 @@
 //	                                  final downsample block drains, and its
 //	                                  series leave /metrics
 //
+// With -debug-addr set, the debug listener serves GET /debug/pprof/ (and
+// the cmdline/profile/symbol/trace handlers under it).
+//
 // The admin endpoints make the serving fleet dynamic — stations come and
 // go without restarting the daemon, mirroring rigs being recabled or
-// vendor meters restarting. Churn is observable: /metrics carries
-// powersensor_fleet_adopted_total and powersensor_fleet_retired_total,
-// and scrapes during churn stay well-formed. For example:
+// vendor meters restarting. Churn is observable three ways: /metrics
+// carries powersensor_fleet_adopted_total and
+// powersensor_fleet_retired_total, /api/events carries the structured
+// lifecycle record of every transition, and scrapes during churn stay
+// well-formed. For example:
 //
 //	$ curl -X POST 'localhost:9120/api/fleet/add?name=gpu2&kind=synth'
 //	{"name":"gpu2","kind":"synth"}
@@ -89,8 +107,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -100,6 +120,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/fleet"
 	"repro/internal/simsetup"
+	"repro/internal/version"
 )
 
 func main() {
@@ -112,7 +133,15 @@ func main() {
 	block := flag.Int("block", 20, "sample sets averaged per ring point")
 	ring := flag.Int("ring", 4096, "per-station ring capacity in points")
 	warmup := flag.Duration("warmup", 2*time.Second, "virtual time simulated before serving")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this address (empty = no debug listener)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("psd %s %s\n", version.Version, version.GoVersion())
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: psd [flags]; see -h")
 		os.Exit(2)
@@ -121,10 +150,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psd: -rate must be >= 0 (0 = unpaced)")
 		os.Exit(2)
 	}
-	if err := run(*listen, *spec, *seed, *rate, *slice, *block, *ring, *warmup); err != nil {
+	logger, err := newLogger(*logFormat, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "psd:", err)
+		os.Exit(2)
+	}
+	if err := run(*listen, *debugAddr, *spec, *seed, *rate, *slice, *block, *ring,
+		*warmup, logger); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger: log/slog in text form
+// by default, JSON for log aggregators.
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }
 
 // admin serves the fleet lifecycle: hot-adding and retiring stations on
@@ -135,6 +182,7 @@ func main() {
 // spec-listed ones.
 type admin struct {
 	mgr  *fleet.Manager
+	log  *slog.Logger
 	seed uint64
 	next atomic.Uint64 // station index for seed derivation
 }
@@ -155,7 +203,7 @@ func (a *admin) add(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	log.Printf("adopted station %s (kind %s)", name, kind)
+	a.log.Info("adopted station", "station", name, "kind", kind)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]string{"name": name, "kind": kind})
 }
@@ -166,7 +214,7 @@ func (a *admin) remove(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	log.Printf("retired station %s", name)
+	a.log.Info("retired station", "station", name)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{"name": name, "retired": true})
 }
@@ -174,9 +222,12 @@ func (a *admin) remove(w http.ResponseWriter, r *http.Request) {
 // setup assembles the fleet and its HTTP handler — the daemon's wiring,
 // split from run so tests can serve it through httptest. The handler is
 // the exporter's read-only surface plus the daemon's lifecycle admin
-// endpoints.
-func setup(spec string, seed uint64, rate float64,
-	slice time.Duration, block, ring int, warmup time.Duration) (*fleet.Manager, http.Handler, error) {
+// endpoints. logger may be nil, meaning discard (the test form).
+func setup(spec string, seed uint64, rate float64, slice time.Duration,
+	block, ring int, warmup time.Duration, logger *slog.Logger) (*fleet.Manager, http.Handler, error) {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	mgr, err := fleet.FromSpec(spec, seed, fleet.Config{
 		Slice: slice, Block: block, RingCap: ring, Rate: rate,
 	})
@@ -184,10 +235,10 @@ func setup(spec string, seed uint64, rate float64,
 		return nil, nil, err
 	}
 	if warmup > 0 {
-		log.Printf("warming up: %v of virtual time over %d stations", warmup, mgr.Size())
+		logger.Info("warming up", "virtual", warmup, "stations", mgr.Size())
 		mgr.StepAll(warmup)
 	}
-	a := &admin{mgr: mgr, seed: seed}
+	a := &admin{mgr: mgr, log: logger, seed: seed}
 	a.next.Store(uint64(mgr.Size()))
 	mux := http.NewServeMux()
 	mux.Handle("/", export.New(mgr).Handler())
@@ -196,9 +247,23 @@ func setup(spec string, seed uint64, rate float64,
 	return mgr, mux, nil
 }
 
-func run(listen, spec string, seed uint64, rate float64,
-	slice time.Duration, block, ring int, warmup time.Duration) error {
-	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, warmup)
+// debugMux builds the -debug-addr listener's routes: the net/http/pprof
+// handlers, explicitly registered on their own mux so profiling is never
+// reachable through the scrape port (importing the package for its side
+// effect would mount it on http.DefaultServeMux instead).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(listen, debugAddr, spec string, seed uint64, rate float64,
+	slice time.Duration, block, ring int, warmup time.Duration, logger *slog.Logger) error {
+	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, warmup, logger)
 	if err != nil {
 		return err
 	}
@@ -208,7 +273,20 @@ func run(listen, spec string, seed uint64, rate float64,
 	srv := &http.Server{Addr: listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %d stations (%s) on %s", mgr.Size(), spec, listen)
+	var dsrv *http.Server
+	if debugAddr != "" {
+		dsrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
+		go func() {
+			// A failed debug listener (port taken, bad address) downgrades
+			// profiling, not serving: log it and keep the daemon up.
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", debugAddr)
+	}
+	logger.Info("serving", "stations", mgr.Size(), "fleet", spec, "addr", listen,
+		"version", version.Version)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -216,9 +294,12 @@ func run(listen, spec string, seed uint64, rate float64,
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("%v: shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if dsrv != nil {
+			_ = dsrv.Close()
+		}
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}

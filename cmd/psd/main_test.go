@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -18,7 +19,7 @@ import (
 // rig, and the RAPL meter rate-limited to 100 Hz).
 func TestServeFleet(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
-		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond)
+		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +72,20 @@ func TestServeFleet(t *testing.T) {
 	if !strings.Contains(body, `powersensor_source_overhead_seconds{device="cpu0lim"} `) {
 		t.Error("/metrics missing cpu0lim sampling overhead")
 	}
+	// Self-telemetry rides every scrape: the warmup steps already fed the
+	// fold histogram, the default fleet's pipe stations fed the stage
+	// histograms, and build info identifies the daemon.
+	for _, want := range []string{
+		`powersensor_self_ingest_fold_seconds_bucket{le="+Inf"} `,
+		`powersensor_self_stage_read_seconds_bucket{stage="resample",le="+Inf"} `,
+		`powersensor_self_stage_read_seconds_bucket{stage="ratelimit",le="+Inf"} `,
+		`powersensor_self_events_total `,
+		`powersensor_build_info{version="dev",go="`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing self-telemetry %q", want)
+		}
+	}
 	code, body = get("/api/fleet")
 	if code != http.StatusOK {
 		t.Errorf("/api/fleet: status %d", code)
@@ -97,8 +112,124 @@ func TestServeFleet(t *testing.T) {
 	}
 }
 
+// TestEventsFreshBoot wires a daemon the way run does and asserts the
+// acceptance contract of the lifecycle log: /api/events on a fresh boot
+// carries one adopt event per default-fleet station.
+func TestEventsFreshBoot(t *testing.T) {
+	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
+		1, 0, 5*time.Millisecond, 20, 4096, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/events: status %d", resp.StatusCode)
+	}
+	var log struct {
+		Total   uint64 `json:"total"`
+		Dropped uint64 `json:"dropped"`
+		Events  []struct {
+			Seq     uint64 `json:"seq"`
+			Type    string `json:"type"`
+			Station string `json:"station"`
+			Kind    string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&log); err != nil {
+		t.Fatal(err)
+	}
+	adopted := map[string]bool{}
+	for _, ev := range log.Events {
+		if ev.Type == "adopt" {
+			adopted[ev.Station] = true
+		}
+	}
+	for _, dev := range []string{"gpu0", "gpu1", "soc0", "ssd0", "gpu0sw", "cpu0",
+		"gpu0lo", "cpu0lim"} {
+		if !adopted[dev] {
+			t.Errorf("/api/events missing adopt event for %s (got %+v)", dev, log.Events)
+		}
+	}
+	if log.Dropped != 0 || log.Total != uint64(len(log.Events)) {
+		t.Errorf("fresh boot: total=%d dropped=%d events=%d, want all retained",
+			log.Total, log.Dropped, len(log.Events))
+	}
+}
+
+// TestNewLogger covers the -log-format wiring: both formats carry
+// structured fields, unknown formats fail fast.
+func TestNewLogger(t *testing.T) {
+	var buf strings.Builder
+	logger, err := newLogger("text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("adopted station", "station", "gpu9", "kind", "synth")
+	if out := buf.String(); !strings.Contains(out, "station=gpu9") ||
+		!strings.Contains(out, "kind=synth") {
+		t.Errorf("text log missing structured fields: %q", out)
+	}
+	buf.Reset()
+	logger, err = newLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("serving", "addr", ":9120")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("json log is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["addr"] != ":9120" || rec["msg"] != "serving" {
+		t.Errorf("json log fields wrong: %v", rec)
+	}
+	if _, err := newLogger("yaml", &buf); err == nil {
+		t.Error("bad log format accepted")
+	}
+}
+
+// TestDebugMux proves the pprof surface is mounted on its own mux — and
+// only there.
+func TestDebugMux(t *testing.T) {
+	srv := httptest.NewServer(debugMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+
+	// The scrape handler must not expose it.
+	mgr, handler, err := setup("gpu0=synth", 1, 0, time.Millisecond, 20, 64, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	main := httptest.NewServer(handler)
+	defer main.Close()
+	resp, err = http.Get(main.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof reachable through scrape port: status %d", resp.StatusCode)
+	}
+}
+
 func TestSetupBadSpec(t *testing.T) {
-	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 0); err == nil {
+	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 0, nil); err == nil {
 		t.Fatal("bad spec accepted")
 	}
 }
@@ -110,7 +241,7 @@ func TestAdminAddRemove(t *testing.T) {
 	// Paced at real time so driver goroutines sleep between slices and
 	// the HTTP round-trips get CPU on small hosts.
 	mgr, handler, err := setup("gpu0=synth", 1, 1, 5*time.Millisecond,
-		20, 4096, 100*time.Millisecond)
+		20, 4096, 100*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

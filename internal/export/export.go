@@ -22,10 +22,24 @@
 // counters account for the churn, and retirement drops the per-device
 // label cache so retired names neither linger nor poison a reused name.
 //
+// The exposition has two sections. The fleet section — everything
+// derived from station snapshots — is what the body cache holds. The
+// self-telemetry tail (the powersensor_self_* families, build info and
+// the scrape-duration gauge) renders fresh on every scrape, cache hit or
+// not: it is the system observing itself, and serving week-old
+// self-timings from an idle fleet's cached body would defeat the point.
+// The tail renders the obs-layer histograms (ingest fold latency, driver
+// pacing lateness, pipeline stage reads, scrape timing by path), the
+// cache's own hit/miss counters, the lifecycle event-ring counters and
+// fleet-wide ring occupancy — all from lock-free atomic reads, so a
+// cache-hit scrape still never touches a station's ingest.
+//
 // Endpoints (all GET):
 //
 //	/metrics                      Prometheus text exposition (version 0.0.4)
 //	/api/fleet                    JSON status of every station
+//	/api/events                   JSON tail of the fleet lifecycle event
+//	                              ring; ?n=N caps the tail (default 100)
 //	/api/device/{name}/trace      recent downsampled trace; ?format=csv|json
 //	                              (default csv), ?points=N caps the length
 //	/healthz                      liveness probe
@@ -42,6 +56,9 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/version"
 )
 
 // Exporter renders a fleet.Manager over HTTP.
@@ -72,16 +89,24 @@ type Exporter struct {
 	// previous body is served as-is — repeat scrapes of an idle fleet (or
 	// several scrapers hitting one exporter between block boundaries) pay
 	// a memcpy instead of a full render. A cached body is at most one
-	// downsample block stale, and its scrape-duration gauge reports the
-	// cached render's cost. cacheGen is the generation the body was
+	// downsample block stale. cacheGen is the generation the body was
 	// rendered against, loaded BEFORE that render's snapshot so a block
-	// landing mid-render invalidates conservatively. cacheHits counts
-	// served-from-cache scrapes (read by tests and benchmarks).
-	cacheOn   bool
-	cacheMu   sync.Mutex
-	cacheGen  uint64
-	cacheBody []byte
-	cacheHits atomic.Uint64
+	// landing mid-render invalidates conservatively. The cache holds only
+	// the fleet section of the body; the self-telemetry tail is appended
+	// fresh on every scrape. cacheHits/cacheMisses count how scrapes were
+	// served, exported as powersensor_self_scrape_cache_{hits,misses}_total.
+	cacheOn     bool
+	cacheMu     sync.Mutex
+	cacheGen    uint64
+	cacheBody   []byte
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	// Scrape self-timing, split by serve path: full renders vs scrapes
+	// whose fleet section came from the body cache. Exported as the
+	// powersensor_self_scrape_seconds histogram.
+	renderHist obs.Hist
+	cachedHist obs.Hist
 }
 
 // devLabels is the pre-rendered label set of one station.
@@ -96,6 +121,7 @@ type scrapeState struct {
 	buf    []byte
 	labels []*devLabels
 	snap   []fleet.Status
+	hist   obs.HistSnapshot
 }
 
 // New returns an exporter over mgr, with the rendered-body cache on.
@@ -168,6 +194,7 @@ func (e *Exporter) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", e.metrics)
 	mux.HandleFunc("GET /api/fleet", e.fleetJSON)
+	mux.HandleFunc("GET /api/events", e.eventsJSON)
 	mux.HandleFunc("GET /api/device/{name}/trace", e.deviceTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -186,6 +213,7 @@ func (e *Exporter) index(w http.ResponseWriter, _ *http.Request) {
 <ul>
 <li><a href="/metrics">/metrics</a></li>
 <li><a href="/api/fleet">/api/fleet</a></li>
+<li><a href="/api/events">/api/events</a></li>
 <li>/api/device/{name}/trace?format=csv|json&amp;points=N</li>
 </ul>
 </body></html>
@@ -230,9 +258,110 @@ var (
 		"Downsampled points currently buffered per station.", "gauge")
 	hdrVirtualSeconds = header("powersensor_device_virtual_seconds",
 		"Virtual time of each station's clock, in seconds.", "gauge")
+
+	// Self-telemetry tail families: the system observing itself. These
+	// render fresh on every scrape, after (and outside) the cached fleet
+	// section.
+	hdrSelfIngestFold = header(famIngestFold,
+		"Latency of folding one ingest step's batch into the downsample state, fleet-wide, sampled 1-in-32 steps.", "histogram")
+	hdrSelfPacing = header(famPacing,
+		"How far past its absolute schedule each paced driver slice completed; empty on unpaced fleets.", "histogram")
+	hdrSelfStageRead = header(famStageRead,
+		"ReadInto latency per derived-source pipeline stage kind, inner source included; stage kinds never run are omitted.", "histogram")
+	hdrSelfScrape = header(famScrape,
+		"Time to assemble one /metrics body, by serve path (full render vs cached fleet section).", "histogram")
+	hdrSelfCacheHits = header("powersensor_self_scrape_cache_hits_total",
+		"Scrapes whose fleet section was served from the block-generation body cache.", "counter")
+	hdrSelfCacheMisses = header("powersensor_self_scrape_cache_misses_total",
+		"Scrapes that re-rendered the fleet section on a cold or stale body cache.", "counter")
+	hdrSelfEvents = header("powersensor_self_events_total",
+		"Fleet lifecycle events ever recorded (adopt, start, retire, close).", "counter")
+	hdrSelfEventsDropped = header("powersensor_self_events_dropped_total",
+		"Lifecycle events overwritten after the event ring filled.", "counter")
+	hdrSelfRingFill = header("powersensor_self_ring_fill_ratio",
+		"Fleet-wide ring occupancy: downsampled points held over total ring capacity.", "gauge")
+	hdrBuildInfo = header("powersensor_build_info",
+		"Build identity of this daemon; always 1.", "gauge")
 	hdrScrapeDuration = header("powersensor_scrape_duration_seconds",
 		"Wall time spent rendering this scrape.", "gauge")
 )
+
+// Histogram family names. Kept as constants so call sites can form the
+// _bucket/_sum/_count series names by constant concatenation — resolved
+// at compile time, nothing on the scrape path builds strings.
+const (
+	famIngestFold = "powersensor_self_ingest_fold_seconds"
+	famPacing     = "powersensor_self_pacing_late_seconds"
+	famStageRead  = "powersensor_self_stage_read_seconds"
+	famScrape     = "powersensor_self_scrape_seconds"
+)
+
+// histSeries is the pre-rendered label set of one histogram series: a
+// {le="..."} block per bucket (with any extra labels folded in) and the
+// plain block the _sum/_count lines carry. Rendered once at package
+// load, like the family headers, so scraping a histogram appends cached
+// strings and freshly formatted numbers only.
+type histSeries struct {
+	buckets [obs.NumBuckets]string
+	plain   string
+}
+
+// newHistSeries pre-renders the series whose extra labels are given as a
+// rendered `k="v"` fragment ("" for none).
+func newHistSeries(extra string) *histSeries {
+	hs := &histSeries{}
+	for i := range hs.buckets {
+		le := "+Inf"
+		if i < obs.NumBuckets-1 {
+			le = strconv.FormatFloat(obs.BucketBound(i).Seconds(), 'g', -1, 64)
+		}
+		if extra == "" {
+			hs.buckets[i] = `{le="` + le + `"}`
+		} else {
+			hs.buckets[i] = `{` + extra + `,le="` + le + `"}`
+		}
+	}
+	if extra != "" {
+		hs.plain = `{` + extra + `}`
+	}
+	return hs
+}
+
+var (
+	histPlainSeries    = newHistSeries("")
+	scrapeRenderSeries = newHistSeries(`path="render"`)
+	scrapeCachedSeries = newHistSeries(`path="cached"`)
+
+	// stageSeries is index-aligned with pipeline.ReadHists().
+	stageSeries = func() []*histSeries {
+		var out []*histSeries
+		for _, sh := range pipeline.ReadHists() {
+			out = append(out, newHistSeries(`stage="`+escapeLabel(sh.Stage)+`"`))
+		}
+		return out
+	}()
+
+	// buildInfoLine is the one constant sample of powersensor_build_info,
+	// rendered once at load from the link-time-stamped version.
+	buildInfoLine = "powersensor_build_info{version=\"" + escapeLabel(version.Version) +
+		"\",go=\"" + escapeLabel(version.GoVersion()) + "\"} 1\n"
+)
+
+// appendHist renders one histogram series in exposition form: cumulative
+// _bucket lines (the last is the +Inf bucket, equal to _count by
+// construction — see obs.Hist.Snapshot), then _sum and _count. The
+// series names are passed pre-joined so this appends only cached strings
+// and numbers.
+func appendHist(buf []byte, bucketName, sumName, countName string, hs *histSeries, snap *obs.HistSnapshot) []byte {
+	var cum uint64
+	for i := 0; i < obs.NumBuckets; i++ {
+		cum += snap.Buckets[i]
+		buf = appendSample(buf, bucketName, hs.buckets[i], float64(cum))
+	}
+	buf = appendSample(buf, sumName, hs.plain, snap.Sum.Seconds())
+	buf = appendSample(buf, countName, hs.plain, float64(snap.Count))
+	return buf
+}
 
 // appendSample renders one exposition line: name, optional label block,
 // value, newline — all appends into the pooled buffer. Integral values
@@ -254,14 +383,18 @@ func appendSample(buf []byte, name, labels string, v float64) []byte {
 // metrics renders the Prometheus text exposition format: one pass per
 // family straight into the pooled buffer, appending cached headers and
 // label blocks plus freshly formatted numbers. Families and rows are
-// emitted in deterministic order so the output is golden-testable.
+// emitted in deterministic order so the output is golden-testable. The
+// body has two sections: the snapshot-derived fleet section, which the
+// body cache may serve, and the self-telemetry tail (appendSelf), which
+// renders fresh on every scrape so the daemon's view of itself never
+// goes stale behind its own cache.
 func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
 	st := e.scratch.Get().(*scrapeState)
 	// Body cache: if no station produced a downsample block and no churn
-	// happened since the last render, the previous body is still current
-	// (to within one open block) — copy it out under the cache lock and
-	// serve, skipping snapshot and render entirely. The copy (into the
+	// happened since the last render, the previous fleet section is still
+	// current (to within one open block) — copy it out under the cache
+	// lock, skipping snapshot and render entirely. The copy (into the
 	// pooled buffer) keeps the cached bytes immutable under concurrent
 	// scrapes, and the response is written only after the lock is
 	// released so a slow client cannot stall other scrapers.
@@ -276,23 +409,41 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	// renders makes every stored body at least as fresh as any body
 	// served before it; the concurrent scrape that would have rendered a
 	// duplicate waits briefly and then usually hits the fresh cache.
-	var gen uint64
+	var buf []byte
+	cached := false
 	if e.cacheOn {
-		gen = e.mgr.Gen()
+		gen := e.mgr.Gen()
 		e.cacheMu.Lock()
 		if e.cacheBody != nil && e.cacheGen == gen {
-			buf := append(st.buf[:0], e.cacheBody...)
+			buf = append(st.buf[:0], e.cacheBody...)
 			e.cacheMu.Unlock()
 			e.cacheHits.Add(1)
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_, _ = w.Write(buf)
-			st.buf = buf
-			e.scratch.Put(st)
-			return
+			cached = true
+		} else {
+			// Miss: cacheMu stays held through snapshot, render and store.
+			buf = e.renderFleet(st, gen)
 		}
-		// Miss: keep holding cacheMu through snapshot, render and store
-		// (released just before the response is written).
+	} else {
+		buf = e.renderFleet(st, 0)
 	}
+	buf = e.appendSelf(buf, &st.hist, began)
+	// The scrape records itself after its own tail rendered, so each
+	// body's scrape histogram covers every scrape before this one.
+	if cached {
+		e.cachedHist.Record(time.Since(began))
+	} else {
+		e.renderHist.Record(time.Since(began))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf)
+	st.buf = buf
+	e.scratch.Put(st)
+}
+
+// renderFleet renders the snapshot-derived fleet section into st's
+// pooled buffer and, when the body cache is on (the caller then holds
+// cacheMu, which this releases), stores the section against gen.
+func (e *Exporter) renderFleet(st *scrapeState, gen uint64) []byte {
 	// Churn counters load before the snapshot: labelsForAll's cache
 	// invalidation depends on this ordering (see its comment), and a
 	// scraper diffing adopted-retired against the device count then sees
@@ -362,8 +513,6 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	for i := range snap {
 		buf = appendSample(buf, "powersensor_device_virtual_seconds", st.labels[i].dev, snap[i].Now.Seconds())
 	}
-	buf = append(buf, hdrScrapeDuration...)
-	buf = appendSample(buf, "powersensor_scrape_duration_seconds", "", time.Since(began).Seconds())
 
 	if e.cacheOn {
 		// Store against the generation loaded before the snapshot (still
@@ -373,12 +522,61 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 		e.cacheBody = append(e.cacheBody[:0], buf...)
 		e.cacheGen = gen
 		e.cacheMu.Unlock()
+		e.cacheMisses.Add(1)
 	}
+	return buf
+}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write(buf)
-	st.buf = buf
-	e.scratch.Put(st)
+// appendSelf renders the self-telemetry tail — fresh on every scrape,
+// never cached. Everything here reads atomic cells (histogram buckets,
+// counters, the devices' published ring lengths): no manager lock, no
+// ingest mutex, no allocation beyond the buffer's own growth, so the
+// tail keeps both the cache-hit fast path and the lock-freedom of the
+// scrape intact. hs is the scrape's pooled snapshot scratch.
+func (e *Exporter) appendSelf(buf []byte, hs *obs.HistSnapshot, began time.Time) []byte {
+	buf = append(buf, hdrSelfIngestFold...)
+	e.mgr.IngestFoldHist().Snapshot(hs)
+	buf = appendHist(buf, famIngestFold+"_bucket", famIngestFold+"_sum", famIngestFold+"_count", histPlainSeries, hs)
+	buf = append(buf, hdrSelfPacing...)
+	e.mgr.PaceLatenessHist().Snapshot(hs)
+	buf = appendHist(buf, famPacing+"_bucket", famPacing+"_sum", famPacing+"_count", histPlainSeries, hs)
+	// Stage histograms are process-wide; a stage kind no source in this
+	// process ever ran would render as an all-zero distribution, so those
+	// are omitted rather than claiming an empty measurement.
+	buf = append(buf, hdrSelfStageRead...)
+	for i, sh := range pipeline.ReadHists() {
+		sh.Hist.Snapshot(hs)
+		if hs.Count == 0 {
+			continue
+		}
+		buf = appendHist(buf, famStageRead+"_bucket", famStageRead+"_sum", famStageRead+"_count", stageSeries[i], hs)
+	}
+	buf = append(buf, hdrSelfScrape...)
+	e.renderHist.Snapshot(hs)
+	buf = appendHist(buf, famScrape+"_bucket", famScrape+"_sum", famScrape+"_count", scrapeRenderSeries, hs)
+	e.cachedHist.Snapshot(hs)
+	buf = appendHist(buf, famScrape+"_bucket", famScrape+"_sum", famScrape+"_count", scrapeCachedSeries, hs)
+	buf = append(buf, hdrSelfCacheHits...)
+	buf = appendSample(buf, "powersensor_self_scrape_cache_hits_total", "", float64(e.cacheHits.Load()))
+	buf = append(buf, hdrSelfCacheMisses...)
+	buf = appendSample(buf, "powersensor_self_scrape_cache_misses_total", "", float64(e.cacheMisses.Load()))
+	ev := e.mgr.Events()
+	buf = append(buf, hdrSelfEvents...)
+	buf = appendSample(buf, "powersensor_self_events_total", "", float64(ev.Total()))
+	buf = append(buf, hdrSelfEventsDropped...)
+	buf = appendSample(buf, "powersensor_self_events_dropped_total", "", float64(ev.Dropped()))
+	buf = append(buf, hdrSelfRingFill...)
+	held, capacity := e.mgr.RingOccupancy()
+	ratio := 0.0
+	if capacity > 0 {
+		ratio = float64(held) / float64(capacity)
+	}
+	buf = appendSample(buf, "powersensor_self_ring_fill_ratio", "", ratio)
+	buf = append(buf, hdrBuildInfo...)
+	buf = append(buf, buildInfoLine...)
+	buf = append(buf, hdrScrapeDuration...)
+	buf = appendSample(buf, "powersensor_scrape_duration_seconds", "", time.Since(began).Seconds())
+	return buf
 }
 
 // labelEscaper escapes label values per the exposition format.
@@ -399,6 +597,41 @@ func (e *Exporter) fleetJSON(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(fleetSnapshot{Devices: e.mgr.Snapshot()})
+}
+
+// eventLog is the /api/events response body: the most recent lifecycle
+// events oldest-first, plus the ring's lifetime totals. A gap between
+// total and len(events) (or a first seq above dropped+1) means older
+// events were overwritten.
+type eventLog struct {
+	Total   uint64      `json:"total"`
+	Dropped uint64      `json:"dropped"`
+	Events  []obs.Event `json:"events"`
+}
+
+// eventsJSON serves the tail of the fleet's lifecycle event ring. ?n=N
+// caps the tail at the N most recent events (default 100, at most the
+// ring's capacity).
+func (e *Exporter) eventsJSON(w http.ResponseWriter, r *http.Request) {
+	max := 100
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad n=%q (want a positive count)", s),
+				http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	ring := e.mgr.Events()
+	events := ring.Tail(max)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(eventLog{Total: ring.Total(), Dropped: ring.Dropped(), Events: events})
 }
 
 // deviceTrace serves the recent downsampled trace of one station.

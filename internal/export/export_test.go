@@ -233,6 +233,26 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_ring_points gauge",
 		"# HELP powersensor_device_virtual_seconds Virtual time of each station's clock, in seconds.",
 		"# TYPE powersensor_device_virtual_seconds gauge",
+		"# HELP powersensor_self_ingest_fold_seconds Latency of folding one ingest step's batch into the downsample state, fleet-wide, sampled 1-in-32 steps.",
+		"# TYPE powersensor_self_ingest_fold_seconds histogram",
+		"# HELP powersensor_self_pacing_late_seconds How far past its absolute schedule each paced driver slice completed; empty on unpaced fleets.",
+		"# TYPE powersensor_self_pacing_late_seconds histogram",
+		"# HELP powersensor_self_stage_read_seconds ReadInto latency per derived-source pipeline stage kind, inner source included; stage kinds never run are omitted.",
+		"# TYPE powersensor_self_stage_read_seconds histogram",
+		"# HELP powersensor_self_scrape_seconds Time to assemble one /metrics body, by serve path (full render vs cached fleet section).",
+		"# TYPE powersensor_self_scrape_seconds histogram",
+		"# HELP powersensor_self_scrape_cache_hits_total Scrapes whose fleet section was served from the block-generation body cache.",
+		"# TYPE powersensor_self_scrape_cache_hits_total counter",
+		"# HELP powersensor_self_scrape_cache_misses_total Scrapes that re-rendered the fleet section on a cold or stale body cache.",
+		"# TYPE powersensor_self_scrape_cache_misses_total counter",
+		"# HELP powersensor_self_events_total Fleet lifecycle events ever recorded (adopt, start, retire, close).",
+		"# TYPE powersensor_self_events_total counter",
+		"# HELP powersensor_self_events_dropped_total Lifecycle events overwritten after the event ring filled.",
+		"# TYPE powersensor_self_events_dropped_total counter",
+		"# HELP powersensor_self_ring_fill_ratio Fleet-wide ring occupancy: downsampled points held over total ring capacity.",
+		"# TYPE powersensor_self_ring_fill_ratio gauge",
+		"# HELP powersensor_build_info Build identity of this daemon; always 1.",
+		"# TYPE powersensor_build_info gauge",
 		"# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.",
 		"# TYPE powersensor_scrape_duration_seconds gauge",
 	}
@@ -405,9 +425,9 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 						return
 					}
 				}
-				// 16 families × (HELP + TYPE).
-				if comments != 32 {
-					t.Errorf("scrape under load has %d comment lines, want 32", comments)
+				// 26 families × (HELP + TYPE).
+				if comments != 52 {
+					t.Errorf("scrape under load has %d comment lines, want 52", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -430,9 +450,22 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 	steps.Wait()
 }
 
+// fleetSection cuts a /metrics body down to the cacheable fleet section:
+// everything before the self-telemetry tail, which renders fresh on every
+// scrape and so is never byte-stable across serves.
+func fleetSection(t *testing.T, body string) string {
+	t.Helper()
+	i := strings.Index(body, "# HELP powersensor_self_ingest_fold_seconds")
+	if i < 0 {
+		t.Fatal("scrape body has no self-telemetry tail")
+	}
+	return body[:i]
+}
+
 // TestMetricsBodyCache pins the block-generation body cache: a repeat
-// scrape with no new downsample block serves the previous body verbatim,
-// while new blocks and churn invalidate it.
+// scrape with no new downsample block serves the previous fleet section
+// verbatim, while new blocks and churn invalidate it — and the
+// self-telemetry tail renders fresh even on cache hits.
 func TestMetricsBodyCache(t *testing.T) {
 	mgr, err := fleet.FromSpec("s0=synth,s1=synth", 1, fleet.Config{})
 	if err != nil {
@@ -449,8 +482,23 @@ func TestMetricsBodyCache(t *testing.T) {
 	if hits := e.cacheHits.Load(); hits != 1 {
 		t.Errorf("cache hits after repeat scrape = %d, want 1", hits)
 	}
-	if b1 != b2 {
-		t.Error("repeat scrape with no new blocks is not byte-identical")
+	if misses := e.cacheMisses.Load(); misses != 1 {
+		t.Errorf("cache misses after first scrape = %d, want 1", misses)
+	}
+	if fleetSection(t, b1) != fleetSection(t, b2) {
+		t.Error("repeat scrape with no new blocks re-rendered the fleet section")
+	}
+	// The tail is live behind the cache: the hit body carries the first
+	// scrape's full render in the path="render" histogram, and both
+	// cache counters as self series.
+	for _, want := range []string{
+		`powersensor_self_scrape_seconds_count{path="render"} 1` + "\n",
+		"powersensor_self_scrape_cache_hits_total 1\n",
+		"powersensor_self_scrape_cache_misses_total 1\n",
+	} {
+		if !strings.Contains(b2, want) {
+			t.Errorf("cache-hit body missing fresh self series %q", want)
+		}
 	}
 
 	// New blocks invalidate: the next scrape re-renders fresher counters.
@@ -459,8 +507,8 @@ func TestMetricsBodyCache(t *testing.T) {
 	if hits := e.cacheHits.Load(); hits != 1 {
 		t.Errorf("scrape after new blocks hit the cache (hits=%d)", hits)
 	}
-	if b3 == b1 {
-		t.Error("scrape after new blocks served the stale body")
+	if fleetSection(t, b3) == fleetSection(t, b1) {
+		t.Error("scrape after new blocks served the stale fleet section")
 	}
 
 	// Churn invalidates: a retired station's series leave immediately.
@@ -675,8 +723,8 @@ func TestScrapeDuringChurn(t *testing.T) {
 						return
 					}
 				}
-				if comments != 32 {
-					t.Errorf("scrape during churn has %d comment lines, want 32", comments)
+				if comments != 52 {
+					t.Errorf("scrape during churn has %d comment lines, want 52", comments)
 					return
 				}
 				adopted := counter(body, "powersensor_fleet_adopted_total")
@@ -703,6 +751,106 @@ func TestScrapeDuringChurn(t *testing.T) {
 	for _, dev := range []string{"keep0", "keep1"} {
 		if !strings.Contains(body, `powersensor_board_watts{device="`+dev+`"} `) {
 			t.Errorf("%s lost its series through the churn", dev)
+		}
+	}
+}
+
+// TestMetricsSelfTelemetry checks the self tail's content on a warmed
+// fleet: the ingest fold histogram carries real observations, histogram
+// invariants hold in the rendered text, and the gauges are sane.
+func TestMetricsSelfTelemetry(t *testing.T) {
+	srv, _ := testServer(t)
+	_, body := get(t, srv.URL+"/metrics")
+
+	// 300 ms of stepping folded many blocks; the sampled fold histogram
+	// must have counted some of them.
+	m := regexp.MustCompile(`powersensor_self_ingest_fold_seconds_count ([0-9]+)`).
+		FindStringSubmatch(body)
+	if m == nil {
+		t.Fatal("missing ingest fold histogram count")
+	}
+	if n, _ := strconv.ParseUint(m[1], 10, 64); n == 0 {
+		t.Error("ingest fold histogram empty after 300ms of stepping")
+	}
+	// The +Inf bucket equals _count — the histogram contract scrapers
+	// (and recording rules) depend on.
+	inf := regexp.MustCompile(`powersensor_self_ingest_fold_seconds_bucket\{le="\+Inf"\} ([0-9]+)`).
+		FindStringSubmatch(body)
+	if inf == nil || inf[1] != m[1] {
+		t.Errorf("+Inf bucket %v != count %s", inf, m[1])
+	}
+	// Unpaced fleet: the pacing histogram renders, and renders empty.
+	if !strings.Contains(body, "powersensor_self_pacing_late_seconds_count 0\n") {
+		t.Error("pacing histogram missing or non-empty on an unpaced fleet")
+	}
+	// Lifecycle: three stations adopted, none dropped from the ring.
+	if !strings.Contains(body, "powersensor_self_events_total 3\n") ||
+		!strings.Contains(body, "powersensor_self_events_dropped_total 0\n") {
+		t.Error("event counters do not reflect the three adoptions")
+	}
+	// Ring occupancy: points are buffered, rings are not full.
+	fill := regexp.MustCompile(`powersensor_self_ring_fill_ratio ([0-9.e+-]+)`).
+		FindStringSubmatch(body)
+	if fill == nil {
+		t.Fatal("missing ring fill ratio")
+	}
+	if v, err := strconv.ParseFloat(fill[1], 64); err != nil || v <= 0 || v > 1 {
+		t.Errorf("ring fill ratio = %q, want in (0, 1]", fill[1])
+	}
+	if !strings.Contains(body, `powersensor_build_info{version="dev",go="`) {
+		t.Error("missing build info gauge")
+	}
+}
+
+// TestEventsEndpoint covers /api/events: a fresh fleet's adoption events
+// oldest-first, the ?n tail cap, and parameter validation.
+func TestEventsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/api/events")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var log struct {
+		Total   uint64 `json:"total"`
+		Dropped uint64 `json:"dropped"`
+		Events  []struct {
+			Seq     uint64 `json:"seq"`
+			Type    string `json:"type"`
+			Station string `json:"station"`
+			Kind    string `json:"kind"`
+			Reason  string `json:"reason"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Total != 3 || log.Dropped != 0 || len(log.Events) != 3 {
+		t.Fatalf("total=%d dropped=%d events=%d, want 3/0/3",
+			log.Total, log.Dropped, len(log.Events))
+	}
+	// FromSpec adopts in spec order; no Start ran, so adopts only.
+	for i, want := range []string{"gpu0", "soc0", "ssd0"} {
+		ev := log.Events[i]
+		if ev.Type != "adopt" || ev.Station != want || ev.Seq != uint64(i+1) || ev.Reason != "add" {
+			t.Errorf("event %d = %+v, want adopt of %s at seq %d", i, ev, want, i+1)
+		}
+	}
+
+	// ?n caps the tail at the most recent events.
+	_, body = get(t, srv.URL+"/api/events?n=2")
+	if err := json.Unmarshal([]byte(body), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != 2 || log.Events[0].Station != "soc0" || log.Events[1].Station != "ssd0" {
+		t.Errorf("n=2 tail = %+v, want the two newest adoptions", log.Events)
+	}
+	if log.Total != 3 {
+		t.Errorf("capped tail reports total %d, want 3", log.Total)
+	}
+
+	for _, q := range []string{"?n=0", "?n=-3", "?n=bogus"} {
+		if code, _ := get(t, srv.URL+"/api/events"+q); code != http.StatusBadRequest {
+			t.Errorf("/api/events%s: status %d, want 400", q, code)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/source"
 	"repro/internal/trace"
 )
@@ -186,6 +187,13 @@ type Device struct {
 	subs   map[int]chan Point
 	nextID int
 
+	// Fold-latency instrumentation: the manager's shared histogram plus
+	// this device's step counter selecting which steps get timed (see
+	// foldSampleEvery). Contention on the shared histogram is negligible —
+	// one atomic add per sampled step, not per sample.
+	foldHist *obs.Hist
+	stepN    uint64
+
 	pub pub
 }
 
@@ -193,7 +201,7 @@ type Device struct {
 // point; the per-source block size is derived from it and the source's
 // native rate, so a 20 kHz sensor averages hundreds of samples per point
 // while a 10 Hz software meter contributes every sample it has.
-func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, ringCap int) *Device {
+func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, ringCap int, foldHist *obs.Hist) *Device {
 	meta := src.Meta()
 	// The device keeps its own copy of the channel labels: neither the
 	// source nor any Status consumer can mutate it from under the fleet.
@@ -203,15 +211,16 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		block = 1
 	}
 	d := &Device{
-		name:   name,
-		kind:   kind,
-		meta:   meta,
-		retire: make(chan struct{}),
-		src:    src,
-		block:  block,
-		chans:  len(meta.Channels),
-		baseJ:  src.Joules(),
-		subs:   make(map[int]chan Point),
+		name:     name,
+		kind:     kind,
+		meta:     meta,
+		retire:   make(chan struct{}),
+		src:      src,
+		block:    block,
+		chans:    len(meta.Channels),
+		baseJ:    src.Joules(),
+		subs:     make(map[int]chan Point),
+		foldHist: foldHist,
 	}
 	d.ov, _ = src.(source.Overheader)
 	d.ring = NewRing(ringCap, d.chans)
@@ -461,15 +470,39 @@ func (d *Device) publish() {
 	d.pub.ringLen.Store(int64(held))
 }
 
+// foldSampleEvery selects which steps contribute a fold-latency
+// observation: every step whose ordinal is a multiple of it. At the
+// uninstrumented baseline one timed step costs two clock reads plus a
+// histogram Record (~70 ns) against ~680 ns of fold work per default
+// 100-sample step — around 10%, over the ingest path's 5% overhead
+// budget if paid every step. Sampling 1-in-32 amortises it well under
+// 1% while a 200-step/s production station still records ~6
+// observations per second, ample for a latency distribution. Must be a
+// power of two; the selection is a mask test.
+const foldSampleEvery = 32
+
 // step advances the station by dt of virtual time, ingesting the batch
 // the source produced over it and refreshing the published telemetry.
+// On sampled steps the fold (ingest + flush + publish, source read
+// excluded) is timed into the manager's shared fold histogram; the timed
+// path is identical to the untimed one apart from the clock reads, so
+// the sample is unbiased.
 func (d *Device) step(dt time.Duration) {
 	d.mu.Lock()
 	if !d.closed {
 		d.src.ReadInto(dt, &d.batch)
-		d.ingestBatch(&d.batch)
-		d.flush()
-		d.publish()
+		if d.stepN&(foldSampleEvery-1) == 0 {
+			began := time.Now()
+			d.ingestBatch(&d.batch)
+			d.flush()
+			d.publish()
+			d.foldHist.Record(time.Since(began))
+		} else {
+			d.ingestBatch(&d.batch)
+			d.flush()
+			d.publish()
+		}
+		d.stepN++
 	}
 	d.mu.Unlock()
 }
@@ -588,12 +621,14 @@ func (d *Device) Trace(max int) *trace.Trace {
 // the drain contract: a subscriber always receives every point the device
 // produced, including the drain point, before its channel closes; a
 // cancel racing close never double-closes a channel because the subs map
-// is the single ownership record for both.
-func (d *Device) close() {
+// is the single ownership record for both. It reports whether this call
+// performed the close, so the manager logs exactly one close event per
+// station however many paths (Remove, Close, repeated Close) race here.
+func (d *Device) close() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
-		return
+		return false
 	}
 	d.pub.state.Store(int32(devStopping))
 	if d.accN > 0 {
@@ -608,4 +643,5 @@ func (d *Device) close() {
 	}
 	d.src.Close()
 	d.pub.state.Store(int32(devClosed))
+	return true
 }

@@ -75,15 +75,23 @@ func stubDevice(t testing.TB) (*Manager, *Device) {
 // TestIngestSteadyStateZeroAlloc pins the tentpole contract: once the
 // batch arrays and ring arena are warm, advancing a subscriber-free
 // station allocates nothing — not per sample, not per block, not per
-// telemetry refresh.
+// telemetry refresh. The fold histogram must demonstrably advance during
+// the guard, so the zero-alloc claim covers the instrumented path, not a
+// path with telemetry compiled out.
 func TestIngestSteadyStateZeroAlloc(t *testing.T) {
 	m, _ := stubDevice(t)
 	m.StepAll(200 * time.Millisecond) // warm batch arrays, cross many blocks
+	before := m.IngestFoldHist().Count()
 	allocs := testing.AllocsPerRun(100, func() {
 		m.StepAll(5 * time.Millisecond)
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state ingest allocates %v per step, want 0", allocs)
+	}
+	if after := m.IngestFoldHist().Count(); after <= before {
+		t.Errorf("fold histogram did not advance during the guard (%d -> %d): "+
+			"the zero-alloc result proves nothing about instrumented ingest",
+			before, after)
 	}
 }
 

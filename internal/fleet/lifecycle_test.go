@@ -8,10 +8,13 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // waitFor polls cond every millisecond until it holds or the deadline
@@ -241,7 +244,9 @@ func TestMarkerSurvivesDownsampling(t *testing.T) {
 // station leaked or vanished and the churn counters balance.
 func TestChurn(t *testing.T) {
 	const base = 4
-	m := NewManager(Config{Slice: time.Millisecond})
+	// EventCap large enough that no lifecycle event is dropped across the
+	// whole churn run, so the post-run event accounting below is exact.
+	m := NewManager(Config{Slice: time.Millisecond, EventCap: 1 << 16})
 	for i := 0; i < base; i++ {
 		if _, err := m.Add(fmt.Sprintf("base%d", i), "stub", &stubSource{}); err != nil {
 			t.Fatal(err)
@@ -344,6 +349,77 @@ func TestChurn(t *testing.T) {
 		}
 		if st.State != "started" {
 			t.Errorf("%s state = %q after churn, want started", st.Name, st.State)
+		}
+	}
+
+	// Event-log accounting: every churn Add produced exactly one adopt
+	// event and every churn Remove exactly one retire and one close — no
+	// event lost, duplicated, or dropped by the ring.
+	if got := m.Events().Dropped(); got != 0 {
+		t.Fatalf("event ring dropped %d events; raise EventCap, accounting is void", got)
+	}
+	var adopts, retires, closes uint64
+	for _, ev := range m.Events().Tail(0) {
+		if !strings.HasPrefix(ev.Station, "churn") {
+			continue
+		}
+		switch ev.Type {
+		case obs.EventAdopt:
+			adopts++
+		case obs.EventRetire:
+			retires++
+		case obs.EventClose:
+			closes++
+		}
+	}
+	if want := churns.Load(); adopts != want || retires != want || closes != want {
+		t.Errorf("churn events adopt/retire/close = %d/%d/%d, want %d each",
+			adopts, retires, closes, want)
+	}
+}
+
+// TestLifecycleEvents pins the event sequence one station emits across
+// its whole life, and the reason tags that separate a hot Remove from a
+// fleet shutdown.
+func TestLifecycleEvents(t *testing.T) {
+	m := NewManager(Config{})
+	if _, err := m.Add("dev0", "stub", &stubSource{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	if err := m.Remove("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("dev1", "stub", &stubSource{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	m.Close()
+
+	want := []struct{ typ, station, reason string }{
+		{obs.EventAdopt, "dev0", "add"},
+		{obs.EventStart, "dev0", ""},
+		{obs.EventRetire, "dev0", "remove"},
+		{obs.EventClose, "dev0", "remove"},
+		{obs.EventAdopt, "dev1", "add"},
+		{obs.EventStart, "dev1", ""},
+		{obs.EventClose, "dev1", "shutdown"},
+	}
+	evs := m.Events().Tail(0)
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(evs), evs, len(want))
+	}
+	for i, w := range want {
+		ev := evs[i]
+		if ev.Type != w.typ || ev.Station != w.station || ev.Reason != w.reason {
+			t.Errorf("event %d = {%s %s %q}, want {%s %s %q}",
+				i, ev.Type, ev.Station, ev.Reason, w.typ, w.station, w.reason)
+		}
+		if ev.Kind != "stub" {
+			t.Errorf("event %d kind = %q, want stub", i, ev.Kind)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/simsetup"
 	"repro/internal/source"
@@ -35,6 +36,10 @@ type Config struct {
 	// per wall second (1 = real time). Zero runs as fast as the host
 	// allows — the mode benchmarks and tests use.
 	Rate float64
+	// EventCap is the capacity of the fleet's lifecycle event ring (see
+	// Events); once full, new events overwrite oldest-first with a drop
+	// counter. Zero means 256 — weeks of ordinary churn.
+	EventCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RingCap <= 0 {
 		c.RingCap = 4096
+	}
+	if c.EventCap <= 0 {
+		c.EventCap = 256
 	}
 	return c
 }
@@ -80,6 +88,17 @@ type Manager struct {
 	adopted atomic.Uint64
 	retired atomic.Uint64
 
+	// Self-telemetry. foldHist is the fleet-wide distribution of per-step
+	// ingest-fold latency (ReadInto excluded — that is the source's
+	// sampling cost, accounted separately via source.Overheader), sampled
+	// one step in foldSampleEvery to stay inside the ingest path's
+	// overhead budget. paceHist is driver pacing lateness: how far behind
+	// its absolute schedule each paced slice boundary lands. events holds
+	// the structured lifecycle log.
+	foldHist obs.Hist
+	paceHist obs.Hist
+	events   *obs.EventRing
+
 	mu      sync.Mutex
 	byName  map[string]*Device
 	stop    chan struct{}
@@ -90,6 +109,7 @@ type Manager struct {
 // NewManager returns an empty manager.
 func NewManager(cfg Config) *Manager {
 	m := &Manager{cfg: cfg.withDefaults(), byName: make(map[string]*Device)}
+	m.events = obs.NewEventRing(m.cfg.EventCap)
 	m.devices.Store(new([]*Device))
 	return m
 }
@@ -136,7 +156,7 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	if _, dup := m.byName[name]; dup {
 		return nil, fmt.Errorf("fleet: duplicate station %q", name)
 	}
-	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.RingCap)
+	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.RingCap, &m.foldHist)
 	old := m.list()
 	at := sort.Search(len(old), func(i int) bool { return old[i].name > name })
 	next := make([]*Device, 0, len(old)+1)
@@ -146,6 +166,7 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	m.devices.Store(&next)
 	m.byName[name] = d
 	m.adopted.Add(1)
+	m.events.Append(obs.EventAdopt, name, kind, "add")
 	if m.started {
 		m.startDriver(d)
 	}
@@ -179,6 +200,7 @@ func (m *Manager) Remove(name string) error {
 	m.devices.Store(&next) // commit: new readers no longer see the station
 	done := d.driveDone    // this run's driver exit signal, nil if never driven
 	m.retired.Add(1)
+	m.events.Append(obs.EventRetire, name, d.kind, "remove")
 	m.mu.Unlock()
 
 	// Stop the driver without holding the manager lock: the goroutine may
@@ -188,7 +210,9 @@ func (m *Manager) Remove(name string) error {
 	if done != nil {
 		<-done
 	}
-	d.close()
+	if d.close() {
+		m.events.Append(obs.EventClose, name, d.kind, "remove")
+	}
 	return nil
 }
 
@@ -228,6 +252,39 @@ func (m *Manager) Adopted() uint64 { return m.adopted.Load() }
 
 // Retired returns the number of stations ever retired by Remove.
 func (m *Manager) Retired() uint64 { return m.retired.Load() }
+
+// Events returns the fleet's lifecycle event ring: one structured entry
+// per adopt/start/retire/close transition, oldest overwritten first once
+// the ring fills (Config.EventCap). The ring is safe for concurrent
+// reads while the fleet churns; daemons serve its Tail as /api/events.
+func (m *Manager) Events() *obs.EventRing { return m.events }
+
+// IngestFoldHist returns the fleet-wide latency histogram of the ingest
+// fold — the per-step cost of folding one source batch into the
+// downsample accumulators, staging area and published cells, excluding
+// the source's own ReadInto. To keep the hot path inside its overhead
+// budget the fold is timed on a 1-in-foldSampleEvery step sample, so the
+// histogram holds a uniform sample of steps, not every step.
+func (m *Manager) IngestFoldHist() *obs.Hist { return &m.foldHist }
+
+// PaceLatenessHist returns the distribution of driver pacing lateness on
+// paced fleets (Config.Rate > 0): how far past its absolute schedule each
+// slice boundary completed — timer overshoot when the host keeps up,
+// whole-slice overruns when it does not. Unpaced fleets record nothing.
+func (m *Manager) PaceLatenessHist() *obs.Hist { return &m.paceHist }
+
+// RingOccupancy sums ring fill across the fleet: points currently held
+// in every station's ring and the total capacity. Like Snapshot it reads
+// only atomically published cells — no manager lock, no ingest mutexes —
+// so it is safe on every scrape even when the body cache skips the full
+// snapshot.
+func (m *Manager) RingOccupancy() (held, capacity int) {
+	for _, d := range m.list() {
+		held += int(d.pub.ringLen.Load())
+		capacity += d.ring.Cap()
+	}
+	return held, capacity
+}
 
 // Device returns the named station, or nil.
 func (m *Manager) Device(name string) *Device {
@@ -276,6 +333,7 @@ func (m *Manager) startDriver(d *Device) {
 	done := make(chan struct{})
 	d.driveDone = done
 	d.pub.state.Store(int32(devStarted))
+	m.events.Append(obs.EventStart, d.name, d.kind, "")
 	m.wg.Add(1)
 	go m.drive(d, m.stop, m.wg, done)
 }
@@ -328,9 +386,17 @@ func (m *Manager) drive(d *Device, stop chan struct{}, wg *sync.WaitGroup, done 
 				case <-d.retire:
 					return
 				case <-time.After(rest):
+					// Timer overshoot: how late past the schedule the
+					// sleep actually returned.
+					m.paceHist.Record(time.Since(next))
 				}
-			} else if rest < -time.Second {
-				next = time.Now()
+			} else {
+				// The step itself overran the slice's wall budget; -rest is
+				// how far behind schedule this boundary already is.
+				m.paceHist.Record(-rest)
+				if rest < -time.Second {
+					next = time.Now()
+				}
 			}
 		}
 	}
@@ -390,6 +456,8 @@ func (m *Manager) SnapshotInto(dst []Status) []Status {
 func (m *Manager) Close() {
 	m.Stop()
 	for _, d := range m.list() {
-		d.close()
+		if d.close() {
+			m.events.Append(obs.EventClose, d.name, d.kind, "shutdown")
+		}
 	}
 }

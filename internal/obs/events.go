@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lifecycle event types, matching the fleet's device state machine.
+const (
+	// EventAdopt: a station was adopted by a manager (fleet Add).
+	EventAdopt = "adopt"
+	// EventStart: a driver goroutine began advancing a station.
+	EventStart = "start"
+	// EventRetire: retirement began (fleet Remove claimed the station).
+	EventRetire = "retire"
+	// EventClose: the station finished draining and released its source.
+	EventClose = "close"
+)
+
+// Event is one structured fleet lifecycle transition.
+type Event struct {
+	// Seq numbers events from 1 in append order; gaps at the start of a
+	// tail mean older events were overwritten (see EventRing.Dropped).
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock append time.
+	Time time.Time `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Station and Kind identify the station transitioning.
+	Station string `json:"station"`
+	Kind    string `json:"kind"`
+	// Reason says why, when the type alone is ambiguous — "remove" for a
+	// retirement-driven close versus "shutdown" for a manager close.
+	Reason string `json:"reason,omitempty"`
+}
+
+// EventRing is a fixed-capacity ring of lifecycle events: appends
+// overwrite oldest-first once full, and a drop counter records how many
+// events the ring no longer holds. Lifecycle transitions are rare (per
+// churn, not per sample), so appends take a mutex — this is explicitly
+// NOT a hot-path instrument; the hot path gets Hist. Safe for concurrent
+// use.
+type EventRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // buf index the next append writes
+	n       int // events currently held
+	total   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewEventRing returns a ring holding the most recent capacity events.
+// It panics on a non-positive capacity — a construction-time wiring
+// error, like fleet.NewRing's.
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		panic("obs: NewEventRing with non-positive capacity")
+	}
+	return &EventRing{buf: make([]Event, capacity)}
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *EventRing) Cap() int { return len(r.buf) }
+
+// Append records one event, stamping its sequence number and wall time.
+// Once the ring is full the oldest event is dropped (counted in
+// Dropped) to make room.
+func (r *EventRing) Append(typ, station, kind, reason string) {
+	now := time.Now()
+	r.mu.Lock()
+	seq := r.total.Add(1)
+	r.buf[r.next] = Event{
+		Seq: seq, Time: now, Type: typ,
+		Station: station, Kind: kind, Reason: reason,
+	}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// Tail returns up to max of the most recent events, oldest first. A
+// non-positive max returns everything held. The returned slice is the
+// caller's own copy.
+func (r *EventRing) Tail(max int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	// Oldest-first order starts at next when full, at 0 while filling;
+	// skip (held-n) older entries when a cap was requested.
+	start := 0
+	if r.n == len(r.buf) {
+		start = r.next
+	}
+	start = (start + r.n - n) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns the number of events ever appended.
+func (r *EventRing) Total() uint64 { return r.total.Load() }
+
+// Dropped returns the number of events overwritten by wraparound —
+// Total minus what the ring still holds.
+func (r *EventRing) Dropped() uint64 { return r.dropped.Load() }

@@ -1,0 +1,138 @@
+// Package obs is the self-telemetry layer: the instruments the
+// measurement system uses to observe *itself*. The platform quantifies
+// the power of devices under test; this package quantifies the cost and
+// health of doing so — ingest fold latency, driver pacing jitter, stage
+// sampling cost, scrape timing — the observer-overhead concern the
+// RAPL-cost literature raises and per-backend self-reporting tools (PMT)
+// ship, generalised from the pipeline layer's single cumulative
+// overhead-seconds counter into full latency distributions plus a
+// structured record of fleet lifecycle transitions.
+//
+// Two instrument families:
+//
+//   - Hist: a lock-free, zero-allocation latency histogram over
+//     power-of-two buckets, backed by plain atomic arrays. Record is a
+//     branch, two shifts and two atomic adds — no mutex, no allocation,
+//     no amortised cost cliffs — so it is safe on the 20 kHz ingest hot
+//     path, which must keep its allocs/op == 0 contract with
+//     instrumentation enabled.
+//
+//   - EventRing: a fixed-capacity ring of structured lifecycle events
+//     (station adopted, driver started, station retired, closed) with
+//     oldest-first overwrite and a drop counter. Lifecycle transitions
+//     are rare, so the ring takes a mutex; reads are cheap JSON-ready
+//     tails for daemon introspection endpoints.
+//
+// The exporter renders Hist contents as Prometheus histogram families
+// (powersensor_self_*) and serves EventRing tails as /api/events.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// histMinShift sets the first bucket's upper bound: 2^histMinShift
+	// nanoseconds. Everything at or below 16 ns — around the cost of the
+	// Record call itself — lands in bucket zero.
+	histMinShift = 4
+
+	// NumBuckets is the fixed bucket count of every Hist: buckets
+	// 0..NumBuckets-2 have inclusive upper bounds 2^(histMinShift+i)
+	// nanoseconds (16 ns up to ~2.1 s), and the last bucket absorbs
+	// everything beyond — the +Inf bucket of the rendered exposition.
+	NumBuckets = 29
+)
+
+// BucketBound returns bucket i's inclusive upper bound. The last bucket
+// is unbounded; for it (and any larger i) BucketBound returns the
+// largest Duration as a stand-in for +Inf.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(1) << (histMinShift + i)
+}
+
+// bucketOf maps a latency in nanoseconds to its bucket index: the
+// smallest i with ns <= BucketBound(i). Non-positive values land in
+// bucket zero.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	// For ns in (2^(b-1), 2^b], Len64(ns-1) == b: an exact power of two
+	// belongs to the bucket bounded by it, not the next one up.
+	i := bits.Len64(uint64(ns-1)) - histMinShift
+	if i < 0 {
+		return 0
+	}
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Hist is a latency histogram over power-of-two buckets, safe for
+// concurrent use by any number of recorders and readers. The zero value
+// is ready to use. Record performs no allocation and takes no lock —
+// one atomic add into the bucket array plus one into the running sum —
+// so it can sit on paths with a hard zero-alloc contract. There is no
+// separate count cell: the sample count is the sum over buckets, which
+// keeps the rendered +Inf bucket and _count consistent by construction
+// even against concurrent recording.
+type Hist struct {
+	sum     atomic.Int64 // cumulative nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Record adds one latency observation. Negative durations (a clock
+// stepping backwards mid-measurement) clamp into bucket zero with zero
+// sum contribution.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// HistSnapshot is one point-in-time copy of a Hist, filled by Snapshot.
+// Buckets holds per-bucket (not cumulative) counts; Count is their sum.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot fills s from the histogram's atomic cells — allocation-free,
+// usable concurrently with recorders. Cells are read one by one, so a
+// snapshot racing a Record may miss that one observation from some
+// buckets but never tears an individual cell, and Count always equals
+// the bucket total within the same snapshot.
+func (h *Hist) Snapshot(s *HistSnapshot) {
+	s.Count = 0
+	for i := range s.Buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = time.Duration(h.sum.Load())
+}
+
+// Count returns the number of observations recorded so far.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the cumulative recorded latency.
+func (h *Hist) Sum() time.Duration {
+	return time.Duration(h.sum.Load())
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBounds pins the bucket layout: power-of-two inclusive upper
+// bounds from 16 ns, +Inf last.
+func TestBucketBounds(t *testing.T) {
+	if BucketBound(0) != 16*time.Nanosecond {
+		t.Errorf("BucketBound(0) = %v, want 16ns", BucketBound(0))
+	}
+	if BucketBound(1) != 32*time.Nanosecond {
+		t.Errorf("BucketBound(1) = %v, want 32ns", BucketBound(1))
+	}
+	// The last finite bucket reaches past 2 s, so any realistic latency
+	// has a finite bucket.
+	if last := BucketBound(NumBuckets - 2); last <= 2*time.Second {
+		t.Errorf("last finite bound %v, want > 2s", last)
+	}
+	if BucketBound(NumBuckets-1) != time.Duration(1<<63-1) {
+		t.Errorf("+Inf bucket bound = %v", BucketBound(NumBuckets-1))
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		if BucketBound(i) != 2*BucketBound(i-1) {
+			t.Errorf("bound %d = %v, not double bound %d = %v",
+				i, BucketBound(i), i-1, BucketBound(i-1))
+		}
+	}
+}
+
+// TestBucketOf checks exact placement at and around every boundary: a
+// value equal to a bound belongs to that bucket, one past it to the next.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {15, 0}, {16, 0},
+		{17, 1}, {32, 1}, {33, 2},
+		{1 << 20, 16}, {1<<20 + 1, 17},
+		{1 << 31, NumBuckets - 2},   // last finite bucket's bound exactly
+		{1<<31 + 1, NumBuckets - 1}, // first value past it: +Inf bucket
+		{1 << 62, NumBuckets - 1},   // way past: clamped
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Exhaustive invariant: every value sits at or under its bucket's
+	// bound and over the previous one.
+	for ns := int64(1); ns < int64(BucketBound(NumBuckets-2)); ns = ns*3 + 1 {
+		i := bucketOf(ns)
+		if time.Duration(ns) > BucketBound(i) {
+			t.Fatalf("ns %d over its bucket %d bound %v", ns, i, BucketBound(i))
+		}
+		if i > 0 && time.Duration(ns) <= BucketBound(i-1) {
+			t.Fatalf("ns %d fits the lower bucket %d", ns, i-1)
+		}
+	}
+}
+
+func TestHistRecordSnapshot(t *testing.T) {
+	var h Hist
+	h.Record(10 * time.Nanosecond)  // bucket 0
+	h.Record(16 * time.Nanosecond)  // bucket 0
+	h.Record(100 * time.Nanosecond) // bucket 3 (64,128]
+	h.Record(-time.Second)          // clamps to bucket 0, sum += 0
+	h.Record(10 * time.Second)      // +Inf bucket
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if want := 10*time.Nanosecond + 16*time.Nanosecond + 100*time.Nanosecond + 10*time.Second; s.Sum != want {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+	if s.Buckets[0] != 3 || s.Buckets[3] != 1 || s.Buckets[NumBuckets-1] != 1 {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+	if h.Count() != 5 || h.Sum() != s.Sum {
+		t.Errorf("accessors disagree: count %d sum %v", h.Count(), h.Sum())
+	}
+	// The rendered +Inf bucket is cumulative over all buckets == Count.
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b
+	}
+	if cum != s.Count {
+		t.Errorf("bucket total %d != count %d", cum, s.Count)
+	}
+}
+
+// TestHistRecordZeroAlloc is the hot-path contract: recording allocates
+// nothing.
+func TestHistRecordZeroAlloc(t *testing.T) {
+	var h Hist
+	var s HistSnapshot
+	if n := testing.AllocsPerRun(100, func() {
+		h.Record(123 * time.Nanosecond)
+	}); n != 0 {
+		t.Errorf("Record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h.Snapshot(&s)
+	}); n != 0 {
+		t.Errorf("Snapshot allocates %v/op, want 0", n)
+	}
+}
+
+// TestHistConcurrent hammers one histogram from many goroutines while a
+// reader snapshots — -race exercises the lock-free claims, and no
+// observation may be lost.
+func TestHistConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var h Hist
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var s HistSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot(&s)
+				if cum := func() (c uint64) {
+					for _, b := range s.Buckets {
+						c += b
+					}
+					return
+				}(); cum != s.Count {
+					t.Errorf("torn snapshot: bucket total %d != count %d", cum, s.Count)
+					return
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if h.Count() != goroutines*perG {
+		t.Errorf("Count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+func TestEventRingBasics(t *testing.T) {
+	r := NewEventRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	if got := r.Tail(0); got != nil {
+		t.Fatalf("empty Tail = %v", got)
+	}
+	r.Append(EventAdopt, "gpu0", "synth", "add")
+	r.Append(EventStart, "gpu0", "synth", "")
+	r.Append(EventRetire, "gpu0", "synth", "remove")
+	evs := r.Tail(0)
+	if len(evs) != 3 || r.Total() != 3 || r.Dropped() != 0 {
+		t.Fatalf("tail %d total %d dropped %d", len(evs), r.Total(), r.Dropped())
+	}
+	for i, want := range []string{EventAdopt, EventStart, EventRetire} {
+		ev := evs[i]
+		if ev.Type != want || ev.Station != "gpu0" || ev.Kind != "synth" || ev.Seq != uint64(i+1) {
+			t.Errorf("event %d = %+v, want type %s seq %d", i, ev, want, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has no timestamp", i)
+		}
+	}
+	// A capped tail keeps the MOST RECENT events, still oldest-first.
+	if got := r.Tail(2); len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("Tail(2) = %+v, want seqs 2,3", got)
+	}
+}
+
+// TestEventRingOverflow proves the overwrite contract: a full ring drops
+// the oldest events, counts every drop, and the surviving tail is the
+// newest events in order with contiguous sequence numbers.
+func TestEventRingOverflow(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		station := string(rune('a' + i))
+		r.Append(EventAdopt, station, "synth", "add")
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10/6", r.Total(), r.Dropped())
+	}
+	evs := r.Tail(0)
+	if len(evs) != 4 {
+		t.Fatalf("tail holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("tail[%d].Seq = %d, want %d (oldest-first, newest retained)",
+				i, ev.Seq, want)
+		}
+		if want := string(rune('a' + 6 + i)); ev.Station != want {
+			t.Errorf("tail[%d].Station = %q, want %q", i, ev.Station, want)
+		}
+	}
+	// First surviving seq == dropped+1: nothing vanished unaccounted.
+	if evs[0].Seq != r.Dropped()+1 {
+		t.Errorf("first retained seq %d, dropped %d", evs[0].Seq, r.Dropped())
+	}
+}
+
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Append(EventAdopt, "s", "k", "")
+				r.Tail(8)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 2000 || r.Dropped() != 2000-16 {
+		t.Errorf("total %d dropped %d", r.Total(), r.Dropped())
+	}
+}
+
+func TestEventRingBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEventRing(0) did not panic")
+		}
+	}()
+	NewEventRing(0)
+}
+
+// BenchmarkObsRecord is the CI guard on the instrument itself: the cost
+// the fold/stage/pacing paths pay per observation.
+func BenchmarkObsRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+func BenchmarkObsSnapshot(b *testing.B) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Nanosecond)
+	}
+	var s HistSnapshot
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Snapshot(&s)
+	}
+}

@@ -72,6 +72,7 @@ type calibrator struct {
 // batch directly and the overlay is applied in place in the batch fold —
 // no scratch batch, no copies, no allocations.
 func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) {
+	began := time.Now()
 	c.inner.ReadInto(d, b)
 	stride := b.Stride()
 	n := b.Len()
@@ -88,6 +89,7 @@ func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) {
 		c.joule += total * (t - c.lastT).Seconds()
 		c.lastT = t
 	}
+	calibHist.Record(time.Since(began))
 }
 
 // Joules implements source.Source with the calibrated energy integral,

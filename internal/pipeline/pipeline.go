@@ -46,8 +46,45 @@ package pipeline
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/source"
 )
+
+// Per-stage ReadInto latency histograms, process-wide: every instance of
+// a stage kind records into the same histogram, deepening the cumulative
+// overhead-seconds counter (source.Overheader) into a distribution. Each
+// observation spans the stage's whole ReadInto — the inner source's read
+// included — so an outer stage's distribution dominates the stages below
+// it, mirroring how RateLimit's Overhead already accounts nesting. The
+// histograms are obs.Hist: lock-free and allocation-free to record, so
+// the stages keep their steady-state zero-allocation contract.
+var (
+	resampleHist  obs.Hist
+	calibHist     obs.Hist
+	rateLimitHist obs.Hist
+	smoothHist    obs.Hist
+)
+
+// StageHist pairs a stage kind's name — the backend "+suffix" tag the
+// stage adds in derive — with its process-wide ReadInto latency
+// histogram.
+type StageHist struct {
+	Stage string
+	Hist  *obs.Hist
+}
+
+// stageHists is the fixed, ordered registry ReadHists exposes.
+var stageHists = []StageHist{
+	{"resample", &resampleHist},
+	{"calib", &calibHist},
+	{"ratelimit", &rateLimitHist},
+	{"smooth", &smoothHist},
+}
+
+// ReadHists returns every stage kind's latency histogram in a fixed
+// order, for exporters rendering the powersensor_self_stage_read_seconds
+// family. The returned slice is shared — treat it as read-only.
+func ReadHists() []StageHist { return stageHists }
 
 // Stage derives a new source from an inner one. Stages returned by this
 // package wrap the inner source in place — they do not copy its stream —

@@ -347,6 +347,37 @@ func TestChainSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestStageHistsRecord: every stage kind records its ReadInto latency
+// into its process-wide histogram. The hists are shared package state, so
+// the test asserts deltas, not absolute counts.
+func TestStageHistsRecord(t *testing.T) {
+	hists := ReadHists()
+	before := make(map[string]uint64, len(hists))
+	for _, sh := range hists {
+		before[sh.Stage] = sh.Hist.Count()
+	}
+	src := Chain(newFake(20000, nil),
+		Resample(1000), Calibrate(0.98, 0), RateLimit(100), Smooth(50*time.Millisecond))
+	var b source.Batch
+	src.ReadInto(100*time.Millisecond, &b)
+	for _, sh := range hists {
+		if got := sh.Hist.Count(); got <= before[sh.Stage] {
+			t.Errorf("stage %q histogram did not advance (%d -> %d)",
+				sh.Stage, before[sh.Stage], got)
+		}
+	}
+	// The stage set matches the backend tags stages append to Meta.
+	want := []string{"resample", "calib", "ratelimit", "smooth"}
+	if len(hists) != len(want) {
+		t.Fatalf("ReadHists returned %d stages, want %d", len(hists), len(want))
+	}
+	for i, w := range want {
+		if hists[i].Stage != w {
+			t.Errorf("stage %d = %q, want %q", i, hists[i].Stage, w)
+		}
+	}
+}
+
 func TestConstructorValidation(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"resample-zero":  func() { Resample(0) },

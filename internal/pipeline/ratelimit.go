@@ -92,7 +92,11 @@ func (l *rateLimiter) ReadInto(d time.Duration, b *source.Batch) {
 		l.pendMarks = 0
 		l.lastKept = t
 	}
-	l.overhead += time.Since(began)
+	// One clock read feeds both accountings: the cumulative Overheader
+	// counter and the stage's latency distribution.
+	el := time.Since(began)
+	l.overhead += el
+	rateLimitHist.Record(el)
 }
 
 // Overhead implements source.Overheader with this stage's own

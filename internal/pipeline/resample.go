@@ -64,6 +64,7 @@ type resampler struct {
 // the edge (no future sample can land in it), so the delivered stream
 // lags the raw one by at most one bin.
 func (r *resampler) ReadInto(d time.Duration, b *source.Batch) {
+	began := time.Now()
 	stride := len(r.meta.Channels)
 	b.Reset(stride)
 	r.inner.ReadInto(d, &r.in)
@@ -95,6 +96,7 @@ func (r *resampler) ReadInto(d time.Duration, b *source.Batch) {
 	if r.binEnd != 0 && r.binEnd <= r.inner.Now() {
 		r.emit(b, stride)
 	}
+	resampleHist.Record(time.Since(began))
 }
 
 // emit closes the in-flight bin into b: one sample at the bin edge

@@ -44,6 +44,7 @@ type smoother struct {
 // batch directly and the EWMA replaces each row and total in place — no
 // scratch batch, no allocations.
 func (s *smoother) ReadInto(d time.Duration, b *source.Batch) {
+	began := time.Now()
 	s.inner.ReadInto(d, b)
 	stride := b.Stride()
 	n := b.Len()
@@ -63,4 +64,5 @@ func (s *smoother) ReadInto(d time.Duration, b *source.Batch) {
 		s.total += s.alpha * (b.Total[i] - s.total)
 		b.Total[i] = s.total
 	}
+	smoothHist.Record(time.Since(began))
 }

@@ -1,0 +1,16 @@
+// Package version carries the build's identity, so a daemon can say what
+// it is — on `psd -version`, in structured log preambles, and as the
+// powersensor_build_info exposition gauge federated heads use to tell
+// leaf versions apart.
+package version
+
+import "runtime"
+
+// Version identifies the build. It defaults to "dev" and is meant to be
+// stamped at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3" ./cmd/psd
+var Version = "dev"
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
