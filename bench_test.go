@@ -385,6 +385,133 @@ func BenchmarkFleetScrapeRepeat(b *testing.B) {
 	}
 }
 
+// discardRW is an http.ResponseWriter that keeps nothing: the large-fleet
+// scrape benchmarks measure the render path, not recorder bookkeeping —
+// at 10k stations an httptest recorder would reallocate a multi-megabyte
+// body copy every iteration and dominate the numbers.
+type discardRW struct{ h http.Header }
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(int)             {}
+
+// shardSizes are the fleet sizes of the sharding benchmark matrix; each
+// runs back-to-back as shards-1 (the serial/unsharded manager) and
+// shards-8 so the sharded and unsharded rows come from one window.
+var shardSizes = []int{256, 1024, 4096, 10240}
+
+// shardedSynthFleet builds size synthetic stations over the given shard
+// count, with a modest ring so the 10k fleets fit in memory.
+func shardedSynthFleet(b *testing.B, size, shards int) *fleet.Manager {
+	b.Helper()
+	mgr, err := fleet.FromSpec(fleetSpec(size, []string{"synth"}), 1,
+		fleet.Config{Shards: shards, RingCap: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mgr
+}
+
+// BenchmarkFleetScrapeColdSharded measures the cold /metrics render —
+// cache off, every station re-rendered every scrape — at large fleet
+// sizes, sharded vs unsharded. On a multi-core host stale shards render
+// across the worker pool; on a single-core host (renderWorkers clamps to
+// GOMAXPROCS) the rows mainly pin that sharding adds no render-path
+// regression, and the sharding win shows in the BusyStation rows, where
+// the cache makes re-render cost proportional to stale shards.
+func BenchmarkFleetScrapeColdSharded(b *testing.B) {
+	for _, size := range shardSizes {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("size-%d/shards-%d", size, shards), func(b *testing.B) {
+				mgr := shardedSynthFleet(b, size, shards)
+				defer mgr.Close()
+				mgr.StepAll(20 * time.Millisecond)
+				handler := export.New(mgr).DisableBodyCache().Handler()
+				req := httptest.NewRequest("GET", "/metrics", nil)
+				w := &discardRW{h: make(http.Header, 4)}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					handler.ServeHTTP(w, req)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size),
+					"ns/station")
+			})
+		}
+	}
+}
+
+// BenchmarkFleetScrapeBusyStation is the headline sharding scenario: one
+// 20 kHz station stays busy while the rest of the fleet (10 Hz software
+// meters) sits between sample boundaries, and every iteration advances
+// 1 ms of virtual time then scrapes. Unsharded, the busy station's new
+// blocks invalidate the whole body and every scrape re-renders all N
+// stations; sharded, only the busy station's shard re-renders (~N/8
+// stations) and the other segments serve as memcpys. The gap between the
+// shards-1 and shards-8 rows at one size is the repeat-scrape cost the
+// per-shard generations remove. (Every 100th iteration the 10 Hz meters
+// all tick at once and that scrape legitimately re-renders everything —
+// included in the mean, as a real fleet would see.)
+func BenchmarkFleetScrapeBusyStation(b *testing.B) {
+	for _, size := range shardSizes {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("size-%d/shards-%d", size, shards), func(b *testing.B) {
+				spec := "busy0=synth"
+				for i := 1; i < size; i++ {
+					spec += fmt.Sprintf(",idle%d=nvml", i)
+				}
+				mgr, err := fleet.FromSpec(spec, 1,
+					fleet.Config{Shards: shards, RingCap: 128})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mgr.Close()
+				mgr.StepAll(20 * time.Millisecond)
+				e := export.New(mgr)
+				handler := e.Handler()
+				req := httptest.NewRequest("GET", "/metrics", nil)
+				w := &discardRW{h: make(http.Header, 4)}
+				handler.ServeHTTP(w, req) // cold render outside the timer
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mgr.StepAll(time.Millisecond)
+					handler.ServeHTTP(w, req)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size),
+					"ns/station")
+			})
+		}
+	}
+}
+
+// BenchmarkFleetIngestSharded extends the steady-state ingest benchmark
+// to the sharded manager at large sizes: shards-8 fans each shard's
+// stations out to its own persistent step worker (a wash or a handoff
+// tax on one core, a scaling lever on many), and allocs/op must read 0
+// at every size — the zero-alloc contract extended to the parallel path.
+func BenchmarkFleetIngestSharded(b *testing.B) {
+	for _, size := range shardSizes {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("size-%d/shards-%d", size, shards), func(b *testing.B) {
+				mgr := shardedSynthFleet(b, size, shards)
+				defer mgr.Close()
+				mgr.StepAll(20 * time.Millisecond)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mgr.StepAll(5 * time.Millisecond)
+				}
+				b.StopTimer()
+				ingested := float64(size * 100) // 100 samples/station per 5ms at 20kHz
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/ingested,
+					"ns/sample-station")
+			})
+		}
+	}
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	psd [-listen :9120] [-fleet spec] [-seed 1] [-rate 1] [-slice 5ms]
-//	    [-block 20] [-ring 4096] [-warmup 2s] [-log-format text]
+//	    [-block 20] [-ring 4096] [-shards 8] [-warmup 2s] [-log-format text]
 //	    [-debug-addr addr] [-version]
 //
 // Flags:
@@ -33,6 +33,13 @@
 //	             (20 → 1 ms points); each station derives its own block size
 //	             from that window and its source's native rate
 //	-ring        per-station ring capacity, in downsampled points
+//	-shards      fleet shard count (1–64; default 8). Stations hash to shards
+//	             by name; each shard keeps its own device list, memory pool
+//	             and cached /metrics exposition segment, so churn and
+//	             downsample-block activity on one station invalidate 1/Nth
+//	             of the scrape instead of all of it. -shards 1 recovers the
+//	             unsharded daemon; large fleets (thousands of stations) want
+//	             the default or higher
 //	-warmup      virtual time advanced synchronously before serving, so the
 //	             first scrape already sees data
 //	-log-format  "text" (default) or "json": structured log/slog output on
@@ -132,6 +139,7 @@ func main() {
 	slice := flag.Duration("slice", 5*time.Millisecond, "virtual-time quantum per iteration")
 	block := flag.Int("block", 20, "sample sets averaged per ring point")
 	ring := flag.Int("ring", 4096, "per-station ring capacity in points")
+	shards := flag.Int("shards", 8, "fleet shard count, 1-64 (1 = unsharded)")
 	warmup := flag.Duration("warmup", 2*time.Second, "virtual time simulated before serving")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	debugAddr := flag.String("debug-addr", "",
@@ -150,13 +158,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psd: -rate must be >= 0 (0 = unpaced)")
 		os.Exit(2)
 	}
+	if *shards < 1 || *shards > fleet.MaxShards {
+		fmt.Fprintf(os.Stderr, "psd: -shards must be in [1, %d]\n", fleet.MaxShards)
+		os.Exit(2)
+	}
 	logger, err := newLogger(*logFormat, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psd:", err)
 		os.Exit(2)
 	}
 	if err := run(*listen, *debugAddr, *spec, *seed, *rate, *slice, *block, *ring,
-		*warmup, logger); err != nil {
+		*shards, *warmup, logger); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
@@ -224,12 +236,12 @@ func (a *admin) remove(w http.ResponseWriter, r *http.Request) {
 // the exporter's read-only surface plus the daemon's lifecycle admin
 // endpoints. logger may be nil, meaning discard (the test form).
 func setup(spec string, seed uint64, rate float64, slice time.Duration,
-	block, ring int, warmup time.Duration, logger *slog.Logger) (*fleet.Manager, http.Handler, error) {
+	block, ring, shards int, warmup time.Duration, logger *slog.Logger) (*fleet.Manager, http.Handler, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	mgr, err := fleet.FromSpec(spec, seed, fleet.Config{
-		Slice: slice, Block: block, RingCap: ring, Rate: rate,
+		Slice: slice, Block: block, RingCap: ring, Rate: rate, Shards: shards,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -262,8 +274,8 @@ func debugMux() *http.ServeMux {
 }
 
 func run(listen, debugAddr, spec string, seed uint64, rate float64,
-	slice time.Duration, block, ring int, warmup time.Duration, logger *slog.Logger) error {
-	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, warmup, logger)
+	slice time.Duration, block, ring, shards int, warmup time.Duration, logger *slog.Logger) error {
+	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, shards, warmup, logger)
 	if err != nil {
 		return err
 	}

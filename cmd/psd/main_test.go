@@ -19,7 +19,7 @@ import (
 // rig, and the RAPL meter rate-limited to 100 Hz).
 func TestServeFleet(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
-		1, 0, 5*time.Millisecond, 20, 4096, 500*time.Millisecond, nil)
+		1, 0, 5*time.Millisecond, 20, 4096, 8, 500*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestServeFleet(t *testing.T) {
 // carries one adopt event per default-fleet station.
 func TestEventsFreshBoot(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
-		1, 0, 5*time.Millisecond, 20, 4096, 0, nil)
+		1, 0, 5*time.Millisecond, 20, 4096, 8, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestDebugMux(t *testing.T) {
 	}
 
 	// The scrape handler must not expose it.
-	mgr, handler, err := setup("gpu0=synth", 1, 0, time.Millisecond, 20, 64, 0, nil)
+	mgr, handler, err := setup("gpu0=synth", 1, 0, time.Millisecond, 20, 64, 8, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestDebugMux(t *testing.T) {
 }
 
 func TestSetupBadSpec(t *testing.T) {
-	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 0, nil); err == nil {
+	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 8, 0, nil); err == nil {
 		t.Fatal("bad spec accepted")
 	}
 }
@@ -241,7 +241,7 @@ func TestAdminAddRemove(t *testing.T) {
 	// Paced at real time so driver goroutines sleep between slices and
 	// the HTTP round-trips get CPU on small hosts.
 	mgr, handler, err := setup("gpu0=synth", 1, 1, 5*time.Millisecond,
-		20, 4096, 100*time.Millisecond, nil)
+		20, 4096, 8, 100*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,6 +118,41 @@
 // paper claims for the sensor itself. BENCH_fleet.json tracks the
 // ingest and scrape numbers across PRs.
 //
+// # Fleet sharding
+//
+// At 10k stations a single device list and a single cached exposition
+// body both become fleet-wide choke points: every Add/Remove rewrites
+// one copy-on-write slice, and one busy station invalidates the whole
+// body cache, so every scrape re-renders every station. The manager
+// therefore shards. Station names hash (FNV-1a) onto a fixed shard
+// count chosen at construction (fleet.Config.Shards, psd -shards,
+// default 8, -shards 1 recovers the unsharded daemon), and each shard
+// owns its slice of the fleet end to end:
+//
+//	shard = fnv1a(name) % Shards        deterministic — a re-added
+//	   │                                 name returns to its shard
+//	   ├─ device list   per-shard copy-on-write sorted slice; churn
+//	   │                and snapshots contend only within the shard
+//	   ├─ step worker   StepAll fans each shard to a persistent
+//	   │                goroutine; zero allocations per step
+//	   ├─ memory pool   ring arenas and batch columns recycle through
+//	   │                shard-local free lists, so stations adopted
+//	   │                together stay adjacent in memory
+//	   └─ render cache  the exporter caches one exposition segment per
+//	                    shard, keyed by Manager.ShardGen — a busy
+//	                    station re-renders only its own shard's
+//	                    segment; the other segments are memcpys
+//
+// Global views are assembled, not locked: Names and Snapshot k-way
+// merge the per-shard sorted lists (NamesInto/SnapshotInto reuse
+// caller buffers and stay allocation-flat at 10k stations), and a
+// scrape concatenates per-shard segments family by family. Stale
+// segments re-render across a bounded worker pool
+// (export.Exporter.RenderWorkers); Manager.Gen folds the per-shard
+// generations so whole-body caching still works when nothing moved.
+// BENCH_fleet.json's sharding section tracks the 256..10240-station
+// rows.
+//
 // # Self-observability
 //
 // The daemon measures itself with the same discipline it measures
@@ -149,8 +184,8 @@
 // Command psd is the served entry point:
 //
 //	psd [-listen :9120] [-fleet name=kindspec,...]
-//	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-warmup 2s]
-//	    [-log-format text|json] [-debug-addr addr] [-version]
+//	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-shards 8]
+//	    [-warmup 2s] [-log-format text|json] [-debug-addr addr] [-version]
 //
 // Fleet specs mix PowerSensor3 rig kinds (rtx4000ada, w7700, jetson, ssd)
 // with software-meter kinds (nvml, amdsmi, jetson-ina, rapl) freely, and

@@ -9,18 +9,29 @@
 // manager's lock-free snapshots (a scrape never touches a station's ingest
 // mutex), label blocks and HELP/TYPE headers are rendered once and cached,
 // and each scrape renders every family in a single pass into a pooled
-// reusable buffer — steady-state scrape cost is appending numbers. On top
-// of that, the whole rendered body is cached per block-boundary
-// generation (fleet.Manager.Gen): a repeat scrape arriving before any
-// station completes a new downsample block — an idle fleet, or several
-// scrapers sharing one exporter — serves the previous body for the cost
-// of a memcpy.
+// reusable buffer — steady-state scrape cost is appending numbers.
+//
+// Rendering and caching are sharded along the fleet manager's own
+// partitions: each fleet shard has its own rendered exposition segment,
+// cached against that shard's block-boundary generation
+// (fleet.Manager.ShardGen). A scrape checks every shard's generation,
+// re-renders only the stale segments (optionally across a bounded worker
+// pool — see RenderWorkers), and assembles the body by concatenating the
+// per-shard segments family-major, so the exposition stays grouped by
+// family as the text format requires. One busy station therefore
+// invalidates one shard's segment, and a repeat scrape re-renders 1/Nth
+// of the fleet instead of all of it; a fully idle fleet serves every
+// segment as a memcpy. Each segment is at most one downsample block
+// stale.
 //
 // Fleets churn while serving: stations hot-added or retired mid-scrape
 // simply appear in (or vanish from) the next snapshot, the
 // powersensor_fleet_adopted_total / powersensor_fleet_retired_total
-// counters account for the churn, and retirement drops the per-device
-// label cache so retired names neither linger nor poison a reused name.
+// counters account for the churn, and retirement drops the retiring
+// station's shard label cache so retired names neither linger nor poison
+// a reused name — names hash to shards deterministically, so the shard
+// whose cache could go stale is always the shard whose retired counter
+// advanced.
 //
 // The exposition has two sections. The fleet section — everything
 // derived from station snapshots — is what the body cache holds. The
@@ -49,6 +60,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -65,48 +77,79 @@ import (
 type Exporter struct {
 	mgr *fleet.Manager
 
-	// labelMu guards labels, a per-device cache of rendered exposition
-	// label blocks. Device names, backends, kinds and channel labels are
-	// immutable for the life of a station, so each block is escaped and
-	// formatted once instead of on every scrape — the scrape hot path
-	// then only appends numbers. Retirement invalidates the cache: a
-	// retired name must not linger (the fleet may churn through thousands
-	// of stations), and the same name may return with a different kind or
-	// channel set, so any advance of the manager's retired counter drops
-	// the whole cache and lets the surviving fleet rebuild on next sight.
-	// lastRetired is the counter value the cache was built against.
-	labelMu     sync.Mutex
-	labels      map[string]*devLabels
-	lastRetired uint64
+	// shards holds one render cache per fleet shard, index-aligned with
+	// the manager's shards: segment s renders exactly the stations of
+	// fleet shard s, so fleet.Manager.ShardGen(s) is precisely the
+	// staleness signal for segment s.
+	shards []shardCache
 
-	// scratch pools per-scrape working state (the render buffer and the
-	// resolved label list), so concurrent scrapes reuse buffers instead
-	// of reallocating them.
+	// renderWorkers bounds how many stale shard segments re-render
+	// concurrently within one scrape. Defaults to GOMAXPROCS (clamped to
+	// 8): on a single-CPU host stale segments render serially in the
+	// scraping goroutine — the fan-out would only add handoff cost.
+	renderWorkers int
+
+	// scratch pools per-scrape working state (the render buffer, staged
+	// per-shard segment copies and the resolved label list), so
+	// concurrent scrapes reuse buffers instead of reallocating them.
 	scratch sync.Pool
 
-	// The rendered-body cache: when the fleet's block-boundary generation
-	// (fleet.Manager.Gen) has not advanced since the last render, the
-	// previous body is served as-is — repeat scrapes of an idle fleet (or
-	// several scrapers hitting one exporter between block boundaries) pay
-	// a memcpy instead of a full render. A cached body is at most one
-	// downsample block stale. cacheGen is the generation the body was
-	// rendered against, loaded BEFORE that render's snapshot so a block
-	// landing mid-render invalidates conservatively. The cache holds only
-	// the fleet section of the body; the self-telemetry tail is appended
-	// fresh on every scrape. cacheHits/cacheMisses count how scrapes were
-	// served, exported as powersensor_self_scrape_cache_{hits,misses}_total.
+	// cacheOn gates the per-shard segment caches. A scrape is counted as
+	// a cache hit only when every shard's segment was current — the
+	// fleet section was assembled from memcpys alone; any stale segment
+	// makes it a miss, however few shards re-rendered. Exported as
+	// powersensor_self_scrape_cache_{hits,misses}_total.
 	cacheOn     bool
-	cacheMu     sync.Mutex
-	cacheGen    uint64
-	cacheBody   []byte
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// Per-shard render telemetry: how many segment re-renders scrapes
+	// triggered (the sharding win shows as this counter advancing by ~1
+	// per busy shard instead of by the shard count), and how long one
+	// segment render takes.
+	shardRenders    atomic.Uint64
+	shardRenderHist obs.Hist
 
 	// Scrape self-timing, split by serve path: full renders vs scrapes
 	// whose fleet section came from the body cache. Exported as the
 	// powersensor_self_scrape_seconds histogram.
 	renderHist obs.Hist
 	cachedHist obs.Hist
+}
+
+// shardCache is the render cache of one fleet shard: the shard's
+// exposition segment, the generation it was rendered against, and the
+// shard's own label cache.
+type shardCache struct {
+	// mu guards rendered/gen/seg/offs and serialises this shard's
+	// re-renders single-flight. Shards lock independently — one shard
+	// re-rendering never blocks another shard's memcpy.
+	mu       sync.Mutex
+	rendered bool // seg/gen valid; an empty shard's segment is legitimately empty
+	gen      uint64
+	seg      []byte
+	// offs slices seg by per-device family: family f's rows for this
+	// shard's stations are seg[offs[f]:offs[f+1]]. The assembly pass
+	// concatenates family f across shards to keep the exposition
+	// family-major as the text format requires.
+	offs [nDevFams + 1]int
+
+	// labelMu guards labels, this shard's cache of rendered exposition
+	// label blocks. Device names, backends, kinds and channel labels are
+	// immutable for the life of a station, so each block is escaped and
+	// formatted once instead of on every scrape — the render path then
+	// only appends numbers. Retirement invalidates the cache: a retired
+	// name must not linger (the fleet may churn through thousands of
+	// stations), and the same name may return with a different kind or
+	// channel set. Names hash to shards deterministically, so only the
+	// retiring station's own shard cache can go stale — any advance of
+	// that shard's retired counter drops this shard's cache and lets its
+	// surviving stations rebuild on next sight, leaving the other
+	// shards' caches warm. lastRetired is the per-shard counter value
+	// the cache was built against.
+	labelMu     sync.Mutex
+	labels      map[string]*devLabels
+	lastRetired uint64
 }
 
 // devLabels is the pre-rendered label set of one station.
@@ -122,19 +165,43 @@ type scrapeState struct {
 	labels []*devLabels
 	snap   []fleet.Status
 	hist   obs.HistSnapshot
+
+	// Per-shard staging for assembly: segment copies (so a shard
+	// re-rendering concurrently can't mutate bytes mid-assembly), their
+	// family offsets, and the indices of shards found stale this scrape.
+	segs  [][]byte
+	offs  [][nDevFams + 1]int
+	stale []int
 }
 
-// New returns an exporter over mgr, with the rendered-body cache on.
+// New returns an exporter over mgr, with the per-shard segment caches on.
 func New(mgr *fleet.Manager) *Exporter {
-	e := &Exporter{mgr: mgr, labels: make(map[string]*devLabels), cacheOn: true}
+	nsh := 1
+	if mgr != nil {
+		nsh = mgr.ShardCount()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	e := &Exporter{mgr: mgr, cacheOn: true, renderWorkers: workers}
+	e.shards = make([]shardCache, nsh)
+	for i := range e.shards {
+		e.shards[i].labels = make(map[string]*devLabels)
+	}
 	e.scratch.New = func() any {
-		return &scrapeState{buf: make([]byte, 0, 16<<10)}
+		return &scrapeState{
+			buf:   make([]byte, 0, 16<<10),
+			segs:  make([][]byte, nsh),
+			offs:  make([][nDevFams + 1]int, nsh),
+			stale: make([]int, 0, nsh),
+		}
 	}
 	return e
 }
 
-// DisableBodyCache turns off the block-generation body cache, forcing
-// every scrape down the full render path — for benchmarks and tests that
+// DisableBodyCache turns off the per-shard segment caches, forcing every
+// scrape to re-render every shard — for benchmarks and tests that
 // measure or exercise rendering itself. Call before serving; it returns
 // the exporter for chaining.
 func (e *Exporter) DisableBodyCache() *Exporter {
@@ -142,30 +209,45 @@ func (e *Exporter) DisableBodyCache() *Exporter {
 	return e
 }
 
-// labelsForAll resolves the cached rendered labels of every station in
-// snap into st.labels, building missing entries on first sight. One lock
-// acquisition covers the whole snapshot. retired is the manager's retired
-// counter as read BEFORE the snapshot was taken: if any station retired
-// since the cache was built, the cache is dropped wholesale. Reading the
-// counter before the snapshot makes the invalidation conservative — a
-// retirement landing between the two reads leaves a stale entry for at
-// most one scrape. In that window the retired name can even be re-adopted
-// and appear in the snapshot against the stale entry; the per-entry shape
-// check below rebuilds it when the channel count changed (rendering with
-// a too-short pairs slice would panic), and a same-shape stale entry
-// serves old backend/kind labels for that one scrape until the next one
-// observes the counter advance and clears the cache.
-func (e *Exporter) labelsForAll(snap []fleet.Status, st *scrapeState, retired uint64) {
+// RenderWorkers bounds how many stale shard segments one scrape
+// re-renders concurrently; n = 1 renders them serially in the scraping
+// goroutine. Call before serving; it returns the exporter for chaining.
+func (e *Exporter) RenderWorkers(n int) *Exporter {
+	if n < 1 {
+		n = 1
+	}
+	e.renderWorkers = n
+	return e
+}
+
+// labelsForShard resolves the cached rendered labels of every station in
+// snap (one shard's snapshot) into st.labels, building missing entries on
+// first sight. One lock acquisition covers the whole snapshot. retired is
+// the shard's retired counter as read BEFORE the snapshot was taken: if
+// any of this shard's stations retired since the cache was built, the
+// shard's cache is dropped wholesale — other shards' caches are untouched,
+// which is what keeps the label cache bounded under churn (a churny name
+// repeatedly clears only its own 1/Nth of the fleet's cached labels).
+// Reading the counter before the snapshot makes the invalidation
+// conservative — a retirement landing between the two reads leaves a
+// stale entry for at most one scrape. In that window the retired name can
+// even be re-adopted and appear in the snapshot against the stale entry;
+// the per-entry shape check below rebuilds it when the channel count
+// changed (rendering with a too-short pairs slice would panic), and a
+// same-shape stale entry serves old backend/kind labels for that one
+// scrape until the next one observes the counter advance and clears the
+// cache.
+func (e *Exporter) labelsForShard(sc *shardCache, snap []fleet.Status, st *scrapeState, retired uint64) {
 	st.labels = st.labels[:0]
-	e.labelMu.Lock()
-	defer e.labelMu.Unlock()
-	if retired != e.lastRetired {
-		e.lastRetired = retired
-		clear(e.labels)
+	sc.labelMu.Lock()
+	defer sc.labelMu.Unlock()
+	if retired != sc.lastRetired {
+		sc.lastRetired = retired
+		clear(sc.labels)
 	}
 	for i := range snap {
 		s := &snap[i]
-		l, ok := e.labels[s.Name]
+		l, ok := sc.labels[s.Name]
 		if ok && len(l.pairs) != s.Pairs {
 			ok = false // name reused with a different channel set: rebuild
 		}
@@ -183,7 +265,7 @@ func (e *Exporter) labelsForAll(snap []fleet.Status, st *scrapeState, retired ui
 				l.pairs = append(l.pairs, fmt.Sprintf(`{device="%s",pair="%d",channel="%s"}`,
 					escapeLabel(s.Name), m, escapeLabel(channel)))
 			}
-			e.labels[s.Name] = l
+			sc.labels[s.Name] = l
 		}
 		st.labels = append(st.labels, l)
 	}
@@ -273,7 +355,13 @@ var (
 	hdrSelfCacheHits = header("powersensor_self_scrape_cache_hits_total",
 		"Scrapes whose fleet section was served from the block-generation body cache.", "counter")
 	hdrSelfCacheMisses = header("powersensor_self_scrape_cache_misses_total",
-		"Scrapes that re-rendered the fleet section on a cold or stale body cache.", "counter")
+		"Scrapes that re-rendered at least one shard segment on a cold or stale cache.", "counter")
+	hdrSelfShardRenders = header("powersensor_self_shard_renders_total",
+		"Shard exposition segments re-rendered across all scrapes; one busy shard advances this by one per scrape, not by the shard count.", "counter")
+	hdrSelfShardRender = header(famShardRender,
+		"Time to re-render one stale shard's exposition segment.", "histogram")
+	hdrSelfShardStep = header(famShardStep,
+		"Wall time one fleet shard spent stepping its stations within one StepAll quantum.", "histogram")
 	hdrSelfEvents = header("powersensor_self_events_total",
 		"Fleet lifecycle events ever recorded (adopt, start, retire, close).", "counter")
 	hdrSelfEventsDropped = header("powersensor_self_events_dropped_total",
@@ -290,11 +378,29 @@ var (
 // _bucket/_sum/_count series names by constant concatenation — resolved
 // at compile time, nothing on the scrape path builds strings.
 const (
-	famIngestFold = "powersensor_self_ingest_fold_seconds"
-	famPacing     = "powersensor_self_pacing_late_seconds"
-	famStageRead  = "powersensor_self_stage_read_seconds"
-	famScrape     = "powersensor_self_scrape_seconds"
+	famIngestFold  = "powersensor_self_ingest_fold_seconds"
+	famPacing      = "powersensor_self_pacing_late_seconds"
+	famStageRead   = "powersensor_self_stage_read_seconds"
+	famScrape      = "powersensor_self_scrape_seconds"
+	famShardRender = "powersensor_self_shard_render_seconds"
+	famShardStep   = "powersensor_self_shard_step_seconds"
 )
+
+// nDevFams counts the per-device exposition families — the ones rendered
+// into per-shard segments and concatenated family-major at assembly. The
+// three fleet-scalar families (devices, adopted, retired) precede them in
+// the body but are appended directly, not segmented.
+const nDevFams = 12
+
+// devFamHdrs lists the per-device family HELP/TYPE blocks in exposition
+// order, index-aligned with the family switch in renderShardSeg and the
+// offs arrays of every shard segment.
+var devFamHdrs = [nDevFams]string{
+	hdrSourceInfo, hdrSourceRate, hdrSourceOverhead,
+	hdrWatts, hdrBoardWatts, hdrJoules,
+	hdrSamples, hdrMarks, hdrResyncs, hdrDropped,
+	hdrRingPoints, hdrVirtualSeconds,
+}
 
 // histSeries is the pre-rendered label set of one histogram series: a
 // {le="..."} block per bucket (with any extra labels folded in) and the
@@ -380,52 +486,81 @@ func appendSample(buf []byte, name, labels string, v float64) []byte {
 	return append(buf, '\n')
 }
 
-// metrics renders the Prometheus text exposition format: one pass per
-// family straight into the pooled buffer, appending cached headers and
-// label blocks plus freshly formatted numbers. Families and rows are
-// emitted in deterministic order so the output is golden-testable. The
-// body has two sections: the snapshot-derived fleet section, which the
-// body cache may serve, and the self-telemetry tail (appendSelf), which
-// renders fresh on every scrape so the daemon's view of itself never
-// goes stale behind its own cache.
+// metrics renders the Prometheus text exposition format. The fleet
+// section is assembled from per-shard segments: each fleet shard's
+// stations render into that shard's cached segment (keyed by the shard's
+// block-boundary generation), and the body concatenates segment slices
+// family-major so the exposition stays grouped by family. A scrape
+// re-renders only the shards whose generation advanced; on an idle fleet
+// the whole section is memcpys. Within a family, rows are grouped by
+// shard (name-ordered within each shard) — the exposition format orders
+// families, not rows, so scrapers are indifferent, and /api/fleet still
+// serves the globally name-sorted view. The self-telemetry tail
+// (appendSelf) renders fresh on every scrape so the daemon's view of
+// itself never goes stale behind its own cache.
 func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	began := time.Now()
 	st := e.scratch.Get().(*scrapeState)
-	// Body cache: if no station produced a downsample block and no churn
-	// happened since the last render, the previous fleet section is still
-	// current (to within one open block) — copy it out under the cache
-	// lock, skipping snapshot and render entirely. The copy (into the
-	// pooled buffer) keeps the cached bytes immutable under concurrent
-	// scrapes, and the response is written only after the lock is
-	// released so a slow client cannot stall other scrapers.
-	//
-	// Cache misses render single-flight: cacheMu stays held across
-	// snapshot, render and store. Were two same-generation renders
-	// allowed to interleave, the one holding the OLDER snapshot could
-	// store last (per-step published cells such as samples and overhead
-	// advance without changing Gen), and later cache hits would serve
-	// counters below values the fresher render already returned — a
-	// counter regression scrapers would read as a reset. Serialising
-	// renders makes every stored body at least as fresh as any body
-	// served before it; the concurrent scrape that would have rendered a
-	// duplicate waits briefly and then usually hits the fresh cache.
-	var buf []byte
+	// Churn counters load before the segments are staged: a scraper
+	// diffing adopted-retired against the device count then sees the
+	// counters lag — never lead — the per-shard lists. Retired loads
+	// first: adopted only grows and bounds retired at every instant, so
+	// reading it second keeps retired <= adopted within one exposition
+	// even when churn cycles complete between the two loads.
+	retired, adopted := e.mgr.Retired(), e.mgr.Adopted()
 	cached := false
 	if e.cacheOn {
-		gen := e.mgr.Gen()
-		e.cacheMu.Lock()
-		if e.cacheBody != nil && e.cacheGen == gen {
-			buf = append(st.buf[:0], e.cacheBody...)
-			e.cacheMu.Unlock()
+		// Pass 1: under each shard's lock, copy current segments out and
+		// collect the stale ones. The copy (into pooled staging) keeps
+		// cached bytes immutable under concurrent scrapes, and assembly
+		// below runs with no locks held so a slow shard render on one
+		// scrape cannot stall another scrape's memcpys.
+		st.stale = st.stale[:0]
+		for s := range e.shards {
+			sc := &e.shards[s]
+			sc.mu.Lock()
+			if sc.rendered && sc.gen == e.mgr.ShardGen(s) {
+				st.segs[s] = append(st.segs[s][:0], sc.seg...)
+				st.offs[s] = sc.offs
+				sc.mu.Unlock()
+				continue
+			}
+			sc.mu.Unlock()
+			st.stale = append(st.stale, s)
+		}
+		// Pass 2: re-render the stale shards (each single-flight under
+		// its own lock) and stage the results. A scrape counts as a hit
+		// only when pass 1 found nothing stale.
+		if len(st.stale) == 0 {
 			e.cacheHits.Add(1)
 			cached = true
 		} else {
-			// Miss: cacheMu stays held through snapshot, render and store.
-			buf = e.renderFleet(st, gen)
+			e.renderStale(st)
+			e.cacheMisses.Add(1)
 		}
 	} else {
-		buf = e.renderFleet(st, 0)
+		for s := range e.shards {
+			st.segs[s] = e.renderShardSeg(s, st, st.segs[s], &st.offs[s])
+		}
 	}
+
+	// Assemble: fleet scalars, then each per-device family concatenated
+	// across shards.
+	buf := st.buf[:0]
+	buf = append(buf, hdrFleetDevices...)
+	buf = appendSample(buf, "powersensor_fleet_devices", "", float64(e.mgr.Size()))
+	buf = append(buf, hdrFleetAdopted...)
+	buf = appendSample(buf, "powersensor_fleet_adopted_total", "", float64(adopted))
+	buf = append(buf, hdrFleetRetired...)
+	buf = appendSample(buf, "powersensor_fleet_retired_total", "", float64(retired))
+	for f := 0; f < nDevFams; f++ {
+		buf = append(buf, devFamHdrs[f]...)
+		for s := range st.segs {
+			o := &st.offs[s]
+			buf = append(buf, st.segs[s][o[f]:o[f+1]]...)
+		}
+	}
+
 	buf = e.appendSelf(buf, &st.hist, began)
 	// The scrape records itself after its own tail rendered, so each
 	// body's scrape histogram covers every scrape before this one.
@@ -440,91 +575,133 @@ func (e *Exporter) metrics(w http.ResponseWriter, _ *http.Request) {
 	e.scratch.Put(st)
 }
 
-// renderFleet renders the snapshot-derived fleet section into st's
-// pooled buffer and, when the body cache is on (the caller then holds
-// cacheMu, which this releases), stores the section against gen.
-func (e *Exporter) renderFleet(st *scrapeState, gen uint64) []byte {
-	// Churn counters load before the snapshot: labelsForAll's cache
-	// invalidation depends on this ordering (see its comment), and a
-	// scraper diffing adopted-retired against the device count then sees
-	// the counters lag — never lead — the list. Retired loads first:
-	// adopted only grows and bounds retired at every instant, so reading
-	// it second keeps retired <= adopted within one exposition even when
-	// churn cycles complete between the two loads.
-	retired, adopted := e.mgr.Retired(), e.mgr.Adopted()
-	snap := e.mgr.SnapshotInto(st.snap[:0])
-	st.snap = snap
-	e.labelsForAll(snap, st, retired)
-	buf := st.buf[:0]
+// renderStale refreshes the segments of the shards st.stale lists and
+// stages them into st. With renderWorkers == 1 (the default on a
+// single-CPU host) the stale shards render serially in the scraping
+// goroutine; otherwise up to renderWorkers goroutines pull stale shards
+// off a shared cursor, each with its own pooled scratch. Distinct shards
+// write distinct st.segs slots, so staging needs no lock.
+func (e *Exporter) renderStale(st *scrapeState) {
+	if e.renderWorkers <= 1 || len(st.stale) == 1 {
+		for _, s := range st.stale {
+			e.renderStaleOne(s, st, st)
+		}
+		return
+	}
+	n := e.renderWorkers
+	if n > len(st.stale) {
+		n = len(st.stale)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	states := make([]*scrapeState, n)
+	for w := range states {
+		states[w] = e.scratch.Get().(*scrapeState)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(ws *scrapeState) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(st.stale) {
+					return
+				}
+				e.renderStaleOne(st.stale[i], ws, st)
+			}
+		}(states[w])
+	}
+	wg.Wait()
+	for _, ws := range states {
+		e.scratch.Put(ws)
+	}
+}
 
-	buf = append(buf, hdrFleetDevices...)
-	buf = appendSample(buf, "powersensor_fleet_devices", "", float64(len(snap)))
-	buf = append(buf, hdrFleetAdopted...)
-	buf = appendSample(buf, "powersensor_fleet_adopted_total", "", float64(adopted))
-	buf = append(buf, hdrFleetRetired...)
-	buf = appendSample(buf, "powersensor_fleet_retired_total", "", float64(retired))
-	buf = append(buf, hdrSourceInfo...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_source_info", st.labels[i].info, 1)
+// renderStaleOne re-renders shard s's segment if it is still stale —
+// another scrape may have refreshed it since the caller's staleness pass,
+// in which case the fresh segment is just staged — and copies the result
+// into st. render provides the snapshot/label scratch (the worker's own
+// state under parallel rendering); st receives the staged segment.
+//
+// The generation is loaded under the shard lock BEFORE the snapshot
+// inside renderShardSeg: if a block lands mid-render the stored
+// generation is already stale and the next scrape re-renders — the
+// conservative direction. Holding the lock across render also keeps
+// same-shard renders single-flight: were two same-generation renders
+// allowed to interleave, the one holding the OLDER snapshot could store
+// last (per-step published cells such as samples and overhead advance
+// without changing the generation), and later cache hits would serve
+// counters below values the fresher render already returned — a counter
+// regression scrapers would read as a reset.
+func (e *Exporter) renderStaleOne(s int, render, st *scrapeState) {
+	sc := &e.shards[s]
+	sc.mu.Lock()
+	if gen := e.mgr.ShardGen(s); !sc.rendered || sc.gen != gen {
+		renderBegan := time.Now()
+		sc.seg = e.renderShardSeg(s, render, sc.seg, &sc.offs)
+		sc.gen, sc.rendered = gen, true
+		e.shardRenders.Add(1)
+		e.shardRenderHist.Record(time.Since(renderBegan))
 	}
-	buf = append(buf, hdrSourceRate...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_source_rate_hz", st.labels[i].dev, snap[i].RateHz)
-	}
-	buf = append(buf, hdrSourceOverhead...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_source_overhead_seconds", st.labels[i].dev, snap[i].OverheadSeconds)
-	}
-	buf = append(buf, hdrWatts...)
-	for i := range snap {
-		for m, watts := range snap[i].PairWatts {
-			buf = appendSample(buf, "powersensor_watts", st.labels[i].pairs[m], watts)
+	st.segs[s] = append(st.segs[s][:0], sc.seg...)
+	st.offs[s] = sc.offs
+	sc.mu.Unlock()
+}
+
+// renderShardSeg renders fleet shard s's stations into seg (reused;
+// returned re-sliced), recording per-family byte offsets into offs. Rows
+// within each family follow the shard's name-sorted device list. st
+// provides snapshot and label scratch only — seg is the caller's buffer
+// (a shardCache's cached segment, or scrape-local staging when the cache
+// is off).
+func (e *Exporter) renderShardSeg(s int, st *scrapeState, seg []byte, offs *[nDevFams + 1]int) []byte {
+	shRetired := e.mgr.ShardRetired(s)
+	snap := e.mgr.ShardSnapshotInto(s, st.snap[:0])
+	st.snap = snap
+	e.labelsForShard(&e.shards[s], snap, st, shRetired)
+	seg = seg[:0]
+	for f := 0; f < nDevFams; f++ {
+		offs[f] = len(seg)
+		for i := range snap {
+			seg = appendDevFam(seg, f, &snap[i], st.labels[i])
 		}
 	}
-	buf = append(buf, hdrBoardWatts...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_board_watts", st.labels[i].dev, snap[i].Watts)
-	}
-	buf = append(buf, hdrJoules...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_joules_total", st.labels[i].dev, snap[i].Joules)
-	}
-	buf = append(buf, hdrSamples...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_samples_total", st.labels[i].dev, float64(snap[i].Samples))
-	}
-	buf = append(buf, hdrMarks...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_marks_total", st.labels[i].dev, float64(snap[i].Marks))
-	}
-	buf = append(buf, hdrResyncs...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_resyncs_total", st.labels[i].dev, float64(snap[i].Resyncs))
-	}
-	buf = append(buf, hdrDropped...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_dropped_deliveries_total", st.labels[i].dev, float64(snap[i].Dropped))
-	}
-	buf = append(buf, hdrRingPoints...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_ring_points", st.labels[i].dev, float64(snap[i].RingLen))
-	}
-	buf = append(buf, hdrVirtualSeconds...)
-	for i := range snap {
-		buf = appendSample(buf, "powersensor_device_virtual_seconds", st.labels[i].dev, snap[i].Now.Seconds())
-	}
+	offs[nDevFams] = len(seg)
+	return seg
+}
 
-	if e.cacheOn {
-		// Store against the generation loaded before the snapshot (still
-		// under the render lock): if a block landed mid-render the stored
-		// generation is already stale and the next scrape re-renders —
-		// the conservative direction.
-		e.cacheBody = append(e.cacheBody[:0], buf...)
-		e.cacheGen = gen
-		e.cacheMu.Unlock()
-		e.cacheMisses.Add(1)
+// appendDevFam appends one station's rows of per-device family f —
+// index-aligned with devFamHdrs.
+func appendDevFam(buf []byte, f int, s *fleet.Status, l *devLabels) []byte {
+	switch f {
+	case 0:
+		return appendSample(buf, "powersensor_source_info", l.info, 1)
+	case 1:
+		return appendSample(buf, "powersensor_source_rate_hz", l.dev, s.RateHz)
+	case 2:
+		return appendSample(buf, "powersensor_source_overhead_seconds", l.dev, s.OverheadSeconds)
+	case 3:
+		for m, watts := range s.PairWatts {
+			buf = appendSample(buf, "powersensor_watts", l.pairs[m], watts)
+		}
+		return buf
+	case 4:
+		return appendSample(buf, "powersensor_board_watts", l.dev, s.Watts)
+	case 5:
+		return appendSample(buf, "powersensor_joules_total", l.dev, s.Joules)
+	case 6:
+		return appendSample(buf, "powersensor_samples_total", l.dev, float64(s.Samples))
+	case 7:
+		return appendSample(buf, "powersensor_marks_total", l.dev, float64(s.Marks))
+	case 8:
+		return appendSample(buf, "powersensor_resyncs_total", l.dev, float64(s.Resyncs))
+	case 9:
+		return appendSample(buf, "powersensor_dropped_deliveries_total", l.dev, float64(s.Dropped))
+	case 10:
+		return appendSample(buf, "powersensor_ring_points", l.dev, float64(s.RingLen))
+	default:
+		return appendSample(buf, "powersensor_device_virtual_seconds", l.dev, s.Now.Seconds())
 	}
-	return buf
 }
 
 // appendSelf renders the self-telemetry tail — fresh on every scrape,
@@ -560,6 +737,14 @@ func (e *Exporter) appendSelf(buf []byte, hs *obs.HistSnapshot, began time.Time)
 	buf = appendSample(buf, "powersensor_self_scrape_cache_hits_total", "", float64(e.cacheHits.Load()))
 	buf = append(buf, hdrSelfCacheMisses...)
 	buf = appendSample(buf, "powersensor_self_scrape_cache_misses_total", "", float64(e.cacheMisses.Load()))
+	buf = append(buf, hdrSelfShardRenders...)
+	buf = appendSample(buf, "powersensor_self_shard_renders_total", "", float64(e.shardRenders.Load()))
+	buf = append(buf, hdrSelfShardRender...)
+	e.shardRenderHist.Snapshot(hs)
+	buf = appendHist(buf, famShardRender+"_bucket", famShardRender+"_sum", famShardRender+"_count", histPlainSeries, hs)
+	buf = append(buf, hdrSelfShardStep...)
+	e.mgr.ShardStepHist().Snapshot(hs)
+	buf = appendHist(buf, famShardStep+"_bucket", famShardStep+"_sum", famShardStep+"_count", histPlainSeries, hs)
 	ev := e.mgr.Events()
 	buf = append(buf, hdrSelfEvents...)
 	buf = appendSample(buf, "powersensor_self_events_total", "", float64(ev.Total()))

@@ -243,8 +243,14 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_self_scrape_seconds histogram",
 		"# HELP powersensor_self_scrape_cache_hits_total Scrapes whose fleet section was served from the block-generation body cache.",
 		"# TYPE powersensor_self_scrape_cache_hits_total counter",
-		"# HELP powersensor_self_scrape_cache_misses_total Scrapes that re-rendered the fleet section on a cold or stale body cache.",
+		"# HELP powersensor_self_scrape_cache_misses_total Scrapes that re-rendered at least one shard segment on a cold or stale cache.",
 		"# TYPE powersensor_self_scrape_cache_misses_total counter",
+		"# HELP powersensor_self_shard_renders_total Shard exposition segments re-rendered across all scrapes; one busy shard advances this by one per scrape, not by the shard count.",
+		"# TYPE powersensor_self_shard_renders_total counter",
+		"# HELP powersensor_self_shard_render_seconds Time to re-render one stale shard's exposition segment.",
+		"# TYPE powersensor_self_shard_render_seconds histogram",
+		"# HELP powersensor_self_shard_step_seconds Wall time one fleet shard spent stepping its stations within one StepAll quantum.",
+		"# TYPE powersensor_self_shard_step_seconds histogram",
 		"# HELP powersensor_self_events_total Fleet lifecycle events ever recorded (adopt, start, retire, close).",
 		"# TYPE powersensor_self_events_total counter",
 		"# HELP powersensor_self_events_dropped_total Lifecycle events overwritten after the event ring filled.",
@@ -426,8 +432,8 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 					}
 				}
 				// 26 families × (HELP + TYPE).
-				if comments != 52 {
-					t.Errorf("scrape under load has %d comment lines, want 52", comments)
+				if comments != 58 {
+					t.Errorf("scrape under load has %d comment lines, want 58", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -623,15 +629,15 @@ func TestMetricsRetiredAbsent(t *testing.T) {
 // (sized for the old station) must be rebuilt, not rendered — a stale
 // one-pair entry against a three-pair snapshot would index out of range.
 func TestLabelCacheShapeMismatch(t *testing.T) {
-	e := New(nil) // labelsForAll never touches the manager
+	e := New(nil) // labelsForShard never touches the manager
 	st := &scrapeState{}
-	e.labelsForAll([]fleet.Status{{Name: "x0", Backend: "rapl", Kind: "rapl",
+	e.labelsForShard(&e.shards[0], []fleet.Status{{Name: "x0", Backend: "rapl", Kind: "rapl",
 		Pairs: 1, Channels: []string{"package"}}}, st, 0)
 	if len(st.labels) != 1 || len(st.labels[0].pairs) != 1 {
 		t.Fatalf("seed entry: %+v", st.labels)
 	}
 	// Same retired counter (the churn landed after the load), new shape.
-	e.labelsForAll([]fleet.Status{{Name: "x0", Backend: "synthetic", Kind: "synth",
+	e.labelsForShard(&e.shards[0], []fleet.Status{{Name: "x0", Backend: "synthetic", Kind: "synth",
 		Pairs: 3, Channels: []string{"a", "b", "c"}}}, st, 0)
 	l := st.labels[0]
 	if len(l.pairs) != 3 {
@@ -723,8 +729,8 @@ func TestScrapeDuringChurn(t *testing.T) {
 						return
 					}
 				}
-				if comments != 52 {
-					t.Errorf("scrape during churn has %d comment lines, want 52", comments)
+				if comments != 58 {
+					t.Errorf("scrape during churn has %d comment lines, want 58", comments)
 					return
 				}
 				adopted := counter(body, "powersensor_fleet_adopted_total")

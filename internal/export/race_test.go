@@ -1,0 +1,9 @@
+//go:build race
+
+package export
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool is intentionally degenerate (puts are
+// dropped to shake out lifetime bugs) — allocation-bound assertions on
+// pooled paths are not meaningful there.
+const raceEnabled = true

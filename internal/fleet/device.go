@@ -149,6 +149,13 @@ type Device struct {
 	// only under the manager's mu; nil until the device is first driven.
 	driveDone chan struct{}
 
+	// pool is the home shard's memory pool, nil when the device was built
+	// without one (direct construction in tests). Pooled devices carve
+	// their ring backing and batch columns from the shard's slabs at
+	// adoption and return them at close, so stations stepped together sit
+	// adjacent in memory and a churny fleet recycles instead of growing.
+	pool *memPool
+
 	mu      sync.Mutex
 	src     source.Source
 	ov      source.Overheader // src's overhead accounting, nil without one
@@ -200,8 +207,12 @@ type Device struct {
 // newDevice adopts src. pointPeriod is the target time width of one ring
 // point; the per-source block size is derived from it and the source's
 // native rate, so a 20 kHz sensor averages hundreds of samples per point
-// while a 10 Hz software meter contributes every sample it has.
-func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, ringCap int, foldHist *obs.Hist) *Device {
+// while a 10 Hz software meter contributes every sample it has. When
+// pool is non-nil the ring backing and batch columns are carved from it
+// — the shard-local slabs that keep co-stepped stations adjacent in
+// memory — with the batch pre-sized for the samples one slice of
+// virtual time produces at the source's native rate.
+func newDevice(name, kind string, src source.Source, pointPeriod, slice time.Duration, ringCap int, foldHist *obs.Hist, pool *memPool) *Device {
 	meta := src.Meta()
 	// The device keeps its own copy of the channel labels: neither the
 	// source nor any Status consumer can mutate it from under the fleet.
@@ -215,6 +226,7 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		kind:     kind,
 		meta:     meta,
 		retire:   make(chan struct{}),
+		pool:     pool,
 		src:      src,
 		block:    block,
 		chans:    len(meta.Channels),
@@ -223,7 +235,20 @@ func newDevice(name, kind string, src source.Source, pointPeriod time.Duration, 
 		foldHist: foldHist,
 	}
 	d.ov, _ = src.(source.Overheader)
-	d.ring = NewRing(ringCap, d.chans)
+	if pool != nil {
+		// Expected samples per step, padded: sources may round a slice up
+		// to whole sample periods, and a small margin keeps one extra
+		// sample from pushing the columns off-slab.
+		batchSamples := int(math.Ceil(meta.RateHz*slice.Seconds())) + 8
+		mem := pool.grab(ringCap, d.chans, batchSamples)
+		d.ring = newRingWith(ringCap, d.chans, mem.ringBuf, mem.ringArena)
+		d.batch.Time = mem.batchTime[:0]
+		d.batch.Chans = mem.batchChans[:0]
+		d.batch.Total = mem.batchTotal[:0]
+		d.batch.Marks = mem.batchMarks[:0]
+	} else {
+		d.ring = NewRing(ringCap, d.chans)
+	}
 	d.pub.nowNanos.Store(int64(src.Now()))
 	d.pub.resyncs.Store(int64(src.Resyncs()))
 	return d
@@ -642,6 +667,23 @@ func (d *Device) close() bool {
 		close(ch)
 	}
 	d.src.Close()
+	if d.pool != nil {
+		// Return the pooled memory for the next adoption. The ring
+		// detaches onto a compact self-owned copy first, so callers still
+		// holding the device keep reading the drained points; the batch
+		// columns are dead the moment closed is set (step checks it under
+		// d.mu, which we hold).
+		buf, arena := d.ring.detach()
+		d.pool.release(devMem{
+			ringBuf:    buf,
+			ringArena:  arena,
+			batchTime:  d.batch.Time,
+			batchChans: d.batch.Chans,
+			batchTotal: d.batch.Total,
+			batchMarks: d.batch.Marks,
+		})
+		d.batch = source.Batch{}
+	}
 	d.pub.state.Store(int32(devClosed))
 	return true
 }

@@ -14,11 +14,13 @@ import (
 )
 
 // Config tunes a Manager. The zero value is usable: 5 ms slices, 1 ms
-// ring points (block-20 at 20 kHz), 4096-point rings, unpaced.
+// ring points (block-20 at 20 kHz), 4096-point rings, 8 shards, unpaced.
 type Config struct {
 	// Slice is the virtual-time quantum each station goroutine advances
 	// per iteration. Smaller slices reduce snapshot latency; larger ones
-	// amortise locking.
+	// amortise locking. StepAll also advances in Slice quanta, so batch
+	// columns pre-sized for one slice stay slab-resident however large a
+	// step a caller requests.
 	Slice time.Duration
 	// PointPeriod is the target time width of one downsampled ring
 	// point. Each station derives its own block size from it and its
@@ -40,6 +42,14 @@ type Config struct {
 	// Events); once full, new events overwrite oldest-first with a drop
 	// counter. Zero means 256 — weeks of ordinary churn.
 	EventCap int
+	// Shards is the number of fixed partitions the fleet is split into.
+	// Each station hashes to a shard by name; each shard owns its own
+	// copy-on-write device list, churn counters, render generation and
+	// memory pool, so churn, stepping, snapshots and scrape rendering
+	// contend per shard instead of fleet-wide. Zero means 8; values are
+	// clamped to [1, MaxShards]. Shards=1 recovers the unsharded
+	// behaviour exactly (one list, one generation, serial stepping).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,8 +69,23 @@ func (c Config) withDefaults() Config {
 	if c.EventCap <= 0 {
 		c.EventCap = 256
 	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
 	return c
 }
+
+// stepParallelMin is the fleet size below which StepAll stays serial:
+// handing a quantum to the shard workers costs a channel round-trip and
+// a WaitGroup rendezvous per shard, which swamps the win when each shard
+// holds only a handful of stations.
+const stepParallelMin = 64
 
 // Manager owns a fleet of named stations and drives each in its own
 // goroutine. The fleet is fully dynamic: Add adopts a station at any time
@@ -70,21 +95,29 @@ func (c Config) withDefaults() Config {
 // and closing its subscriptions. Snapshots, subscriptions and traces are
 // safe at any time from any goroutine, concurrently with churn.
 //
-// The device list is published copy-on-write through an atomic pointer,
-// kept sorted by name: Add and Remove (rare) build a fresh sorted slice
-// whose atomic swap is the lifecycle commit point, while the hot readers
-// — StepAll, Snapshot, the drive goroutines — load the current list with
-// no lock and no per-call copy, and Snapshot inherits the sorted order
-// instead of re-sorting per scrape. A reader holding the old slice may
-// briefly step or snapshot a retiring device; both are harmless, because
-// a retired device's step is a no-op and its last published telemetry
-// stays readable.
+// The fleet is partitioned into Config.Shards fixed shards by a hash of
+// the station name. Each shard publishes its own copy-on-write device
+// list (sorted by name) through an atomic pointer: Add and Remove (rare)
+// rebuild only their shard's slice, whose atomic swap is the lifecycle
+// commit point, while the hot readers — StepAll, Snapshot, the drive
+// goroutines, the exporter's per-shard renderers — load a list with no
+// lock and no per-call copy. Fleet-wide sorted iteration (Names,
+// Snapshot) merges the shard lists on the fly. A reader holding an old
+// slice may briefly step or snapshot a retiring device; both are
+// harmless, because a retired device's step is a no-op and its last
+// published telemetry stays readable.
+//
+// Sharding also partitions memory: each shard pools ring arenas and
+// batch columns in shard-local slabs, so the stations a shard's step
+// worker advances back-to-back sit adjacent in memory instead of
+// scattered across the heap.
 type Manager struct {
-	cfg     Config
-	devices atomic.Pointer[[]*Device] // sorted by name, copy-on-write
+	cfg    Config
+	shards []shard
 
-	// Lifetime churn counters, exported as
-	// powersensor_fleet_{adopted,retired}_total.
+	// Fleet-wide lifetime churn counters, exported as
+	// powersensor_fleet_{adopted,retired}_total. Each shard additionally
+	// keeps its own pair, which feed the per-shard render generations.
 	adopted atomic.Uint64
 	retired atomic.Uint64
 
@@ -92,11 +125,15 @@ type Manager struct {
 	// ingest-fold latency (ReadInto excluded — that is the source's
 	// sampling cost, accounted separately via source.Overheader), sampled
 	// one step in foldSampleEvery to stay inside the ingest path's
-	// overhead budget. paceHist is driver pacing lateness: how far behind
-	// its absolute schedule each paced slice boundary lands. events holds
+	// overhead budget; it is striped per shard so concurrently stepping
+	// shard workers do not bounce one bucket array between cores.
+	// paceHist is driver pacing lateness: how far behind its absolute
+	// schedule each paced slice boundary lands. stepHist is the time to
+	// advance one shard's stations by one StepAll quantum. events holds
 	// the structured lifecycle log.
-	foldHist obs.Hist
+	foldHist *obs.ShardedHist
 	paceHist obs.Hist
+	stepHist obs.Hist
 	events   *obs.EventRing
 
 	mu      sync.Mutex
@@ -104,13 +141,28 @@ type Manager struct {
 	stop    chan struct{}
 	wg      *sync.WaitGroup // per-run, so Stop only waits for its own drivers
 	started bool
+
+	// Parallel StepAll state: stepMu serialises fan-outs (concurrent
+	// StepAll callers queue rather than interleave on one WaitGroup),
+	// stepWG tracks the in-flight shard quanta of the current fan-out,
+	// and workersOn (guarded by stepMu) says whether the persistent
+	// per-shard step workers are running. Workers start lazily on the
+	// first parallel StepAll — fleets driven by Start never pay for them
+	// — and exit when Close closes their channels.
+	stepMu    sync.Mutex
+	stepWG    sync.WaitGroup
+	workersOn bool
 }
 
 // NewManager returns an empty manager.
 func NewManager(cfg Config) *Manager {
 	m := &Manager{cfg: cfg.withDefaults(), byName: make(map[string]*Device)}
+	m.shards = make([]shard, m.cfg.Shards)
+	for i := range m.shards {
+		m.shards[i].devices.Store(new([]*Device))
+	}
+	m.foldHist = obs.NewShardedHist(m.cfg.Shards)
 	m.events = obs.NewEventRing(m.cfg.EventCap)
-	m.devices.Store(new([]*Device))
 	return m
 }
 
@@ -138,34 +190,42 @@ func FromSpec(spec string, seed uint64, cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// list returns the current published device slice: sorted by name and
-// immutable — Add replaces the whole slice instead of appending in place.
-func (m *Manager) list() []*Device {
-	return *m.devices.Load()
+// ShardCount returns the number of fixed shards the fleet is split into.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+// ShardOf returns the shard the named station lives in (whether or not
+// it currently exists): a pure function of the name, so a retired and
+// re-added station always comes back to the same shard.
+func (m *Manager) ShardOf(name string) int {
+	return shardOf(name, len(m.shards))
 }
 
 // Add adopts a measurement source as a named station, at any time: on a
 // stopped manager the station waits for Start, on a running one its
 // driver goroutine spawns before Add returns — the hot-add path a serving
-// daemon uses when a rig is cabled up. The atomic list swap is the commit
-// point at which concurrent Snapshot/scrape/StepAll callers begin to see
-// the station.
+// daemon uses when a rig is cabled up. The atomic swap of the station's
+// home-shard list is the commit point at which concurrent
+// Snapshot/scrape/StepAll callers begin to see the station.
 func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.byName[name]; dup {
 		return nil, fmt.Errorf("fleet: duplicate station %q", name)
 	}
-	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.RingCap, &m.foldHist)
-	old := m.list()
+	s := shardOf(name, len(m.shards))
+	sh := &m.shards[s]
+	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.Slice,
+		m.cfg.RingCap, m.foldHist.Stripe(s), &sh.pool)
+	old := sh.list()
 	at := sort.Search(len(old), func(i int) bool { return old[i].name > name })
 	next := make([]*Device, 0, len(old)+1)
 	next = append(next, old[:at]...)
 	next = append(next, d)
 	next = append(next, old[at:]...)
-	m.devices.Store(&next)
+	sh.devices.Store(&next)
 	m.byName[name] = d
 	m.adopted.Add(1)
+	sh.adopted.Add(1)
 	m.events.Append(obs.EventAdopt, name, kind, "add")
 	if m.started {
 		m.startDriver(d)
@@ -173,15 +233,16 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	return d, nil
 }
 
-// Remove retires the named station. The copy-on-write list swap is the
-// commit point — concurrent Snapshot, scrape and StepAll callers stop
-// seeing the station the moment it lands — after which Remove stops the
-// station's driver goroutine (waiting for its in-flight step to finish),
-// drains the in-flight downsample block into the ring as a final short
-// point, fans that point out, closes every subscription and releases the
-// source. Safe to call from any goroutine, concurrently with Add, Stop,
-// snapshots and subscriptions; removing an unknown (or already removed)
-// station returns an error.
+// Remove retires the named station. The copy-on-write swap of its home
+// shard's list is the commit point — concurrent Snapshot, scrape and
+// StepAll callers stop seeing the station the moment it lands — after
+// which Remove stops the station's driver goroutine (waiting for its
+// in-flight step to finish), drains the in-flight downsample block into
+// the ring as a final short point, fans that point out, closes every
+// subscription, releases the source and returns the station's pooled
+// memory to its shard. Safe to call from any goroutine, concurrently
+// with Add, Stop, snapshots and subscriptions; removing an unknown (or
+// already removed) station returns an error.
 func (m *Manager) Remove(name string) error {
 	m.mu.Lock()
 	d := m.byName[name]
@@ -190,16 +251,18 @@ func (m *Manager) Remove(name string) error {
 		return fmt.Errorf("fleet: Remove(%q): unknown station", name)
 	}
 	delete(m.byName, name) // claims the device: no second Remove can reach it
-	old := m.list()
+	sh := &m.shards[shardOf(name, len(m.shards))]
+	old := sh.list()
 	next := make([]*Device, 0, len(old)-1)
 	for _, o := range old {
 		if o != d {
 			next = append(next, o)
 		}
 	}
-	m.devices.Store(&next) // commit: new readers no longer see the station
-	done := d.driveDone    // this run's driver exit signal, nil if never driven
+	sh.devices.Store(&next) // commit: new readers no longer see the station
+	done := d.driveDone     // this run's driver exit signal, nil if never driven
 	m.retired.Add(1)
+	sh.retired.Add(1)
 	m.events.Append(obs.EventRetire, name, d.kind, "remove")
 	m.mu.Unlock()
 
@@ -216,33 +279,49 @@ func (m *Manager) Remove(name string) error {
 	return nil
 }
 
-// Gen returns a generation fingerprint of the fleet's block-boundary
-// state: a hash folding the churn counters and every station's
-// ever-produced ring-point count, computed from the same atomically
-// published cells snapshots read — no manager lock, no device ingest
-// mutex, O(stations) atomic loads. The fingerprint changes whenever any
-// station completes a downsample block or the fleet churns, which is
-// when a rendered telemetry body goes stale; between block boundaries
-// only sub-block state (virtual time inside an open block, a partial
-// sample count) can differ, so consumers such as the exporter's body
-// cache use Gen equality to skip re-rendering on repeat scrapes.
-// Distinct fleet states could in principle collide in the 64-bit hash;
-// with FNV-style mixing that is vanishingly unlikely and the cost of a
-// collision is one stale scrape, not corruption.
-func (m *Manager) Gen() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// ShardGen returns shard s's generation fingerprint: a hash folding the
+// shard's churn counters and each of its stations' ever-produced
+// ring-point counts, computed from the same atomically published cells
+// snapshots read — no manager lock, no device ingest mutex, O(shard
+// stations) atomic loads. The fingerprint changes whenever a station in
+// this shard completes a downsample block or churns in or out, which is
+// exactly when a rendered exposition segment of this shard goes stale —
+// and only then, so one busy station invalidates one shard's cached
+// segment while the other shards' segments stay servable. Distinct
+// shard states could in principle collide in the 64-bit hash; with
+// FNV-style mixing that is vanishingly unlikely and the cost is one
+// stale scrape of one shard, not corruption.
+func (m *Manager) ShardGen(s int) uint64 {
+	sh := &m.shards[s]
+	h := uint64(fnvOffset64)
 	mix := func(v uint64) {
 		h ^= v
-		h *= prime64
+		h *= fnvPrime64
 	}
-	mix(m.adopted.Load())
-	mix(m.retired.Load())
-	for _, d := range m.list() {
+	mix(sh.adopted.Load())
+	mix(sh.retired.Load())
+	for _, d := range sh.list() {
 		mix(d.pub.ringTotal.Load())
+	}
+	return h
+}
+
+// Gen returns a generation fingerprint of the whole fleet's
+// block-boundary state, folding every shard's generation. It changes
+// whenever any station completes a downsample block or the fleet churns
+// — the condition under which any fleet-derived rendering goes stale.
+// Consumers that can act per shard should prefer ShardGen, which is what
+// lets a busy station invalidate one shard instead of the fleet.
+func (m *Manager) Gen() uint64 {
+	h := uint64(fnvOffset64)
+	for s := range m.shards {
+		h ^= m.ShardGen(s)
+		h *= fnvPrime64
 	}
 	return h
 }
@@ -252,6 +331,16 @@ func (m *Manager) Adopted() uint64 { return m.adopted.Load() }
 
 // Retired returns the number of stations ever retired by Remove.
 func (m *Manager) Retired() uint64 { return m.retired.Load() }
+
+// ShardAdopted returns the number of stations ever adopted into shard s.
+func (m *Manager) ShardAdopted(s int) uint64 { return m.shards[s].adopted.Load() }
+
+// ShardRetired returns the number of stations ever retired from shard s.
+// Names hash to shards deterministically, so any retirement that could
+// leave a stale per-shard label-cache entry — including a same-name
+// re-adoption — advances this counter for exactly the shard holding that
+// cache.
+func (m *Manager) ShardRetired(s int) uint64 { return m.shards[s].retired.Load() }
 
 // Events returns the fleet's lifecycle event ring: one structured entry
 // per adopt/start/retire/close transition, oldest overwritten first once
@@ -264,8 +353,10 @@ func (m *Manager) Events() *obs.EventRing { return m.events }
 // downsample accumulators, staging area and published cells, excluding
 // the source's own ReadInto. To keep the hot path inside its overhead
 // budget the fold is timed on a 1-in-foldSampleEvery step sample, so the
-// histogram holds a uniform sample of steps, not every step.
-func (m *Manager) IngestFoldHist() *obs.Hist { return &m.foldHist }
+// histogram holds a uniform sample of steps, not every step. The
+// histogram is striped per shard (each station records into its home
+// shard's stripe); Snapshot and Count present the fleet-wide sum.
+func (m *Manager) IngestFoldHist() *obs.ShardedHist { return m.foldHist }
 
 // PaceLatenessHist returns the distribution of driver pacing lateness on
 // paced fleets (Config.Rate > 0): how far past its absolute schedule each
@@ -273,15 +364,23 @@ func (m *Manager) IngestFoldHist() *obs.Hist { return &m.foldHist }
 // whole-slice overruns when it does not. Unpaced fleets record nothing.
 func (m *Manager) PaceLatenessHist() *obs.Hist { return &m.paceHist }
 
+// ShardStepHist returns the distribution of per-shard StepAll quantum
+// latency: the time one shard took to advance all its stations by one
+// slice quantum, whether stepped serially or by its shard worker. Fleets
+// driven only by Start record nothing here.
+func (m *Manager) ShardStepHist() *obs.Hist { return &m.stepHist }
+
 // RingOccupancy sums ring fill across the fleet: points currently held
 // in every station's ring and the total capacity. Like Snapshot it reads
 // only atomically published cells — no manager lock, no ingest mutexes —
 // so it is safe on every scrape even when the body cache skips the full
 // snapshot.
 func (m *Manager) RingOccupancy() (held, capacity int) {
-	for _, d := range m.list() {
-		held += int(d.pub.ringLen.Load())
-		capacity += d.ring.Cap()
+	for s := range m.shards {
+		for _, d := range m.shards[s].list() {
+			held += int(d.pub.ringLen.Load())
+			capacity += d.ring.Cap()
+		}
 	}
 	return held, capacity
 }
@@ -295,17 +394,35 @@ func (m *Manager) Device(name string) *Device {
 
 // Names returns the station names in sorted order.
 func (m *Manager) Names() []string {
-	devices := m.list()
-	names := make([]string, 0, len(devices))
-	for _, d := range devices {
-		names = append(names, d.name)
+	return m.NamesInto(nil)
+}
+
+// NamesInto is Names appending into dst — reusing dst's capacity, so
+// callers polling a large fleet on a timer pass the previous call's
+// slice (re-sliced to length zero) and stay allocation-free in steady
+// state. Names arrive in global sorted order, merged across shards
+// without allocating.
+func (m *Manager) NamesInto(dst []string) []string {
+	var it devIter
+	it.init(m.shards)
+	for d := it.next(); d != nil; d = it.next() {
+		dst = append(dst, d.name)
 	}
-	return names
+	return dst
 }
 
 // Size returns the number of stations.
 func (m *Manager) Size() int {
-	return len(m.list())
+	n := 0
+	for s := range m.shards {
+		n += len(m.shards[s].list())
+	}
+	return n
+}
+
+// ShardSize returns the number of stations in shard s.
+func (m *Manager) ShardSize(s int) int {
+	return len(m.shards[s].list())
 }
 
 // Start launches one goroutine per station, each repeatedly advancing its
@@ -321,8 +438,10 @@ func (m *Manager) Start() {
 	m.started = true
 	m.stop = make(chan struct{})
 	m.wg = &sync.WaitGroup{}
-	for _, d := range m.list() {
-		m.startDriver(d)
+	for s := range m.shards {
+		for _, d := range m.shards[s].list() {
+			m.startDriver(d)
+		}
 	}
 }
 
@@ -418,19 +537,91 @@ func (m *Manager) Stop() {
 }
 
 // StepAll synchronously advances every station by d of virtual time —
-// deterministic single-goroutine operation for tests, benchmarks and
-// one-shot tools. Safe to call while Started (steps interleave with the
-// drive goroutines), though deterministic only when stopped.
+// deterministic single-goroutine semantics for tests, benchmarks and
+// one-shot tools. The step proceeds in Config.Slice quanta (matching the
+// cadence drive goroutines use, and keeping batch columns inside their
+// pre-sized slabs on warmup bursts); within each quantum, fleets of at
+// least stepParallelMin stations fan the shards out to persistent
+// per-shard worker goroutines, with a full rendezvous between quanta so
+// no station runs ahead. The fan-out allocates nothing in steady state —
+// workers are persistent, the handoff is a channel send of a scalar —
+// preserving the zero-alloc StepAll contract at every fleet size. Safe
+// to call while Started (steps interleave with the drive goroutines),
+// though deterministic only when stopped.
 func (m *Manager) StepAll(d time.Duration) {
-	for _, dev := range m.list() {
-		dev.step(d)
+	for d > 0 {
+		q := d
+		if q > m.cfg.Slice {
+			q = m.cfg.Slice
+		}
+		m.stepQuantum(q)
+		d -= q
+	}
+}
+
+// stepQuantum advances every station by one quantum, serially for small
+// fleets and via the shard workers otherwise.
+func (m *Manager) stepQuantum(q time.Duration) {
+	if len(m.shards) == 1 || m.Size() < stepParallelMin {
+		for s := range m.shards {
+			devs := m.shards[s].list()
+			if len(devs) == 0 {
+				continue
+			}
+			began := time.Now()
+			for _, dev := range devs {
+				dev.step(q)
+			}
+			m.stepHist.Record(time.Since(began))
+		}
+		return
+	}
+	m.stepMu.Lock()
+	m.ensureStepWorkers()
+	for s := range m.shards {
+		if len(m.shards[s].list()) == 0 {
+			continue
+		}
+		m.stepWG.Add(1)
+		m.shards[s].stepCh <- q
+	}
+	m.stepWG.Wait()
+	m.stepMu.Unlock()
+}
+
+// ensureStepWorkers launches the persistent per-shard step workers.
+// Called with stepMu held; idempotent until Close shuts them down.
+func (m *Manager) ensureStepWorkers() {
+	if m.workersOn {
+		return
+	}
+	m.workersOn = true
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.stepCh = make(chan time.Duration)
+		go m.stepWorker(sh)
+	}
+}
+
+// stepWorker advances one shard's stations by each quantum handed to it.
+// The worker always steps the shard's current published list, so
+// stations hot-added or retired between quanta are picked up or dropped
+// naturally. Exits when Close closes the channel.
+func (m *Manager) stepWorker(sh *shard) {
+	for q := range sh.stepCh {
+		began := time.Now()
+		for _, dev := range sh.list() {
+			dev.step(q)
+		}
+		m.stepHist.Record(time.Since(began))
+		m.stepWG.Done()
 	}
 }
 
 // Snapshot returns the status of every station, sorted by name. It takes
 // no manager lock and no device ingest mutex — each status is assembled
 // from the device's atomically published telemetry — so snapshotting a
-// 256-station fleet cannot stall (or be stalled by) any station's ingest.
+// large fleet cannot stall (or be stalled by) any station's ingest.
 func (m *Manager) Snapshot() []Status {
 	return m.SnapshotInto(nil)
 }
@@ -439,25 +630,58 @@ func (m *Manager) Snapshot() []Status {
 // and, for recycled entries, the capacity of their PairWatts and Channels
 // slices. Scrapers that snapshot a large fleet at a fixed cadence pass
 // the previous scrape's slice (re-sliced to length zero) to make the
-// whole snapshot allocation-free in steady state.
+// whole snapshot allocation-free in steady state. Order is global sorted
+// by name, merged across shards without allocating.
 func (m *Manager) SnapshotInto(dst []Status) []Status {
-	for _, d := range m.list() {
-		if len(dst) < cap(dst) {
-			dst = dst[:len(dst)+1]
-		} else {
-			dst = append(dst, Status{})
-		}
-		d.StatusInto(&dst[len(dst)-1])
+	var it devIter
+	it.init(m.shards)
+	for d := it.next(); d != nil; d = it.next() {
+		dst = appendStatus(dst, d)
 	}
 	return dst
 }
 
-// Close stops the fleet and releases every station's sensor.
+// ShardSnapshotInto appends the status of every station in shard s into
+// dst, sorted by name, with the same reuse semantics as SnapshotInto —
+// the per-shard form the exporter's segment renderers use, so rendering
+// one stale shard snapshots that shard alone.
+func (m *Manager) ShardSnapshotInto(s int, dst []Status) []Status {
+	for _, d := range m.shards[s].list() {
+		dst = appendStatus(dst, d)
+	}
+	return dst
+}
+
+// appendStatus appends d's status to dst, recycling spare capacity and
+// the recycled entry's own slices.
+func appendStatus(dst []Status, d *Device) []Status {
+	if len(dst) < cap(dst) {
+		dst = dst[:len(dst)+1]
+	} else {
+		dst = append(dst, Status{})
+	}
+	d.StatusInto(&dst[len(dst)-1])
+	return dst
+}
+
+// Close stops the fleet, shuts down the shard step workers and releases
+// every station's sensor.
 func (m *Manager) Close() {
 	m.Stop()
-	for _, d := range m.list() {
-		if d.close() {
-			m.events.Append(obs.EventClose, d.name, d.kind, "shutdown")
+	m.stepMu.Lock()
+	if m.workersOn {
+		m.workersOn = false
+		for s := range m.shards {
+			close(m.shards[s].stepCh)
+			m.shards[s].stepCh = nil
+		}
+	}
+	m.stepMu.Unlock()
+	for s := range m.shards {
+		for _, d := range m.shards[s].list() {
+			if d.close() {
+				m.events.Append(obs.EventClose, d.name, d.kind, "shutdown")
+			}
 		}
 	}
 }

@@ -75,19 +75,62 @@ func NewRing(capacity, chans int) *Ring {
 	if chans < 0 {
 		panic("fleet: NewRing with negative channel count")
 	}
-	r := &Ring{
-		buf:   make([]Point, capacity),
-		arena: make([]float64, capacity*chans),
-		chans: chans,
-	}
+	return newRingWith(capacity, chans,
+		make([]Point, capacity), make([]float64, capacity*chans))
+}
+
+// newRingWith builds a ring over caller-supplied backing memory — the
+// shard memory pools hand in recycled slabs here. buf must hold capacity
+// points and arena capacity×chans floats; contents may be stale garbage
+// from a previous life, since every cell is (re)bound or overwritten
+// before a reader can see it: Watts rows are rebound below, and scalar
+// fields are only read up to the push cursor.
+func newRingWith(capacity, chans int, buf []Point, arena []float64) *Ring {
+	r := &Ring{buf: buf, arena: arena, chans: chans}
 	for i := range r.buf {
 		r.buf[i].Watts = r.arena[i*chans : (i+1)*chans : (i+1)*chans]
 	}
 	return r
 }
 
-// Cap returns the ring's fixed capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
+// detach compacts the ring onto fresh exact-size backing and returns the
+// original buffer and arena for recycling. Called at device retirement,
+// after the final drain flush: the held points are deep-copied
+// oldest-first into self-owned memory, so the retired ring's Len, Total
+// and Snapshot keep working for callers holding the device — the drain
+// contract — while the (much larger) pooled slabs go back to the shard
+// for the next adoption. After detach the ring's capacity equals its
+// held count and no further pushes may occur; the device's closed flag
+// already guarantees that.
+func (r *Ring) detach() (buf []Point, arena []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf, arena = r.buf, r.arena
+	n := r.n
+	nb := make([]Point, n)
+	na := make([]float64, n*r.chans)
+	start := 0
+	if n == len(r.buf) {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		src := &r.buf[(start+i)%len(r.buf)]
+		nb[i] = *src
+		nb[i].Watts = na[i*r.chans : (i+1)*r.chans : (i+1)*r.chans]
+		copy(nb[i].Watts, src.Watts)
+	}
+	r.buf, r.arena, r.next = nb, na, 0
+	return buf, arena
+}
+
+// Cap returns the ring's capacity: the construction capacity while the
+// station lives, the held point count once retirement detached the ring
+// onto exact-size backing. The lock orders it against that swap.
+func (r *Ring) Cap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
 
 // Chans returns the per-point channel count.
 func (r *Ring) Chans() int { return r.chans }

@@ -1,0 +1,97 @@
+package obs
+
+import "time"
+
+// ShardedHist is a Hist striped across independent cells, for hot paths
+// where many recorder goroutines are themselves partitioned — one fleet
+// shard's step worker per stripe, for instance. A plain Hist is already
+// lock-free, but recorders on different cores still bounce its bucket
+// cache lines between caches; giving each partition its own stripe keeps
+// recording core-local, and readers pay the (cold-path) cost of summing
+// stripes at snapshot time instead.
+//
+// A ShardedHist presents the same read surface as Hist — Snapshot filling
+// a caller-owned HistSnapshot, Count, Sum — so renderers treat the two
+// interchangeably. Recorders go through Stripe(i), which returns an
+// ordinary *Hist.
+type ShardedHist struct {
+	// pad stripes to their own cache lines: each Hist is 240 bytes
+	// (8-byte sum + 29 8-byte buckets), so adjacent stripes would
+	// otherwise share a line at their boundary and recorders on
+	// neighbouring stripes would still false-share.
+	stripes []paddedHist
+}
+
+type paddedHist struct {
+	Hist
+	_ [64 - (8*(NumBuckets+1))%64]byte
+}
+
+// NewShardedHist returns a histogram with n independent stripes (at
+// least one).
+func NewShardedHist(n int) *ShardedHist {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedHist{stripes: make([]paddedHist, n)}
+}
+
+// Stripes returns the stripe count.
+func (h *ShardedHist) Stripes() int { return len(h.stripes) }
+
+// Stripe returns stripe i's histogram for recording. Out-of-range
+// indices clamp into the stripe array, so a caller with a loose index
+// (a shard count that shrank across a config reload) records into a
+// valid stripe rather than panicking.
+func (h *ShardedHist) Stripe(i int) *Hist {
+	if i < 0 {
+		i = 0
+	}
+	return &h.stripes[i%len(h.stripes)].Hist
+}
+
+// Record adds one observation to stripe zero — the single-recorder
+// convenience path; partitioned recorders should hold their own Stripe.
+func (h *ShardedHist) Record(d time.Duration) {
+	h.stripes[0].Hist.Record(d)
+}
+
+// Snapshot fills s with the sum over every stripe. Like Hist.Snapshot it
+// is allocation-free and safe against concurrent recording: cells are
+// read one at a time, so a racing Record may be missed but never torn,
+// and Count equals the bucket total within the same snapshot.
+func (h *ShardedHist) Snapshot(s *HistSnapshot) {
+	s.Count = 0
+	for i := range s.Buckets {
+		s.Buckets[i] = 0
+	}
+	var sum int64
+	for st := range h.stripes {
+		hs := &h.stripes[st].Hist
+		for i := range s.Buckets {
+			n := hs.buckets[i].Load()
+			s.Buckets[i] += n
+			s.Count += n
+		}
+		sum += hs.sum.Load()
+	}
+	s.Sum = time.Duration(sum)
+}
+
+// Count returns the number of observations recorded across all stripes.
+func (h *ShardedHist) Count() uint64 {
+	var n uint64
+	for st := range h.stripes {
+		n += h.stripes[st].Hist.Count()
+	}
+	return n
+}
+
+// Sum returns the cumulative recorded latency across all stripes.
+func (h *ShardedHist) Sum() time.Duration {
+	var ns int64
+	for st := range h.stripes {
+		ns += h.stripes[st].Hist.sum.Load()
+	}
+	return time.Duration(ns)
+}
