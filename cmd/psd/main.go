@@ -19,11 +19,25 @@
 //	-fleet       comma-separated name=kindspec stations. The kindspec grammar —
 //	             station kinds, "@index" seed pinning, and the "|"-separated
 //	             derived-source pipe stages (resample, calib, ratelimit,
-//	             smooth) — is documented in one place: simsetup.ParseFleet.
-//	             The default is simsetup.DefaultFleetSpec, a mixed fleet of
-//	             four PowerSensor3 rigs, two software meters and two derived
-//	             views — including gpu0lo, a 1 kHz resampled + recalibrated
-//	             view of the same rig gpu0 serves raw at 20 kHz.
+//	             smooth) plus the seed-pinned fault-injection stages
+//	             (dropout:P:DUR, stuck:P:DUR, spike:P:MAG, skew:PPM,
+//	             jitter:SD) — is documented in one place:
+//	             simsetup.ParseFleet. Faulted stations replay their failure
+//	             scenario identically for a given -seed, so a fleet that
+//	             degrades on Tuesday degrades the same way in Wednesday's
+//	             repro. The default is simsetup.DefaultFleetSpec, a mixed
+//	             fleet of four PowerSensor3 rigs, two software meters and
+//	             two derived views — including gpu0lo, a 1 kHz resampled +
+//	             recalibrated view of the same rig gpu0 serves raw at
+//	             20 kHz. Example faulted station:
+//
+//	               flaky0=rtx4000ada|dropout:0.1:5ms|spike:0.01:8
+//
+//	             The fleet watchdog (internal/fleet doc.go) detects the
+//	             injected faults and publishes per-station health — the
+//	             powersensor_station_health gauge and the
+//	             powersensor_station_{gaps,flatlines,spikes_quarantined,
+//	             restarts}_total counters on /metrics.
 //	-seed        base simulation seed; each station derives its own
 //	-rate        virtual seconds simulated per wall second (1 = real time,
 //	             0 = as fast as the host allows)
@@ -60,7 +74,13 @@
 //	                                  ring (adopt/start/retire/close, ?n=N
 //	                                  caps the tail, default 100)
 //	GET  /api/device/{name}/trace     recent trace (?format=csv|json, ?points=N)
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     fleet health probe: 200 with
+//	                                  {"stations":N,"degraded":K} while any
+//	                                  station serves, 503 once every station
+//	                                  is stale or flatlined — wired for
+//	                                  load-balancer checks that should stop
+//	                                  routing to a daemon whose whole fleet
+//	                                  went dark
 //	POST /api/fleet/add               hot-add a station to the running fleet:
 //	                                  name= and kind= (any -fleet kindspec,
 //	                                  pipe stages included) as form or query

@@ -11,7 +11,12 @@
 // also serves gpu0lo, a derived view of gpu0's rig: the same 20 kHz
 // stream resampled to 1 kHz with a 0.98 gain trim, stacked from pipeline
 // stages via the spec's pipe syntax (the full grammar is documented on
-// simsetup.ParseFleet). Mid-serve, a station is adopted and later
+// simsetup.ParseFleet). A sixth station, flaky0, carries a reproducible
+// failure scenario — a stuck register and rare single-sample glitches
+// from the fault-injection stages — and the demo's first act replays it
+// deterministically, printing the station-health transitions the fleet
+// watchdog publishes as it detects the flatline, quarantines the spikes
+// and recovers the station. Mid-serve, a station is adopted and later
 // retired — what the psd daemon's POST /api/fleet/add and
 // /api/fleet/remove/{name} endpoints do on an operator's request — while
 // scrapes keep flowing.
@@ -30,6 +35,7 @@ import (
 
 	"repro/internal/export"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/simsetup"
 )
 
@@ -63,18 +69,45 @@ func main() {
 	// each be one sensor on /dev/ttyACM*; the software meters would poll
 	// NVML/RAPL.) Rate 20 paces virtual time at 20× wall, so the demo's
 	// short sleeps cover whole workload cycles.
+	// flaky0 is the same SSD rig with a reproducible failure scenario
+	// stacked on: a register that sticks for whole 2 s windows (serving
+	// the last healthy reading at full rate — fake liveness) and rare 8×
+	// single-sample glitches. The fault stages draw from the station seed,
+	// so this exact failure timeline replays on every run.
 	mgr, err := fleet.FromSpec(
 		"gpu0=rtx4000ada,gpu0lo=rtx4000ada@0|resample:1000|calib:0.98,"+
-			"ssd0=ssd,gpu0sw=nvml,cpu0=rapl|ratelimit:100",
+			"ssd0=ssd,gpu0sw=nvml,cpu0=rapl|ratelimit:100,"+
+			"flaky0=ssd|stuck:0.35:2s|spike:0.0001:8",
 		42, fleet.Config{Rate: 20})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer mgr.Close()
 
-	// Warm up one virtual second synchronously, then hand the stations to
-	// their driver goroutines — from here on the fleet serves live.
-	mgr.StepAll(time.Second)
+	// Before going live, replay flaky0's failure scenario
+	// deterministically: drive the fleet by hand for 14 virtual seconds
+	// and watch the watchdog walk the station through its health states —
+	// the stuck windows flatline it (bit-identical blocks at full rate),
+	// the glitches are quarantined before they can reach the ring, and
+	// each clean stretch recovers it.
+	fmt.Println("flaky0 health timeline (stuck:0.35:2s + spike:0.0001:8, watchdog reacting):")
+	seen := 0
+	for v := 0; v < 140; v++ {
+		mgr.StepAll(100 * time.Millisecond)
+		events := mgr.Events().Tail(0)
+		for _, ev := range events[seen:] {
+			if ev.Station == "flaky0" && ev.Type == obs.EventHealth {
+				fmt.Printf("  t=%4.1fs  %s\n", float64(v+1)*0.1, ev.Reason)
+			}
+		}
+		seen = len(events)
+	}
+	st := mgr.Device("flaky0").Status()
+	fmt.Printf("  episodes: %d flatlines, %d spikes quarantined (health now %q)\n",
+		st.Flatlines, st.SpikesQuarantined, st.Health)
+
+	// Hand the stations to their driver goroutines — from here on the
+	// fleet serves live.
 	mgr.Start()
 	defer mgr.Stop()
 	srv := httptest.NewServer(export.New(mgr).Handler())
@@ -82,11 +115,11 @@ func main() {
 
 	// The raw 20 kHz station and its 1 kHz derived view serve side by
 	// side; the throttled meter accounts the wall time its sampling cost.
-	fmt.Println("station      backend                      rate        power      energy    samples  state")
+	fmt.Println("\nstation      backend                      rate        power      energy    samples  state    health")
 	snap := mgr.Snapshot()
 	for _, st := range snap {
-		fmt.Printf("%-12s %-28s %7g Hz %7.2f W %8.2f J %10d  %s\n",
-			st.Name, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples, st.State)
+		fmt.Printf("%-12s %-28s %7g Hz %7.2f W %8.2f J %10d  %-8s %s\n",
+			st.Name, st.Backend, st.RateHz, st.Watts, st.Joules, st.Samples, st.State, st.Health)
 	}
 	for _, st := range snap {
 		if st.OverheadSeconds > 0 {

@@ -53,7 +53,10 @@
 //	                              ring; ?n=N caps the tail (default 100)
 //	/api/device/{name}/trace      recent downsampled trace; ?format=csv|json
 //	                              (default csv), ?points=N caps the length
-//	/healthz                      liveness probe
+//	/healthz                      fleet-aware liveness probe: 200 with
+//	                              {"stations":N,"degraded":K} while any
+//	                              station serves, 503 once every station
+//	                              is stale or flatlined
 package export
 
 import (
@@ -278,12 +281,24 @@ func (e *Exporter) Handler() http.Handler {
 	mux.HandleFunc("GET /api/fleet", e.fleetJSON)
 	mux.HandleFunc("GET /api/events", e.eventsJSON)
 	mux.HandleFunc("GET /api/device/{name}/trace", e.deviceTrace)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", e.healthz)
 	mux.HandleFunc("GET /{$}", e.index)
 	return mux
+}
+
+// healthz is the fleet-aware liveness probe: 200 with a station/degraded
+// tally while any station still serves real data, 503 once every station
+// is down (stale or flatlined — serving nothing, or serving fake
+// liveness), so an orchestrator restarts the daemon only when the whole
+// fleet is gone, not when one meter wedges. An empty fleet is healthy:
+// the daemon itself is up, there is just nothing to measure yet.
+func (e *Exporter) healthz(w http.ResponseWriter, _ *http.Request) {
+	stations, degraded, down := e.mgr.HealthCounts()
+	w.Header().Set("Content-Type", "application/json")
+	if stations > 0 && down == stations {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "{\"stations\":%d,\"degraded\":%d}\n", stations, degraded)
 }
 
 // index is a minimal landing page linking the endpoints.
@@ -340,6 +355,16 @@ var (
 		"Downsampled points currently buffered per station.", "gauge")
 	hdrVirtualSeconds = header("powersensor_device_virtual_seconds",
 		"Virtual time of each station's clock, in seconds.", "gauge")
+	hdrStationHealth = header("powersensor_station_health",
+		"Watchdog health rank per station: 0 healthy, 1 degraded, 2 flatlined, 3 stale.", "gauge")
+	hdrStationGaps = header("powersensor_station_gaps_total",
+		"Delivery-gap episodes the watchdog opened per station.", "counter")
+	hdrStationFlatlines = header("powersensor_station_flatlines_total",
+		"Flatline episodes (runs of bit-identical blocks) detected per station.", "counter")
+	hdrStationSpikesQ = header("powersensor_station_spikes_quarantined_total",
+		"Isolated glitch samples quarantined before ingest per station.", "counter")
+	hdrStationRestarts = header("powersensor_station_restarts_total",
+		"Source restart attempts the watchdog issued per station.", "counter")
 
 	// Self-telemetry tail families: the system observing itself. These
 	// render fresh on every scrape, after (and outside) the cached fleet
@@ -390,7 +415,7 @@ const (
 // into per-shard segments and concatenated family-major at assembly. The
 // three fleet-scalar families (devices, adopted, retired) precede them in
 // the body but are appended directly, not segmented.
-const nDevFams = 12
+const nDevFams = 17
 
 // devFamHdrs lists the per-device family HELP/TYPE blocks in exposition
 // order, index-aligned with the family switch in renderShardSeg and the
@@ -400,6 +425,8 @@ var devFamHdrs = [nDevFams]string{
 	hdrWatts, hdrBoardWatts, hdrJoules,
 	hdrSamples, hdrMarks, hdrResyncs, hdrDropped,
 	hdrRingPoints, hdrVirtualSeconds,
+	hdrStationHealth, hdrStationGaps, hdrStationFlatlines,
+	hdrStationSpikesQ, hdrStationRestarts,
 }
 
 // histSeries is the pre-rendered label set of one histogram series: a
@@ -699,8 +726,18 @@ func appendDevFam(buf []byte, f int, s *fleet.Status, l *devLabels) []byte {
 		return appendSample(buf, "powersensor_dropped_deliveries_total", l.dev, float64(s.Dropped))
 	case 10:
 		return appendSample(buf, "powersensor_ring_points", l.dev, float64(s.RingLen))
-	default:
+	case 11:
 		return appendSample(buf, "powersensor_device_virtual_seconds", l.dev, s.Now.Seconds())
+	case 12:
+		return appendSample(buf, "powersensor_station_health", l.dev, float64(fleet.HealthLevel(s.Health)))
+	case 13:
+		return appendSample(buf, "powersensor_station_gaps_total", l.dev, float64(s.Gaps))
+	case 14:
+		return appendSample(buf, "powersensor_station_flatlines_total", l.dev, float64(s.Flatlines))
+	case 15:
+		return appendSample(buf, "powersensor_station_spikes_quarantined_total", l.dev, float64(s.SpikesQuarantined))
+	default:
+		return appendSample(buf, "powersensor_station_restarts_total", l.dev, float64(s.Restarts))
 	}
 }
 

@@ -233,6 +233,16 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_ring_points gauge",
 		"# HELP powersensor_device_virtual_seconds Virtual time of each station's clock, in seconds.",
 		"# TYPE powersensor_device_virtual_seconds gauge",
+		"# HELP powersensor_station_health Watchdog health rank per station: 0 healthy, 1 degraded, 2 flatlined, 3 stale.",
+		"# TYPE powersensor_station_health gauge",
+		"# HELP powersensor_station_gaps_total Delivery-gap episodes the watchdog opened per station.",
+		"# TYPE powersensor_station_gaps_total counter",
+		"# HELP powersensor_station_flatlines_total Flatline episodes (runs of bit-identical blocks) detected per station.",
+		"# TYPE powersensor_station_flatlines_total counter",
+		"# HELP powersensor_station_spikes_quarantined_total Isolated glitch samples quarantined before ingest per station.",
+		"# TYPE powersensor_station_spikes_quarantined_total counter",
+		"# HELP powersensor_station_restarts_total Source restart attempts the watchdog issued per station.",
+		"# TYPE powersensor_station_restarts_total counter",
 		"# HELP powersensor_self_ingest_fold_seconds Latency of folding one ingest step's batch into the downsample state, fleet-wide, sampled 1-in-32 steps.",
 		"# TYPE powersensor_self_ingest_fold_seconds histogram",
 		"# HELP powersensor_self_pacing_late_seconds How far past its absolute schedule each paced driver slice completed; empty on unpaced fleets.",
@@ -350,12 +360,52 @@ func TestDeviceTraceErrors(t *testing.T) {
 
 func TestHealthAndIndex(t *testing.T) {
 	srv, _ := testServer(t)
-	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK ||
+		body != "{\"stations\":3,\"degraded\":0}\n" {
 		t.Errorf("healthz: %d %q", code, body)
 	}
 	if code, body := get(t, srv.URL+"/"); code != http.StatusOK ||
 		!strings.Contains(body, "3 stations") {
 		t.Errorf("index: %d %q", code, body)
+	}
+}
+
+// TestHealthzAllDown pins the probe's failure side: once every station
+// of a non-empty fleet is stale or flatlined, /healthz flips to 503 so an
+// orchestrator restarts the daemon — while one surviving station keeps it
+// at 200, and an empty fleet is merely idle, not dead.
+func TestHealthzAllDown(t *testing.T) {
+	// A fleet whose only station's source never delivers: dropout with
+	// p=1 blacks out every window, so silence crosses StaleAfter and the
+	// station goes stale.
+	mgr, err := fleet.FromSpec("dead0=synth|dropout:1:10ms", 1,
+		fleet.Config{StaleAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	mgr.StepAll(300 * time.Millisecond)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable ||
+		body != "{\"stations\":1,\"degraded\":1}\n" {
+		t.Errorf("all-down healthz: %d %q, want 503 with 1/1", code, body)
+	}
+
+	// A healthy station joining the fleet restores the probe: the daemon
+	// still serves real data, however sick the rest of the fleet is.
+	src, err := simsetup.NewStation("synth", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Add("alive0", "synth", src); err != nil {
+		t.Fatal(err)
+	}
+	mgr.StepAll(100 * time.Millisecond)
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz with one live station: %d, want 200", code)
 	}
 }
 
@@ -431,9 +481,9 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 						return
 					}
 				}
-				// 26 families × (HELP + TYPE).
-				if comments != 58 {
-					t.Errorf("scrape under load has %d comment lines, want 58", comments)
+				// 34 families × (HELP + TYPE).
+				if comments != 68 {
+					t.Errorf("scrape under load has %d comment lines, want 68", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -729,8 +779,8 @@ func TestScrapeDuringChurn(t *testing.T) {
 						return
 					}
 				}
-				if comments != 58 {
-					t.Errorf("scrape during churn has %d comment lines, want 58", comments)
+				if comments != 68 {
+					t.Errorf("scrape during churn has %d comment lines, want 68", comments)
 					return
 				}
 				adopted := counter(body, "powersensor_fleet_adopted_total")
@@ -859,4 +909,186 @@ func TestEventsEndpoint(t *testing.T) {
 			t.Errorf("/api/events%s: status %d, want 400", q, code)
 		}
 	}
+}
+
+// addFaulted hot-adds one fault-staged synthetic station, exercising the
+// same kindspec grammar cmd/psd's admin endpoint accepts.
+func addFaulted(t testing.TB, mgr *fleet.Manager, name, kindspec string, i int) {
+	t.Helper()
+	src, err := simsetup.BuildStation(kindspec, 1, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Add(name, kindspec, src); err != nil {
+		src.Close()
+		t.Fatalf("Add(%s): %v", name, err)
+	}
+}
+
+// TestScrapeDuringChurnFaulted is the faulted-fleet variant of
+// TestScrapeDuringChurn: every station — permanent and churned — carries
+// dropout and spike stages, so scrapes race not just adoption and
+// retirement but live health transitions, quarantine counters and gap
+// episodes. Every scrape must stay well-formed, the health gauge must
+// parse to a known severity for the permanent stations, and the
+// per-station episode counters must be monotonic.
+func TestScrapeDuringChurnFaulted(t *testing.T) {
+	const spec = "keep0=synth|dropout:0.3:2ms|spike:0.01:5,keep1=synth|dropout:0.3:2ms|jitter:20us"
+	mgr, err := fleet.FromSpec(spec, 1, fleet.Config{Slice: time.Millisecond, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mgr.StepAll(20 * time.Millisecond)
+	mgr.Start()
+	defer mgr.Stop()
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			name := fmt.Sprintf("hot%d", g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addFaulted(t, mgr, name, "synth|dropout:0.5:1ms|stuck:0.2:5ms", i)
+				if err := mgr.Remove(name); err != nil {
+					t.Errorf("Remove(%s): %v", name, err)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(g)
+	}
+
+	sample := regexp.MustCompile(`^[a-z_]+(\{[a-z_]+="[^"]*"(,[a-z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?(e[+-][0-9]+)?$`)
+	gauge := func(body, name, dev string) (float64, bool) {
+		m := regexp.MustCompile(name + `\{device="` + dev + `"[^}]*\} (-?[0-9.e+]+)`).
+			FindStringSubmatch(body)
+		if m == nil {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Errorf("unparsable %s for %s: %v", name, dev, err)
+			return 0, false
+		}
+		return v, true
+	}
+	var scrapers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			lastGaps := map[string]float64{}
+			for i := 0; i < 40; i++ {
+				code, body := get(t, srv.URL+"/metrics")
+				if code != http.StatusOK {
+					t.Errorf("faulted scrape: status %d", code)
+					return
+				}
+				comments := 0
+				for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+					if strings.HasPrefix(line, "# ") {
+						comments++
+						continue
+					}
+					if !sample.MatchString(line) {
+						t.Errorf("malformed sample line during faulted churn: %q", line)
+						return
+					}
+				}
+				if comments != 68 {
+					t.Errorf("faulted scrape has %d comment lines, want 68", comments)
+					return
+				}
+				for _, dev := range []string{"keep0", "keep1"} {
+					h, ok := gauge(body, "powersensor_station_health", dev)
+					if !ok {
+						t.Errorf("scrape %d lost %s's health gauge", i, dev)
+						return
+					}
+					if h != float64(int(h)) || h < 0 || h > 3 {
+						t.Errorf("%s health rank = %v, want an integer in 0..3", dev, h)
+						return
+					}
+					g, ok := gauge(body, "powersensor_station_gaps_total", dev)
+					if !ok {
+						t.Errorf("scrape %d lost %s's gap counter", i, dev)
+						return
+					}
+					if g < lastGaps[dev] {
+						t.Errorf("%s gaps went backwards: %v -> %v", dev, lastGaps[dev], g)
+						return
+					}
+					lastGaps[dev] = g
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	churn.Wait()
+
+	// The faulted permanent stations survived, series intact, and the run
+	// demonstrably exercised the fault path: dropout p=0.3 over the whole
+	// run makes gap episodes a certainty on both stations.
+	_, body := get(t, srv.URL+"/metrics")
+	for _, dev := range []string{"keep0", "keep1"} {
+		if !strings.Contains(body, `powersensor_board_watts{device="`+dev+`"} `) {
+			t.Errorf("%s lost its series through the faulted churn", dev)
+		}
+		if g, ok := gauge(body, "powersensor_station_gaps_total", dev); !ok || g == 0 {
+			t.Errorf("%s gap counter = %v (present %v), want nonzero on a dropout-staged station",
+				dev, g, ok)
+		}
+	}
+}
+
+// TestHealthTransitionInvalidatesCache pins the watchdog-generation fold
+// in fleet.ShardGen: a station going stale freezes its ring-point count —
+// the very signal the body cache keys on — so without the watchdog
+// generation the cached exposition would serve the old health forever.
+// One total-blackout station, no other activity: the only thing that
+// changes between the scrapes is its published health.
+func TestHealthTransitionInvalidatesCache(t *testing.T) {
+	mgr, err := fleet.FromSpec("dead0=synth|dropout:1:10ms", 1,
+		fleet.Config{StaleAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	srv := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(srv.Close)
+
+	mgr.StepAll(20 * time.Millisecond) // silent, but not yet stale
+	_, body := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `powersensor_station_health{device="dead0"} 0`) {
+		t.Fatalf("station not healthy before StaleAfter:\n%s", grepLine(body, "station_health"))
+	}
+
+	mgr.StepAll(300 * time.Millisecond) // silence crosses StaleAfter
+	_, body = get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `powersensor_station_health{device="dead0"} 3`) {
+		t.Errorf("stale transition did not reach the cached exposition:\n%s",
+			grepLine(body, "station_health"))
+	}
+}
+
+// grepLine returns body's lines containing substr, for failure messages.
+func grepLine(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
 }

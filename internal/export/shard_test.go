@@ -212,8 +212,8 @@ func TestScrapeChurn1k(t *testing.T) {
 				t.Fatalf("malformed sample line at 1k under churn: %q", line)
 			}
 		}
-		if comments != 58 {
-			t.Fatalf("1k churn scrape has %d comment lines, want 58", comments)
+		if comments != 68 {
+			t.Fatalf("1k churn scrape has %d comment lines, want 68", comments)
 		}
 		adopted := counter(body, "powersensor_fleet_adopted_total")
 		retired := counter(body, "powersensor_fleet_retired_total")

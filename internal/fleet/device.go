@@ -98,6 +98,23 @@ type Status struct {
 	// currently held and points ever produced.
 	RingLen   int    `json:"ring_len"`
 	RingTotal uint64 `json:"ring_total"`
+	// Health is the watchdog's verdict on the station's series:
+	// "healthy", "degraded" (open gap episode or recent spike
+	// quarantine), "flatlined" (a run of bit-identical totals far beyond
+	// the backend's noise floor) or "stale" (no samples for
+	// Config.StaleAfter, erroring reads, or a parked source). See
+	// internal/fleet/health.go for the state machine and hysteresis.
+	Health string `json:"health"`
+	// Gaps and Flatlines count detected fault episodes (not samples):
+	// each opens once and must recover before it can count again.
+	Gaps      uint64 `json:"gaps"`
+	Flatlines uint64 `json:"flatlines"`
+	// SpikesQuarantined counts samples the robust outlier gate replaced
+	// by their neighbour midpoint before they reached the ring.
+	SpikesQuarantined uint64 `json:"spikes_quarantined"`
+	// Restarts counts watchdog recovery attempts on the source after read
+	// errors or sustained silence.
+	Restarts uint64 `json:"restarts"`
 }
 
 // pub is the device's published telemetry: one atomic cell per Status
@@ -126,6 +143,17 @@ type pub struct {
 	pair      [source.MaxChannels]atomic.Uint64
 	ringLen   atomic.Int64
 	ringTotal atomic.Uint64
+	health    atomic.Int32 // healthHealthy..healthStale rank
+	gaps      atomic.Uint64
+	flatlines atomic.Uint64
+	spikesQ   atomic.Uint64
+	restarts  atomic.Uint64
+	// wdGen counts watchdog publications: bumped whenever health or any
+	// episode counter changes. ShardGen folds it next to ringTotal so a
+	// health transition invalidates the station's cached exposition
+	// segment even when the station has stopped producing blocks — the
+	// stale and parked states are exactly the frozen-ringTotal case.
+	wdGen atomic.Uint64
 }
 
 // Device is one managed station: a streaming measurement source plus the
@@ -201,23 +229,30 @@ type Device struct {
 	foldHist *obs.Hist
 	stepN    uint64
 
+	// Health watchdog state (see health.go) and the fleet event ring its
+	// transitions append to — nil for directly constructed test devices.
+	wd     watchdog
+	events *obs.EventRing
+
 	pub pub
 }
 
-// newDevice adopts src. pointPeriod is the target time width of one ring
-// point; the per-source block size is derived from it and the source's
-// native rate, so a 20 kHz sensor averages hundreds of samples per point
-// while a 10 Hz software meter contributes every sample it has. When
-// pool is non-nil the ring backing and batch columns are carved from it
-// — the shard-local slabs that keep co-stepped stations adjacent in
-// memory — with the batch pre-sized for the samples one slice of
-// virtual time produces at the source's native rate.
-func newDevice(name, kind string, src source.Source, pointPeriod, slice time.Duration, ringCap int, foldHist *obs.Hist, pool *memPool) *Device {
+// newDevice adopts src. cfg.PointPeriod is the target time width of one
+// ring point; the per-source block size is derived from it and the
+// source's native rate, so a 20 kHz sensor averages hundreds of samples
+// per point while a 10 Hz software meter contributes every sample it has.
+// When pool is non-nil the ring backing and batch columns are carved from
+// it — the shard-local slabs that keep co-stepped stations adjacent in
+// memory — with the batch pre-sized for the samples one slice of virtual
+// time produces at the source's native rate. events receives the health
+// watchdog's transition events; nil (direct test construction) drops
+// them.
+func newDevice(name, kind string, src source.Source, cfg Config, foldHist *obs.Hist, pool *memPool, events *obs.EventRing) *Device {
 	meta := src.Meta()
 	// The device keeps its own copy of the channel labels: neither the
 	// source nor any Status consumer can mutate it from under the fleet.
 	meta.Channels = append([]string(nil), meta.Channels...)
-	block := int(math.Round(meta.RateHz * pointPeriod.Seconds()))
+	block := int(math.Round(meta.RateHz * cfg.PointPeriod.Seconds()))
 	if block < 1 {
 		block = 1
 	}
@@ -233,21 +268,23 @@ func newDevice(name, kind string, src source.Source, pointPeriod, slice time.Dur
 		baseJ:    src.Joules(),
 		subs:     make(map[int]chan Point),
 		foldHist: foldHist,
+		events:   events,
 	}
 	d.ov, _ = src.(source.Overheader)
+	d.initWatchdog(cfg)
 	if pool != nil {
 		// Expected samples per step, padded: sources may round a slice up
 		// to whole sample periods, and a small margin keeps one extra
 		// sample from pushing the columns off-slab.
-		batchSamples := int(math.Ceil(meta.RateHz*slice.Seconds())) + 8
-		mem := pool.grab(ringCap, d.chans, batchSamples)
-		d.ring = newRingWith(ringCap, d.chans, mem.ringBuf, mem.ringArena)
+		batchSamples := int(math.Ceil(meta.RateHz*cfg.Slice.Seconds())) + 8
+		mem := pool.grab(cfg.RingCap, d.chans, batchSamples)
+		d.ring = newRingWith(cfg.RingCap, d.chans, mem.ringBuf, mem.ringArena)
 		d.batch.Time = mem.batchTime[:0]
 		d.batch.Chans = mem.batchChans[:0]
 		d.batch.Total = mem.batchTotal[:0]
 		d.batch.Marks = mem.batchMarks[:0]
 	} else {
-		d.ring = NewRing(ringCap, d.chans)
+		d.ring = NewRing(cfg.RingCap, d.chans)
 	}
 	d.pub.nowNanos.Store(int64(src.Now()))
 	d.pub.resyncs.Store(int64(src.Resyncs()))
@@ -415,6 +452,7 @@ func (d *Device) emit(t time.Duration) {
 	d.pendMax[d.pendN] = d.accMax
 	d.pendMarks[d.pendN] = d.accMarks
 	d.pendN++
+	d.observeFlat()
 	d.accMean = mean
 	d.emitted = true
 	if d.pendN == pendCap {
@@ -479,6 +517,26 @@ func (d *Device) publish() {
 	if d.pub.marks.Load() != d.marks {
 		d.pub.marks.Store(d.marks)
 	}
+	wdChanged := false
+	if d.pub.gaps.Load() != d.wd.gaps {
+		d.pub.gaps.Store(d.wd.gaps)
+		wdChanged = true
+	}
+	if d.pub.flatlines.Load() != d.wd.flatlines {
+		d.pub.flatlines.Store(d.wd.flatlines)
+		wdChanged = true
+	}
+	if d.pub.spikesQ.Load() != d.wd.spikesQ {
+		d.pub.spikesQ.Store(d.wd.spikesQ)
+		wdChanged = true
+	}
+	if d.pub.restarts.Load() != d.wd.restarts {
+		d.pub.restarts.Store(d.wd.restarts)
+		wdChanged = true
+	}
+	if wdChanged {
+		d.pub.wdGen.Add(1)
+	}
 	if !d.emitted {
 		return
 	}
@@ -508,27 +566,85 @@ const foldSampleEvery = 32
 
 // step advances the station by dt of virtual time, ingesting the batch
 // the source produced over it and refreshing the published telemetry.
-// On sampled steps the fold (ingest + flush + publish, source read
-// excluded) is timed into the manager's shared fold histogram; the timed
-// path is identical to the untimed one apart from the clock reads, so
-// the sample is unbiased.
+// On sampled steps the fold (despike + ingest + flush + publish, source
+// read excluded) is timed into the manager's shared fold histogram; the
+// timed path is identical to the untimed one apart from the clock reads,
+// so the sample is unbiased.
+//
+// The health watchdog brackets the read: a source in a restart backoff
+// window (or parked for good) is not read at all — its virtual time
+// freezes and the silence drives it stale — and a ReadInto error starts
+// or deepens a backoff cycle while whatever samples arrived before the
+// failure are still ingested.
 func (d *Device) step(dt time.Duration) {
 	d.mu.Lock()
-	if !d.closed {
-		d.src.ReadInto(dt, &d.batch)
-		if d.stepN&(foldSampleEvery-1) == 0 {
-			began := time.Now()
-			d.ingestBatch(&d.batch)
-			d.flush()
-			d.publish()
-			d.foldHist.Record(time.Since(began))
-		} else {
-			d.ingestBatch(&d.batch)
-			d.flush()
-			d.publish()
-		}
-		d.stepN++
+	if d.closed {
+		d.mu.Unlock()
+		return
 	}
+	w := &d.wd
+	if w.parked {
+		w.emptyFor += dt
+		d.refreshHealth()
+		d.publish()
+		d.mu.Unlock()
+		return
+	}
+	if w.backoffSteps > 0 {
+		w.backoffSteps--
+		w.emptyFor += dt
+		if w.backoffSteps == 0 {
+			// Backoff expired: one recovery attempt, then the next step
+			// reads again. A failing Restart deepens the cycle directly.
+			w.restarts++
+			d.healthEvent(obs.EventRestart, "restart")
+			if w.rst != nil {
+				if err := w.rst.Restart(); err != nil {
+					d.sourceFault()
+				}
+			}
+		}
+		d.refreshHealth()
+		d.publish()
+		d.mu.Unlock()
+		return
+	}
+	err := d.src.ReadInto(dt, &d.batch)
+	got := d.batch.Len()
+	if err != nil {
+		d.sourceFault()
+	} else if w.wasFaulted && got > 0 {
+		// First delivering read after a fault cycle: the source is back.
+		// Success means samples, not just a nil error — a restarted
+		// source staying silent must keep burning its bounded budget
+		// rather than resetting it.
+		w.wasFaulted = false
+		w.nextBackoff = backoffInitSteps
+		w.restartsLeft = restartBudget
+		d.healthEvent(obs.EventRestart, "recovered")
+	}
+	if d.stepN&(foldSampleEvery-1) == 0 {
+		began := time.Now()
+		d.despike(&d.batch)
+		d.ingestBatch(&d.batch)
+		d.flush()
+		d.publish()
+		d.foldHist.Record(time.Since(began))
+	} else {
+		d.despike(&d.batch)
+		d.ingestBatch(&d.batch)
+		d.flush()
+		d.publish()
+	}
+	d.stepN++
+	d.observeStep(dt, got)
+	// Sustained silence from a restartable source is treated like a read
+	// error: kick a restart cycle. Sources that cannot restart just go
+	// stale; there is nothing to retry.
+	if w.emptyFor >= 2*w.staleAfter && w.backoffSteps == 0 && !w.parked && w.rst != nil {
+		d.sourceFault()
+	}
+	d.refreshHealth()
 	d.mu.Unlock()
 }
 
@@ -552,22 +668,27 @@ func (d *Device) StatusInto(st *Status) {
 	pairWatts := st.PairWatts[:0]
 	channels := st.Channels[:0]
 	*st = Status{
-		Name:            d.name,
-		Kind:            d.kind,
-		Backend:         d.meta.Backend,
-		RateHz:          d.meta.RateHz,
-		Pairs:           d.chans,
-		State:           devState(d.pub.state.Load()).String(),
-		Now:             time.Duration(d.pub.nowNanos.Load()),
-		Watts:           math.Float64frombits(d.pub.watts.Load()),
-		Joules:          math.Float64frombits(d.pub.joules.Load()),
-		Samples:         d.pub.samples.Load(),
-		Marks:           d.pub.marks.Load(),
-		Resyncs:         int(d.pub.resyncs.Load()),
-		OverheadSeconds: time.Duration(d.pub.overhead.Load()).Seconds(),
-		Dropped:         d.pub.dropped.Load(),
-		RingLen:         int(d.pub.ringLen.Load()),
-		RingTotal:       d.pub.ringTotal.Load(),
+		Name:              d.name,
+		Kind:              d.kind,
+		Backend:           d.meta.Backend,
+		RateHz:            d.meta.RateHz,
+		Pairs:             d.chans,
+		State:             devState(d.pub.state.Load()).String(),
+		Now:               time.Duration(d.pub.nowNanos.Load()),
+		Watts:             math.Float64frombits(d.pub.watts.Load()),
+		Joules:            math.Float64frombits(d.pub.joules.Load()),
+		Samples:           d.pub.samples.Load(),
+		Marks:             d.pub.marks.Load(),
+		Resyncs:           int(d.pub.resyncs.Load()),
+		OverheadSeconds:   time.Duration(d.pub.overhead.Load()).Seconds(),
+		Dropped:           d.pub.dropped.Load(),
+		RingLen:           int(d.pub.ringLen.Load()),
+		RingTotal:         d.pub.ringTotal.Load(),
+		Health:            healthName(d.pub.health.Load()),
+		Gaps:              d.pub.gaps.Load(),
+		Flatlines:         d.pub.flatlines.Load(),
+		SpikesQuarantined: d.pub.spikesQ.Load(),
+		Restarts:          d.pub.restarts.Load(),
 	}
 	for m := 0; m < d.chans; m++ {
 		pairWatts = append(pairWatts, math.Float64frombits(d.pub.pair[m].Load()))

@@ -1,0 +1,453 @@
+// Per-station health watchdog: the ingest-side fault detection that lets
+// one faulted station degrade its own series while the rest of the fleet
+// stays well-formed. Three detectors run on the hot path — gap detection
+// on per-step delivery accounting, flatline detection on runs of
+// bit-identical downsample blocks, spike quarantine on a robust
+// successive-difference outlier gate — and drive a published
+// Status.Health with hysteresis, plus a bounded restart-with-backoff path
+// for sources whose ReadInto errors or goes silent. Everything here is
+// plain arithmetic on fixed-size state owned by the ingest goroutine
+// (under Device.mu): no allocations, no locks beyond the one the step
+// already holds.
+//
+// Health states and transitions (worse is higher; upgrades toward healthy
+// hold for healthRecoverSteps consecutive steps before applying, so a
+// flapping fault cannot flap the published state):
+//
+//	          gap episode opens, or
+//	          spike quarantined recently
+//	healthy ──────────────────────────▶ degraded
+//	    ▲  ◀──────────────────────────     │
+//	    │     clean for recover window     │
+//	    │                                  │ flatRunFor identical
+//	    │ flat run broken,                 ▼ blocks
+//	    ├───────────────────────────── flatlined
+//	    │     held for recovery
+//	    │                                  │ silence ≥ StaleAfter, or
+//	    │ samples flowing again,           ▼ read error / backoff / parked
+//	    └─────────────────────────────── stale
+//	          held for recovery
+
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/source"
+)
+
+// Health states, as published on Status.Health and counted by
+// Manager.HealthCounts. The internal rank (see HealthLevel) orders them
+// by severity: healthy < degraded < flatlined < stale.
+const (
+	// HealthHealthy: delivery, timing and values all look like the
+	// backend's declared behaviour.
+	HealthHealthy = "healthy"
+	// HealthDegraded: the station is serving, but a gap episode is open
+	// or spikes were quarantined recently — treat its series with care.
+	HealthDegraded = "degraded"
+	// HealthFlatlined: samples arrive at rate but carry a run of
+	// bit-identical totals far longer than the backend's noise floor
+	// allows — a stuck register serving fake liveness.
+	HealthFlatlined = "flatlined"
+	// HealthStale: no samples at all for Config.StaleAfter, the source's
+	// reads are erroring, or the watchdog parked it — the series' newest
+	// point is history, not telemetry.
+	HealthStale = "stale"
+)
+
+// Internal health ranks: comparison decides transition direction
+// (downgrades apply immediately, upgrades hold), so the order IS the
+// severity order.
+const (
+	healthHealthy int32 = iota
+	healthDegraded
+	healthFlatlined
+	healthStale
+)
+
+// healthName maps a rank to its Status.Health string.
+func healthName(h int32) string {
+	switch h {
+	case healthHealthy:
+		return HealthHealthy
+	case healthDegraded:
+		return HealthDegraded
+	case healthFlatlined:
+		return HealthFlatlined
+	case healthStale:
+		return HealthStale
+	}
+	return "unknown"
+}
+
+// HealthLevel maps a Status.Health string to its numeric severity rank —
+// 0 healthy, 1 degraded, 2 flatlined, 3 stale — the value the exporter
+// serves as powersensor_station_health. Unknown strings rank as stale:
+// a consumer that cannot parse a station's health should not assume the
+// station is fine.
+func HealthLevel(health string) int {
+	switch health {
+	case HealthHealthy:
+		return int(healthHealthy)
+	case HealthDegraded:
+		return int(healthDegraded)
+	case HealthFlatlined:
+		return int(healthFlatlined)
+	}
+	return int(healthStale)
+}
+
+// Watchdog tuning. Steps and windows are virtual time, so detection
+// latency scales with the fleet's configured pacing, not the host's.
+const (
+	// gapCleanWins is how many consecutive clean delivery windows close a
+	// gap episode — the gap detector's recovery hysteresis.
+	gapCleanWins = 2
+	// spikeRecoverSteps is how many steps after the last quarantined
+	// sample the station stays degraded — the spike gate's hysteresis.
+	spikeRecoverSteps = 16
+	// spikeArm is how many samples prime the noise-scale EWMA before the
+	// spike gate starts quarantining; until the scale is learned, an
+	// honest step change would look like a glitch.
+	spikeArm = 256
+	// spikeAlpha is the EWMA weight of the successive-difference noise
+	// scale: 1/64 tracks a drifting noise floor in a few ms at 20 kHz
+	// while one glitch barely moves it.
+	spikeAlpha = 1.0 / 64
+	// spikeGateK is the quarantine threshold in noise-scale multiples.
+	spikeGateK = 8.0
+	// healthRecoverSteps is how many consecutive steps an improvement
+	// must hold before the published health upgrades.
+	healthRecoverSteps = 8
+	// flatMinSamples is the fewest bit-identical consecutive samples a
+	// flatline episode needs, whatever FlatlineWindow says. A coarse
+	// quantised meter (RAPL at 100 Hz reads in 0.01 W steps) legitimately
+	// plateaus for tens of samples during steady workload phases; only a
+	// run long enough to be statistically impossible for live quantised
+	// readings is a stuck register. At 20 kHz this floor (13 block-20
+	// points) is far below the FlatlineWindow, so fast rigs keep their
+	// time-based detection latency.
+	flatMinSamples = 256
+	// restartBudget bounds the restart-with-backoff path: after this many
+	// fault cycles without a clean delivering read, the source is parked.
+	restartBudget = 6
+	// backoffInitSteps / backoffMaxSteps bound the skip-the-source windows
+	// between restart attempts, in steps (slices): 4 doubling to 256.
+	backoffInitSteps = 4
+	backoffMaxSteps  = 256
+)
+
+// watchdog is one station's health-detection state, owned by the ingest
+// goroutine under Device.mu. All fixed-size, so the hot path stays
+// allocation-free.
+type watchdog struct {
+	rateHz     float64
+	staleAfter time.Duration
+	gapAfter   float64       // gap-episode debt threshold, in samples
+	winDur     time.Duration // delivery-accounting window width
+	flatRunFor int           // identical blocks before a flatline episode
+
+	// Gap detection: running expected-minus-delivered debt plus windowed
+	// delivery accounting for recovery. primed gates both until the first
+	// delivered sample: a backend filling its transfer pipe at adoption
+	// (USB buffering, poll phase) has not gapped, it has not started.
+	primed    bool
+	gapDebt   float64
+	gapOpen   bool
+	winExpect float64
+	winGot    float64
+	winLeft   time.Duration
+	cleanWins int
+	emptyFor  time.Duration // virtual time since the last delivered sample
+
+	// Flatline detection: run of bit-identical min==max==value blocks.
+	flatVal  float64
+	flatRun  int
+	flatOpen bool
+
+	// Spike quarantine: successive-difference noise scale and the despike
+	// neighbour state carried across batch boundaries.
+	spikePrev float64
+	spikeDev  float64
+	spikeN    int
+	spikeCool int
+
+	// Published health with upgrade hysteresis.
+	health     int32
+	healthHold int
+
+	// Restart-with-backoff.
+	rst          source.Restarter
+	wasFaulted   bool
+	backoffSteps int
+	nextBackoff  int
+	restartsLeft int
+	parked       bool
+
+	// Episode counters, mirrored into pub by publish.
+	gaps      uint64
+	flatlines uint64
+	spikesQ   uint64
+	restarts  uint64
+}
+
+// initWatchdog sizes the detectors from the station's native rate and the
+// fleet config. Called from newDevice.
+func (d *Device) initWatchdog(cfg Config) {
+	w := &d.wd
+	w.rateHz = d.meta.RateHz
+	w.staleAfter = cfg.StaleAfter
+	// One whole missing ring point is noise (resample lag, poll phase);
+	// two plus margin is a gap.
+	w.gapAfter = float64(2*d.block + 2)
+	// The delivery-accounting window must hold a few slices of a fast
+	// source and at least ~2.5 sample periods of a slow meter, so one
+	// poll landing either side of a boundary cannot dirty a window.
+	w.winDur = 4 * cfg.Slice
+	if w.rateHz > 0 {
+		if min := time.Duration(2.5 * float64(time.Second) / w.rateHz); w.winDur < min {
+			w.winDur = min
+		}
+	}
+	w.winLeft = w.winDur
+	// Flatline threshold: identical blocks spanning FlatlineWindow of
+	// virtual time at the native rate, never fewer than 3 — two equal
+	// polls of a coarse meter are coincidence, not a fault — and never
+	// fewer than flatMinSamples samples, so a slow quantised meter's
+	// legitimate plateaus stay below the bar.
+	blockDur := time.Duration(float64(d.block) / w.rateHz * float64(time.Second))
+	w.flatRunFor = 3
+	if blockDur > 0 {
+		if n := int(cfg.FlatlineWindow / blockDur); n > w.flatRunFor {
+			w.flatRunFor = n
+		}
+	}
+	if d.block > 0 {
+		if n := (flatMinSamples + d.block - 1) / d.block; n > w.flatRunFor {
+			w.flatRunFor = n
+		}
+	}
+	w.spikeCool = spikeRecoverSteps
+	w.nextBackoff = backoffInitSteps
+	w.restartsLeft = restartBudget
+	w.rst, _ = d.src.(source.Restarter)
+}
+
+// healthEvent appends a watchdog event to the fleet's lifecycle ring.
+// Nil-safe for directly constructed test devices.
+func (d *Device) healthEvent(typ, reason string) {
+	if d.events != nil {
+		d.events.Append(typ, d.name, d.kind, reason)
+	}
+}
+
+// despike is the spike quarantine gate, run over a batch's totals before
+// the fold: an isolated sample deviating from both neighbours by more
+// than spikeGateK times the learned successive-difference noise scale —
+// while the neighbours agree with each other — is a glitch, not a
+// workload step. The glitch is replaced in place by the neighbour
+// midpoint (rows rescaled to match) so the ring, the published watts and
+// the energy-weighted block means never integrate it. Workload steps
+// survive: after a real edge the next sample stays at the new level, so
+// the isolation test fails. Limitations, by construction: back-to-back
+// glitches mask each other, and a batch's last sample has no right
+// neighbour yet, so a glitch there passes — the gate is a robust filter,
+// not a parser.
+func (d *Device) despike(b *source.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	w := &d.wd
+	totals := b.Total
+	stride := d.chans
+	prev := w.spikePrev
+	if w.spikeN == 0 {
+		prev = totals[0]
+	}
+	quarantined := 0
+	for i := 0; i < n; i++ {
+		x := totals[i]
+		diff := x - prev
+		if diff < 0 {
+			diff = -diff
+		}
+		if w.spikeN >= spikeArm {
+			if thr := spikeGateK * w.spikeDev; diff > thr && i+1 < n {
+				next := totals[i+1]
+				dNext := x - next
+				if dNext < 0 {
+					dNext = -dNext
+				}
+				dBridge := next - prev
+				if dBridge < 0 {
+					dBridge = -dBridge
+				}
+				if dNext > thr && dBridge <= thr {
+					fix := (prev + next) / 2
+					if x != 0 {
+						scale := fix / x
+						row := b.Chans[i*stride : (i+1)*stride]
+						for m := range row {
+							row[m] *= scale
+						}
+					}
+					totals[i] = fix
+					quarantined++
+					prev = fix
+					continue // the glitch must not feed the noise scale
+				}
+			}
+		}
+		w.spikeDev += spikeAlpha * (diff - w.spikeDev)
+		w.spikeN++
+		prev = x
+	}
+	w.spikePrev = prev
+	if quarantined > 0 {
+		w.spikesQ += uint64(quarantined)
+		w.spikeCool = 0
+	}
+}
+
+// observeFlat folds one completed downsample block into the flatline
+// detector: a block whose min, max and previous blocks' value are all
+// bit-identical extends the flat run. Called from emit with the block
+// accumulators still live, so detection costs O(1) per block — the
+// per-sample min/max the fold already computes does the heavy lifting.
+func (d *Device) observeFlat() {
+	w := &d.wd
+	if d.accMin == d.accMax {
+		if w.flatRun > 0 && d.accMin == w.flatVal {
+			w.flatRun++
+		} else {
+			w.flatVal = d.accMin
+			w.flatRun = 1
+		}
+	} else {
+		w.flatRun = 0
+	}
+	if w.flatRun >= w.flatRunFor {
+		if !w.flatOpen {
+			w.flatOpen = true
+			w.flatlines++
+		}
+	} else {
+		w.flatOpen = false
+	}
+}
+
+// observeStep folds one step's delivery accounting into the gap detector:
+// running debt against the rate the backend declares, plus windowed
+// delivered-vs-expected comparison for episode recovery — the windowing
+// is what lets a 10 Hz meter (most steps legitimately empty) and a 20 kHz
+// sensor share one detector. Called from step after ingest.
+func (d *Device) observeStep(dt time.Duration, got int) {
+	w := &d.wd
+	if got > 0 {
+		w.emptyFor = 0
+		w.primed = true
+	} else {
+		w.emptyFor += dt
+	}
+	if !w.primed {
+		// Pre-first-sample: staleness (emptyFor) covers a source that
+		// never starts; debt accounting would misread pipe-fill as a gap.
+		if w.spikeCool < spikeRecoverSteps {
+			w.spikeCool++
+		}
+		return
+	}
+	expect := w.rateHz * dt.Seconds()
+	w.gapDebt += expect - float64(got)
+	if w.gapDebt < 0 {
+		w.gapDebt = 0
+	}
+	if !w.gapOpen && w.gapDebt >= w.gapAfter {
+		w.gapOpen = true
+		w.gaps++
+		w.cleanWins = 0
+	}
+	w.winExpect += expect
+	w.winGot += float64(got)
+	w.winLeft -= dt
+	if w.winLeft <= 0 {
+		// Clean = delivered what the rate promised, to within 1.5 samples
+		// (resample bin lag, poll phase) and 2% (rounding at scale).
+		if w.winGot >= w.winExpect-1.5-0.02*w.winExpect {
+			w.cleanWins++
+			w.gapDebt = 0
+			if w.gapOpen && w.cleanWins >= gapCleanWins {
+				w.gapOpen = false
+			}
+		} else {
+			w.cleanWins = 0
+		}
+		w.winExpect, w.winGot = 0, 0
+		w.winLeft = w.winDur
+	}
+	if w.spikeCool < spikeRecoverSteps {
+		w.spikeCool++
+	}
+}
+
+// refreshHealth recomputes the published health from the open detector
+// episodes. Downgrades apply immediately — detection latency is the
+// detectors' own windows — while upgrades hold for healthRecoverSteps
+// consecutive steps, so a fault flapping at step cadence pins the station
+// at its worst recent state instead of strobing the fleet view. Called
+// from step with d.mu held; transitions publish atomically and append an
+// obs event.
+func (d *Device) refreshHealth() {
+	w := &d.wd
+	var want int32
+	switch {
+	case w.parked || w.backoffSteps > 0 || w.emptyFor >= w.staleAfter:
+		want = healthStale
+	case w.flatOpen:
+		want = healthFlatlined
+	case w.gapOpen || w.spikeCool < spikeRecoverSteps:
+		want = healthDegraded
+	default:
+		want = healthHealthy
+	}
+	if want == w.health {
+		w.healthHold = 0
+		return
+	}
+	if want < w.health { // improvement: hold before upgrading
+		w.healthHold++
+		if w.healthHold < healthRecoverSteps {
+			return
+		}
+	}
+	w.healthHold = 0
+	w.health = want
+	d.pub.health.Store(want)
+	d.pub.wdGen.Add(1)
+	d.healthEvent(obs.EventHealth, healthName(want))
+}
+
+// sourceFault begins (or deepens) a restart-with-backoff cycle: the
+// source is not read for the backoff window, after which step attempts a
+// Restart. Each cycle doubles the next window; when the budget runs out
+// the source is parked — read never again, permanently stale — so a dead
+// backend costs its station, not a retry loop. Called on a ReadInto error
+// and on sustained silence (stall) when the source is restartable.
+func (d *Device) sourceFault() {
+	w := &d.wd
+	w.wasFaulted = true
+	if w.restartsLeft == 0 {
+		w.parked = true
+		d.healthEvent(obs.EventRestart, "parked")
+		return
+	}
+	w.restartsLeft--
+	w.backoffSteps = w.nextBackoff
+	if w.nextBackoff < backoffMaxSteps {
+		w.nextBackoff *= 2
+	}
+	d.healthEvent(obs.EventRestart, "backoff")
+}

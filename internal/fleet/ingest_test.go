@@ -33,12 +33,12 @@ func (s *stubSource) Meta() source.Meta {
 }
 func (s *stubSource) Now() time.Duration { return s.now }
 
-func (s *stubSource) ReadInto(d time.Duration, b *source.Batch) {
+func (s *stubSource) ReadInto(d time.Duration, b *source.Batch) error {
 	b.Reset(3)
 	target := s.now + d
 	s.now = target
 	if target <= s.last {
-		return
+		return nil
 	}
 	k := int((target - s.last) / stubPeriod)
 	b.Extend(k)
@@ -56,6 +56,7 @@ func (s *stubSource) ReadInto(d time.Duration, b *source.Batch) {
 	s.count += k
 	s.joule += 60 * float64(k) * stubPeriod.Seconds()
 	s.last = t
+	return nil
 }
 
 func (s *stubSource) Joules() float64 { return s.joule }

@@ -50,6 +50,17 @@ type Config struct {
 	// clamped to [1, MaxShards]. Shards=1 recovers the unsharded
 	// behaviour exactly (one list, one generation, serial stepping).
 	Shards int
+	// StaleAfter is how long (virtual time) a station may deliver no
+	// samples at all before the watchdog declares it stale; twice this
+	// silence also triggers the restart-with-backoff path on restartable
+	// sources. Zero means 250 ms — generous against the slowest bundled
+	// meter (10 Hz NVML) yet fast against a wedged 20 kHz sensor.
+	StaleAfter time.Duration
+	// FlatlineWindow is how much virtual time of bit-identical totals —
+	// at the station's native rate — flags a flatline. Zero means 50 ms:
+	// a thousand identical 20 kHz conversions, far beyond any real noise
+	// floor, while coarse slow meters get a 3-reading minimum instead.
+	FlatlineWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +88,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards > MaxShards {
 		c.Shards = MaxShards
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 250 * time.Millisecond
+	}
+	if c.FlatlineWindow <= 0 {
+		c.FlatlineWindow = 50 * time.Millisecond
 	}
 	return c
 }
@@ -214,8 +231,7 @@ func (m *Manager) Add(name, kind string, src source.Source) (*Device, error) {
 	}
 	s := shardOf(name, len(m.shards))
 	sh := &m.shards[s]
-	d := newDevice(name, kind, src, m.cfg.PointPeriod, m.cfg.Slice,
-		m.cfg.RingCap, m.foldHist.Stripe(s), &sh.pool)
+	d := newDevice(name, kind, src, m.cfg, m.foldHist.Stripe(s), &sh.pool, m.events)
 	old := sh.list()
 	at := sort.Search(len(old), func(i int) bool { return old[i].name > name })
 	next := make([]*Device, 0, len(old)+1)
@@ -286,11 +302,12 @@ const (
 
 // ShardGen returns shard s's generation fingerprint: a hash folding the
 // shard's churn counters and each of its stations' ever-produced
-// ring-point counts, computed from the same atomically published cells
-// snapshots read — no manager lock, no device ingest mutex, O(shard
-// stations) atomic loads. The fingerprint changes whenever a station in
-// this shard completes a downsample block or churns in or out, which is
-// exactly when a rendered exposition segment of this shard goes stale —
+// ring-point counts and watchdog generations, computed from the same
+// atomically published cells snapshots read — no manager lock, no device
+// ingest mutex, O(shard stations) atomic loads. The fingerprint changes
+// whenever a station in this shard completes a downsample block, churns
+// in or out, or publishes a health transition or episode counter, which
+// is exactly when a rendered exposition segment of this shard goes stale —
 // and only then, so one busy station invalidates one shard's cached
 // segment while the other shards' segments stay servable. Distinct
 // shard states could in principle collide in the 64-bit hash; with
@@ -307,6 +324,11 @@ func (m *Manager) ShardGen(s int) uint64 {
 	mix(sh.retired.Load())
 	for _, d := range sh.list() {
 		mix(d.pub.ringTotal.Load())
+		// The watchdog generation moves independently of block
+		// production: a station going stale or parked freezes its
+		// ringTotal while its published health changes — without this
+		// fold the cached segment would serve the old health forever.
+		mix(d.pub.wdGen.Load())
 	}
 	return h
 }
@@ -369,6 +391,28 @@ func (m *Manager) PaceLatenessHist() *obs.Hist { return &m.paceHist }
 // slice quantum, whether stepped serially or by its shard worker. Fleets
 // driven only by Start record nothing here.
 func (m *Manager) ShardStepHist() *obs.Hist { return &m.stepHist }
+
+// HealthCounts tallies the fleet's published health states: stations is
+// the fleet size, degraded counts every station not currently healthy,
+// and down counts the subset that is stale or flatlined — serving
+// nothing, or serving fake liveness. Like Snapshot it reads only the
+// atomically published health cells — no manager lock, no ingest mutexes
+// — so /healthz can poll it on every probe.
+func (m *Manager) HealthCounts() (stations, degraded, down int) {
+	for s := range m.shards {
+		for _, d := range m.shards[s].list() {
+			stations++
+			h := d.pub.health.Load()
+			if h != healthHealthy {
+				degraded++
+			}
+			if h >= healthFlatlined {
+				down++
+			}
+		}
+	}
+	return stations, degraded, down
+}
 
 // RingOccupancy sums ring fill across the fleet: points currently held
 // in every station's ring and the total capacity. Like Snapshot it reads

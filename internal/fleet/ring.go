@@ -1,25 +1,7 @@
-// Package fleet runs many measurement stations concurrently — the
-// multi-rig counterpart of internal/core's single-sensor host library.
-//
-// A Manager owns N named stations (assembled by internal/simsetup),
-// advances each in its own goroutine on its virtual-time clock, and
-// ingests every station's sample stream in columnar batches through the
-// internal/source layer — so heterogeneous backends coexist in one fleet:
-// 20 kHz PowerSensor3 rigs next to 10 Hz NVML counters and 1 kHz RAPL
-// meters. Samples are downsampled on the fly into fixed-capacity ring
-// buffers (one per station), with block sizes derived from each source's
-// native rate so ring points cover comparable time windows, and fanned
-// out to subscribers; per-station health counters (stream resyncs,
-// dropped fan-out points) make a running fleet observable. Fleets are
-// dynamic: stations hot-add against a running manager and retire from it
-// (Manager.Remove) without perturbing concurrent snapshots, scrapes or
-// surviving stations — each station walks an explicit lifecycle
-// (adopted → started → stopping → closed) whose retirement path drains
-// the in-flight downsample block before subscriptions close. The ingest
-// path is allocation-free in steady state: batches reuse caller-owned
-// columns, block accumulators are fixed-size, and ring points write into
-// a preallocated flat arena. internal/export serves the manager over
-// HTTP.
+// The per-station downsample ring: fixed-capacity, arena-backed storage
+// for the block statistics the fleet publishes. See doc.go for the
+// package overview.
+
 package fleet
 
 import (

@@ -16,6 +16,14 @@ const (
 	EventRetire = "retire"
 	// EventClose: the station finished draining and released its source.
 	EventClose = "close"
+	// EventHealth: a station's health state changed; Reason carries the
+	// new state ("healthy", "degraded", "stale", "flatlined").
+	EventHealth = "health"
+	// EventRestart: the watchdog acted on a faulted source; Reason says
+	// how ("backoff" when a read error or stall began a backoff window,
+	// "restart" on a recovery attempt, "recovered" when reads resumed
+	// cleanly, "parked" when the restart budget ran out).
+	EventRestart = "restart"
 )
 
 // Event is one structured fleet lifecycle transition.

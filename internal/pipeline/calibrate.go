@@ -70,10 +70,12 @@ type calibrator struct {
 
 // ReadInto implements source.Source: the inner source fills the caller's
 // batch directly and the overlay is applied in place in the batch fold —
-// no scratch batch, no copies, no allocations.
-func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) {
+// no scratch batch, no copies, no allocations. An inner error passes
+// through after the samples that did arrive are calibrated, so a partial
+// batch stays consistent with the delivered stream.
+func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) error {
 	began := time.Now()
-	c.inner.ReadInto(d, b)
+	err := c.inner.ReadInto(d, b)
 	stride := b.Stride()
 	n := b.Len()
 	for i := 0; i < n; i++ {
@@ -90,6 +92,7 @@ func (c *calibrator) ReadInto(d time.Duration, b *source.Batch) {
 		c.lastT = t
 	}
 	calibHist.Record(time.Since(began))
+	return err
 }
 
 // Joules implements source.Source with the calibrated energy integral,

@@ -1,0 +1,280 @@
+package pipeline
+
+// Tests for the fault-injection stages: seed-pinned determinism (same
+// seed, same inner stream, byte-identical faulted stream), each fault's
+// transform semantics, marker survival through dropout compaction, and
+// the steady-state zero-allocation contract with faults in the chain.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/source"
+)
+
+// faultedChain builds the five-fault reference chain over a fresh fake —
+// every fault kind at once, seeds fixed, aggressive enough that each
+// stage demonstrably transforms the stream.
+func faultedChain() source.Source {
+	raw := newFake(20000, func(i int) float64 { return 40 + float64(i%640)*0.1 })
+	raw.markAt = map[int]bool{100: true, 500: true, 900: true}
+	return Chain(raw,
+		Dropout(0.3, 2*time.Millisecond, 11),
+		Stuck(0.3, 2*time.Millisecond, 22),
+		Spike(0.05, 10, 33),
+		Skew(500),
+		Jitter(5*time.Microsecond, 44),
+	)
+}
+
+// TestFaultDeterminism is the reproducible-scenario contract: two chains
+// built from the same seeds over the same inner stream deliver
+// byte-identical faulted streams — timestamps, totals, channel rows and
+// marker indices all equal, batch for batch, across uneven read slices.
+func TestFaultDeterminism(t *testing.T) {
+	a, b := faultedChain(), faultedChain()
+	var ba, bb source.Batch
+	slices := []time.Duration{
+		7 * time.Millisecond, 500 * time.Microsecond, 13 * time.Millisecond,
+		time.Millisecond, 21 * time.Millisecond,
+	}
+	for k := 0; k < 20; k++ {
+		d := slices[k%len(slices)]
+		a.ReadInto(d, &ba)
+		b.ReadInto(d, &bb)
+		if ba.Len() != bb.Len() {
+			t.Fatalf("read %d: %d vs %d samples", k, ba.Len(), bb.Len())
+		}
+		for i := 0; i < ba.Len(); i++ {
+			if ba.Time[i] != bb.Time[i] || ba.Total[i] != bb.Total[i] {
+				t.Fatalf("read %d sample %d: (%v, %v) vs (%v, %v)",
+					k, i, ba.Time[i], ba.Total[i], bb.Time[i], bb.Total[i])
+			}
+		}
+		for i := range ba.Chans {
+			if ba.Chans[i] != bb.Chans[i] {
+				t.Fatalf("read %d: channel cell %d differs", k, i)
+			}
+		}
+		if len(ba.Marks) != len(bb.Marks) {
+			t.Fatalf("read %d: %d vs %d marks", k, len(ba.Marks), len(bb.Marks))
+		}
+		for i := range ba.Marks {
+			if ba.Marks[i] != bb.Marks[i] {
+				t.Fatalf("read %d: mark %d at %d vs %d", k, i, ba.Marks[i], bb.Marks[i])
+			}
+		}
+	}
+}
+
+// TestDropoutCompaction pins the in-place compaction semantics against a
+// clean twin of the same stream: every delivered sample is an unmodified
+// raw sample, the dark windows' samples are exactly the missing ones, and
+// markers survive if and only if their sample did — re-indexed to the
+// compacted positions.
+func TestDropoutCompaction(t *testing.T) {
+	mk := map[int]bool{50: true, 250: true, 450: true, 650: true, 850: true}
+	raw := newFake(20000, func(i int) float64 { return float64(i) })
+	raw.markAt = mk
+	ref := newFake(20000, func(i int) float64 { return float64(i) })
+	ref.markAt = mk
+	src := Chain(raw, Dropout(0.5, time.Millisecond, 7))
+
+	var b, rb source.Batch
+	src.ReadInto(50*time.Millisecond, &b)
+	ref.ReadInto(50*time.Millisecond, &rb)
+	if b.Len() == 0 || b.Len() >= rb.Len() {
+		t.Fatalf("dropout delivered %d of %d samples — p=0.5 should drop some, not all",
+			b.Len(), rb.Len())
+	}
+
+	// Raw totals are the 1-based sample ordinals, so each delivered total
+	// identifies its raw sample: timestamps must match the raw stream's.
+	refAt := make(map[float64]time.Duration, rb.Len())
+	refMarked := make(map[float64]bool, len(mk))
+	for i := 0; i < rb.Len(); i++ {
+		refAt[rb.Total[i]] = rb.Time[i]
+	}
+	for _, m := range rb.Marks {
+		refMarked[rb.Total[m]] = true
+	}
+	for i := 0; i < b.Len(); i++ {
+		want, ok := refAt[b.Total[i]]
+		if !ok || b.Time[i] != want {
+			t.Fatalf("delivered sample %d (total %v at %v) is not a raw sample",
+				i, b.Total[i], b.Time[i])
+		}
+	}
+	// Marker survival: the delivered marks flag exactly the surviving
+	// marked samples, at their compacted indices.
+	marked := make(map[float64]bool, len(b.Marks))
+	for _, m := range b.Marks {
+		if m < 0 || m >= b.Len() {
+			t.Fatalf("mark index %d outside the compacted batch (%d samples)", m, b.Len())
+		}
+		marked[b.Total[m]] = true
+	}
+	for i := 0; i < b.Len(); i++ {
+		if refMarked[b.Total[i]] != marked[b.Total[i]] {
+			t.Errorf("sample with total %v: marked in raw %v, in compacted %v",
+				b.Total[i], refMarked[b.Total[i]], marked[b.Total[i]])
+		}
+	}
+}
+
+// TestDropoutTotalBlackout: p=1 blacks out every window — nothing is
+// delivered, yet the source keeps its clock and energy accounting.
+func TestDropoutTotalBlackout(t *testing.T) {
+	src := Chain(newFake(20000, nil), Dropout(1, time.Millisecond, 1))
+	var b source.Batch
+	src.ReadInto(20*time.Millisecond, &b)
+	if b.Len() != 0 || len(b.Marks) != 0 {
+		t.Errorf("total blackout delivered %d samples, %d marks", b.Len(), len(b.Marks))
+	}
+	if src.Now() != 20*time.Millisecond {
+		t.Errorf("clock = %v, want 20ms", src.Now())
+	}
+	if src.Joules() <= 0 {
+		t.Error("energy truth lost with the dropped samples")
+	}
+}
+
+// TestStuckRepeatsLastHealthy: with every window faulted after the first,
+// the delivered stream repeats the last healthy sample's values while
+// timestamps keep their native spacing — fake liveness.
+func TestStuckRepeatsLastHealthy(t *testing.T) {
+	raw := newFake(1000, func(i int) float64 { return float64(i) })
+	src := Chain(raw, Stuck(1, time.Second, 3))
+	var b source.Batch
+	src.ReadInto(10*time.Millisecond, &b)
+	if b.Len() != 10 {
+		t.Fatalf("%d samples, want 10", b.Len())
+	}
+	// p=1: every window is faulted. The very first sample primes the hold
+	// (nothing to repeat before it), so every later sample repeats it.
+	for i := 1; i < b.Len(); i++ {
+		if b.Total[i] != b.Total[0] {
+			t.Errorf("sample %d total %v, want stuck at %v", i, b.Total[i], b.Total[0])
+		}
+		row, first := b.Row(i), b.Row(0)
+		for m := range row {
+			if row[m] != first[m] {
+				t.Errorf("sample %d channel %d = %v, want %v", i, m, row[m], first[m])
+			}
+		}
+		if b.Time[i] != b.Time[i-1]+time.Millisecond {
+			t.Errorf("stuck stream lost its native spacing at %d", i)
+		}
+	}
+}
+
+// TestSpikeScalesEverySample: p=1 glitches every sample by mag — totals
+// and rows scale together, and the backend's energy stays untouched.
+func TestSpikeScalesEverySample(t *testing.T) {
+	raw := newFake(1000, func(int) float64 { return 100 })
+	ref := newFake(1000, func(int) float64 { return 100 })
+	src := Chain(raw, Spike(1, 2.5, 9))
+	var b, rb source.Batch
+	src.ReadInto(10*time.Millisecond, &b)
+	ref.ReadInto(10*time.Millisecond, &rb)
+	for i := 0; i < b.Len(); i++ {
+		if b.Total[i] != 2.5*rb.Total[i] {
+			t.Errorf("sample %d total %v, want %v", i, b.Total[i], 2.5*rb.Total[i])
+		}
+		row, rrow := b.Row(i), rb.Row(i)
+		for m := range row {
+			if row[m] != 2.5*rrow[m] {
+				t.Errorf("sample %d channel %d not scaled", i, m)
+			}
+		}
+	}
+	if src.Joules() != ref.Joules() {
+		t.Errorf("glitches changed energy truth: %v vs %v", src.Joules(), ref.Joules())
+	}
+}
+
+// TestSkewStretchesClock: timestamps and Now stretch together by the ppm
+// factor — one coherent wrong clock.
+func TestSkewStretchesClock(t *testing.T) {
+	src := Chain(newFake(1000, nil), Skew(1000)) // 0.1% fast
+	var b source.Batch
+	src.ReadInto(time.Second, &b)
+	if b.Len() != 1000 {
+		t.Fatalf("%d samples", b.Len())
+	}
+	// Raw sample i+1 lands at (i+1) ms; skewed by ×1.001.
+	for i := 0; i < b.Len(); i += 111 {
+		raw := time.Duration(i+1) * time.Millisecond
+		want := raw + time.Duration(float64(raw)*1e-3)
+		if b.Time[i] != want {
+			t.Errorf("sample %d at %v, want %v", i, b.Time[i], want)
+		}
+	}
+	wantNow := time.Second + time.Duration(float64(time.Second)*1e-3)
+	if src.Now() != wantNow {
+		t.Errorf("Now = %v, want %v (skewed consistently)", src.Now(), wantNow)
+	}
+}
+
+// TestJitterMonotoneNoise: timestamps wobble but never run backwards,
+// across batch boundaries; values are untouched.
+func TestJitterMonotoneNoise(t *testing.T) {
+	raw := newFake(20000, func(int) float64 { return 60 })
+	src := Chain(raw, Jitter(10*time.Microsecond, 5))
+	var b source.Batch
+	last := time.Duration(-1)
+	var moved bool
+	for k := 0; k < 10; k++ {
+		src.ReadInto(10*time.Millisecond, &b)
+		for i := 0; i < b.Len(); i++ {
+			if b.Time[i] < last {
+				t.Fatalf("jittered stream ran backwards: %v after %v", b.Time[i], last)
+			}
+			last = b.Time[i]
+			if b.Total[i] != 60 {
+				t.Fatalf("jitter touched a power value: %v", b.Total[i])
+			}
+			// Native grid is exact 50 µs multiples; any off-grid stamp
+			// proves the noise was applied.
+			if b.Time[i]%(50*time.Microsecond) != 0 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("no timestamp left the native grid — jitter did nothing")
+	}
+}
+
+// TestFaultChainSteadyStateZeroAlloc extends the acceptance zero-alloc
+// guard: a chain with every fault stage in it still allocates nothing in
+// steady state.
+func TestFaultChainSteadyStateZeroAlloc(t *testing.T) {
+	src := faultedChain()
+	var b source.Batch
+	src.ReadInto(200*time.Millisecond, &b) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		src.ReadInto(5*time.Millisecond, &b)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state faulted ReadInto allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestFaultedEnergyConservation: dropout and stuck overlay values, but
+// the backend's Joules counter remains the truth the chain serves.
+func TestFaultedEnergyConservation(t *testing.T) {
+	raw := newFake(20000, func(i int) float64 { return 40 + float64(i%640)*0.1 })
+	ref := newFake(20000, func(i int) float64 { return 40 + float64(i%640)*0.1 })
+	src := Chain(raw, Dropout(0.5, time.Millisecond, 3), Stuck(0.5, time.Millisecond, 4))
+	var b source.Batch
+	for k := 0; k < 10; k++ {
+		src.ReadInto(50*time.Millisecond, &b)
+		ref.ReadInto(50*time.Millisecond, &b)
+	}
+	if math.Abs(src.Joules()-ref.Joules()) > 1e-9 {
+		t.Errorf("faulted chain's Joules %v, want the backend truth %v",
+			src.Joules(), ref.Joules())
+	}
+}

@@ -63,6 +63,11 @@ var (
 	calibHist     obs.Hist
 	rateLimitHist obs.Hist
 	smoothHist    obs.Hist
+	dropoutHist   obs.Hist
+	stuckHist     obs.Hist
+	spikeHist     obs.Hist
+	skewHist      obs.Hist
+	jitterHist    obs.Hist
 )
 
 // StageHist pairs a stage kind's name — the backend "+suffix" tag the
@@ -79,6 +84,11 @@ var stageHists = []StageHist{
 	{"calib", &calibHist},
 	{"ratelimit", &rateLimitHist},
 	{"smooth", &smoothHist},
+	{"dropout", &dropoutHist},
+	{"stuck", &stuckHist},
+	{"spike", &spikeHist},
+	{"skew", &skewHist},
+	{"jitter", &jitterHist},
 }
 
 // ReadHists returns every stage kind's latency histogram in a fixed
@@ -152,4 +162,16 @@ func (w *wrap) Overhead() time.Duration {
 		return o.Overhead()
 	}
 	return 0
+}
+
+// Restart implements source.Restarter by forwarding the fleet watchdog's
+// recovery attempt to whatever backend below can act on it, so a
+// restartable source stays restartable under any stack of stages. With no
+// Restarter below there is nothing to reset — stages themselves hold only
+// derived state — and the attempt trivially succeeds.
+func (w *wrap) Restart() error {
+	if r, ok := w.inner.(source.Restarter); ok {
+		return r.Restart()
+	}
+	return nil
 }

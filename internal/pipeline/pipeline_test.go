@@ -35,7 +35,7 @@ func (f *fake) Meta() source.Meta {
 }
 func (f *fake) Now() time.Duration { return f.now }
 
-func (f *fake) ReadInto(d time.Duration, b *source.Batch) {
+func (f *fake) ReadInto(d time.Duration, b *source.Batch) error {
 	b.Reset(2)
 	period := time.Duration(float64(time.Second) / f.rate)
 	target := f.now + d
@@ -51,6 +51,7 @@ func (f *fake) ReadInto(d time.Duration, b *source.Batch) {
 		f.joule += w * period.Seconds()
 		f.last = t
 	}
+	return nil
 }
 
 func (f *fake) Joules() float64 { return f.joule }
@@ -357,6 +358,8 @@ func TestStageHistsRecord(t *testing.T) {
 		before[sh.Stage] = sh.Hist.Count()
 	}
 	src := Chain(newFake(20000, nil),
+		Dropout(0.1, time.Millisecond, 1), Stuck(0.1, time.Millisecond, 2),
+		Spike(0.01, 10, 3), Skew(100), Jitter(10*time.Microsecond, 4),
 		Resample(1000), Calibrate(0.98, 0), RateLimit(100), Smooth(50*time.Millisecond))
 	var b source.Batch
 	src.ReadInto(100*time.Millisecond, &b)
@@ -367,7 +370,8 @@ func TestStageHistsRecord(t *testing.T) {
 		}
 	}
 	// The stage set matches the backend tags stages append to Meta.
-	want := []string{"resample", "calib", "ratelimit", "smooth"}
+	want := []string{"resample", "calib", "ratelimit", "smooth",
+		"dropout", "stuck", "spike", "skew", "jitter"}
 	if len(hists) != len(want) {
 		t.Fatalf("ReadHists returned %d stages, want %d", len(hists), len(want))
 	}
@@ -385,6 +389,13 @@ func TestConstructorValidation(t *testing.T) {
 		"smooth-zero":    func() { Smooth(0) },
 		"calib-mismatch": func() { CalibratePerChannel([]float64{1}, []float64{0, 0}) },
 		"calib-too-many": func() { CalibratePerChannel(make([]float64, 9), make([]float64, 9)) },
+		"dropout-p":      func() { Dropout(1.5, time.Millisecond, 1) },
+		"dropout-dur":    func() { Dropout(0.5, 0, 1) },
+		"stuck-p":        func() { Stuck(-0.1, time.Millisecond, 1) },
+		"spike-mag-one":  func() { Spike(0.5, 1, 1) },
+		"spike-mag-neg":  func() { Spike(0.5, -2, 1) },
+		"skew-too-fast":  func() { Skew(1e6) },
+		"jitter-zero":    func() { Jitter(0, 1) },
 	} {
 		func() {
 			defer func() {

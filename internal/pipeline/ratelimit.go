@@ -65,11 +65,11 @@ type rateLimiter struct {
 // single-goroutine confined, so the overhead accumulator needs no atomics
 // — the fleet reads it via Overhead under the same device mutex that
 // serialises ReadInto.
-func (l *rateLimiter) ReadInto(d time.Duration, b *source.Batch) {
+func (l *rateLimiter) ReadInto(d time.Duration, b *source.Batch) error {
 	began := time.Now()
 	stride := len(l.meta.Channels)
 	b.Reset(stride)
-	l.inner.ReadInto(d, &l.in)
+	err := l.inner.ReadInto(d, &l.in)
 	in := &l.in
 	n := in.Len()
 	marks := in.Marks
@@ -97,6 +97,7 @@ func (l *rateLimiter) ReadInto(d time.Duration, b *source.Batch) {
 	el := time.Since(began)
 	l.overhead += el
 	rateLimitHist.Record(el)
+	return err
 }
 
 // Overhead implements source.Overheader with this stage's own

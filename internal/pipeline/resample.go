@@ -63,11 +63,11 @@ type resampler struct {
 // sample beyond its right edge arrives or when the source's clock passes
 // the edge (no future sample can land in it), so the delivered stream
 // lags the raw one by at most one bin.
-func (r *resampler) ReadInto(d time.Duration, b *source.Batch) {
+func (r *resampler) ReadInto(d time.Duration, b *source.Batch) error {
 	began := time.Now()
 	stride := len(r.meta.Channels)
 	b.Reset(stride)
-	r.inner.ReadInto(d, &r.in)
+	err := r.inner.ReadInto(d, &r.in)
 	in := &r.in
 	n := in.Len()
 	marks := in.Marks
@@ -97,6 +97,7 @@ func (r *resampler) ReadInto(d time.Duration, b *source.Batch) {
 		r.emit(b, stride)
 	}
 	resampleHist.Record(time.Since(began))
+	return err
 }
 
 // emit closes the in-flight bin into b: one sample at the bin edge

@@ -43,9 +43,9 @@ type smoother struct {
 // ReadInto implements source.Source: the inner source fills the caller's
 // batch directly and the EWMA replaces each row and total in place — no
 // scratch batch, no allocations.
-func (s *smoother) ReadInto(d time.Duration, b *source.Batch) {
+func (s *smoother) ReadInto(d time.Duration, b *source.Batch) error {
 	began := time.Now()
-	s.inner.ReadInto(d, b)
+	err := s.inner.ReadInto(d, b)
 	stride := b.Stride()
 	n := b.Len()
 	i := 0
@@ -65,4 +65,5 @@ func (s *smoother) ReadInto(d time.Duration, b *source.Batch) {
 		b.Total[i] = s.total
 	}
 	smoothHist.Record(time.Since(began))
+	return err
 }

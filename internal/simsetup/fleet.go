@@ -77,6 +77,22 @@ func FleetKinds() []string {
 //	                                    account sampling overhead
 //	          | "smooth:" DUR           EWMA with time constant DUR
 //	                                    (a Go duration, e.g. 10ms)
+//	          | "dropout:" P ":" DUR    fault: each DUR-wide window goes
+//	                                    dark with probability P
+//	          | "stuck:" P ":" DUR      fault: flatlined last-value repeats
+//	                                    through faulted windows
+//	          | "spike:" P ":" MAG      fault: each sample glitches ×MAG
+//	                                    with probability P (MAG > 0, != 1)
+//	          | "skew:" PPM             fault: clock drift, PPM parts per
+//	                                    million fast (+) or slow (-)
+//	          | "jitter:" SD            fault: Gaussian timestamp noise of
+//	                                    deviation SD (a Go duration)
+//
+// The fault stages inject the reproducible failure modes the fleet's
+// health watchdog detects (see internal/pipeline's fault stages and
+// internal/fleet's health states). Their randomness is pinned to the
+// station's simulation seed and the stage's position in the kindspec, so
+// a faulted fleet spec replays the exact same failure scenario every run.
 //
 // kind is one of FleetKinds: the PowerSensor3-instrumented rigs
 // rtx4000ada, w7700, jetson, ssd (20 kHz); the software meters nvml
@@ -158,60 +174,132 @@ func BuildStation(kindspec string, base uint64, index int) (source.Source, error
 		}
 		kind, index = kind[:at], idx
 	}
-	stages, err := parseStages(parts[1:])
+	seed := StationSeed(base, index)
+	stages, err := parseStages(parts[1:], seed)
 	if err != nil {
 		return nil, fmt.Errorf("kindspec %q: %w", kindspec, err)
 	}
-	src, err := NewStation(kind, StationSeed(base, index))
+	src, err := NewStation(kind, seed)
 	if err != nil {
 		return nil, err
 	}
 	return pipeline.Chain(src, stages...), nil
 }
 
+// stageSeed derives a fault stage's rng seed from the station seed and
+// the stage's 1-based position in the kindspec, so two fault stages on
+// one station draw decorrelated streams while the whole scenario stays a
+// pure function of the fleet seed. The multiplier is the splitmix64
+// increment — consecutive positions land far apart.
+func stageSeed(station uint64, pos int) uint64 {
+	return station ^ (uint64(pos) * 0x9e3779b97f4a7c15)
+}
+
 // parseStages translates the "|"-separated stage specs of a kindspec into
-// pipeline stages, validating every argument.
-func parseStages(specs []string) ([]pipeline.Stage, error) {
+// pipeline stages, validating every argument. Errors name the offending
+// token and its 1-based position in the stage list, so a long chain's bad
+// stage is findable without counting pipes. seed (the station's) pins the
+// fault stages' randomness via stageSeed.
+func parseStages(specs []string, seed uint64) ([]pipeline.Stage, error) {
 	var stages []pipeline.Stage
-	for _, s := range specs {
+	for i, s := range specs {
+		pos := i + 1
+		bad := func(want string) error {
+			return fmt.Errorf("stage %d %q: want %s", pos, s, want)
+		}
 		name, arg, _ := strings.Cut(s, ":")
 		switch name {
 		case "resample":
 			hz, err := strconv.ParseFloat(arg, 64)
 			if err != nil || hz <= 0 {
-				return nil, fmt.Errorf("stage %q: want resample:HZ with HZ > 0", s)
+				return nil, bad("resample:HZ with HZ > 0")
 			}
 			stages = append(stages, pipeline.Resample(hz))
 		case "calib":
 			gainStr, offStr, hasOff := strings.Cut(arg, ":")
 			gain, err := strconv.ParseFloat(gainStr, 64)
 			if err != nil {
-				return nil, fmt.Errorf("stage %q: want calib:GAIN[:OFFSET]", s)
+				return nil, bad("calib:GAIN[:OFFSET]")
 			}
 			offset := 0.0
 			if hasOff {
 				if offset, err = strconv.ParseFloat(offStr, 64); err != nil {
-					return nil, fmt.Errorf("stage %q: want calib:GAIN[:OFFSET]", s)
+					return nil, bad("calib:GAIN[:OFFSET]")
 				}
 			}
 			stages = append(stages, pipeline.Calibrate(gain, offset))
 		case "ratelimit":
 			hz, err := strconv.ParseFloat(arg, 64)
 			if err != nil || hz <= 0 {
-				return nil, fmt.Errorf("stage %q: want ratelimit:HZ with HZ > 0", s)
+				return nil, bad("ratelimit:HZ with HZ > 0")
 			}
 			stages = append(stages, pipeline.RateLimit(hz))
 		case "smooth":
 			tau, err := time.ParseDuration(arg)
 			if err != nil || tau <= 0 {
-				return nil, fmt.Errorf("stage %q: want smooth:DUR with a positive Go duration", s)
+				return nil, bad("smooth:DUR with a positive Go duration")
 			}
 			stages = append(stages, pipeline.Smooth(tau))
+		case "dropout":
+			p, dur, err := parseProbDur(arg)
+			if err != nil {
+				return nil, bad("dropout:P:DUR with P in [0,1] and DUR a positive Go duration")
+			}
+			stages = append(stages, pipeline.Dropout(p, dur, stageSeed(seed, pos)))
+		case "stuck":
+			p, dur, err := parseProbDur(arg)
+			if err != nil {
+				return nil, bad("stuck:P:DUR with P in [0,1] and DUR a positive Go duration")
+			}
+			stages = append(stages, pipeline.Stuck(p, dur, stageSeed(seed, pos)))
+		case "spike":
+			pStr, magStr, hasMag := strings.Cut(arg, ":")
+			p, err := strconv.ParseFloat(pStr, 64)
+			if err != nil || p < 0 || p > 1 || !hasMag {
+				return nil, bad("spike:P:MAG with P in [0,1]")
+			}
+			mag, err := strconv.ParseFloat(magStr, 64)
+			if err != nil || mag <= 0 || mag == 1 {
+				return nil, bad("spike:P:MAG with MAG > 0 and != 1")
+			}
+			stages = append(stages, pipeline.Spike(p, mag, stageSeed(seed, pos)))
+		case "skew":
+			ppm, err := strconv.ParseFloat(arg, 64)
+			if err != nil || ppm <= -1e6 || ppm >= 1e6 {
+				return nil, bad("skew:PPM with |PPM| < 1e6")
+			}
+			stages = append(stages, pipeline.Skew(ppm))
+		case "jitter":
+			sd, err := time.ParseDuration(arg)
+			if err != nil || sd <= 0 {
+				return nil, bad("jitter:SD with SD a positive Go duration")
+			}
+			stages = append(stages, pipeline.Jitter(sd, stageSeed(seed, pos)))
 		default:
-			return nil, fmt.Errorf("unknown stage %q (have resample, calib, ratelimit, smooth)", s)
+			return nil, fmt.Errorf(
+				"stage %d %q: unknown stage (have resample, calib, ratelimit, smooth, "+
+					"dropout, stuck, spike, skew, jitter)", pos, s)
 		}
 	}
 	return stages, nil
+}
+
+// parseProbDur parses the shared "P:DUR" argument form of the windowed
+// fault stages.
+func parseProbDur(arg string) (float64, time.Duration, error) {
+	pStr, durStr, ok := strings.Cut(arg, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing duration")
+	}
+	p, err := strconv.ParseFloat(pStr, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, 0, fmt.Errorf("bad probability %q", pStr)
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil || dur <= 0 {
+		return 0, 0, fmt.Errorf("bad duration %q", durStr)
+	}
+	return p, dur, nil
 }
 
 // NewStation builds one self-driving station of the given plain kind as a

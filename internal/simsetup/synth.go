@@ -52,12 +52,12 @@ func (s *synthStation) Now() time.Duration { return s.now }
 // 8-pin feeds. The sample count of a slice is known up front, so the
 // columns are filled with direct indexed writes (Batch.Extend) rather
 // than per-sample appends.
-func (s *synthStation) ReadInto(d time.Duration, b *source.Batch) {
+func (s *synthStation) ReadInto(d time.Duration, b *source.Batch) error {
 	b.Reset(3)
 	target := s.now + d
 	s.now = target
 	if target <= s.last {
-		return
+		return nil
 	}
 	k := int((target - s.last) / synthPeriod)
 	b.Extend(k)
@@ -78,6 +78,7 @@ func (s *synthStation) ReadInto(d time.Duration, b *source.Batch) {
 	}
 	s.joule += joule * (1.0 / synthRateHz)
 	s.last = t
+	return nil
 }
 
 // Joules implements source.Source with an exact integral of the ramp.

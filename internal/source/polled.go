@@ -76,7 +76,7 @@ func (p *Polled) Now() time.Duration { return p.now }
 // meters report one board/package-level reading per poll, so the whole
 // reading lands on channel 0 and any further configured channels stay
 // zero — the batch stride always matches the declared channel count.
-func (p *Polled) ReadInto(d time.Duration, b *Batch) {
+func (p *Polled) ReadInto(d time.Duration, b *Batch) error {
 	b.Reset(len(p.cfg.Meta.Channels))
 	target := p.now + d
 	for next := p.lastPoll + p.interval; next <= target; next += p.interval {
@@ -96,6 +96,7 @@ func (p *Polled) ReadInto(d time.Duration, b *Batch) {
 		p.lastPoll = next
 	}
 	p.now = target
+	return nil
 }
 
 // Joules implements Source, reporting the meter's own energy counter —

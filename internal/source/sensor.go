@@ -84,11 +84,12 @@ func (s *Sensor) Now() time.Duration { return s.drv.Now() }
 // ReadInto implements Source: it advances the driver (which streams and
 // processes the 20 kHz samples) while the hook appends every sample set
 // into b's columns.
-func (s *Sensor) ReadInto(d time.Duration, b *Batch) {
+func (s *Sensor) ReadInto(d time.Duration, b *Batch) error {
 	b.Reset(len(s.meta.Channels))
 	s.cur = b
 	s.drv.Advance(d)
 	s.cur = nil
+	return nil
 }
 
 // Joules implements Source, summing the host library's per-pair energy

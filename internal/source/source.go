@@ -145,6 +145,18 @@ type Overheader interface {
 	Overhead() time.Duration
 }
 
+// Restarter is implemented by sources that can attempt recovery after a
+// fault: re-open a wedged backend, resync a corrupted link, reset an
+// erroring meter. The fleet's health watchdog calls Restart on a bounded
+// backoff schedule when a source's ReadInto errors or goes silent; a
+// source without it is simply parked once its restart budget runs out.
+// Restart is called under the same single-goroutine confinement as
+// ReadInto. It returns an error when the recovery attempt itself failed;
+// a nil return means "try reading again", not a guarantee of health.
+type Restarter interface {
+	Restart() error
+}
+
 // Source is a streaming measurement source on virtual time. Sources are
 // not safe for concurrent use; the fleet manager confines each to one
 // goroutine.
@@ -159,7 +171,15 @@ type Source interface {
 	// until the next ReadInto on the same batch; reusing one batch across
 	// calls keeps the sample path allocation-free once its arrays reach
 	// steady-state capacity.
-	ReadInto(d time.Duration, b *Batch)
+	//
+	// A non-nil error means the backend failed mid-read — a wedged
+	// device, a poll returning garbage, a broken link. Samples already in
+	// b are valid (the read failed after them); the caller decides
+	// whether to retry, restart (see Restarter) or park the source.
+	// Delivering no samples is not an error: a slice shorter than the
+	// sample period legitimately yields an empty batch, and silence is
+	// the consumer's gap detection's job, not the source's.
+	ReadInto(d time.Duration, b *Batch) error
 	// Joules returns the backend's cumulative energy counter, summed
 	// over channels — the PowerSensor3 host-library accumulator, or the
 	// vendor API's own energy counter integrated at its native rate.
