@@ -10,7 +10,8 @@
 // Usage:
 //
 //	psd [-listen :9120] [-fleet spec] [-seed 1] [-rate 1] [-slice 5ms]
-//	    [-block 20] [-ring 4096] [-shards 8] [-warmup 2s] [-log-format text]
+//	    [-block 20] [-ring 4096] [-shards 8] [-history 1048576]
+//	    [-history-sync 1s] [-warmup 2s] [-log-format text]
 //	    [-debug-addr addr] [-version]
 //
 // Flags:
@@ -54,6 +55,16 @@
 //	             of the scrape instead of all of it. -shards 1 recovers the
 //	             unsharded daemon; large fleets (thousands of stations) want
 //	             the default or higher
+//	-history     per-station compressed history budget, in bytes (default
+//	             1 MiB — weeks of millisecond-averaged points at the tier's
+//	             typical >4x compression). The long-horizon tier sits behind
+//	             each station's ring and answers the windowed energy API;
+//	             negative disables it, leaving energy queries to the ring's
+//	             short retention
+//	-history-sync  how often the daemon drains every station's ring into
+//	             its history series (default 1s). Syncs also happen on
+//	             every query and at retirement; the timer bounds how much
+//	             a ring can wrap between queries. 0 disables the timer
 //	-warmup      virtual time advanced synchronously before serving, so the
 //	             first scrape already sees data
 //	-log-format  "text" (default) or "json": structured log/slog output on
@@ -74,6 +85,15 @@
 //	                                  ring (adopt/start/retire/close, ?n=N
 //	                                  caps the tail, default 100)
 //	GET  /api/device/{name}/trace     recent trace (?format=csv|json, ?points=N)
+//	GET  /api/device/{name}/energy    windowed energy query over the
+//	                                  long-horizon history tier: ?from= and
+//	                                  ?to= (seconds or Go durations) bound
+//	                                  the window; the JSON answer carries
+//	                                  joules and mean watts, and an empty
+//	                                  window is exactly 0 J
+//	GET  /api/device/{name}/history   long-range summed-power trace decoded
+//	                                  from the compressed tier (?from=, ?to=,
+//	                                  ?points=N decimation, ?format=csv|json)
 //	GET  /healthz                     fleet health probe: 200 with
 //	                                  {"stations":N,"degraded":K} while any
 //	                                  station serves, 503 once every station
@@ -160,6 +180,10 @@ func main() {
 	block := flag.Int("block", 20, "sample sets averaged per ring point")
 	ring := flag.Int("ring", 4096, "per-station ring capacity in points")
 	shards := flag.Int("shards", 8, "fleet shard count, 1-64 (1 = unsharded)")
+	histBytes := flag.Int("history", 0,
+		"per-station compressed history budget in bytes (0 = 1 MiB default, negative = disabled)")
+	histSync := flag.Duration("history-sync", time.Second,
+		"ring-to-history sync interval (0 = timer off; queries still sync)")
 	warmup := flag.Duration("warmup", 2*time.Second, "virtual time simulated before serving")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	debugAddr := flag.String("debug-addr", "",
@@ -188,7 +212,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*listen, *debugAddr, *spec, *seed, *rate, *slice, *block, *ring,
-		*shards, *warmup, logger); err != nil {
+		*shards, *histBytes, *histSync, *warmup, logger); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
@@ -256,12 +280,13 @@ func (a *admin) remove(w http.ResponseWriter, r *http.Request) {
 // the exporter's read-only surface plus the daemon's lifecycle admin
 // endpoints. logger may be nil, meaning discard (the test form).
 func setup(spec string, seed uint64, rate float64, slice time.Duration,
-	block, ring, shards int, warmup time.Duration, logger *slog.Logger) (*fleet.Manager, http.Handler, error) {
+	block, ring, shards, histBytes int, warmup time.Duration, logger *slog.Logger) (*fleet.Manager, http.Handler, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	mgr, err := fleet.FromSpec(spec, seed, fleet.Config{
 		Slice: slice, Block: block, RingCap: ring, Rate: rate, Shards: shards,
+		HistoryBytes: histBytes,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -294,13 +319,39 @@ func debugMux() *http.ServeMux {
 }
 
 func run(listen, debugAddr, spec string, seed uint64, rate float64,
-	slice time.Duration, block, ring, shards int, warmup time.Duration, logger *slog.Logger) error {
-	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, shards, warmup, logger)
+	slice time.Duration, block, ring, shards, histBytes int, histSync,
+	warmup time.Duration, logger *slog.Logger) error {
+	mgr, handler, err := setup(spec, seed, rate, slice, block, ring, shards,
+		histBytes, warmup, logger)
 	if err != nil {
 		return err
 	}
 	defer mgr.Close()
 	mgr.Start()
+
+	// The history sync timer: drain every station's ring into its
+	// compressed series so points survive ring wraparound even when no
+	// query arrives. Queries and retirement sync on their own; the timer
+	// only bounds the wraparound exposure between them.
+	if histBytes >= 0 && histSync > 0 {
+		stopSync := make(chan struct{})
+		defer close(stopSync)
+		go func() {
+			tick := time.NewTicker(histSync)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSync:
+					return
+				case <-tick.C:
+					if _, missed := mgr.SyncHistory(); missed > 0 {
+						logger.Warn("history sync missed ring points; "+
+							"raise -ring or lower -history-sync", "missed", missed)
+					}
+				}
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: listen, Handler: handler}
 	errc := make(chan error, 1)

@@ -19,7 +19,7 @@ import (
 // rig, and the RAPL meter rate-limited to 100 Hz).
 func TestServeFleet(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
-		1, 0, 5*time.Millisecond, 20, 4096, 8, 500*time.Millisecond, nil)
+		1, 0, 5*time.Millisecond, 20, 4096, 8, 0, 500*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestServeFleet(t *testing.T) {
 // carries one adopt event per default-fleet station.
 func TestEventsFreshBoot(t *testing.T) {
 	mgr, handler, err := setup(simsetup.DefaultFleetSpec,
-		1, 0, 5*time.Millisecond, 20, 4096, 8, 0, nil)
+		1, 0, 5*time.Millisecond, 20, 4096, 8, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestDebugMux(t *testing.T) {
 	}
 
 	// The scrape handler must not expose it.
-	mgr, handler, err := setup("gpu0=synth", 1, 0, time.Millisecond, 20, 64, 8, 0, nil)
+	mgr, handler, err := setup("gpu0=synth", 1, 0, time.Millisecond, 20, 64, 8, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestDebugMux(t *testing.T) {
 }
 
 func TestSetupBadSpec(t *testing.T) {
-	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 8, 0, nil); err == nil {
+	if _, _, err := setup("gpu0=warp9", 1, 0, time.Millisecond, 20, 64, 8, 0, 0, nil); err == nil {
 		t.Fatal("bad spec accepted")
 	}
 }
@@ -241,7 +241,7 @@ func TestAdminAddRemove(t *testing.T) {
 	// Paced at real time so driver goroutines sleep between slices and
 	// the HTTP round-trips get CPU on small hosts.
 	mgr, handler, err := setup("gpu0=synth", 1, 1, 5*time.Millisecond,
-		20, 4096, 8, 100*time.Millisecond, nil)
+		20, 4096, 8, 0, 100*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,5 +340,88 @@ func TestAdminAddRemove(t *testing.T) {
 	}
 	if !strings.Contains(body, "powersensor_fleet_retired_total 2\n") {
 		t.Error("/metrics retired counter did not account both removals")
+	}
+}
+
+// TestEnergyEndpointThroughDaemon wires the daemon as run does and
+// exercises the windowed energy API end to end: the warmed default fleet
+// answers a real window with positive joules, an empty window is exactly
+// 0 J, and the history trace export round-trips. With -history negative
+// the tier is off but the endpoint still answers from the ring.
+func TestEnergyEndpointThroughDaemon(t *testing.T) {
+	mgr, handler, err := setup("gpu0=synth", 1, 0, 5*time.Millisecond,
+		20, 4096, 8, 0, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	var ans struct {
+		Joules    float64 `json:"joules"`
+		MeanWatts float64 `json:"mean_watts"`
+	}
+	code, body := get("/api/device/gpu0/energy?from=0.1&to=0.4")
+	if code != http.StatusOK {
+		t.Fatalf("/energy: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Joules <= 0 || ans.MeanWatts <= 0 {
+		t.Errorf("energy over [0.1s, 0.4s] = %v J at %v W, want > 0", ans.Joules, ans.MeanWatts)
+	}
+	if code, body = get("/api/device/gpu0/energy?from=0.2&to=0.2"); code != http.StatusOK {
+		t.Fatalf("/energy empty window: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Joules != 0 || ans.MeanWatts != 0 {
+		t.Errorf("empty window = %v J at %v W, want exactly 0/0", ans.Joules, ans.MeanWatts)
+	}
+	if code, body = get("/api/device/gpu0/history?points=100"); code != http.StatusOK ||
+		!strings.Contains(body, "time_s,w0,total,marker") {
+		t.Errorf("/history: status %d, body %.60q", code, body)
+	}
+	// The history tier's self families ride the daemon's scrape.
+	if _, body = get("/metrics"); !strings.Contains(body, "powersensor_self_history_points ") {
+		t.Error("/metrics missing history self-telemetry")
+	}
+
+	// -history -1: tier off, ring fallback still answers.
+	mgrOff, handlerOff, err := setup("gpu0=synth", 1, 0, 5*time.Millisecond,
+		20, 4096, 8, -1, 200*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgrOff.Close()
+	srvOff := httptest.NewServer(handlerOff)
+	defer srvOff.Close()
+	resp, err := http.Get(srvOff.URL + "/api/device/gpu0/energy?from=0.05&to=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disabled-tier /energy: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Joules <= 0 {
+		t.Errorf("disabled-tier energy = %v J, want ring-fallback > 0", ans.Joules)
 	}
 }

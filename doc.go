@@ -179,12 +179,55 @@
 // uninstrumented path (both regression-tested; BENCH_fleet.json records
 // the instrumented-versus-uninstrumented rows).
 //
+// # Long-horizon history
+//
+// Rings hold seconds; production questions span hours ("energy consumed
+// by gpu0 between t1 and t2" — the interval-read model of PMT). Behind
+// each station's downsample ring, internal/history keeps a compressed
+// per-station tier holding the summed-power points the ring would
+// otherwise overwrite:
+//
+//	ingest (20 kHz)  ─── fold ───►  downsample ring     zero-alloc, never
+//	                                 │                   touches the tier
+//	                                 │ SyncHistory: pull-based drain,
+//	                                 │ cursored by absolute push ordinal
+//	                                 ▼ (wraparound counted, not skipped)
+//	                          history.Series
+//	                    delta-of-delta timestamps +
+//	                    XOR-compressed floats (Gorilla-style),
+//	                    values quantised to ~1 mW dyadic steps
+//	                    (>4x vs flat float64; lossless mode available),
+//	                    sealed blocks carry precomputed energy sums
+//	                                 │
+//	          Device.EnergyWindow(from, to) / Manager.EnergyWindow
+//	          trapezoidal integration, partial-interval clipping at
+//	          both edges; sealed-block sums make interior blocks O(1)
+//
+// The tier is pull-based by design: ingest never touches it, so the
+// zero-allocation contract above is untouched, and sync passes (every
+// query, the daemon's -history-sync timer, retirement) drain the ring
+// under its own lock. Eviction is by byte budget (fleet.Config.
+// HistoryBytes, psd -history), oldest block first, with every drop
+// counted. Windowed queries clip partial intervals at both window edges
+// rather than snapping to point boundaries, and hold the zero-interval
+// contract shared with pmt.Watts: an empty or inverted window is exactly
+// 0 J, never NaN. Cross-checked against every backend's own cumulative
+// energy integral to within 1% (internal/fleet history tests), and
+// against pmt's interval-read model over twin sources — internal/pmt's
+// vendor meters are SourceMeter adapters over the same internal/source
+// stream the fleet ingests, so two Reads bracketing a workload and an
+// EnergyWindow over the same span measure the same energy. Served by
+// psd as GET /api/device/{name}/energy and a decimated long-range
+// /api/device/{name}/history trace export; footprint, compression ratio
+// and sync/query latency export as powersensor_self_history_* families.
+//
 // # The psd daemon
 //
 // Command psd is the served entry point:
 //
 //	psd [-listen :9120] [-fleet name=kindspec,...]
 //	    [-seed 1] [-rate 1] [-slice 5ms] [-block 20] [-ring 4096] [-shards 8]
+//	    [-history 1048576] [-history-sync 1s]
 //	    [-warmup 2s] [-log-format text|json] [-debug-addr addr] [-version]
 //
 // Fleet specs mix PowerSensor3 rig kinds (rtx4000ada, w7700, jetson, ssd)
@@ -194,7 +237,9 @@
 // serves GET /metrics (Prometheus text exposition), /api/fleet (JSON
 // status of every station), /api/events (the lifecycle event log),
 // /api/device/{name}/trace (recent downsampled
-// trace as CSV or JSON) and /healthz, plus the lifecycle admin endpoints
+// trace as CSV or JSON), /api/device/{name}/energy (windowed energy
+// over the history tier), /api/device/{name}/history (long-range
+// decimated trace) and /healthz, plus the lifecycle admin endpoints
 // POST /api/fleet/add (name= and kind= parameters) and
 // POST /api/fleet/remove/{name} for hot-adding and retiring stations
 // without restarting the daemon. A scrape yields per-station gauges

@@ -53,6 +53,15 @@
 //	                              ring; ?n=N caps the tail (default 100)
 //	/api/device/{name}/trace      recent downsampled trace; ?format=csv|json
 //	                              (default csv), ?points=N caps the length
+//	/api/device/{name}/energy     windowed energy query against the
+//	                              long-horizon history tier: ?from= and ?to=
+//	                              (seconds or Go durations) clip the window,
+//	                              the response reports joules and the mean
+//	                              watts over it; an empty window is 0 J
+//	/api/device/{name}/history    long-range summed-power trace decoded from
+//	                              the compressed history tier; ?from=, ?to=
+//	                              window it, ?points=N decimates the result,
+//	                              ?format=csv|json picks the trace encoding
 //	/healthz                      fleet-aware liveness probe: 200 with
 //	                              {"stations":N,"degraded":K} while any
 //	                              station serves, 503 once every station
@@ -73,6 +82,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -281,6 +291,8 @@ func (e *Exporter) Handler() http.Handler {
 	mux.HandleFunc("GET /api/fleet", e.fleetJSON)
 	mux.HandleFunc("GET /api/events", e.eventsJSON)
 	mux.HandleFunc("GET /api/device/{name}/trace", e.deviceTrace)
+	mux.HandleFunc("GET /api/device/{name}/energy", e.deviceEnergy)
+	mux.HandleFunc("GET /api/device/{name}/history", e.deviceHistory)
 	mux.HandleFunc("GET /healthz", e.healthz)
 	mux.HandleFunc("GET /{$}", e.index)
 	return mux
@@ -312,6 +324,8 @@ func (e *Exporter) index(w http.ResponseWriter, _ *http.Request) {
 <li><a href="/api/fleet">/api/fleet</a></li>
 <li><a href="/api/events">/api/events</a></li>
 <li>/api/device/{name}/trace?format=csv|json&amp;points=N</li>
+<li>/api/device/{name}/energy?from=S&amp;to=S</li>
+<li>/api/device/{name}/history?from=S&amp;to=S&amp;points=N&amp;format=csv|json</li>
 </ul>
 </body></html>
 `, e.mgr.Size())
@@ -393,6 +407,20 @@ var (
 		"Lifecycle events overwritten after the event ring filled.", "counter")
 	hdrSelfRingFill = header("powersensor_self_ring_fill_ratio",
 		"Fleet-wide ring occupancy: downsampled points held over total ring capacity.", "gauge")
+	hdrSelfHistPoints = header("powersensor_self_history_points",
+		"Points held across every station's compressed long-horizon history series.", "gauge")
+	hdrSelfHistBytes = header("powersensor_self_history_bytes",
+		"Compressed bytes held across every station's history series.", "gauge")
+	hdrSelfHistBlocks = header("powersensor_self_history_blocks",
+		"Sealed compressed blocks held across every station's history series.", "gauge")
+	hdrSelfHistRatio = header("powersensor_self_history_compression_ratio",
+		"Fleet-wide history compression ratio: raw float64 bytes over compressed bytes; 0 while empty.", "gauge")
+	hdrSelfHistMissed = header("powersensor_self_history_ring_missed_total",
+		"Ring points lost to wraparound before a history sync pass could drain them.", "counter")
+	hdrSelfHistAppend = header(famHistAppend,
+		"Time one station's ring-to-history sync pass took, drain and compressed append included.", "histogram")
+	hdrSelfHistQuery = header(famHistQuery,
+		"Time one windowed energy query took, its pre-query sync included.", "histogram")
 	hdrBuildInfo = header("powersensor_build_info",
 		"Build identity of this daemon; always 1.", "gauge")
 	hdrScrapeDuration = header("powersensor_scrape_duration_seconds",
@@ -409,6 +437,8 @@ const (
 	famScrape      = "powersensor_self_scrape_seconds"
 	famShardRender = "powersensor_self_shard_render_seconds"
 	famShardStep   = "powersensor_self_shard_step_seconds"
+	famHistAppend  = "powersensor_self_history_append_seconds"
+	famHistQuery   = "powersensor_self_history_query_seconds"
 )
 
 // nDevFams counts the per-device exposition families — the ones rendered
@@ -794,6 +824,25 @@ func (e *Exporter) appendSelf(buf []byte, hs *obs.HistSnapshot, began time.Time)
 		ratio = float64(held) / float64(capacity)
 	}
 	buf = appendSample(buf, "powersensor_self_ring_fill_ratio", "", ratio)
+	// The history tier's footprint and drain health, aggregated from the
+	// per-station atomic counters, plus the shared sync/query timings.
+	hist := e.mgr.HistoryStats()
+	buf = append(buf, hdrSelfHistPoints...)
+	buf = appendSample(buf, "powersensor_self_history_points", "", float64(hist.Points))
+	buf = append(buf, hdrSelfHistBytes...)
+	buf = appendSample(buf, "powersensor_self_history_bytes", "", float64(hist.Bytes))
+	buf = append(buf, hdrSelfHistBlocks...)
+	buf = appendSample(buf, "powersensor_self_history_blocks", "", float64(hist.Blocks))
+	buf = append(buf, hdrSelfHistRatio...)
+	buf = appendSample(buf, "powersensor_self_history_compression_ratio", "", hist.Ratio())
+	buf = append(buf, hdrSelfHistMissed...)
+	buf = appendSample(buf, "powersensor_self_history_ring_missed_total", "", float64(hist.RingMissed))
+	buf = append(buf, hdrSelfHistAppend...)
+	e.mgr.HistoryAppendHist().Snapshot(hs)
+	buf = appendHist(buf, famHistAppend+"_bucket", famHistAppend+"_sum", famHistAppend+"_count", histPlainSeries, hs)
+	buf = append(buf, hdrSelfHistQuery...)
+	e.mgr.HistoryQueryHist().Snapshot(hs)
+	buf = appendHist(buf, famHistQuery+"_bucket", famHistQuery+"_sum", famHistQuery+"_count", histPlainSeries, hs)
 	buf = append(buf, hdrBuildInfo...)
 	buf = append(buf, buildInfoLine...)
 	buf = append(buf, hdrScrapeDuration...)
@@ -883,6 +932,148 @@ func (e *Exporter) deviceTrace(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("attachment; filename=%s.csv", sanitizeFilename(name)))
 		if err := tr.WriteCSV(w); err != nil {
 			// Headers are gone; nothing useful to do but note it.
+			return
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	default:
+		http.Error(w, fmt.Sprintf("bad format=%q (want csv or json)", format),
+			http.StatusBadRequest)
+	}
+}
+
+// parseWindowTime parses a ?from= / ?to= query value: a plain number is
+// seconds of virtual time, anything else must parse as a Go duration
+// ("1.5s", "250ms"). Negative instants are rejected — virtual time
+// starts at zero.
+func parseWindowTime(s string) (time.Duration, error) {
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		d := time.Duration(secs * float64(time.Second))
+		if d < 0 {
+			return 0, fmt.Errorf("negative instant %q", s)
+		}
+		return d, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("want seconds or a non-negative duration, got %q", s)
+	}
+	return d, nil
+}
+
+// windowOf resolves a request's [from, to] window: from defaults to 0,
+// to defaults to the station's current virtual time. An inverted window
+// is not an error — it is a legitimate empty window, 0 J by contract.
+func windowOf(r *http.Request, d *fleet.Device) (from, to time.Duration, err error) {
+	to = d.Status().Now
+	if s := r.URL.Query().Get("from"); s != "" {
+		if from, err = parseWindowTime(s); err != nil {
+			return 0, 0, fmt.Errorf("bad from=%s", err)
+		}
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		if to, err = parseWindowTime(s); err != nil {
+			return 0, 0, fmt.Errorf("bad to=%s", err)
+		}
+	}
+	return from, to, nil
+}
+
+// energyAnswer is the /api/device/{name}/energy response body.
+type energyAnswer struct {
+	Device      string  `json:"device"`
+	FromSeconds float64 `json:"from_seconds"`
+	ToSeconds   float64 `json:"to_seconds"`
+	Joules      float64 `json:"joules"`
+	// MeanWatts is Joules over the window's width; 0 on an empty or
+	// inverted window, by the zero-interval contract — never NaN.
+	MeanWatts float64 `json:"mean_watts"`
+}
+
+// deviceEnergy serves a windowed energy query over one station's
+// long-horizon history tier (or its ring, on stations running without
+// the tier): the HTTP face of Device.EnergyWindow.
+func (e *Exporter) deviceEnergy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d := e.mgr.Device(name)
+	if d == nil {
+		http.Error(w, fmt.Sprintf("unknown device %q (have %s)",
+			name, strings.Join(e.mgr.Names(), ", ")), http.StatusNotFound)
+		return
+	}
+	from, to, err := windowOf(r, d)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ans := energyAnswer{
+		Device:      name,
+		FromSeconds: from.Seconds(),
+		ToSeconds:   to.Seconds(),
+		Joules:      d.EnergyWindow(from, to),
+	}
+	if width := (to - from).Seconds(); width > 0 {
+		ans.MeanWatts = ans.Joules / width
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ans)
+}
+
+// deviceHistory serves a long-range summed-power trace decoded from one
+// station's compressed history tier, reusing the trace package's CSV and
+// JSON writers. ?from=/?to= window the export, ?points=N decimates it by
+// stride to at most N points (default 2000 — a window spanning hours of
+// millisecond points would otherwise ship millions of rows), and the
+// trace carries one channel: the station's summed board power.
+func (e *Exporter) deviceHistory(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d := e.mgr.Device(name)
+	if d == nil {
+		http.Error(w, fmt.Sprintf("unknown device %q (have %s)",
+			name, strings.Join(e.mgr.Names(), ", ")), http.StatusNotFound)
+		return
+	}
+	from, to, err := windowOf(r, d)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	max := 2000
+	if s := r.URL.Query().Get("points"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad points=%q (want a positive count)", s),
+				http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	pts := d.HistoryInto(nil, from, to)
+	// Stride decimation keeps the first and the stride-aligned points; the
+	// trapezoid over the survivors still brackets the window's span.
+	if len(pts) > max {
+		stride := (len(pts) + max - 1) / max
+		kept := pts[:0]
+		for i := 0; i < len(pts); i += stride {
+			kept = append(kept, pts[i])
+		}
+		pts = kept
+	}
+	tr := &trace.Trace{Pairs: 1, Points: make([]trace.Point, 0, len(pts))}
+	for _, p := range pts {
+		tr.Points = append(tr.Points, trace.Point{
+			Time: p.Time, Watts: []float64{p.Watts}, TotalW: p.Watts,
+		})
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%s-history.csv", sanitizeFilename(name)))
+		if err := tr.WriteCSV(w); err != nil {
 			return
 		}
 	case "json":

@@ -267,6 +267,20 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"# TYPE powersensor_self_events_dropped_total counter",
 		"# HELP powersensor_self_ring_fill_ratio Fleet-wide ring occupancy: downsampled points held over total ring capacity.",
 		"# TYPE powersensor_self_ring_fill_ratio gauge",
+		"# HELP powersensor_self_history_points Points held across every station's compressed long-horizon history series.",
+		"# TYPE powersensor_self_history_points gauge",
+		"# HELP powersensor_self_history_bytes Compressed bytes held across every station's history series.",
+		"# TYPE powersensor_self_history_bytes gauge",
+		"# HELP powersensor_self_history_blocks Sealed compressed blocks held across every station's history series.",
+		"# TYPE powersensor_self_history_blocks gauge",
+		"# HELP powersensor_self_history_compression_ratio Fleet-wide history compression ratio: raw float64 bytes over compressed bytes; 0 while empty.",
+		"# TYPE powersensor_self_history_compression_ratio gauge",
+		"# HELP powersensor_self_history_ring_missed_total Ring points lost to wraparound before a history sync pass could drain them.",
+		"# TYPE powersensor_self_history_ring_missed_total counter",
+		"# HELP powersensor_self_history_append_seconds Time one station's ring-to-history sync pass took, drain and compressed append included.",
+		"# TYPE powersensor_self_history_append_seconds histogram",
+		"# HELP powersensor_self_history_query_seconds Time one windowed energy query took, its pre-query sync included.",
+		"# TYPE powersensor_self_history_query_seconds histogram",
 		"# HELP powersensor_build_info Build identity of this daemon; always 1.",
 		"# TYPE powersensor_build_info gauge",
 		"# HELP powersensor_scrape_duration_seconds Wall time spent rendering this scrape.",
@@ -481,9 +495,9 @@ func TestScrapeUnderIngestLoad(t *testing.T) {
 						return
 					}
 				}
-				// 34 families × (HELP + TYPE).
-				if comments != 68 {
-					t.Errorf("scrape under load has %d comment lines, want 68", comments)
+				// 41 families × (HELP + TYPE).
+				if comments != 82 {
+					t.Errorf("scrape under load has %d comment lines, want 82", comments)
 					return
 				}
 				m := regexp.MustCompile(`powersensor_samples_total\{device="s0"\} ([0-9]+)`).
@@ -779,8 +793,8 @@ func TestScrapeDuringChurn(t *testing.T) {
 						return
 					}
 				}
-				if comments != 68 {
-					t.Errorf("scrape during churn has %d comment lines, want 68", comments)
+				if comments != 82 {
+					t.Errorf("scrape during churn has %d comment lines, want 82", comments)
 					return
 				}
 				adopted := counter(body, "powersensor_fleet_adopted_total")
@@ -1005,8 +1019,8 @@ func TestScrapeDuringChurnFaulted(t *testing.T) {
 						return
 					}
 				}
-				if comments != 68 {
-					t.Errorf("faulted scrape has %d comment lines, want 68", comments)
+				if comments != 82 {
+					t.Errorf("faulted scrape has %d comment lines, want 82", comments)
 					return
 				}
 				for _, dev := range []string{"keep0", "keep1"} {
@@ -1091,4 +1105,175 @@ func grepLine(body, substr string) string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// TestDeviceEnergyEndpoint covers the windowed energy query API: the
+// answer must match the device's own EnergyWindow, the mean power must
+// be joules over the window width, and an empty window is exactly 0 J —
+// the zero-interval contract surfacing over HTTP.
+func TestDeviceEnergyEndpoint(t *testing.T) {
+	srv, mgr := testServer(t)
+	var ans struct {
+		Device      string  `json:"device"`
+		FromSeconds float64 `json:"from_seconds"`
+		ToSeconds   float64 `json:"to_seconds"`
+		Joules      float64 `json:"joules"`
+		MeanWatts   float64 `json:"mean_watts"`
+	}
+
+	code, body := get(t, srv.URL+"/api/device/gpu0/energy?from=0.05&to=0.25")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	want := mgr.Device("gpu0").EnergyWindow(50*time.Millisecond, 250*time.Millisecond)
+	if ans.Joules <= 0 || ans.Joules != want {
+		t.Errorf("energy endpoint says %v J, device says %v J", ans.Joules, want)
+	}
+	if mean := ans.Joules / 0.2; ans.MeanWatts < mean*0.999 || ans.MeanWatts > mean*1.001 {
+		t.Errorf("mean_watts = %v, want %v", ans.MeanWatts, mean)
+	}
+
+	// Duration-literal instants parse too, and an empty window is 0 J
+	// with 0 W — never NaN.
+	code, body = get(t, srv.URL+"/api/device/gpu0/energy?from=100ms&to=100ms")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Joules != 0 || ans.MeanWatts != 0 {
+		t.Errorf("empty window served %v J at %v W, want exactly 0/0", ans.Joules, ans.MeanWatts)
+	}
+
+	// Defaults: from 0 to the station's current virtual time — the
+	// station's whole measured life, matching its cumulative counter
+	// within the tier's 1% ground-truth bound.
+	code, body = get(t, srv.URL+"/api/device/gpu0/energy")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Device("gpu0").Status()
+	if ans.ToSeconds != st.Now.Seconds() {
+		t.Errorf("default to = %v s, want the station's now %v s", ans.ToSeconds, st.Now.Seconds())
+	}
+	if rel := (ans.Joules - st.Joules) / st.Joules; rel < -0.01 || rel > 0.01 {
+		t.Errorf("lifetime window = %v J, station counter %v J (%.2f%% off)",
+			ans.Joules, st.Joules, rel*100)
+	}
+
+	for url, wantCode := range map[string]int{
+		"/api/device/nope/energy":            http.StatusNotFound,
+		"/api/device/gpu0/energy?from=bogus": http.StatusBadRequest,
+		"/api/device/gpu0/energy?to=-5":      http.StatusBadRequest,
+	} {
+		if code, _ := get(t, srv.URL+url); code != wantCode {
+			t.Errorf("%s: status %d, want %d", url, code, wantCode)
+		}
+	}
+}
+
+// TestDeviceHistoryEndpoint covers the long-range trace export: the body
+// round-trips through the trace package's own readers, carries the
+// summed-power channel, respects the window, and decimates to ?points.
+func TestDeviceHistoryEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+
+	code, body := get(t, srv.URL+"/api/device/gpu0/history?from=0.05&to=0.25")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	tr, err := trace.ReadCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pairs != 1 {
+		t.Errorf("history trace pairs = %d, want the one summed channel", tr.Pairs)
+	}
+	if len(tr.Points) == 0 || tr.Energy() <= 0 {
+		t.Fatalf("history trace has %d points, %v J", len(tr.Points), tr.Energy())
+	}
+	for _, p := range tr.Points {
+		if p.Time < 50*time.Millisecond || p.Time > 250*time.Millisecond {
+			t.Fatalf("point at %v escaped the [50ms, 250ms] window", p.Time)
+		}
+	}
+
+	// ?points decimates by stride, never above the cap.
+	_, body = get(t, srv.URL+"/api/device/gpu0/history?points=10")
+	if tr, err = trace.ReadCSV(strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) == 0 || len(tr.Points) > 10 {
+		t.Errorf("points=10 served %d points", len(tr.Points))
+	}
+
+	// The JSON encoding round-trips through the trace reader too.
+	_, body = get(t, srv.URL+"/api/device/soc0/history?format=json")
+	if tr, err = trace.ReadJSON(strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pairs != 1 || len(tr.Points) == 0 {
+		t.Errorf("JSON history trace: pairs=%d points=%d", tr.Pairs, len(tr.Points))
+	}
+
+	for url, wantCode := range map[string]int{
+		"/api/device/nope/history":            http.StatusNotFound,
+		"/api/device/gpu0/history?format=xml": http.StatusBadRequest,
+		"/api/device/gpu0/history?points=0":   http.StatusBadRequest,
+		"/api/device/gpu0/history?from=bogus": http.StatusBadRequest,
+	} {
+		if code, _ := get(t, srv.URL+url); code != wantCode {
+			t.Errorf("%s: status %d, want %d", url, code, wantCode)
+		}
+	}
+}
+
+// TestMetricsHistorySelfTelemetry checks the history tier's self tail:
+// after a sync and a query the footprint gauges are live, the
+// compression ratio clears the tier's 4x floor, and both latency
+// histograms carry observations.
+func TestMetricsHistorySelfTelemetry(t *testing.T) {
+	srv, mgr := testServer(t)
+	if appended, _ := mgr.SyncHistory(); appended == 0 {
+		t.Fatal("warm fleet synced no history points")
+	}
+	mgr.EnergyWindow(0, 300*time.Millisecond)
+
+	_, body := get(t, srv.URL+"/metrics")
+	num := func(name string) float64 {
+		m := regexp.MustCompile(name + ` ([0-9.e+-]+)`).FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("missing self series %s", name)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("unparsable %s: %v", name, err)
+		}
+		return v
+	}
+	if pts := num("powersensor_self_history_points"); pts == 0 {
+		t.Error("history points gauge empty after a sync")
+	}
+	if b := num("powersensor_self_history_bytes"); b == 0 {
+		t.Error("history bytes gauge empty after a sync")
+	}
+	if ratio := num("powersensor_self_history_compression_ratio"); ratio < 4 {
+		t.Errorf("compression ratio = %v, want >= 4", ratio)
+	}
+	if n := num("powersensor_self_history_append_seconds_count"); n == 0 {
+		t.Error("append histogram never recorded a sync pass")
+	}
+	if n := num("powersensor_self_history_query_seconds_count"); n == 0 {
+		t.Error("query histogram never recorded a window query")
+	}
+	if missed := num("powersensor_self_history_ring_missed_total"); missed != 0 {
+		t.Errorf("ring missed counter = %v on a promptly synced fleet", missed)
+	}
 }

@@ -234,6 +234,13 @@ type Device struct {
 	wd     watchdog
 	events *obs.EventRing
 
+	// Long-horizon history tier (see history.go in this package): the
+	// compressed series the ring drains into on sync passes, nil when
+	// Config.HistoryBytes disables it. The latency histograms are the
+	// manager's shared ones, nil on directly constructed test devices.
+	hist                  *deviceHistory
+	histAppend, histQuery *obs.Hist
+
 	pub pub
 }
 
@@ -271,6 +278,7 @@ func newDevice(name, kind string, src source.Source, cfg Config, foldHist *obs.H
 		events:   events,
 	}
 	d.ov, _ = src.(source.Overheader)
+	d.hist = newHistoryFor(cfg)
 	d.initWatchdog(cfg)
 	if pool != nil {
 		// Expected samples per step, padded: sources may round a slice up
@@ -782,6 +790,12 @@ func (d *Device) close() bool {
 	}
 	d.flush()
 	d.publish()
+	// Final history sync: the drain point just flushed reaches the
+	// compressed series before the ring detaches onto its compact copy,
+	// so retired-station energy windows cover the full measured span.
+	// SyncHistory takes only the ring's and the tier's own locks, never
+	// d.mu, so calling it here (d.mu held) cannot deadlock.
+	d.SyncHistory()
 	d.closed = true
 	for id, ch := range d.subs {
 		delete(d.subs, id)

@@ -1,0 +1,297 @@
+package fleet
+
+// Tests for the long-horizon history tier's fleet wiring: windowed
+// energy queries against the backends' own energy integrals, the
+// ring→history drain across wraparound, and query behaviour through
+// station churn.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pmt"
+	"repro/internal/simsetup"
+)
+
+// TestEnergyWindowMatchesBackendJoules is the cross-backend ground
+// truth: over the same virtual-time window, the history tier's
+// trapezoidal integral of block-averaged ring points must agree with
+// the backend's own cumulative energy integral (Status.Joules deltas)
+// within 1% — on an instrumented 20 kHz rig, a slow software meter and
+// the synthetic station alike.
+func TestEnergyWindowMatchesBackendJoules(t *testing.T) {
+	for _, kind := range []string{"synth", "rtx4000ada", "rapl"} {
+		t.Run(kind, func(t *testing.T) {
+			src, err := simsetup.NewStation(kind, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewManager(Config{})
+			defer m.Close()
+			d, err := m.Add("gt0", kind, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm past the first ring point so the window interior is
+			// fully inside the stored series.
+			m.StepAll(200 * time.Millisecond)
+			st1 := d.Status()
+			m.StepAll(2 * time.Second)
+			st2 := d.Status()
+			m.StepAll(100 * time.Millisecond)
+
+			got := d.EnergyWindow(st1.Now, st2.Now)
+			want := st2.Joules - st1.Joules
+			if want <= 0 {
+				t.Fatalf("backend integrated no energy over the window (%v J)", want)
+			}
+			if rel := math.Abs(got-want) / want; rel > 0.01 {
+				t.Fatalf("EnergyWindow(%v, %v) = %v J, backend says %v J (%.2f%% off, want <= 1%%)",
+					st1.Now, st2.Now, got, want, rel*100)
+			}
+		})
+	}
+}
+
+// TestEnergyWindowSpansRingBoundary pins the tier's reason to exist:
+// with a 64-point ring (64 ms of points) and periodic syncs, a window
+// reaching far behind the ring's retention still answers exactly,
+// because the drained points live on in the compressed series.
+func TestEnergyWindowSpansRingBoundary(t *testing.T) {
+	m := NewManager(Config{RingCap: 64})
+	defer m.Close()
+	d, err := m.Add("ringed", "stub", &stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2 float64
+	var t1, t2 time.Duration
+	for now := time.Duration(0); now < 2*time.Second; now += 20 * time.Millisecond {
+		m.StepAll(20 * time.Millisecond)
+		if _, missed := d.SyncHistory(); missed != 0 {
+			t.Fatalf("sync every 20 ms against a 64-point ring missed %d points", missed)
+		}
+		switch st := d.Status(); st.Now {
+		case 100 * time.Millisecond:
+			j1, t1 = st.Joules, st.Now
+		case 1900 * time.Millisecond:
+			j2, t2 = st.Joules, st.Now
+		}
+	}
+	if hs := d.HistoryStats(); hs.Points <= 64 {
+		t.Fatalf("history holds %d points — not past the 64-point ring, boundary untested", hs.Points)
+	}
+	// The window's first 1736 ms lie behind the ring's 64 ms retention:
+	// only the history tier can answer it. The stub holds 60 W flat, so
+	// the trapezoid is exact and must match the backend's own integral.
+	got := d.EnergyWindow(t1, t2)
+	want := j2 - j1
+	if rel := math.Abs(got-want) / want; rel > 1e-9 {
+		t.Fatalf("EnergyWindow(%v, %v) = %v J across the ring boundary, backend says %v J",
+			t1, t2, got, want)
+	}
+}
+
+// TestSyncHistoryCountsWraparoundMisses pins the drain cursor's honesty:
+// points the ring overwrote between syncs are reported missed, never
+// silently skipped — and the series still accepts everything that
+// survived.
+func TestSyncHistoryCountsWraparoundMisses(t *testing.T) {
+	m := NewManager(Config{RingCap: 64})
+	defer m.Close()
+	d, err := m.Add("wrapped", "stub", &stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 ms produces ~500 ring points against 64 slots with no sync in
+	// between: most points wrap out before the first drain sees them.
+	m.StepAll(500 * time.Millisecond)
+	appended, missed := d.SyncHistory()
+	if missed == 0 {
+		t.Fatal("no misses reported after overrunning the ring unsynced")
+	}
+	if appended == 0 || appended > 64 {
+		t.Fatalf("drain appended %d points from a 64-slot ring", appended)
+	}
+	if hs := d.HistoryStats(); hs.RingMissed != missed {
+		t.Fatalf("stats report %d missed, sync returned %d", hs.RingMissed, missed)
+	}
+	// The surviving span still answers; a second sync with no new points
+	// is a clean no-op.
+	if a2, m2 := d.SyncHistory(); a2 != 0 || m2 != 0 {
+		t.Fatalf("idle re-sync moved %d points, missed %d — cursor drifted", a2, m2)
+	}
+}
+
+// TestHistorySurvivesChurn pins retirement semantics: a handle to a
+// removed station still answers energy windows over everything it
+// measured (the final drain point included), and re-adopting the same
+// name starts a fresh, empty series rather than resurrecting the old
+// one.
+func TestHistorySurvivesChurn(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	d, err := m.Add("churny", "stub", &stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepAll(300 * time.Millisecond)
+	st := d.Status()
+	if err := m.Remove("churny"); err != nil {
+		t.Fatal(err)
+	}
+	// The retired handle: close drained the partial block and synced it
+	// into the series, so the full measured span is still queryable.
+	got := d.EnergyWindow(0, st.Now)
+	if rel := math.Abs(got-st.Joules) / st.Joules; rel > 0.01 {
+		t.Fatalf("retired station EnergyWindow = %v J, lifetime Joules %v (%.2f%% off)",
+			got, st.Joules, rel*100)
+	}
+	hsOld := d.HistoryStats()
+	if hsOld.Points == 0 {
+		t.Fatal("retired station lost its history points")
+	}
+
+	// Same name re-adopted: a brand-new series, empty until it measures.
+	d2, err := m.Add("churny", "stub", &stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := d2.HistoryStats(); hs.Appended != 0 {
+		t.Fatalf("re-adopted station inherited %d appended points", hs.Appended)
+	}
+	m.StepAll(50 * time.Millisecond)
+	if j := d2.EnergyWindow(0, 50*time.Millisecond); j <= 0 {
+		t.Fatalf("re-adopted station EnergyWindow = %v J after 50 ms at 60 W", j)
+	}
+	// The old handle's answer is unchanged by its successor's life.
+	if again := d.EnergyWindow(0, st.Now); again != got {
+		t.Fatalf("retired handle's answer drifted: %v J then %v J", got, again)
+	}
+}
+
+// TestFleetEnergyWindowZeroIntervalContract propagates the pmt.Watts
+// zero-interval contract up through the fleet layer: empty and inverted
+// windows are exactly 0 J on devices and on the manager aggregate, with
+// or without the history tier.
+func TestFleetEnergyWindowZeroIntervalContract(t *testing.T) {
+	for _, cfg := range []Config{{}, {HistoryBytes: -1}} {
+		m := NewManager(cfg)
+		d, err := m.Add("z", "stub", &stubSource{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.StepAll(100 * time.Millisecond)
+		mid := 50 * time.Millisecond
+		if j := d.EnergyWindow(mid, mid); j != 0 {
+			t.Fatalf("empty window = %v J, want exactly 0", j)
+		}
+		if j := d.EnergyWindow(mid, mid-time.Millisecond); j != 0 {
+			t.Fatalf("inverted window = %v J, want exactly 0", j)
+		}
+		if j := m.EnergyWindow(mid, mid); j != 0 {
+			t.Fatalf("manager empty window = %v J, want exactly 0", j)
+		}
+		m.Close()
+	}
+}
+
+// TestHistoryDisabled pins the fallback: with the tier disabled the
+// station reports empty stats and EnergyWindow integrates the ring's
+// held points directly — same clipping, same zero-interval contract.
+func TestHistoryDisabled(t *testing.T) {
+	m := NewManager(Config{HistoryBytes: -1})
+	defer m.Close()
+	d, err := m.Add("bare", "stub", &stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepAll(200 * time.Millisecond)
+	if hs := d.HistoryStats(); hs.Points != 0 || hs.Bytes != 0 {
+		t.Fatalf("disabled tier reports stats %+v", hs)
+	}
+	if a, miss := d.SyncHistory(); a != 0 || miss != 0 {
+		t.Fatalf("disabled tier sync moved %d points, missed %d", a, miss)
+	}
+	// 60 W flat from the stub: the ring fallback is exact over any
+	// window inside the held span.
+	got := d.EnergyWindow(50*time.Millisecond, 150*time.Millisecond)
+	if want := 6.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ring-fallback EnergyWindow = %v J, want %v J", got, want)
+	}
+}
+
+// TestManagerHistoryStatsAggregates checks the fleet-wide aggregate sums
+// across stations and that the shared latency histograms advance on
+// sync and query.
+func TestManagerHistoryStatsAggregates(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	for _, name := range []string{"a0", "a1", "a2"} {
+		if _, err := m.Add(name, "stub", &stubSource{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.StepAll(100 * time.Millisecond)
+	if appended, missed := m.SyncHistory(); appended == 0 || missed != 0 {
+		t.Fatalf("fleet sync appended %d, missed %d", appended, missed)
+	}
+	hs := m.HistoryStats()
+	if hs.Points == 0 || hs.Bytes == 0 {
+		t.Fatalf("aggregate stats empty after sync: %+v", hs)
+	}
+	var per uint64
+	for _, name := range []string{"a0", "a1", "a2"} {
+		per += m.Device(name).HistoryStats().Points
+	}
+	if hs.Points != per {
+		t.Fatalf("aggregate points %d != per-station sum %d", hs.Points, per)
+	}
+	if m.HistoryAppendHist().Count() == 0 {
+		t.Fatal("append histogram never recorded a sync pass")
+	}
+	m.EnergyWindow(0, 100*time.Millisecond)
+	if m.HistoryQueryHist().Count() == 0 {
+		t.Fatal("query histogram never recorded a window query")
+	}
+}
+
+// TestEnergyWindowAgreesWithPMTInterval is the tentpole's shared-stream
+// check: a fleet station and a pmt.SourceMeter built over identical
+// deterministic sources (same kind, same seed) must agree — the
+// interval-read model (two Reads bracketing the window) and the
+// streaming model (history EnergyWindow) measure the same energy.
+func TestEnergyWindowAgreesWithPMTInterval(t *testing.T) {
+	streamSrc, err := simsetup.NewStation("rapl", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervalSrc, err := simsetup.NewStation("rapl", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{})
+	defer m.Close()
+	d, err := m.Add("twin", "rapl", streamSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := pmt.NewSourceMeter("rapl", intervalSrc)
+
+	m.StepAll(200 * time.Millisecond)
+	s1 := meter.Read(200 * time.Millisecond)
+	m.StepAll(2 * time.Second)
+	s2 := meter.Read(2200 * time.Millisecond)
+	m.StepAll(100 * time.Millisecond)
+
+	got := d.EnergyWindow(s1.Time, s2.Time)
+	want := pmt.Joules(s1, s2)
+	if want <= 0 {
+		t.Fatalf("interval meter saw no energy (%v J)", want)
+	}
+	if rel := math.Abs(got-want) / want; rel > 0.01 {
+		t.Fatalf("EnergyWindow = %v J, pmt interval read says %v J (%.2f%% off, want <= 1%%)",
+			got, want, rel*100)
+	}
+}

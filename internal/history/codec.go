@@ -1,0 +1,190 @@
+// The bit-level codec of the long-horizon history tier: MSB-first bit
+// strings, delta-of-delta timestamp encoding and XOR float encoding in
+// the style of Facebook's Gorilla TSDB. See history.go for the tier
+// overview and the on-disk-free block layout.
+
+package history
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// bitWriter appends MSB-first bit strings into a growable byte buffer.
+// The buffer is reused across blocks (reset keeps capacity), so
+// steady-state appends write into already-grown storage and allocate
+// nothing.
+type bitWriter struct {
+	buf  []byte
+	free uint // unused low bits of the last byte; 0 when byte-aligned
+}
+
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.free = 0
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	v <<= 64 - n // left-align the payload
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if take > n {
+			take = n
+		}
+		w.buf[len(w.buf)-1] |= byte(v >> (64 - take) << (w.free - take))
+		v <<= take
+		n -= take
+		w.free -= take
+	}
+}
+
+func (w *bitWriter) writeBit(b uint64) { w.writeBits(b, 1) }
+
+// bitReader consumes MSB-first bit strings from a byte buffer. Callers
+// bound reads by the encoded point count, never by buffer exhaustion, so
+// trailing pad bits in the final byte are never misread as data.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit cursor
+}
+
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		b := r.buf[r.pos>>3]
+		avail := 8 - (r.pos & 7)
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := uint64(b>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += take
+		n -= take
+	}
+	return v
+}
+
+func (r *bitReader) readBit() uint64 { return r.readBits(1) }
+
+// writeDoD encodes one delta-of-delta of nanosecond timestamps with
+// variable-width buckets. A fixed-cadence stream (the downsample ring's
+// steady state) emits dod == 0, one bit per point; clock jitter and
+// resyncs pay wider buckets, up to a raw 64-bit escape for arbitrary
+// gaps (a station parked for hours, a ring wraparound the sync missed).
+func (w *bitWriter) writeDoD(dod int64) {
+	switch {
+	case dod == 0:
+		w.writeBit(0)
+	case -64 <= dod && dod < 64:
+		w.writeBits(0b10, 2)
+		w.writeBits(uint64(dod+64), 7)
+	case -2048 <= dod && dod < 2048:
+		w.writeBits(0b110, 3)
+		w.writeBits(uint64(dod+2048), 12)
+	case -(1<<31) <= dod && dod < 1<<31:
+		w.writeBits(0b1110, 4)
+		w.writeBits(uint64(dod+1<<31), 32)
+	default:
+		w.writeBits(0b1111, 4)
+		w.writeBits(uint64(dod), 64)
+	}
+}
+
+func (r *bitReader) readDoD() int64 {
+	if r.readBit() == 0 {
+		return 0
+	}
+	if r.readBit() == 0 {
+		return int64(r.readBits(7)) - 64
+	}
+	if r.readBit() == 0 {
+		return int64(r.readBits(12)) - 2048
+	}
+	if r.readBit() == 0 {
+		return int64(r.readBits(32)) - 1<<31
+	}
+	return int64(r.readBits(64))
+}
+
+// writeValue XOR-encodes one float64 against the previous value. An
+// unchanged value costs one bit; otherwise the changed mantissa window
+// is written, reusing the previous leading/trailing-zero window when it
+// still covers the XOR (control '10') and re-declaring it otherwise
+// ('11' + 5-bit leading count + 6-bit length). Quantisation upstream
+// (Series.Append) zeroes low mantissa bits so the window stays narrow.
+func (h *headState) writeValue(vb uint64) {
+	xor := vb ^ h.prevVBits
+	h.prevVBits = vb
+	if xor == 0 {
+		h.w.writeBit(0)
+		return
+	}
+	h.w.writeBit(1)
+	lead := uint(bits.LeadingZeros64(xor))
+	if lead > 31 { // 5-bit field; deeper leads just widen the window
+		lead = 31
+	}
+	trail := uint(bits.TrailingZeros64(xor))
+	if h.haveWin && lead >= h.lead && trail >= h.trail {
+		h.w.writeBit(0)
+		h.w.writeBits(xor>>h.trail, 64-h.lead-h.trail)
+		return
+	}
+	h.haveWin, h.lead, h.trail = true, lead, trail
+	sig := 64 - lead - trail
+	h.w.writeBit(1)
+	h.w.writeBits(uint64(lead), 5)
+	h.w.writeBits(uint64(sig-1), 6) // sig is 1..64, stored as 0..63
+	h.w.writeBits(xor>>trail, sig)
+}
+
+// blockIter decodes one block's points in order, the active head block
+// included (its bit buffer reads the same way; the point count bounds
+// the iteration). Must be used under the owning Series' mutex.
+type blockIter struct {
+	r           bitReader
+	count       int
+	i           int
+	t           time.Duration
+	prevDelta   int64
+	vBits       uint64
+	lead, trail uint
+}
+
+func (bv *blockView) iter() blockIter {
+	return blockIter{
+		r:     bitReader{buf: bv.bits},
+		count: bv.count,
+		t:     bv.t0,
+		vBits: bv.v0Bits,
+	}
+}
+
+func (it *blockIter) next() (time.Duration, float64, bool) {
+	if it.i >= it.count {
+		return 0, 0, false
+	}
+	if it.i == 0 {
+		it.i++
+		return it.t, math.Float64frombits(it.vBits), true
+	}
+	it.prevDelta += it.r.readDoD()
+	it.t += time.Duration(it.prevDelta)
+	if it.r.readBit() == 1 {
+		if it.r.readBit() == 1 {
+			it.lead = uint(it.r.readBits(5))
+			sig := uint(it.r.readBits(6)) + 1
+			it.trail = 64 - it.lead - sig
+		}
+		it.vBits ^= it.r.readBits(64-it.lead-it.trail) << it.trail
+	}
+	it.i++
+	return it.t, math.Float64frombits(it.vBits), true
+}

@@ -1,0 +1,323 @@
+// Package history is the long-horizon storage tier behind the fleet's
+// downsample rings. Rings hold seconds of block-averaged points at full
+// fidelity; the questions production fleets ask span hours ("how many
+// joules did gpu0 burn between t1 and t2?" — the interval-read model of
+// PMT). This package keeps hours of a station's summed-power series in
+// a compressed per-station Series and answers windowed energy queries
+// over it.
+//
+// Storage is Gorilla-style: points are (timestamp, watts) pairs encoded
+// as delta-of-delta timestamps plus XOR-compressed float values, sealed
+// into fixed-point-count blocks. The downsample ring pushes points at a
+// fixed cadence, so the steady-state timestamp costs one bit; values are
+// quantised to a configurable dyadic quantum (default ~1 mW) before
+// encoding so block-average noise does not defeat the XOR window — the
+// quantisation error is orders of magnitude below the trapezoid model
+// error of the downsampling itself. Sealed blocks additionally carry
+// their endpoints and their own trapezoidal energy sum, so a window
+// query decodes only the two blocks its edges cut; fully covered blocks
+// contribute a precomputed sum without touching their bits.
+//
+// The tier is deliberately pull-based: nothing here runs on a fleet's
+// ingest hot path. The fleet drains ring points into Append from a sync
+// path (queries, a daemon timer), and Append itself allocates only when
+// a block seals — steady-state appends write bits into recycled buffers.
+//
+// Query semantics: EnergyWindow integrates the stored series over
+// [from, to] with trapezoidal interpolation and partial-interval
+// clipping at both edges — a window edge falling between two stored
+// points takes the linearly interpolated slice of that interval, never
+// snapping to the nearest point. An empty or inverted window is 0 J by
+// contract, never NaN.
+package history
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Series. The zero value is usable: a 1 MiB budget,
+// ~1 mW value quantum, 1024-point blocks.
+type Config struct {
+	// MaxBytes bounds the compressed footprint of the series; once a
+	// sealed block would push past it, oldest blocks are evicted. Zero
+	// means DefaultMaxBytes; negative means unbounded.
+	MaxBytes int
+	// Quantum is the value granularity, in watts, applied before
+	// encoding: values are rounded to the nearest multiple. A dyadic
+	// quantum (a power of two, like the default 2^-10 W) zeroes the
+	// float64 mantissa bits below it exactly, which is what lets the XOR
+	// encoder store a noisy block average in a few bits. Zero means
+	// DefaultQuantum; negative means lossless (no quantisation).
+	Quantum float64
+	// BlockPoints is the number of points per sealed block. Zero means
+	// DefaultBlockPoints.
+	BlockPoints int
+}
+
+const (
+	// DefaultMaxBytes is the default per-series compressed budget:
+	// 1 MiB holds on the order of 300k+ points — minutes of 1 ms ring
+	// points, days of a 10 Hz software meter.
+	DefaultMaxBytes = 1 << 20
+	// DefaultQuantum is the default value quantum: 2^-10 W (~1 mW),
+	// a worst-case rounding error of ~0.5 mW per point — noise floor
+	// territory for the tens-of-watts rails the fleet measures.
+	DefaultQuantum = 1.0 / 1024
+	// DefaultBlockPoints is the default sealed-block size.
+	DefaultBlockPoints = 1024
+
+	// blockOverhead is the accounting estimate of one block's fixed
+	// footprint (struct header, endpoints, slice header) charged against
+	// MaxBytes on top of its encoded bits.
+	blockOverhead = 64
+
+	// rawPointBytes is the flat cost of one uncompressed point — an
+	// (int64 nanoseconds, float64 watts) pair — the baseline the
+	// compression ratio is measured against.
+	rawPointBytes = 16
+)
+
+// Point is one decoded history sample: the block-averaged summed power
+// the downsample ring produced at Time.
+type Point struct {
+	Time  time.Duration `json:"t"`
+	Watts float64       `json:"w"`
+}
+
+// Stats is a point-in-time accounting snapshot of a Series, assembled
+// from atomic counters — reading it takes no lock and cannot stall a
+// concurrent append or query.
+type Stats struct {
+	// Points is the number of points currently held (sealed blocks plus
+	// the active head block).
+	Points uint64 `json:"points"`
+	// Appended counts points ever accepted by Append.
+	Appended uint64 `json:"appended"`
+	// Dropped counts appends discarded for non-monotonic timestamps —
+	// a repeated timestamp would make any rate derived from adjacent
+	// points divide by zero, so the series refuses them at the door.
+	Dropped uint64 `json:"dropped"`
+	// EvictedPoints counts points dropped with their blocks to keep the
+	// series inside its byte budget.
+	EvictedPoints uint64 `json:"evicted_points"`
+	// Blocks is the number of sealed blocks currently held.
+	Blocks uint64 `json:"blocks"`
+	// Bytes is the compressed footprint currently held, per-block
+	// overhead included.
+	Bytes uint64 `json:"bytes"`
+}
+
+// RawBytes is the flat float64 footprint the held points would occupy
+// uncompressed.
+func (st Stats) RawBytes() uint64 { return st.Points * rawPointBytes }
+
+// Ratio is the compression ratio achieved: raw bytes over compressed
+// bytes. Zero when nothing is stored.
+func (st Stats) Ratio() float64 {
+	if st.Bytes == 0 {
+		return 0
+	}
+	return float64(st.RawBytes()) / float64(st.Bytes)
+}
+
+// block is one sealed, immutable run of consecutive points. Alongside
+// the encoded bits it keeps its endpoints and its internal trapezoidal
+// energy sum, so window queries decode a block only when a window edge
+// falls inside it.
+type block struct {
+	count     int
+	t0, tLast time.Duration
+	v0Bits    uint64 // first value, float64 bits (decoder seed)
+	v0, vLast float64
+	sumJ      float64 // trapezoid energy across the block's own points
+	bits      []byte
+}
+
+// headState is the active block being encoded: the appender's codec
+// state plus the same summary fields a sealed block keeps. Its bit
+// buffer is reused across seals, so steady-state appends allocate
+// nothing.
+type headState struct {
+	count       int
+	t0, tLast   time.Duration
+	v0Bits      uint64
+	v0, vLast   float64
+	sumJ        float64
+	prevDelta   int64
+	prevVBits   uint64
+	haveWin     bool
+	lead, trail uint
+	w           bitWriter
+}
+
+// blockView is the uniform read-side view of a block, sealed or head.
+type blockView struct {
+	count     int
+	t0, tLast time.Duration
+	v0Bits    uint64
+	v0, vLast float64
+	sumJ      float64
+	bits      []byte
+}
+
+func (b *block) view() blockView {
+	return blockView{count: b.count, t0: b.t0, tLast: b.tLast,
+		v0Bits: b.v0Bits, v0: b.v0, vLast: b.vLast, sumJ: b.sumJ, bits: b.bits}
+}
+
+func (h *headState) view() blockView {
+	return blockView{count: h.count, t0: h.t0, tLast: h.tLast,
+		v0Bits: h.v0Bits, v0: h.v0, vLast: h.vLast, sumJ: h.sumJ, bits: h.w.buf}
+}
+
+// Series is one station's compressed long-horizon history: sealed
+// blocks oldest-first plus the active head block. One appender and any
+// number of queriers may use it concurrently; appends and queries
+// serialise on an internal mutex (both are off every hot path), while
+// Stats reads atomic counters lock-free.
+type Series struct {
+	mu       sync.Mutex
+	maxBytes int     // 0 = unbounded
+	quantum  float64 // 0 = lossless
+	blockPts int
+
+	blocks      []*block
+	head        headState
+	sealedBytes int // bits + overhead of the sealed blocks
+
+	points   atomic.Uint64
+	appended atomic.Uint64
+	dropped  atomic.Uint64
+	evicted  atomic.Uint64
+	blocksN  atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// New returns an empty series tuned by cfg (zero value: defaults).
+func New(cfg Config) *Series {
+	s := &Series{maxBytes: cfg.MaxBytes, quantum: cfg.Quantum, blockPts: cfg.BlockPoints}
+	switch {
+	case s.maxBytes == 0:
+		s.maxBytes = DefaultMaxBytes
+	case s.maxBytes < 0:
+		s.maxBytes = 0
+	}
+	switch {
+	case s.quantum == 0:
+		s.quantum = DefaultQuantum
+	case s.quantum < 0:
+		s.quantum = 0
+	}
+	if s.blockPts <= 0 {
+		s.blockPts = DefaultBlockPoints
+	}
+	return s
+}
+
+// Append records one point. Timestamps must be strictly increasing:
+// a repeated or rewound timestamp is counted in Stats.Dropped and
+// discarded, never stored — the zero-interval guard at the storage
+// layer, so no rate or trapezoid derived from two adjacent history
+// points can ever divide by zero. Steady-state appends allocate
+// nothing; a block seal (every BlockPoints appends) allocates the
+// sealed copy.
+func (s *Series) Append(t time.Duration, w float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quantum > 0 {
+		w = math.Round(w/s.quantum) * s.quantum
+	}
+	h := &s.head
+	if h.count == 0 {
+		if n := len(s.blocks); n > 0 && t <= s.blocks[n-1].tLast {
+			s.dropped.Add(1)
+			return
+		}
+		vb := math.Float64bits(w)
+		h.t0, h.tLast, h.v0, h.vLast = t, t, w, w
+		h.v0Bits, h.prevVBits = vb, vb
+		h.count, h.prevDelta, h.sumJ, h.haveWin = 1, 0, 0, false
+	} else {
+		if t <= h.tLast {
+			s.dropped.Add(1)
+			return
+		}
+		delta := int64(t - h.tLast)
+		h.w.writeDoD(delta - h.prevDelta)
+		h.prevDelta = delta
+		h.writeValue(math.Float64bits(w))
+		h.sumJ += (w + h.vLast) / 2 * time.Duration(delta).Seconds()
+		h.tLast, h.vLast = t, w
+		h.count++
+	}
+	s.points.Add(1)
+	s.appended.Add(1)
+	if h.count == s.blockPts {
+		s.sealLocked()
+	}
+	s.bytes.Store(uint64(s.sealedBytes + len(h.w.buf) + blockOverhead))
+}
+
+// sealLocked closes the head block into an immutable sealed block and
+// evicts oldest blocks while the series exceeds its byte budget. Called
+// with s.mu held.
+func (s *Series) sealLocked() {
+	h := &s.head
+	if h.count == 0 {
+		return
+	}
+	blk := &block{count: h.count, t0: h.t0, tLast: h.tLast,
+		v0Bits: h.v0Bits, v0: h.v0, vLast: h.vLast, sumJ: h.sumJ,
+		bits: append([]byte(nil), h.w.buf...)}
+	s.blocks = append(s.blocks, blk)
+	s.sealedBytes += len(blk.bits) + blockOverhead
+	h.count = 0
+	h.w.reset()
+	if s.maxBytes > 0 {
+		for len(s.blocks) > 1 && s.sealedBytes+blockOverhead > s.maxBytes {
+			old := s.blocks[0]
+			s.sealedBytes -= len(old.bits) + blockOverhead
+			copy(s.blocks, s.blocks[1:])
+			s.blocks[len(s.blocks)-1] = nil
+			s.blocks = s.blocks[:len(s.blocks)-1]
+			s.evicted.Add(uint64(old.count))
+			s.points.Add(^uint64(old.count - 1)) // -= count
+		}
+	}
+	s.blocksN.Store(uint64(len(s.blocks)))
+}
+
+// Stats returns the series' accounting snapshot from atomic counters —
+// no lock, so scrape paths may call it per station per scrape.
+func (s *Series) Stats() Stats {
+	return Stats{
+		Points:        s.points.Load(),
+		Appended:      s.appended.Load(),
+		Dropped:       s.dropped.Load(),
+		EvictedPoints: s.evicted.Load(),
+		Blocks:        s.blocksN.Load(),
+		Bytes:         s.bytes.Load(),
+	}
+}
+
+// Bounds returns the timestamps of the oldest and newest points held,
+// and whether the series holds any points at all.
+func (s *Series) Bounds() (first, last time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case len(s.blocks) > 0:
+		first = s.blocks[0].t0
+	case s.head.count > 0:
+		first = s.head.t0
+	default:
+		return 0, 0, false
+	}
+	if s.head.count > 0 {
+		return first, s.head.tLast, true
+	}
+	return first, s.blocks[len(s.blocks)-1].tLast, true
+}

@@ -1,0 +1,167 @@
+// Windowed queries over a Series: trapezoidal energy integration with
+// partial-interval clipping at both window edges, and windowed decode.
+
+package history
+
+import "time"
+
+// SegmentEnergy returns the energy, in joules, of the linear power
+// segment from (t0, w0) to (t1, w1) clipped to the window [from, to]:
+// the clipped sub-interval's endpoint powers are linearly interpolated
+// and trapezoid-integrated. A window edge falling strictly inside the
+// segment therefore takes exactly the covered slice — never snapping to
+// the nearer stored point. Degenerate inputs (t1 <= t0, to <= from, or
+// no overlap) contribute exactly 0 J, never NaN: the zero-interval
+// contract shared with pmt.Watts.
+func SegmentEnergy(t0 time.Duration, w0 float64, t1 time.Duration, w1 float64, from, to time.Duration) float64 {
+	if t1 <= t0 || to <= from {
+		return 0
+	}
+	a, b := t0, t1
+	if from > a {
+		a = from
+	}
+	if to < b {
+		b = to
+	}
+	if b <= a {
+		return 0
+	}
+	span := (t1 - t0).Seconds()
+	slope := (w1 - w0) / span
+	wa := w0 + slope*(a-t0).Seconds()
+	wb := w0 + slope*(b-t0).Seconds()
+	return (wa + wb) / 2 * (b - a).Seconds()
+}
+
+// Integrate trapezoid-integrates a raw sampled power series over
+// [from, to] with the same edge-clipping semantics as EnergyWindow —
+// the reference integrator the history tier is tested against, and the
+// fallback fleets use when a station runs without a history series.
+// times must be ascending; len(watts) must equal len(times).
+func Integrate(times []time.Duration, watts []float64, from, to time.Duration) float64 {
+	var j float64
+	for i := 1; i < len(times); i++ {
+		j += SegmentEnergy(times[i-1], watts[i-1], times[i], watts[i], from, to)
+	}
+	return j
+}
+
+// EnergyWindow integrates the stored power series over [from, to], in
+// joules. Edges clip: a window boundary falling between two stored
+// points takes the linearly interpolated partial trapezoid of that
+// interval. An empty or inverted window (to <= from), or a window
+// wholly outside the stored span, returns exactly 0 J — never NaN.
+//
+// Sealed blocks fully covered by the window contribute their
+// precomputed energy sum without decoding; only the blocks a window
+// edge cuts are decoded, so a query's cost scales with the block count
+// plus two block decodes, not the point count.
+func (s *Series) EnergyWindow(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := windowQuery{from: from, to: to}
+	for _, b := range s.blocks {
+		bv := b.view()
+		if q.walk(&bv) {
+			return q.joules
+		}
+	}
+	bv := s.head.view()
+	q.walk(&bv)
+	return q.joules
+}
+
+// windowQuery accumulates one EnergyWindow pass: the running integral
+// plus the previous point seen, which bridges the gap segments between
+// blocks (a block boundary is still one sampling interval of the
+// underlying series).
+type windowQuery struct {
+	from, to time.Duration
+	joules   float64
+	havePrev bool
+	prevT    time.Duration
+	prevW    float64
+}
+
+func (q *windowQuery) bridge(t time.Duration, w float64) {
+	if q.havePrev {
+		q.joules += SegmentEnergy(q.prevT, q.prevW, t, w, q.from, q.to)
+	}
+	q.havePrev, q.prevT, q.prevW = true, t, w
+}
+
+// walk folds one block into the query and reports whether the window is
+// exhausted (every later block lies wholly past it).
+func (q *windowQuery) walk(bv *blockView) bool {
+	if bv.count == 0 {
+		return false
+	}
+	switch {
+	case bv.t0 >= q.to:
+		// Whole block past the window: only the bridge from the
+		// previous point into this block's first point can still
+		// overlap, then the query is done.
+		q.bridge(bv.t0, bv.v0)
+		return true
+	case bv.tLast <= q.from:
+		// Whole block before the window: its internal segments cannot
+		// overlap; carry the endpoints so the bridge into the next
+		// block clips correctly.
+		q.bridge(bv.t0, bv.v0)
+		q.havePrev, q.prevT, q.prevW = true, bv.tLast, bv.vLast
+	case q.from <= bv.t0 && bv.tLast <= q.to:
+		// Fully covered: bridge in, then take the precomputed sum.
+		q.bridge(bv.t0, bv.v0)
+		q.joules += bv.sumJ
+		q.havePrev, q.prevT, q.prevW = true, bv.tLast, bv.vLast
+	default:
+		// A window edge cuts this block: decode and clip per segment.
+		it := bv.iter()
+		for {
+			t, w, ok := it.next()
+			if !ok {
+				break
+			}
+			q.bridge(t, w)
+		}
+	}
+	return false
+}
+
+// PointsInto appends the stored points with timestamps in [from, to]
+// (inclusive) to dst, oldest first, and returns the extended slice.
+// Blocks wholly outside the window are skipped without decoding.
+func (s *Series) PointsInto(dst []Point, from, to time.Duration) []Point {
+	if to < from {
+		return dst
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.blocks {
+		bv := b.view()
+		dst = appendWindow(dst, &bv, from, to)
+	}
+	bv := s.head.view()
+	return appendWindow(dst, &bv, from, to)
+}
+
+func appendWindow(dst []Point, bv *blockView, from, to time.Duration) []Point {
+	if bv.count == 0 || bv.tLast < from || bv.t0 > to {
+		return dst
+	}
+	it := bv.iter()
+	for {
+		t, w, ok := it.next()
+		if !ok || t > to {
+			break
+		}
+		if t >= from {
+			dst = append(dst, Point{Time: t, Watts: w})
+		}
+	}
+	return dst
+}

@@ -58,7 +58,7 @@ func TestAgreementAMDSMI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runAgreement(t, r, AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)}, 0.05)
+	runAgreement(t, r, NewAMDSMIMeter(vendorapi.NewAMDSMI(g)), 0.05)
 }
 
 // TestAgreementNVML: the NVIDIA counter refreshes at only ~10 Hz, so its
@@ -72,5 +72,5 @@ func TestAgreementNVML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runAgreement(t, r, NVMLMeter{NVML: vendorapi.NewNVML(g)}, 0.15)
+	runAgreement(t, r, NewNVMLMeter(vendorapi.NewNVML(g)), 0.15)
 }

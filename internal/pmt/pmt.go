@@ -3,14 +3,25 @@
 // (Section V-A1): a single Meter interface over vendor-specific sensors
 // (NVML, AMD SMI, Jetson, RAPL) and over PowerSensor3 itself.
 //
-// As in the real PMT, a measurement is a pair of States; Joules, Seconds and
-// Watts difference them.
+// As in the real PMT, a measurement is a pair of States; Joules, Seconds
+// and Watts difference them. The vendor meters are not bespoke adapters:
+// each is a SourceMeter over the same internal/source adapter the fleet
+// streams from, so the interval-read model here and the streaming model
+// of internal/fleet consume one stream — two Read calls bracketing a
+// workload measure exactly the energy a fleet EnergyWindow over the same
+// span integrates.
+//
+// Zero-interval contract: differencing a state against itself (or any
+// pair with a non-positive elapsed time) yields Watts == 0 — never NaN
+// or Inf. Every rate in this package and the layers above it (history
+// trapezoids, fleet energy windows) holds the same contract.
 package pmt
 
 import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/source"
 	"repro/internal/vendorapi"
 )
 
@@ -36,7 +47,11 @@ func Joules(first, second State) float64 { return second.Joules - first.Joules }
 // Seconds returns the elapsed time between two states.
 func Seconds(first, second State) float64 { return (second.Time - first.Time).Seconds() }
 
-// Watts returns the average power between two states.
+// Watts returns the average power between two states. A non-positive
+// elapsed time — the same state twice, or states out of order — is 0 W
+// by contract: a zero-width measurement holds no information about
+// power, and dividing by it would poison every figure derived downstream
+// with NaN/Inf.
 func Watts(first, second State) float64 {
 	s := Seconds(first, second)
 	if s <= 0 {
@@ -45,48 +60,107 @@ func Watts(first, second State) float64 {
 	return Joules(first, second) / s
 }
 
-// NVMLMeter adapts the NVML emulation.
-type NVMLMeter struct{ NVML *vendorapi.NVML }
-
-// Name implements Meter.
-func (m NVMLMeter) Name() string { return "nvml" }
-
-// Read implements Meter.
-func (m NVMLMeter) Read(t time.Duration) State {
-	return State{Time: t, Joules: m.NVML.EnergyJoules(t), WattsNow: m.NVML.PowerInstant(t)}
+// SourceMeter adapts any streaming source.Source to the PMT
+// interval-read model. Read(t) advances the source to virtual time t —
+// draining the same sample stream a fleet station or trace recorder
+// would consume — and reports the source's own cumulative energy
+// integral, so interval reads and streaming consumers of one source can
+// never disagree about the energy between two instants.
+type SourceMeter struct {
+	name  string
+	src   source.Source
+	batch source.Batch // reused across reads; no per-read allocation
+	lastW float64      // most recent summed-power sample seen
 }
 
-// AMDSMIMeter adapts the ROCm/AMD SMI emulation.
-type AMDSMIMeter struct{ SMI *vendorapi.AMDSMI }
-
-// Name implements Meter.
-func (m AMDSMIMeter) Name() string { return "amdsmi" }
-
-// Read implements Meter.
-func (m AMDSMIMeter) Read(t time.Duration) State {
-	return State{Time: t, Joules: m.SMI.EnergyJoules(t), WattsNow: m.SMI.Power(t)}
+// NewSourceMeter wraps src as a PMT meter under the given name. The
+// meter owns the stream position: callers should either Read through
+// the meter or drain the source directly, not both.
+func NewSourceMeter(name string, src source.Source) *SourceMeter {
+	return &SourceMeter{name: name, src: src}
 }
 
-// JetsonMeter adapts the Jetson on-module sensor.
-type JetsonMeter struct{ INA *vendorapi.JetsonINA }
-
 // Name implements Meter.
-func (m JetsonMeter) Name() string { return "jetson" }
+func (m *SourceMeter) Name() string { return m.name }
 
-// Read implements Meter.
-func (m JetsonMeter) Read(t time.Duration) State {
-	return State{Time: t, Joules: m.INA.EnergyJoules(t), WattsNow: m.INA.Power(t)}
+// Source returns the underlying streaming source — the same adapter a
+// fleet would adopt.
+func (m *SourceMeter) Source() source.Source { return m.src }
+
+// Read implements Meter: it advances the source to virtual time t and
+// returns the cumulative state there. Reads are monotonic — a rewound
+// or repeated t advances nothing and reports the state at the source's
+// current time, so differencing such a pair gives a zero interval and
+// Watts resolves it to 0 by contract.
+func (m *SourceMeter) Read(t time.Duration) State {
+	if d := t - m.src.Now(); d > 0 {
+		if err := m.src.ReadInto(d, &m.batch); err == nil {
+			if n := m.batch.Len(); n > 0 {
+				m.lastW = m.batch.Total[n-1]
+			}
+		}
+	}
+	return State{Time: m.src.Now(), Joules: m.src.Joules(), WattsNow: m.lastW}
 }
 
-// RAPLMeter adapts the CPU RAPL emulation.
-type RAPLMeter struct{ RAPL *vendorapi.RAPL }
+// rateOf converts a vendor meter's refresh interval to its polling rate.
+func rateOf(period time.Duration) float64 {
+	return float64(time.Second) / float64(period)
+}
 
-// Name implements Meter.
-func (m RAPLMeter) Name() string { return "rapl" }
+// NewNVMLMeter adapts the NVML emulation: a polled source at the
+// counter's ~10 Hz refresh, driven externally (the caller advances the
+// workload on the shared GPU model).
+func NewNVMLMeter(nv *vendorapi.NVML) *SourceMeter {
+	return NewSourceMeter("nvml", source.NewPolled(source.PolledConfig{
+		Meta: source.Meta{
+			Backend:  "nvml",
+			RateHz:   rateOf(nv.UpdatePeriod),
+			Channels: []string{"board"},
+		},
+		Watts:  nv.PowerInstant,
+		Joules: nv.EnergyJoules,
+	}))
+}
 
-// Read implements Meter.
-func (m RAPLMeter) Read(t time.Duration) State {
-	return State{Time: t, Joules: m.RAPL.EnergyJoules(t)}
+// NewAMDSMIMeter adapts the ROCm/AMD SMI emulation.
+func NewAMDSMIMeter(smi *vendorapi.AMDSMI) *SourceMeter {
+	return NewSourceMeter("amdsmi", source.NewPolled(source.PolledConfig{
+		Meta: source.Meta{
+			Backend:  "amdsmi",
+			RateHz:   rateOf(smi.UpdatePeriod),
+			Channels: []string{"board"},
+		},
+		Watts:  smi.Power,
+		Joules: smi.EnergyJoules,
+	}))
+}
+
+// NewJetsonMeter adapts the Jetson on-module INA3221 sensor.
+func NewJetsonMeter(ina *vendorapi.JetsonINA) *SourceMeter {
+	return NewSourceMeter("jetson", source.NewPolled(source.PolledConfig{
+		Meta: source.Meta{
+			Backend:  "ina3221",
+			RateHz:   rateOf(ina.UpdatePeriod),
+			Channels: []string{"module"},
+		},
+		Watts:  ina.Power,
+		Joules: ina.EnergyJoules,
+	}))
+}
+
+// NewRAPLMeter adapts the CPU RAPL emulation. RAPL exposes only the
+// energy counter; power falls out of counter deltas, as real RAPL
+// consumers derive it.
+func NewRAPLMeter(rapl *vendorapi.RAPL) *SourceMeter {
+	return NewSourceMeter("rapl", source.NewPolled(source.PolledConfig{
+		Meta: source.Meta{
+			Backend:  "rapl",
+			RateHz:   rateOf(rapl.UpdatePeriod),
+			Channels: []string{"package"},
+		},
+		Joules: rapl.EnergyJoules,
+	}))
 }
 
 // PowerSensorMeter adapts an open PowerSensor3. Pair -1 sums all pairs.

@@ -32,7 +32,7 @@ func TestJoulesWattsSeconds(t *testing.T) {
 
 func TestNVMLMeter(t *testing.T) {
 	g := gpu.New(gpu.RTX4000Ada(), 1)
-	m := NVMLMeter{NVML: vendorapi.NewNVML(g)}
+	m := NewNVMLMeter(vendorapi.NewNVML(g))
 	if m.Name() != "nvml" {
 		t.Fatal("name")
 	}
@@ -49,7 +49,7 @@ func TestNVMLMeter(t *testing.T) {
 
 func TestAMDSMIMeterTracksTruth(t *testing.T) {
 	g := gpu.New(gpu.W7700(), 2)
-	m := AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)}
+	m := NewAMDSMIMeter(vendorapi.NewAMDSMI(g))
 	m.Read(0)
 	run := g.LaunchKernel(gpu.Kernel{FLOPs: 150e12, Waves: 1, Intensity: 1, Efficiency: 1}, 50*time.Millisecond)
 	e0 := g.TrueEnergy()
@@ -63,7 +63,7 @@ func TestAMDSMIMeterTracksTruth(t *testing.T) {
 
 func TestJetsonMeterModuleOnly(t *testing.T) {
 	g := gpu.New(gpu.JetsonAGXOrin(), 3)
-	m := JetsonMeter{INA: vendorapi.NewJetsonINA(g)}
+	m := NewJetsonMeter(vendorapi.NewJetsonINA(g))
 	st := m.Read(time.Second)
 	if st.WattsNow >= g.PowerAt(time.Second) {
 		t.Fatal("Jetson meter must not see the carrier board")
@@ -72,7 +72,7 @@ func TestJetsonMeterModuleOnly(t *testing.T) {
 
 func TestRAPLMeter(t *testing.T) {
 	cpu := &vendorapi.CPU{IdleW: 20, TDPW: 120, Util: 0.5}
-	m := RAPLMeter{RAPL: vendorapi.NewRAPL(cpu)}
+	m := NewRAPLMeter(vendorapi.NewRAPL(cpu))
 	a := m.Read(0)
 	b := m.Read(time.Second)
 	want := 20 + 0.5*100
@@ -108,10 +108,10 @@ func TestPowerSensorMeter(t *testing.T) {
 func TestUnifiedInterface(t *testing.T) {
 	g := gpu.New(gpu.RTX4000Ada(), 5)
 	meters := []Meter{
-		NVMLMeter{NVML: vendorapi.NewNVML(g)},
-		AMDSMIMeter{SMI: vendorapi.NewAMDSMI(g)},
-		JetsonMeter{INA: vendorapi.NewJetsonINA(g)},
-		RAPLMeter{RAPL: vendorapi.NewRAPL(&vendorapi.CPU{IdleW: 10, TDPW: 65})},
+		NewNVMLMeter(vendorapi.NewNVML(g)),
+		NewAMDSMIMeter(vendorapi.NewAMDSMI(g)),
+		NewJetsonMeter(vendorapi.NewJetsonINA(g)),
+		NewRAPLMeter(vendorapi.NewRAPL(&vendorapi.CPU{IdleW: 10, TDPW: 65})),
 	}
 	seen := map[string]bool{}
 	for _, m := range meters {
@@ -120,5 +120,44 @@ func TestUnifiedInterface(t *testing.T) {
 		}
 		seen[m.Name()] = true
 		_ = m.Read(time.Millisecond)
+	}
+}
+
+// TestSourceMeterZeroIntervalContract pins the monotonic-read contract:
+// a repeated or rewound Read advances nothing and reports the state at
+// the source's current time, so differencing such a pair is a zero
+// interval and Watts resolves it to exactly 0 — never NaN or Inf.
+func TestSourceMeterZeroIntervalContract(t *testing.T) {
+	m := NewRAPLMeter(vendorapi.NewRAPL(&vendorapi.CPU{IdleW: 20, TDPW: 120, Util: 0.5}))
+	a := m.Read(time.Second)
+	b := m.Read(time.Second)            // repeated instant
+	c := m.Read(500 * time.Millisecond) // rewound
+	if b.Time != a.Time || c.Time != a.Time {
+		t.Fatalf("degenerate reads moved time: %v, %v, %v", a.Time, b.Time, c.Time)
+	}
+	if b.Joules != a.Joules || c.Joules != a.Joules {
+		t.Fatalf("degenerate reads moved energy: %v, %v, %v", a.Joules, b.Joules, c.Joules)
+	}
+	for _, pair := range [][2]State{{a, b}, {a, c}, {a, a}} {
+		w := Watts(pair[0], pair[1])
+		if w != 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("zero-interval Watts = %v, want exactly 0", w)
+		}
+	}
+}
+
+// TestSourceMeterSharesSourceIntegral pins the re-base invariant: a
+// SourceMeter's Joules is the underlying source's own integral, so any
+// streaming consumer of an identical source sees the same energy
+// between the same two instants.
+func TestSourceMeterSharesSourceIntegral(t *testing.T) {
+	m := NewAMDSMIMeter(vendorapi.NewAMDSMI(gpu.New(gpu.W7700(), 9)))
+	a := m.Read(100 * time.Millisecond)
+	b := m.Read(1100 * time.Millisecond)
+	if got, want := b.Joules, m.Source().Joules(); got != want {
+		t.Fatalf("meter joules %v != source joules %v", got, want)
+	}
+	if Joules(a, b) <= 0 {
+		t.Fatal("no energy integrated over 1 s")
 	}
 }
