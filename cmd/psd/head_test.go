@@ -1,0 +1,161 @@
+// Head-mode daemon tests: the -federate flag grammar and the wired head
+// (setupHead, the exact assembly runHead serves) over real leaf daemons.
+
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+)
+
+// TestParseLeaves pins the -federate grammar: name=URL entries, bare
+// host:port auto-naming, the @file form with comments, and the rejects.
+func TestParseLeaves(t *testing.T) {
+	leaves, err := parseLeaves("rack0=10.0.0.1:9120, rack1=http://10.0.0.2:9120 ,10.0.0.3:9120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []federation.Leaf{
+		{Name: "rack0", URL: "10.0.0.1:9120"},
+		{Name: "rack1", URL: "http://10.0.0.2:9120"},
+		{Name: "10.0.0.3:9120", URL: "10.0.0.3:9120"},
+	}
+	if len(leaves) != len(want) {
+		t.Fatalf("parsed %d leaves, want %d", len(leaves), len(want))
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Errorf("leaf %d = %+v, want %+v", i, leaves[i], want[i])
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "leaves.conf")
+	conf := "# production racks\nrack0=10.0.0.1:9120\n\nrack1=10.0.0.2:9120 # spare\n"
+	if err := os.WriteFile(path, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	leaves, err = parseLeaves("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 2 || leaves[0].Name != "rack0" || leaves[1].Name != "rack1" ||
+		leaves[1].URL != "10.0.0.2:9120" {
+		t.Errorf("file form parsed %+v", leaves)
+	}
+
+	for _, bad := range []string{"", " , ", "=url", "name=", "@" + filepath.Join(t.TempDir(), "missing")} {
+		if _, err := parseLeaves(bad); err == nil {
+			t.Errorf("parseLeaves(%q) accepted", bad)
+		}
+	}
+}
+
+// TestServeHead wires a head exactly as runHead does (minus the
+// listener) over two real leaf daemons built by setup, and exercises the
+// merged endpoints end to end.
+func TestServeHead(t *testing.T) {
+	leafURLs := make([]string, 2)
+	for i, spec := range []string{"ga=synth,gb=synth", "ga=synth"} {
+		mgr, handler, err := setup(spec, 1, 0, 5*time.Millisecond, 20, 256, 1, 0,
+			100*time.Millisecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		leafURLs[i] = srv.URL
+	}
+
+	head, handler, err := setupHead([]federation.Leaf{
+		{Name: "left", URL: leafURLs[0]},
+		{Name: "right", URL: leafURLs[1]},
+	}, time.Second, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer head.Stop()
+
+	// setupHead's synchronous first round means the first scrape already
+	// sees every leaf, without Start ever running.
+	if up := head.UpCount(); up != 2 {
+		t.Fatalf("UpCount after setupHead = %d, want 2", up)
+	}
+
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, line := range []string{
+		`powersensor_leaf_up{leaf="left"} 1`,
+		`powersensor_leaf_up{leaf="right"} 1`,
+		`powersensor_head_leaves 2`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+	// The duplicate station name serves once per owning leaf.
+	for _, leaf := range []string{"left", "right"} {
+		if !strings.Contains(body, `powersensor_board_watts{leaf="`+leaf+`",device="ga"}`) {
+			t.Errorf("/metrics missing ga under leaf %s", leaf)
+		}
+	}
+
+	code, body = get("/api/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/api/fleet: status %d", code)
+	}
+	var v federation.HeadFleetJSON
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Leaves) != 2 || len(v.Devices) != 3 {
+		t.Fatalf("merged view: %d leaves %d devices, want 2 and 3", len(v.Leaves), len(v.Devices))
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz: status %d", code)
+	}
+	code, body = get("/api/device/left/ga/trace?format=json&points=2")
+	if code != http.StatusOK || !strings.Contains(body, `"points"`) {
+		t.Errorf("proxied trace: status %d body %q", code, body)
+	}
+	if code, _ := get("/api/device/elsewhere/ga/trace"); code != http.StatusNotFound {
+		t.Errorf("unknown leaf proxy: status %d, want 404", code)
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the slow-loris limits every psd
+// listener gets — leaf, head and debug alike.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(":0", http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("server timeouts unset: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatal("WriteTimeout set; trace/history downloads legitimately stream")
+	}
+}

@@ -14,6 +14,18 @@
 //	    [-history-sync 1s] [-warmup 2s] [-log-format text]
 //	    [-debug-addr addr] [-version]
 //
+//	psd -federate leaves [-federate-interval 1s] [-federate-timeout dur]
+//	    [-listen :9120] [-log-format text] [-debug-addr addr]
+//
+// The first form is a leaf: it owns a local fleet and serves it. The
+// second is a federation head (internal/federation): it owns no stations
+// of its own, polls the named leaf daemons' /api/fleet with per-leaf
+// timeouts, retries and circuit breakers, and serves the merged view —
+// one /metrics with a leaf label on every station series, one merged
+// /api/fleet, per-device drill-downs proxied to the owning leaf. A dead
+// leaf's stations serve marked stale and powersensor_leaf_up drops to 0;
+// the aggregate scrape never stalls on it.
+//
 // Flags:
 //
 //	-listen      HTTP listen address (default :9120)
@@ -74,6 +86,26 @@
 //	             scrape port and off by default
 //	-version     print the build version (stamped via
 //	             -ldflags "-X repro/internal/version.Version=...") and exit
+//	-federate    run as a federation head over these leaves instead of
+//	             serving a local fleet. Comma-separated entries, each
+//	             name=URL or a bare host:port (auto-named by its address,
+//	             http scheme assumed); "@path" reads the same entries
+//	             from a file, one per line, # comments allowed:
+//
+//	               psd -federate rack0=10.0.0.1:9120,rack1=10.0.0.2:9120
+//	               psd -federate @/etc/psd/leaves.conf
+//
+//	             The fleet-building flags (-fleet, -seed, -rate, -slice,
+//	             -block, -ring, -shards, -history, -history-sync,
+//	             -warmup) do not apply to a head and are rejected if set
+//	-federate-interval  head poll cadence per leaf (default 1s)
+//	-federate-timeout   per-attempt poll timeout against one leaf
+//	             (default half the interval, clamped to [50ms, 2s]); a
+//	             leaf slower than this fails its poll at the deadline
+//	             instead of delaying the round. Each poll retries once
+//	             with backoff before counting as a failure; 3 consecutive
+//	             failures open the leaf's circuit breaker, which rejects
+//	             polls for 4 intervals and then admits a half-open probe
 //
 // Endpoints:
 //
@@ -109,8 +141,27 @@
 //	                                  final downsample block drains, and its
 //	                                  series leave /metrics
 //
+// A federation head serves instead:
+//
+//	GET  /metrics                     merged exposition: every leaf's
+//	                                  station families under a leaf label,
+//	                                  plus powersensor_leaf_up, breaker
+//	                                  state, per-leaf poll histograms
+//	GET  /api/fleet                   merged JSON: per-leaf poll state and
+//	                                  every station with leaf + stale
+//	GET  /api/events                  leaf up/down and breaker transitions
+//	GET  /api/device/{leaf}/{name}/energy    proxied to the owning leaf
+//	GET  /api/device/{leaf}/{name}/trace     (503 while the leaf is down)
+//	GET  /api/device/{leaf}/{name}/history
+//	GET  /healthz                     200 while any leaf is up, 503 once
+//	                                  every leaf is down
+//
 // With -debug-addr set, the debug listener serves GET /debug/pprof/ (and
 // the cmdline/profile/symbol/trace handlers under it).
+//
+// Every listener sets ReadHeaderTimeout/ReadTimeout/IdleTimeout, and
+// SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
+// (5 s deadline) before the fleet manager or head poller closes.
 //
 // The admin endpoints make the serving fleet dynamic — stations come and
 // go without restarting the daemon, mirroring rigs being recabled or
@@ -160,11 +211,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/export"
+	"repro/internal/federation"
 	"repro/internal/fleet"
 	"repro/internal/simsetup"
 	"repro/internal/version"
@@ -189,6 +242,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof on this address (empty = no debug listener)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
+	federate := flag.String("federate", "",
+		"run as a federation head over these leaves (name=URL or host:port, comma-separated; @path reads a file)")
+	fedInterval := flag.Duration("federate-interval", time.Second, "head poll cadence per leaf")
+	fedTimeout := flag.Duration("federate-timeout", 0,
+		"per-attempt poll timeout against one leaf (0 = half the interval)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("psd %s %s\n", version.Version, version.GoVersion())
@@ -198,6 +256,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: psd [flags]; see -h")
 		os.Exit(2)
 	}
+	logger, err := newLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psd:", err)
+		os.Exit(2)
+	}
+	if *federate != "" {
+		// Head mode owns no stations: a fleet-building flag set alongside
+		// -federate is a misconfiguration, rejected rather than ignored.
+		if set := fleetFlagsSet(); len(set) != 0 {
+			fmt.Fprintf(os.Stderr, "psd: -federate (head mode) rejects fleet flags: -%s\n",
+				strings.Join(set, ", -"))
+			os.Exit(2)
+		}
+		leaves, err := parseLeaves(*federate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psd:", err)
+			os.Exit(2)
+		}
+		if err := runHead(*listen, *debugAddr, leaves, *fedInterval, *fedTimeout, logger); err != nil {
+			logger.Error("exiting", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rate < 0 {
 		fmt.Fprintln(os.Stderr, "psd: -rate must be >= 0 (0 = unpaced)")
 		os.Exit(2)
@@ -206,16 +288,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psd: -shards must be in [1, %d]\n", fleet.MaxShards)
 		os.Exit(2)
 	}
-	logger, err := newLogger(*logFormat, os.Stderr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "psd:", err)
-		os.Exit(2)
-	}
 	if err := run(*listen, *debugAddr, *spec, *seed, *rate, *slice, *block, *ring,
 		*shards, *histBytes, *histSync, *warmup, logger); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// fleetFlagsSet lists the fleet-building flags the user set explicitly —
+// the ones head mode rejects.
+func fleetFlagsSet() []string {
+	fleetOnly := map[string]bool{
+		"fleet": true, "seed": true, "rate": true, "slice": true,
+		"block": true, "ring": true, "shards": true, "history": true,
+		"history-sync": true, "warmup": true,
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if fleetOnly[f.Name] {
+			set = append(set, f.Name)
+		}
+	})
+	return set
+}
+
+// parseLeaves parses the -federate value: comma-separated name=URL or
+// bare host:port entries (bare entries are named by their address), or
+// "@path" naming a file with one entry per line, # comments and blank
+// lines skipped.
+func parseLeaves(spec string) ([]federation.Leaf, error) {
+	var entries []string
+	if strings.HasPrefix(spec, "@") {
+		raw, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("-federate: %w", err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			if line = strings.TrimSpace(line); line != "" {
+				entries = append(entries, line)
+			}
+		}
+	} else {
+		for _, e := range strings.Split(spec, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				entries = append(entries, e)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return nil, errors.New("-federate: no leaves given")
+	}
+	leaves := make([]federation.Leaf, 0, len(entries))
+	for _, e := range entries {
+		var l federation.Leaf
+		if name, url, ok := strings.Cut(e, "="); ok {
+			l = federation.Leaf{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+			if l.Name == "" || l.URL == "" {
+				return nil, fmt.Errorf("-federate: bad entry %q (want name=URL)", e)
+			}
+		} else {
+			l = federation.Leaf{Name: e, URL: e}
+		}
+		leaves = append(leaves, l)
+	}
+	return leaves, nil
 }
 
 // newLogger builds the daemon's structured logger: log/slog in text form
@@ -318,6 +457,67 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
+// newHTTPServer wraps a handler in a server with the slow-loris limits
+// every psd listener sets: a peer that never finishes its request
+// headers cannot pin a connection (ReadHeaderTimeout), a trickling body
+// cannot hold one forever (ReadTimeout), and idle keep-alives are
+// bounded (IdleTimeout). Federation heads polling leaves over real
+// networks — and being polled by real scrapers — make these
+// non-optional. WriteTimeout stays unset: trace and history downloads
+// legitimately stream large bodies.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// shutdownDeadline bounds how long a SIGINT/SIGTERM drain waits for
+// in-flight requests before the daemon exits anyway.
+const shutdownDeadline = 5 * time.Second
+
+// serveUntilSignal starts srv (and the debug listener when non-nil) and
+// blocks until the listener fails or SIGINT/SIGTERM arrives. On a signal
+// it drains in-flight requests through http.Server.Shutdown under
+// shutdownDeadline, so a scrape racing the signal completes instead of
+// dying mid-body; the caller closes its own subsystems (fleet manager,
+// head poller) after this returns — after the drain.
+func serveUntilSignal(srv, dsrv *http.Server, logger *slog.Logger) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	if dsrv != nil {
+		go func() {
+			// A failed debug listener (port taken, bad address) downgrades
+			// profiling, not serving: log it and keep the daemon up.
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", dsrv.Addr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", dsrv.Addr)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownDeadline)
+		defer cancel()
+		if dsrv != nil {
+			_ = dsrv.Close()
+		}
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}
+
 func run(listen, debugAddr, spec string, seed uint64, rate float64,
 	slice time.Duration, block, ring, shards, histBytes int, histSync,
 	warmup time.Duration, logger *slog.Logger) error {
@@ -326,6 +526,8 @@ func run(listen, debugAddr, spec string, seed uint64, rate float64,
 	if err != nil {
 		return err
 	}
+	// Close runs after serveUntilSignal's drain: in-flight scrapes finish
+	// against a live manager, then the stations retire.
 	defer mgr.Close()
 	mgr.Start()
 
@@ -353,39 +555,53 @@ func run(listen, debugAddr, spec string, seed uint64, rate float64,
 		}()
 	}
 
-	srv := &http.Server{Addr: listen, Handler: handler}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	var dsrv *http.Server
 	if debugAddr != "" {
-		dsrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
-		go func() {
-			// A failed debug listener (port taken, bad address) downgrades
-			// profiling, not serving: log it and keep the daemon up.
-			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
-			}
-		}()
-		logger.Info("debug listener up", "addr", debugAddr)
+		dsrv = newHTTPServer(debugAddr, debugMux())
 	}
 	logger.Info("serving", "stations", mgr.Size(), "fleet", spec, "addr", listen,
 		"version", version.Version)
+	return serveUntilSignal(newHTTPServer(listen, handler), dsrv, logger)
+}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case s := <-sig:
-		logger.Info("shutting down", "signal", s.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if dsrv != nil {
-			_ = dsrv.Close()
-		}
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return err
-		}
-		return nil
+// setupHead assembles a federation head and its HTTP handler — the head
+// counterpart of setup, split out so tests can serve it through
+// httptest. The first poll round runs synchronously (the head-mode
+// warmup: the first scrape already sees every reachable leaf), and the
+// caller owns Start/Stop of the poll loop.
+func setupHead(leaves []federation.Leaf, interval, timeout time.Duration,
+	logger *slog.Logger) (*federation.Head, http.Handler, error) {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	head, err := federation.New(federation.Config{
+		Leaves:   leaves,
+		Interval: interval,
+		Timeout:  timeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	head.PollOnce(context.Background())
+	logger.Info("first poll round done", "leaves", head.Leaves(), "up", head.UpCount())
+	return head, head.Handler(), nil
+}
+
+func runHead(listen, debugAddr string, leaves []federation.Leaf,
+	interval, timeout time.Duration, logger *slog.Logger) error {
+	head, handler, err := setupHead(leaves, interval, timeout, logger)
+	if err != nil {
+		return err
+	}
+	// Stop runs after serveUntilSignal's drain: in-flight scrapes finish
+	// against live views, then the poll loop ends.
+	defer head.Stop()
+	head.Start()
+	var dsrv *http.Server
+	if debugAddr != "" {
+		dsrv = newHTTPServer(debugAddr, debugMux())
+	}
+	logger.Info("serving federation head", "leaves", head.Leaves(), "up", head.UpCount(),
+		"addr", listen, "version", version.Version)
+	return serveUntilSignal(newHTTPServer(listen, handler), dsrv, logger)
 }

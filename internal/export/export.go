@@ -858,16 +858,29 @@ func escapeLabel(s string) string {
 	return labelEscaper.Replace(s)
 }
 
-// fleetSnapshot is the /api/fleet response body.
-type fleetSnapshot struct {
-	Devices []fleet.Status `json:"devices"`
-}
-
-func (e *Exporter) fleetJSON(w http.ResponseWriter, _ *http.Request) {
+// fleetJSON serves the versioned /api/fleet body (see FleetJSON). The
+// fleet generation doubles as the ETag: a client (a federation head
+// polling many leaves) sending If-None-Match gets 304 with no body while
+// the fleet sits at the same block-boundary fingerprint. The generation
+// loads before the snapshot, so a block landing between the two reads
+// makes the ETag conservatively old — the client refetches, never serves
+// stale.
+func (e *Exporter) fleetJSON(w http.ResponseWriter, r *http.Request) {
+	gen := e.mgr.Gen()
+	etag := FleetETag(gen)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(fleetSnapshot{Devices: e.mgr.Snapshot()})
+	_ = enc.Encode(FleetJSON{
+		Schema:     FleetSchemaVersion,
+		Generation: gen,
+		Devices:    e.mgr.Snapshot(),
+	})
 }
 
 // eventLog is the /api/events response body: the most recent lifecycle

@@ -1,0 +1,146 @@
+// Per-leaf circuit breaker: the state machine that lets a dead leaf cost
+// the head one cheap decision per poll round instead of a timeout's
+// worth of blocked worker. Closed passes every poll through; K
+// consecutive failures open it; an open breaker rejects polls until its
+// cooldown elapses, then admits exactly one half-open probe — success
+// closes it, failure re-opens it for another cooldown.
+
+package federation
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState int32
+
+const (
+	// BreakerClosed: polls flow; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed and one probe poll is (or may
+	// be) in flight; every other poll is rejected until it resolves.
+	BreakerHalfOpen
+	// BreakerOpen: polls are rejected until the cooldown elapses.
+	BreakerOpen
+)
+
+// String returns the state's exposition spelling.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a per-leaf circuit breaker. Callers ask Allow before each
+// poll and report the outcome with Success or Failure; the breaker owns
+// nothing but the decision. Time is passed in rather than read, so the
+// poller's clock (injectable in tests) drives cooldowns. Safe for
+// concurrent use; this is control-plane state, a mutex is fine.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	openFor   time.Duration // cooldown before a half-open probe
+	state     BreakerState
+	consec    int // consecutive failures since the last success
+	openedAt  time.Time
+	probing   bool   // a half-open probe is in flight
+	opens     uint64 // times the breaker has opened
+}
+
+// NewBreaker returns a closed breaker opening after threshold
+// consecutive failures and probing again openFor after opening.
+// Non-positive arguments take the defaults (3 failures, 5 s).
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if openFor <= 0 {
+		openFor = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor}
+}
+
+// Allow reports whether a poll may proceed at now. On an open breaker
+// whose cooldown has elapsed it transitions to half-open and admits the
+// caller as the single probe; a half-open breaker admits no one else
+// until that probe resolves via Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful poll: the breaker closes and the failure
+// run resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.consec = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure reports a failed poll at now. A closed breaker opens once the
+// consecutive-failure run reaches the threshold; a half-open breaker
+// (its probe just failed) re-opens for another cooldown.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	b.consec++
+	switch b.state {
+	case BreakerClosed:
+		if b.consec >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+	}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ConsecutiveFailures returns the current consecutive-failure run.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec
+}
+
+// Opens returns how many times the breaker has ever opened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

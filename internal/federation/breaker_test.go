@@ -1,0 +1,112 @@
+package federation_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+)
+
+// TestBreakerStateMachine walks the full closed → open → half-open →
+// closed cycle with an explicit clock, pinning every transition the
+// poller relies on.
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := federation.NewBreaker(3, time.Second)
+
+	if st := b.State(); st != federation.BreakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", st)
+	}
+	if !b.Allow(t0) {
+		t.Fatal("closed breaker rejected a poll")
+	}
+
+	// Two failures: still closed, run counted.
+	b.Failure(t0)
+	b.Failure(t0)
+	if st := b.State(); st != federation.BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", st)
+	}
+	if n := b.ConsecutiveFailures(); n != 2 {
+		t.Fatalf("consecutive failures = %d, want 2", n)
+	}
+
+	// Third failure opens it.
+	b.Failure(t0)
+	if st := b.State(); st != federation.BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", st)
+	}
+	if n := b.Opens(); n != 1 {
+		t.Fatalf("opens = %d, want 1", n)
+	}
+	if b.Allow(t0.Add(999 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a poll inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open probe admitted.
+	probeAt := t0.Add(time.Second)
+	if !b.Allow(probeAt) {
+		t.Fatal("open breaker rejected the probe after the cooldown")
+	}
+	if st := b.State(); st != federation.BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", st)
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second poll while the probe was in flight")
+	}
+
+	// Probe fails: re-open for another cooldown.
+	b.Failure(probeAt)
+	if st := b.State(); st != federation.BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	if n := b.Opens(); n != 2 {
+		t.Fatalf("opens after failed probe = %d, want 2", n)
+	}
+
+	// Second probe succeeds: closed, run reset.
+	again := probeAt.Add(time.Second)
+	if !b.Allow(again) {
+		t.Fatal("re-opened breaker rejected the second probe after its cooldown")
+	}
+	b.Success()
+	if st := b.State(); st != federation.BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if n := b.ConsecutiveFailures(); n != 0 {
+		t.Fatalf("consecutive failures after success = %d, want 0", n)
+	}
+	if !b.Allow(again) {
+		t.Fatal("closed breaker rejected a poll after recovery")
+	}
+}
+
+// TestBreakerDefaults pins the zero-config behavior: three consecutive
+// failures open the breaker.
+func TestBreakerDefaults(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := federation.NewBreaker(0, 0)
+	b.Failure(t0)
+	b.Failure(t0)
+	if st := b.State(); st != federation.BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed (default threshold 3)", st)
+	}
+	b.Failure(t0)
+	if st := b.State(); st != federation.BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+}
+
+// TestBreakerStateStrings pins the exposition spellings.
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[federation.BreakerState]string{
+		federation.BreakerClosed:   "closed",
+		federation.BreakerHalfOpen: "half-open",
+		federation.BreakerOpen:     "open",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -99,6 +99,28 @@ func HealthLevel(health string) int {
 	return int(healthStale)
 }
 
+// AggregateHealth tallies published health states over a status
+// snapshot — the read-only aggregated-station view a consumer holding a
+// fleet only as []Status (a federation head holding leaf views, a
+// dashboard holding a decoded /api/fleet body) applies without owning a
+// Manager. Semantics match Manager.HealthCounts exactly: stations is the
+// snapshot size, degraded counts every station not currently healthy,
+// and down counts the subset that is stale or flatlined — serving
+// nothing, or serving fake liveness.
+func AggregateHealth(devs []Status) (stations, degraded, down int) {
+	for i := range devs {
+		stations++
+		lvl := HealthLevel(devs[i].Health)
+		if lvl != int(healthHealthy) {
+			degraded++
+		}
+		if lvl >= int(healthFlatlined) {
+			down++
+		}
+	}
+	return stations, degraded, down
+}
+
 // Watchdog tuning. Steps and windows are virtual time, so detection
 // latency scales with the fleet's configured pacing, not the host's.
 const (

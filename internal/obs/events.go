@@ -24,6 +24,14 @@ const (
 	// "restart" on a recovery attempt, "recovered" when reads resumed
 	// cleanly, "parked" when the restart budget ran out).
 	EventRestart = "restart"
+	// EventLeaf: a federation head's view of one leaf daemon changed;
+	// Station carries the leaf name and Reason the transition ("up" when
+	// polls resume succeeding, "down" when they start failing).
+	EventLeaf = "leaf"
+	// EventBreaker: a leaf's circuit breaker changed state; Station
+	// carries the leaf name and Reason the new state ("open",
+	// "half-open", "closed").
+	EventBreaker = "breaker"
 )
 
 // Event is one structured fleet lifecycle transition.
